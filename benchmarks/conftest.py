@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark writes its human-readable report (the regenerated
+table/figure rows, with the paper's numbers alongside) to
+``benchmarks/out/<name>.txt`` and prints it, so results survive the
+pytest-benchmark session output.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit_report(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    return emit_report

@@ -1,0 +1,80 @@
+"""A5 — operator chaining depth vs control steps (design-choice sweep).
+
+DESIGN.md's FSMD model lets dependent operators chain combinationally
+within one control step.  This ablation sweeps the per-step chain-depth
+limit on FDCT1 and reports the resulting FSM size, cycle count and
+simulation time: unbounded chaining minimises states and cycles (at the
+cost of a longer critical path on real hardware), tight limits inflate
+the state count — quantifying why the compiler defaults to unbounded
+chaining for *functional* verification, where wall-clock per simulated
+run is what matters.
+"""
+
+import pytest
+
+from repro.apps import fdct_arrays, fdct_inputs, fdct_kernel, fdct_params
+from repro.compiler import compile_function
+from repro.core import verify_design
+
+PIXELS = 1024
+LIMITS = (1, 2, 4, 0)  # 0 = unbounded
+
+_RESULTS = {}
+
+
+def _run(chain_limit):
+    design = compile_function(fdct_kernel, fdct_arrays(PIXELS),
+                              fdct_params(PIXELS), name="fdct_chain",
+                              chain_limit=chain_limit)
+    result = verify_design(design, fdct_kernel, fdct_inputs(PIXELS))
+    assert result.passed, result.summary()
+    return {
+        "states": design.configurations[0].fsm.state_count(),
+        "operators": design.total_operators(),
+        "cycles": result.cycles,
+        "seconds": result.simulation_seconds,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-chaining")
+@pytest.mark.parametrize("chain_limit", LIMITS)
+def test_chain_limit(benchmark, chain_limit):
+    _RESULTS[chain_limit] = benchmark.pedantic(
+        _run, args=(chain_limit,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: v for k, v in _RESULTS[chain_limit].items() if k != "seconds"})
+
+
+@pytest.mark.benchmark(group="ablation-chaining")
+def test_chain_limit_report(benchmark, report_writer):
+    assert set(_RESULTS) == set(LIMITS)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    unbounded = _RESULTS[0]
+    tightest = _RESULTS[1]
+    # shape: tighter chains → more states and more cycles
+    assert tightest["states"] > unbounded["states"]
+    assert tightest["cycles"] > unbounded["cycles"]
+    # monotone (non-strictly) along the sweep
+    ordered = [_RESULTS[limit]["cycles"] for limit in (1, 2, 4, 0)]
+    assert ordered == sorted(ordered, reverse=True)
+
+    lines = [
+        f"A5 -- combinational chaining depth per control step "
+        f"(FDCT1, {PIXELS} pixels)",
+        "",
+        "chain limit  FSM states  cycles   sim (s)",
+        "-----------  ----------  -------  -------",
+    ]
+    for limit in LIMITS:
+        r = _RESULTS[limit]
+        label = "unbounded" if limit == 0 else str(limit)
+        lines.append(f"{label:<11}  {r['states']:<10}  {r['cycles']:<7}  "
+                     f"{r['seconds']:.3f}")
+    lines.append("")
+    lines.append(f"unbounded chaining saves "
+                 f"{tightest['cycles'] / unbounded['cycles']:.2f}x cycles "
+                 f"vs depth-1 scheduling; the effect is bounded because "
+                 f"FDCT's single-port memory traffic, not arithmetic "
+                 f"depth, dominates its schedule")
+    report_writer("ablation_chaining", "\n".join(lines) + "\n")

@@ -1,0 +1,92 @@
+"""E2 — the paper's in-text scaling result (its figure-series).
+
+Paper §3: FDCT1 over 4,096 pixels simulates in 6.9 s; "with images of
+65,536 and 345,600 pixels, FDCT1 is simulated in 1 and 6.5 minutes,
+respectively".  The series is close to linear in the pixel count, and
+minutes-scale for full images — that is the feasibility claim.
+
+This bench measures the same sweep (the largest size is extrapolated
+from the measured per-pixel cost unless ``REPRO_BENCH_FULL=1`` is set,
+to keep the default run short) and checks the shape: near-linear
+scaling, same ordering.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import build_fdct1, fdct_inputs, fdct_kernel
+from repro.core import verify_design
+
+SIZES = (4096, 65536)
+EXTRAPOLATED = 345600
+PAPER = {4096: 6.9, 65536: 60.0, 345600: 390.0}
+
+_MEASURED = {}
+
+
+def _simulate(pixels):
+    design = build_fdct1(pixels)
+    result = verify_design(design, fdct_kernel, fdct_inputs(pixels))
+    assert result.passed, result.summary()
+    return result
+
+
+@pytest.mark.benchmark(group="scaling")
+@pytest.mark.parametrize("pixels", SIZES)
+def test_scaling_point(benchmark, pixels):
+    result = benchmark.pedantic(_simulate, args=(pixels,), rounds=1,
+                                iterations=1)
+    _MEASURED[pixels] = result.simulation_seconds
+    benchmark.extra_info["pixels"] = pixels
+    benchmark.extra_info["cycles"] = result.cycles
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_full_size(benchmark):
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        result = benchmark.pedantic(_simulate, args=(EXTRAPOLATED,),
+                                    rounds=1, iterations=1)
+        _MEASURED[EXTRAPOLATED] = result.simulation_seconds
+    else:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        pytest.skip("set REPRO_BENCH_FULL=1 to measure the 345,600-pixel "
+                    "image instead of extrapolating")
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_report(benchmark, report_writer):
+    assert set(_MEASURED) >= set(SIZES), \
+        "run the whole module: earlier benches fill the series"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    per_pixel = _MEASURED[SIZES[-1]] / SIZES[-1]
+    measured_full = _MEASURED.get(EXTRAPOLATED)
+    estimate_full = measured_full if measured_full is not None \
+        else per_pixel * EXTRAPOLATED
+
+    # shape: near-linear growth (ratio of times within 2x of the ratio
+    # of sizes) and the paper's ordering
+    ratio_sizes = SIZES[1] / SIZES[0]
+    ratio_times = _MEASURED[SIZES[1]] / _MEASURED[SIZES[0]]
+    assert ratio_times < 2 * ratio_sizes
+    assert ratio_times > ratio_sizes / 4
+    assert _MEASURED[4096] < _MEASURED[65536] < estimate_full
+
+    lines = [
+        "E2 -- FDCT1 simulation time vs image size "
+        "(the paper's in-text series)",
+        "",
+        "pixels    measured (s)   paper (s)   note",
+        "-------   ------------   ---------   ----",
+    ]
+    for pixels in SIZES:
+        lines.append(f"{pixels:<9} {_MEASURED[pixels]:<14.2f} "
+                     f"{PAPER[pixels]:<11.1f}")
+    marker = "" if measured_full is not None else "(extrapolated)"
+    lines.append(f"{EXTRAPOLATED:<9} {estimate_full:<14.2f} "
+                 f"{PAPER[EXTRAPOLATED]:<11.1f} {marker}")
+    lines.append("")
+    lines.append(f"growth 4,096 -> 65,536 pixels: sizes x{ratio_sizes:.1f}, "
+                 f"times x{ratio_times:.1f} (near-linear, as in the paper)")
+    report_writer("scaling", "\n".join(lines) + "\n")

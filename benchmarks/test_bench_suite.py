@@ -1,0 +1,47 @@
+"""E4 — "verify … a complete test suite in feasible time".
+
+The paper's purpose statement: after every compiler change, re-verify
+the whole benchmark suite automatically.  This bench runs the full
+standard suite (all seven registered algorithms, FDCTs at the Table I
+image scaled down to keep the default run snappy) and reports wall
+time, which must stay interactive-scale.
+"""
+
+import pytest
+
+from repro.apps import standard_suite
+
+SIZES = {
+    "fdct1": {"pixels": 1024},
+    "fdct2": {"pixels": 1024},
+    "hamming": {"n_words": 256},
+    "fir": {"n_out": 128, "taps": 8},
+    "matmul": {"n": 8},
+    "threshold": {"n_pixels": 512},
+    "popcount": {"n_words": 128},
+}
+
+
+@pytest.mark.benchmark(group="suite")
+def test_whole_suite_feasible(benchmark, report_writer):
+    suite = standard_suite(sizes=SIZES)
+
+    def run_suite():
+        return suite.run(seed=0)
+
+    report = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    assert report.passed, report.summary()
+    # the paper's feasibility claim, generously bounded for slow hosts
+    assert report.wall_seconds < 300
+
+    lines = [
+        "E4 -- complete regression suite in one command "
+        "(the paper's purpose)",
+        "",
+        report.summary(),
+        "",
+        report.metrics_table(),
+    ]
+    report_writer("suite", "\n".join(lines) + "\n")
+    benchmark.extra_info["cases"] = len(report.results)
+    benchmark.extra_info["wall_seconds"] = round(report.wall_seconds, 3)

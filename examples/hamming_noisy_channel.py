@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Hamming(7,4) over a noisy channel, decoded in simulated hardware.
+
+Encodes a message, flips one random bit in half the codewords (a
+seeded "channel"), compiles the decoder to hardware, simulates it, and
+checks the recovered payload — demonstrating the infrastructure on the
+paper's second Table I benchmark.
+
+Run:  python examples/hamming_noisy_channel.py
+"""
+
+import random
+
+from repro.apps import (build_hamming, hamming_decode_kernel,
+                        hamming_encode, inject_errors)
+from repro.core import prepare_images
+from repro.rtg import ReconfigurationContext, RtgExecutor
+
+MESSAGE = "FPGA TEST INFRASTRUCTURE (DATE 2005)"
+SEED = 42
+
+
+def main() -> None:
+    # each character becomes two 4-bit nibbles
+    payload = []
+    for char in MESSAGE:
+        payload.append(ord(char) >> 4)
+        payload.append(ord(char) & 0xF)
+    n_words = len(payload)
+    print(f"message: {MESSAGE!r} -> {n_words} nibbles")
+
+    clean = [hamming_encode(nibble) for nibble in payload]
+    noisy = inject_errors(clean, seed=SEED, error_rate=0.5)
+    flipped = sum(1 for a, b in zip(clean, noisy) if a != b)
+    print(f"channel flipped one bit in {flipped} of {n_words} codewords")
+
+    print("compiling the decoder...")
+    design = build_hamming(n_words)
+    print(f"  {design.total_operators()} operators, "
+          f"{design.configurations[0].state_count()} FSM states")
+
+    print("decoding in simulated hardware...")
+    images = prepare_images(design, {"code_in": noisy})
+    context = ReconfigurationContext.from_rtg(design.rtg, initial=images)
+    result = RtgExecutor(design.rtg, context).run()
+    print(f"  {result.total_cycles} cycles "
+          f"({result.total_cycles / n_words:.1f} per codeword)")
+
+    decoded = context.memory("data_out").words()
+    recovered = ""
+    for high, low in zip(decoded[0::2], decoded[1::2]):
+        recovered += chr((high << 4) | low)
+    print(f"recovered: {recovered!r}")
+    assert recovered == MESSAGE, "decode failed!"
+    print(f"all {flipped} single-bit errors corrected — hamming OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Benchmark applications: the paper's examples plus auxiliary workloads."""
+
+from .fdct import (build_fdct1, build_fdct2, fdct_arrays, fdct_inputs,
+                   fdct_kernel, fdct_params)
+from .fir import build_fir, fir_arrays, fir_inputs, fir_kernel, fir_params
+from .idct import build_idct, idct_arrays, idct_kernel, idct_params
+from .hamming import (build_hamming, hamming_arrays, hamming_decode_kernel,
+                      hamming_encode, hamming_inputs, hamming_params,
+                      inject_errors)
+from .matmul import (build_matmul, matmul_arrays, matmul_inputs,
+                     matmul_kernel, matmul_params)
+from .popcount import (build_popcount, popcount_arrays, popcount_inputs,
+                       popcount_kernel, popcount_params)
+from .registry import CASE_BUILDERS, standard_suite, suite_case
+from .threshold import (build_threshold, threshold_arrays, threshold_inputs,
+                        threshold_kernel, threshold_params)
+
+__all__ = [
+    "fdct_kernel", "fdct_arrays", "fdct_params", "fdct_inputs",
+    "build_fdct1", "build_fdct2",
+    "idct_kernel", "idct_arrays", "idct_params", "build_idct",
+    "hamming_decode_kernel", "hamming_encode", "inject_errors",
+    "hamming_arrays", "hamming_params", "hamming_inputs", "build_hamming",
+    "fir_kernel", "fir_arrays", "fir_params", "fir_inputs", "build_fir",
+    "matmul_kernel", "matmul_arrays", "matmul_params", "matmul_inputs",
+    "build_matmul",
+    "threshold_kernel", "threshold_arrays", "threshold_params",
+    "threshold_inputs", "build_threshold",
+    "popcount_kernel", "popcount_arrays", "popcount_params",
+    "popcount_inputs", "build_popcount",
+    "standard_suite", "suite_case", "CASE_BUILDERS",
+]

@@ -1,0 +1,187 @@
+"""FDCT: the paper's main benchmark — fast 8×8 DCT over an input image.
+
+The kernel is the classic Loeffler/JPEG integer DCT (the ``jfdctint``
+fixed-point constants, ``CONST_BITS=13``, ``PASS1_BITS=2``) written in
+the compiler's restricted-Python subset: a row pass producing an
+intermediate image and a column pass producing the coefficients, each a
+loop nest over 8×8 blocks.  Three memories hold input, intermediate and
+output images — exactly the paper's "three SRAMs to store input, output,
+and intermediate images".
+
+* **FDCT1** compiles the whole kernel into a single configuration.
+* **FDCT2** splits it between the two passes into two configurations
+  (``n_partitions=2``); the intermediate image is the RTG-level shared
+  memory carrying data across the reconfiguration.
+
+Pixel layout is block-major: pixel ``(block, row, col)`` lives at
+``block*64 + row*8 + col``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from ..core.stimulus import synthetic_image
+from ..util.files import MemoryImage
+
+__all__ = ["fdct_kernel", "fdct_arrays", "fdct_params", "fdct_inputs",
+           "build_fdct1", "build_fdct2", "BLOCK_PIXELS"]
+
+BLOCK_PIXELS = 64  # 8x8
+
+
+def fdct_kernel(img_in, img_mid, img_out, n_blocks=64):
+    """8×8 forward DCT over ``n_blocks`` blocks (restricted Python).
+
+    Pass 1 transforms rows into ``img_mid`` (scaled by ``PASS1_BITS``);
+    pass 2 transforms columns into ``img_out``.  The fixed-point
+    constants are the ``jfdctint`` ones (value = round(c * 2**13)).
+    """
+    # ---------------- pass 1: rows -> intermediate image ----------------
+    for b1 in range(n_blocks):
+        for r in range(8):
+            o = b1 * 64 + r * 8
+            d0 = img_in[o]
+            d1 = img_in[o + 1]
+            d2 = img_in[o + 2]
+            d3 = img_in[o + 3]
+            d4 = img_in[o + 4]
+            d5 = img_in[o + 5]
+            d6 = img_in[o + 6]
+            d7 = img_in[o + 7]
+
+            t0 = d0 + d7
+            t7 = d0 - d7
+            t1 = d1 + d6
+            t6 = d1 - d6
+            t2 = d2 + d5
+            t5 = d2 - d5
+            t3 = d3 + d4
+            t4 = d3 - d4
+
+            t10 = t0 + t3
+            t13 = t0 - t3
+            t11 = t1 + t2
+            t12 = t1 - t2
+
+            img_mid[o] = (t10 + t11) << 2
+            img_mid[o + 4] = (t10 - t11) << 2
+
+            z1 = (t12 + t13) * 4433
+            img_mid[o + 2] = (z1 + t13 * 6270 + 1024) >> 11
+            img_mid[o + 6] = (z1 - t12 * 15137 + 1024) >> 11
+
+            z1 = t4 + t7
+            z2 = t5 + t6
+            z3 = t4 + t6
+            z4 = t5 + t7
+            z5 = (z3 + z4) * 9633
+
+            t4 = t4 * 2446
+            t5 = t5 * 16819
+            t6 = t6 * 25172
+            t7 = t7 * 12299
+            z1 = z1 * -7373
+            z2 = z2 * -20995
+            z3 = z3 * -16069 + z5
+            z4 = z4 * -3196 + z5
+
+            img_mid[o + 7] = (t4 + z1 + z3 + 1024) >> 11
+            img_mid[o + 5] = (t5 + z2 + z4 + 1024) >> 11
+            img_mid[o + 3] = (t6 + z2 + z3 + 1024) >> 11
+            img_mid[o + 1] = (t7 + z1 + z4 + 1024) >> 11
+
+    # --------------- pass 2: columns -> output coefficients -------------
+    for b2 in range(n_blocks):
+        for c in range(8):
+            o = b2 * 64 + c
+            d0 = img_mid[o]
+            d1 = img_mid[o + 8]
+            d2 = img_mid[o + 16]
+            d3 = img_mid[o + 24]
+            d4 = img_mid[o + 32]
+            d5 = img_mid[o + 40]
+            d6 = img_mid[o + 48]
+            d7 = img_mid[o + 56]
+
+            t0 = d0 + d7
+            t7 = d0 - d7
+            t1 = d1 + d6
+            t6 = d1 - d6
+            t2 = d2 + d5
+            t5 = d2 - d5
+            t3 = d3 + d4
+            t4 = d3 - d4
+
+            t10 = t0 + t3
+            t13 = t0 - t3
+            t11 = t1 + t2
+            t12 = t1 - t2
+
+            img_out[o] = (t10 + t11 + 2) >> 2
+            img_out[o + 32] = (t10 - t11 + 2) >> 2
+
+            z1 = (t12 + t13) * 4433
+            img_out[o + 16] = (z1 + t13 * 6270 + 16384) >> 15
+            img_out[o + 48] = (z1 - t12 * 15137 + 16384) >> 15
+
+            z1 = t4 + t7
+            z2 = t5 + t6
+            z3 = t4 + t6
+            z4 = t5 + t7
+            z5 = (z3 + z4) * 9633
+
+            t4 = t4 * 2446
+            t5 = t5 * 16819
+            t6 = t6 * 25172
+            t7 = t7 * 12299
+            z1 = z1 * -7373
+            z2 = z2 * -20995
+            z3 = z3 * -16069 + z5
+            z4 = z4 * -3196 + z5
+
+            img_out[o + 56] = (t4 + z1 + z3 + 16384) >> 15
+            img_out[o + 40] = (t5 + z2 + z4 + 16384) >> 15
+            img_out[o + 24] = (t6 + z2 + z3 + 16384) >> 15
+            img_out[o + 8] = (t7 + z1 + z4 + 16384) >> 15
+
+
+def fdct_arrays(pixels: int) -> Dict[str, MemorySpec]:
+    """Memory specs for an image of *pixels* samples (multiple of 64).
+
+    Input pixels are unsigned 16-bit words; the intermediate image needs
+    full 32-bit words (pass-1 products); coefficients fit signed 16 bits.
+    """
+    if pixels % BLOCK_PIXELS:
+        raise ValueError(f"pixels must be a multiple of {BLOCK_PIXELS}")
+    return {
+        "img_in": MemorySpec(16, pixels, signed=False, role="input"),
+        "img_mid": MemorySpec(32, pixels, signed=True, role="intermediate"),
+        "img_out": MemorySpec(16, pixels, signed=True, role="output"),
+    }
+
+
+def fdct_params(pixels: int) -> Dict[str, int]:
+    return {"n_blocks": pixels // BLOCK_PIXELS}
+
+
+def fdct_inputs(pixels: int, seed: int = 2005) -> Dict[str, MemoryImage]:
+    """Deterministic input image for a run (paper default: 4,096 pixels)."""
+    image = synthetic_image(pixels, seed=seed, width=16, name="img_in")
+    return {"img_in": image}
+
+
+def build_fdct1(pixels: int = 4096, **compile_options) -> Design:
+    """FDCT in a single configuration (Table I's FDCT1)."""
+    return compile_function(fdct_kernel, fdct_arrays(pixels),
+                            fdct_params(pixels), name="fdct1",
+                            **compile_options)
+
+
+def build_fdct2(pixels: int = 4096, **compile_options) -> Design:
+    """FDCT split between the passes (Table I's FDCT2)."""
+    return compile_function(fdct_kernel, fdct_arrays(pixels),
+                            fdct_params(pixels), name="fdct2",
+                            n_partitions=2, **compile_options)

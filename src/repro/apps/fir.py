@@ -1,0 +1,55 @@
+"""FIR filter benchmark: streaming convolution over a sample memory."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+
+__all__ = ["fir_kernel", "fir_arrays", "fir_params", "fir_inputs",
+           "build_fir"]
+
+
+def fir_kernel(samples, coeffs, filtered, n_out=64, taps=8):
+    """``filtered[i] = sum(samples[i+t] * coeffs[t])`` (restricted Python)."""
+    for i in range(n_out):
+        acc = 0
+        for t in range(taps):
+            acc = acc + samples[i + t] * coeffs[t]
+        filtered[i] = acc
+
+
+def fir_arrays(n_out: int = 64, taps: int = 8) -> Dict[str, MemorySpec]:
+    return {
+        "samples": MemorySpec(16, n_out + taps, signed=True, role="input"),
+        "coeffs": MemorySpec(16, taps, signed=True, role="input"),
+        "filtered": MemorySpec(32, n_out, signed=True, role="output"),
+    }
+
+
+def fir_params(n_out: int = 64, taps: int = 8) -> Dict[str, int]:
+    return {"n_out": n_out, "taps": taps}
+
+
+def fir_inputs(n_out: int = 64, taps: int = 8,
+               seed: int = 2005) -> Dict[str, MemoryImage]:
+    rng = random.Random(seed)
+    samples = [rng.randint(-500, 500) for _ in range(n_out + taps)]
+    # a simple low-pass-ish symmetric kernel
+    coeffs = [1, 3, 7, 11, 11, 7, 3, 1][:taps]
+    while len(coeffs) < taps:
+        coeffs.append(1)
+    return {
+        "samples": MemoryImage(16, n_out + taps, words=samples,
+                               name="samples"),
+        "coeffs": MemoryImage(16, taps, words=coeffs, name="coeffs"),
+    }
+
+
+def build_fir(n_out: int = 64, taps: int = 8, **compile_options) -> Design:
+    return compile_function(fir_kernel, fir_arrays(n_out, taps),
+                            fir_params(n_out, taps), name="fir",
+                            **compile_options)

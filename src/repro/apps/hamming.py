@@ -1,0 +1,107 @@
+"""Hamming(7,4) decoder — the paper's second benchmark.
+
+The compiled kernel decodes a block of 7-bit codewords: compute the
+syndrome, correct the (single) flipped bit if any, and extract the four
+data bits.  Encoder and channel-noise injection are plain-Python helpers
+used only for stimulus generation.
+
+Bit layout (classic positions, LSB = position 1)::
+
+    position:  7  6  5  4  3  2  1
+    content : d3 d2 d1 p4 d0 p2 p1
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+
+__all__ = ["hamming_decode_kernel", "hamming_encode", "inject_errors",
+           "hamming_arrays", "hamming_params", "hamming_inputs",
+           "build_hamming", "DEFAULT_WORDS"]
+
+DEFAULT_WORDS = 64
+
+
+def hamming_decode_kernel(code_in, data_out, n_words=64):
+    """Decode ``n_words`` Hamming(7,4) codewords (restricted Python)."""
+    for i in range(n_words):
+        c = code_in[i]
+        b1 = c & 1
+        b2 = (c >> 1) & 1
+        b3 = (c >> 2) & 1
+        b4 = (c >> 3) & 1
+        b5 = (c >> 4) & 1
+        b6 = (c >> 5) & 1
+        b7 = (c >> 6) & 1
+        s1 = b1 ^ b3 ^ b5 ^ b7
+        s2 = b2 ^ b3 ^ b6 ^ b7
+        s4 = b4 ^ b5 ^ b6 ^ b7
+        syndrome = s1 + s2 * 2 + s4 * 4
+        if syndrome != 0:
+            c = c ^ (1 << (syndrome - 1))
+        d0 = (c >> 2) & 1
+        d1 = (c >> 4) & 1
+        d2 = (c >> 5) & 1
+        d3 = (c >> 6) & 1
+        data_out[i] = d0 + d1 * 2 + d2 * 4 + d3 * 8
+
+
+
+def hamming_encode(nibble: int) -> int:
+    """Encode one 4-bit value into a 7-bit codeword (stimulus helper)."""
+    if not 0 <= nibble < 16:
+        raise ValueError(f"nibble out of range: {nibble}")
+    d0 = nibble & 1
+    d1 = (nibble >> 1) & 1
+    d2 = (nibble >> 2) & 1
+    d3 = (nibble >> 3) & 1
+    p1 = d0 ^ d1 ^ d3
+    p2 = d0 ^ d2 ^ d3
+    p4 = d1 ^ d2 ^ d3
+    return (p1 | (p2 << 1) | (d0 << 2) | (p4 << 3)
+            | (d1 << 4) | (d2 << 5) | (d3 << 6))
+
+
+def inject_errors(codewords: List[int], *, seed: int,
+                  error_rate: float = 0.5) -> List[int]:
+    """Flip one random bit in a seeded fraction of the codewords."""
+    rng = random.Random(seed)
+    noisy = []
+    for word in codewords:
+        if rng.random() < error_rate:
+            word ^= 1 << rng.randrange(7)
+        noisy.append(word)
+    return noisy
+
+
+def hamming_arrays(n_words: int = DEFAULT_WORDS) -> Dict[str, MemorySpec]:
+    return {
+        "code_in": MemorySpec(8, n_words, signed=False, role="input"),
+        "data_out": MemorySpec(8, n_words, signed=False, role="output"),
+    }
+
+
+def hamming_params(n_words: int = DEFAULT_WORDS) -> Dict[str, int]:
+    return {"n_words": n_words}
+
+
+def hamming_inputs(n_words: int = DEFAULT_WORDS,
+                   seed: int = 2005) -> Dict[str, MemoryImage]:
+    """Noisy codewords for seeded payloads (single-bit errors)."""
+    rng = random.Random(seed)
+    payload = [rng.randrange(16) for _ in range(n_words)]
+    codewords = inject_errors([hamming_encode(p) for p in payload],
+                              seed=seed + 1)
+    return {"code_in": MemoryImage(8, n_words, words=codewords,
+                                   name="code_in")}
+
+
+def build_hamming(n_words: int = DEFAULT_WORDS, **compile_options) -> Design:
+    return compile_function(hamming_decode_kernel, hamming_arrays(n_words),
+                            hamming_params(n_words), name="hamming",
+                            **compile_options)

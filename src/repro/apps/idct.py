@@ -1,0 +1,151 @@
+"""Inverse 8×8 DCT — the decoder-side companion of :mod:`repro.apps.fdct`.
+
+Same ``jidctint``-style fixed-point arithmetic (CONST_BITS=13,
+PASS1_BITS=2), scaled to compose with :func:`repro.apps.fdct.fdct_kernel`:
+``idct(fdct(image)) ≈ image`` within a couple of grey levels of integer
+rounding, which the integration tests assert both in software and for
+the compiled hardware of *both* kernels back to back.
+
+Pass 1 transforms coefficient columns into an intermediate image, pass 2
+transforms rows into pixels, making the kernel a natural two-partition
+candidate just like the forward transform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from .fdct import BLOCK_PIXELS
+
+__all__ = ["idct_kernel", "idct_arrays", "idct_params", "build_idct"]
+
+
+def idct_kernel(coef_in, img_mid, img_out, n_blocks=64):
+    """Inverse 8×8 DCT over ``n_blocks`` blocks (restricted Python)."""
+    # ---------------- pass 1: columns -> intermediate --------------------
+    for b1 in range(n_blocks):
+        for c in range(8):
+            o = b1 * 64 + c
+            d0 = coef_in[o]
+            d1 = coef_in[o + 8]
+            d2 = coef_in[o + 16]
+            d3 = coef_in[o + 24]
+            d4 = coef_in[o + 32]
+            d5 = coef_in[o + 40]
+            d6 = coef_in[o + 48]
+            d7 = coef_in[o + 56]
+
+            z1 = (d2 + d6) * 4433
+            t2 = z1 - d6 * 15137
+            t3 = z1 + d2 * 6270
+
+            t0 = (d0 + d4) << 13
+            t1 = (d0 - d4) << 13
+            t10 = t0 + t3
+            t13 = t0 - t3
+            t11 = t1 + t2
+            t12 = t1 - t2
+
+            z1 = d7 + d1
+            z2 = d5 + d3
+            z3 = d7 + d3
+            z4 = d5 + d1
+            z5 = (z3 + z4) * 9633
+
+            w0 = d7 * 2446
+            w1 = d5 * 16819
+            w2 = d3 * 25172
+            w3 = d1 * 12299
+            z1 = z1 * -7373
+            z2 = z2 * -20995
+            z3 = z3 * -16069 + z5
+            z4 = z4 * -3196 + z5
+
+            w0 = w0 + z1 + z3
+            w1 = w1 + z2 + z4
+            w2 = w2 + z2 + z3
+            w3 = w3 + z1 + z4
+
+            img_mid[o] = (t10 + w3 + 1024) >> 11
+            img_mid[o + 56] = (t10 - w3 + 1024) >> 11
+            img_mid[o + 8] = (t11 + w2 + 1024) >> 11
+            img_mid[o + 48] = (t11 - w2 + 1024) >> 11
+            img_mid[o + 16] = (t12 + w1 + 1024) >> 11
+            img_mid[o + 40] = (t12 - w1 + 1024) >> 11
+            img_mid[o + 24] = (t13 + w0 + 1024) >> 11
+            img_mid[o + 32] = (t13 - w0 + 1024) >> 11
+
+    # ---------------- pass 2: rows -> pixels ------------------------------
+    for b2 in range(n_blocks):
+        for r in range(8):
+            o = b2 * 64 + r * 8
+            d0 = img_mid[o]
+            d1 = img_mid[o + 1]
+            d2 = img_mid[o + 2]
+            d3 = img_mid[o + 3]
+            d4 = img_mid[o + 4]
+            d5 = img_mid[o + 5]
+            d6 = img_mid[o + 6]
+            d7 = img_mid[o + 7]
+
+            z1 = (d2 + d6) * 4433
+            t2 = z1 - d6 * 15137
+            t3 = z1 + d2 * 6270
+
+            t0 = (d0 + d4) << 13
+            t1 = (d0 - d4) << 13
+            t10 = t0 + t3
+            t13 = t0 - t3
+            t11 = t1 + t2
+            t12 = t1 - t2
+
+            z1 = d7 + d1
+            z2 = d5 + d3
+            z3 = d7 + d3
+            z4 = d5 + d1
+            z5 = (z3 + z4) * 9633
+
+            w0 = d7 * 2446
+            w1 = d5 * 16819
+            w2 = d3 * 25172
+            w3 = d1 * 12299
+            z1 = z1 * -7373
+            z2 = z2 * -20995
+            z3 = z3 * -16069 + z5
+            z4 = z4 * -3196 + z5
+
+            w0 = w0 + z1 + z3
+            w1 = w1 + z2 + z4
+            w2 = w2 + z2 + z3
+            w3 = w3 + z1 + z4
+
+            img_out[o] = (t10 + w3 + 1048576) >> 21
+            img_out[o + 7] = (t10 - w3 + 1048576) >> 21
+            img_out[o + 1] = (t11 + w2 + 1048576) >> 21
+            img_out[o + 6] = (t11 - w2 + 1048576) >> 21
+            img_out[o + 2] = (t12 + w1 + 1048576) >> 21
+            img_out[o + 5] = (t12 - w1 + 1048576) >> 21
+            img_out[o + 3] = (t13 + w0 + 1048576) >> 21
+            img_out[o + 4] = (t13 - w0 + 1048576) >> 21
+
+
+def idct_arrays(pixels: int) -> Dict[str, MemorySpec]:
+    if pixels % BLOCK_PIXELS:
+        raise ValueError(f"pixels must be a multiple of {BLOCK_PIXELS}")
+    return {
+        "coef_in": MemorySpec(16, pixels, signed=True, role="input"),
+        "img_mid": MemorySpec(32, pixels, signed=True, role="intermediate"),
+        "img_out": MemorySpec(16, pixels, signed=True, role="output"),
+    }
+
+
+def idct_params(pixels: int) -> Dict[str, int]:
+    return {"n_blocks": pixels // BLOCK_PIXELS}
+
+
+def build_idct(pixels: int = 4096, **compile_options) -> Design:
+    return compile_function(idct_kernel, idct_arrays(pixels),
+                            idct_params(pixels), name="idct",
+                            **compile_options)

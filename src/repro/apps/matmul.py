@@ -1,0 +1,55 @@
+"""Dense matrix–matrix multiply benchmark (flattened row-major arrays)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+
+__all__ = ["matmul_kernel", "matmul_arrays", "matmul_params",
+           "matmul_inputs", "build_matmul"]
+
+
+def matmul_kernel(mat_a, mat_b, mat_c, n=8):
+    """``C = A @ B`` over n×n row-major matrices (restricted Python)."""
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = acc + mat_a[i * n + k] * mat_b[k * n + j]
+            mat_c[i * n + j] = acc
+
+
+def matmul_arrays(n: int = 8) -> Dict[str, MemorySpec]:
+    return {
+        "mat_a": MemorySpec(16, n * n, signed=True, role="input"),
+        "mat_b": MemorySpec(16, n * n, signed=True, role="input"),
+        "mat_c": MemorySpec(32, n * n, signed=True, role="output"),
+    }
+
+
+def matmul_params(n: int = 8) -> Dict[str, int]:
+    return {"n": n}
+
+
+def matmul_inputs(n: int = 8, seed: int = 2005) -> Dict[str, MemoryImage]:
+    rng = random.Random(seed)
+    return {
+        "mat_a": MemoryImage(16, n * n,
+                             words=[rng.randint(-100, 100)
+                                    for _ in range(n * n)],
+                             name="mat_a"),
+        "mat_b": MemoryImage(16, n * n,
+                             words=[rng.randint(-100, 100)
+                                    for _ in range(n * n)],
+                             name="mat_b"),
+    }
+
+
+def build_matmul(n: int = 8, **compile_options) -> Design:
+    return compile_function(matmul_kernel, matmul_arrays(n),
+                            matmul_params(n), name="matmul",
+                            **compile_options)

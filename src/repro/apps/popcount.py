@@ -1,0 +1,55 @@
+"""Population-count benchmark: data-dependent while loops."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+
+__all__ = ["popcount_kernel", "popcount_arrays", "popcount_params",
+           "popcount_inputs", "build_popcount"]
+
+
+def popcount_kernel(words_in, counts_out, n_words=64):
+    """Bit count per word via shift-and-mask (restricted Python).
+
+    The inner ``while`` runs a data-dependent number of iterations —
+    exercising status-driven FSM transitions rather than counted loops.
+    """
+    for i in range(n_words):
+        v = words_in[i]
+        count = 0
+        while v != 0:
+            count = count + (v & 1)
+            v = v >> 1
+        counts_out[i] = count
+
+
+def popcount_arrays(n_words: int = 64) -> Dict[str, MemorySpec]:
+    return {
+        # unsigned loads: the shift-down loop must terminate
+        "words_in": MemorySpec(16, n_words, signed=False, role="input"),
+        "counts_out": MemorySpec(16, n_words, signed=False, role="output"),
+    }
+
+
+def popcount_params(n_words: int = 64) -> Dict[str, int]:
+    return {"n_words": n_words}
+
+
+def popcount_inputs(n_words: int = 64,
+                    seed: int = 2005) -> Dict[str, MemoryImage]:
+    rng = random.Random(seed)
+    return {"words_in": MemoryImage(16, n_words,
+                                    words=[rng.randrange(1 << 16)
+                                           for _ in range(n_words)],
+                                    name="words_in")}
+
+
+def build_popcount(n_words: int = 64, **compile_options) -> Design:
+    return compile_function(popcount_kernel, popcount_arrays(n_words),
+                            popcount_params(n_words), name="popcount",
+                            **compile_options)

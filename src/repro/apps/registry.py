@@ -1,0 +1,132 @@
+"""The benchmark registry: every app as a ready-to-run suite case.
+
+:func:`standard_suite` assembles the regression suite the paper's
+infrastructure exists to run: the two Table I designs (FDCT1, FDCT2 at a
+reduced default image size so unit runs stay quick), the Hamming
+decoder, and the auxiliary workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.testsuite import SuiteCase, TestSuite
+from ..util.files import MemoryImage
+from . import fdct, fir, hamming, idct, matmul, popcount, threshold
+
+__all__ = ["standard_suite", "suite_case", "CASE_BUILDERS"]
+
+
+def _fdct1_case(pixels: int = 256) -> SuiteCase:
+    return SuiteCase(
+        name="fdct1", func=fdct.fdct_kernel,
+        arrays=fdct.fdct_arrays(pixels), params=fdct.fdct_params(pixels),
+        inputs=lambda seed: fdct.fdct_inputs(pixels, seed=seed + 2005),
+    )
+
+
+def _fdct2_case(pixels: int = 256) -> SuiteCase:
+    return SuiteCase(
+        name="fdct2", func=fdct.fdct_kernel,
+        arrays=fdct.fdct_arrays(pixels), params=fdct.fdct_params(pixels),
+        inputs=lambda seed: fdct.fdct_inputs(pixels, seed=seed + 2005),
+        n_partitions=2,
+    )
+
+
+def _idct_inputs(pixels: int, seed: int):
+    """Coefficients for the inverse transform: a forward DCT computed in
+    software over a synthetic image."""
+    image = fdct.fdct_inputs(pixels, seed=seed)["img_in"].words()
+    mid = [0] * pixels
+    coef = [0] * pixels
+    fdct.fdct_kernel(list(image), mid, coef, n_blocks=pixels // 64)
+    return {"coef_in": MemoryImage(16, pixels, words=coef,
+                                   name="coef_in")}
+
+
+def _idct_case(pixels: int = 256) -> SuiteCase:
+    return SuiteCase(
+        name="idct", func=idct.idct_kernel,
+        arrays=idct.idct_arrays(pixels), params=idct.idct_params(pixels),
+        inputs=lambda seed: _idct_inputs(pixels, seed + 2005),
+    )
+
+
+def _hamming_case(n_words: int = 64) -> SuiteCase:
+    return SuiteCase(
+        name="hamming", func=hamming.hamming_decode_kernel,
+        arrays=hamming.hamming_arrays(n_words),
+        params=hamming.hamming_params(n_words),
+        inputs=lambda seed: hamming.hamming_inputs(n_words,
+                                                   seed=seed + 2005),
+    )
+
+
+def _fir_case(n_out: int = 64, taps: int = 8) -> SuiteCase:
+    return SuiteCase(
+        name="fir", func=fir.fir_kernel,
+        arrays=fir.fir_arrays(n_out, taps),
+        params=fir.fir_params(n_out, taps),
+        inputs=lambda seed: fir.fir_inputs(n_out, taps, seed=seed + 2005),
+    )
+
+
+def _matmul_case(n: int = 8) -> SuiteCase:
+    return SuiteCase(
+        name="matmul", func=matmul.matmul_kernel,
+        arrays=matmul.matmul_arrays(n), params=matmul.matmul_params(n),
+        inputs=lambda seed: matmul.matmul_inputs(n, seed=seed + 2005),
+    )
+
+
+def _threshold_case(n_pixels: int = 256) -> SuiteCase:
+    return SuiteCase(
+        name="threshold", func=threshold.threshold_kernel,
+        arrays=threshold.threshold_arrays(n_pixels),
+        params=threshold.threshold_params(n_pixels),
+        inputs=lambda seed: threshold.threshold_inputs(n_pixels,
+                                                       seed=seed + 2005),
+    )
+
+
+def _popcount_case(n_words: int = 64) -> SuiteCase:
+    return SuiteCase(
+        name="popcount", func=popcount.popcount_kernel,
+        arrays=popcount.popcount_arrays(n_words),
+        params=popcount.popcount_params(n_words),
+        inputs=lambda seed: popcount.popcount_inputs(n_words,
+                                                     seed=seed + 2005),
+    )
+
+
+CASE_BUILDERS = {
+    "fdct1": _fdct1_case,
+    "fdct2": _fdct2_case,
+    "idct": _idct_case,
+    "hamming": _hamming_case,
+    "fir": _fir_case,
+    "matmul": _matmul_case,
+    "threshold": _threshold_case,
+    "popcount": _popcount_case,
+}
+
+
+def suite_case(name: str, **options) -> SuiteCase:
+    """Build one registered case by name (sizing options forwarded)."""
+    try:
+        builder = CASE_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown case {name!r} (known: {sorted(CASE_BUILDERS)})"
+        ) from None
+    return builder(**options)
+
+
+def standard_suite(sizes: Optional[Dict[str, Dict]] = None) -> TestSuite:
+    """The full regression suite; per-case sizing via *sizes*."""
+    sizes = sizes or {}
+    suite = TestSuite("repro-standard")
+    for name in CASE_BUILDERS:
+        suite.add(suite_case(name, **sizes.get(name, {})))
+    return suite

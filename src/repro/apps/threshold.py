@@ -1,0 +1,47 @@
+"""Image thresholding benchmark: per-pixel compare-and-select."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from ..core.stimulus import synthetic_image
+from ..util.files import MemoryImage
+
+__all__ = ["threshold_kernel", "threshold_arrays", "threshold_params",
+           "threshold_inputs", "build_threshold"]
+
+
+def threshold_kernel(pixels_in, pixels_out, n_pixels=256, cut=128):
+    """Binary threshold: 255 where the pixel reaches ``cut``, else 0."""
+    for i in range(n_pixels):
+        v = pixels_in[i]
+        if v >= cut:
+            pixels_out[i] = 255
+        else:
+            pixels_out[i] = 0
+
+
+def threshold_arrays(n_pixels: int = 256) -> Dict[str, MemorySpec]:
+    return {
+        "pixels_in": MemorySpec(16, n_pixels, signed=False, role="input"),
+        "pixels_out": MemorySpec(16, n_pixels, signed=False, role="output"),
+    }
+
+
+def threshold_params(n_pixels: int = 256, cut: int = 128) -> Dict[str, int]:
+    return {"n_pixels": n_pixels, "cut": cut}
+
+
+def threshold_inputs(n_pixels: int = 256,
+                     seed: int = 2005) -> Dict[str, MemoryImage]:
+    return {"pixels_in": synthetic_image(n_pixels, seed=seed,
+                                         name="pixels_in")}
+
+
+def build_threshold(n_pixels: int = 256, cut: int = 128,
+                    **compile_options) -> Design:
+    return compile_function(threshold_kernel, threshold_arrays(n_pixels),
+                            threshold_params(n_pixels, cut),
+                            name="threshold", **compile_options)

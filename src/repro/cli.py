@@ -1,0 +1,233 @@
+"""Command-line interface: the infrastructure as one command.
+
+The paper's operational promise is that the whole compiler test suite
+re-verifies with a single automated invocation (their ANT build).  This
+module is that invocation::
+
+    python -m repro suite                     # verify every benchmark
+    python -m repro table1                    # print the Table I metrics
+    python -m repro flow fdct1 --workdir out  # full Figure 1 flow, artifacts on disk
+    python -m repro translate dp.xml --to dot # one translation backend
+    python -m repro version
+
+Exit status is 0 only if everything verified/parsed cleanly, so the
+command slots directly into CI for a compiler under development.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+#: per-case sizing presets used by the CLI (kept interactive-fast)
+SUITE_SIZES = {
+    "fdct1": {"pixels": 1024},
+    "fdct2": {"pixels": 1024},
+    "idct": {"pixels": 1024},
+    "hamming": {"n_words": 256},
+    "fir": {"n_out": 128, "taps": 8},
+    "matmul": {"n": 8},
+    "threshold": {"n_pixels": 512},
+    "popcount": {"n_words": 128},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Functional test infrastructure for compiler-"
+                    "generated FPGA designs (DATE 2005 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    suite = sub.add_parser(
+        "suite", help="compile, simulate and verify every benchmark")
+    suite.add_argument("--seed", type=int, default=0,
+                       help="stimulus seed (default 0)")
+    suite.add_argument("--fsm-mode", choices=("generated", "interpreted"),
+                       default="generated")
+    suite.add_argument("--case", action="append", dest="cases",
+                       metavar="NAME",
+                       help="run only the named case(s); repeatable")
+
+    table1 = sub.add_parser(
+        "table1", help="print the Table I metrics for every benchmark")
+    table1.add_argument("--run", action="store_true",
+                        help="also simulate to fill the timing column")
+
+    flow = sub.add_parser(
+        "flow", help="run the full Figure 1 flow for one benchmark, "
+                     "writing every artifact")
+    flow.add_argument("case", help="benchmark name (see 'suite')")
+    flow.add_argument("--workdir", default="repro_out",
+                      help="artifact directory (default: repro_out)")
+    flow.add_argument("--seed", type=int, default=0)
+
+    translate = sub.add_parser(
+        "translate", help="translate a datapath/fsm/rtg XML document")
+    translate.add_argument("path", help="the XML file")
+    translate.add_argument("--to", dest="target", required=True,
+                           choices=("dot", "python", "vhdl", "verilog"))
+    translate.add_argument("--output", "-o", help="write here instead of "
+                                                  "stdout")
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection campaign: verify the "
+                       "infrastructure catches mutated designs")
+    faults.add_argument("case", help="benchmark name (single-"
+                                     "configuration cases only)")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--sample", type=int,
+                        help="randomly sample this many faults")
+    faults.add_argument("--limit-per-kind", type=int, default=None)
+
+    sub.add_parser("version", help="print the library version")
+    return parser
+
+
+def _load_xml(path: Path):
+    from .hdl import load_datapath, load_fsm, load_rtg
+    from .hdl.xmlio.common import XmlFormatError
+
+    errors = []
+    for loader in (load_datapath, load_fsm, load_rtg):
+        try:
+            return loader(path)
+        except XmlFormatError as exc:
+            errors.append(str(exc))
+        except ValueError as exc:
+            errors.append(str(exc))
+    raise SystemExit(
+        f"error: {path} is not a valid datapath/fsm/rtg document:\n  "
+        + "\n  ".join(errors)
+    )
+
+
+def _cmd_suite(args) -> int:
+    from .apps import CASE_BUILDERS, suite_case
+    from .core import TestSuite
+
+    names = args.cases or list(CASE_BUILDERS)
+    unknown = [name for name in names if name not in CASE_BUILDERS]
+    if unknown:
+        print(f"error: unknown case(s) {unknown}; "
+              f"known: {sorted(CASE_BUILDERS)}", file=sys.stderr)
+        return 2
+    suite = TestSuite("cli")
+    for name in names:
+        suite.add(suite_case(name, **SUITE_SIZES.get(name, {})))
+    report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode)
+    print(report.summary())
+    print()
+    print(report.metrics_table())
+    return 0 if report.passed else 1
+
+
+def _cmd_table1(args) -> int:
+    from .apps import CASE_BUILDERS, suite_case
+    from .core import collect_metrics, format_table, verify_design
+
+    rows = []
+    for name in CASE_BUILDERS:
+        case = suite_case(name, **SUITE_SIZES.get(name, {}))
+        design = case.compile()
+        if args.run:
+            result = verify_design(design, case.func, case.inputs(0))
+            if not result.passed:
+                print(result.summary(), file=sys.stderr)
+                return 1
+            rows.append(collect_metrics(
+                design, simulation_seconds=result.simulation_seconds,
+                cycles=result.cycles))
+        else:
+            rows.append(collect_metrics(design))
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    from .apps import CASE_BUILDERS, suite_case
+    from .core import standard_flow
+
+    if args.case not in CASE_BUILDERS:
+        print(f"error: unknown case {args.case!r}; "
+              f"known: {sorted(CASE_BUILDERS)}", file=sys.stderr)
+        return 2
+    case = suite_case(args.case, **SUITE_SIZES.get(args.case, {}))
+    inputs = case.inputs(args.seed) if case.inputs else None
+    flow = standard_flow(case.func, case.arrays, dict(case.params),
+                         workdir=args.workdir, inputs=inputs,
+                         n_partitions=case.n_partitions)
+    report = flow.run()
+    print(report.summary())
+    print(f"\nartifacts in {args.workdir}/")
+    return 0 if report.context.get("passed") else 1
+
+
+def _cmd_translate(args) -> int:
+    from .translate import translate
+
+    artifact = _load_xml(Path(args.path))
+    text = translate(artifact, args.target)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from .apps import CASE_BUILDERS, suite_case
+    from .core.faults import run_campaign
+
+    if args.case not in CASE_BUILDERS:
+        print(f"error: unknown case {args.case!r}; "
+              f"known: {sorted(CASE_BUILDERS)}", file=sys.stderr)
+        return 2
+    case = suite_case(args.case, **SUITE_SIZES.get(args.case, {}))
+    design = case.compile()
+    if design.multi_configuration:
+        print(f"error: {args.case} compiles to multiple configurations; "
+              f"fault injection needs a single one", file=sys.stderr)
+        return 2
+    result = run_campaign(design, case.func, case.inputs(args.seed),
+                          sample=args.sample, seed=args.seed,
+                          limit_per_kind=args.limit_per_kind,
+                          max_cycles=2_000_000)
+    print(result.summary())
+    survivors = result.survivors
+    if survivors:
+        print(f"\n{len(survivors)} survivor(s) — equivalent or "
+              f"stimulus-masked mutants; consider boundary-value stimuli")
+    return 0
+
+
+def _cmd_version(args) -> int:
+    from . import __version__
+
+    print(f"repro {__version__}")
+    return 0
+
+
+_COMMANDS = {
+    "suite": _cmd_suite,
+    "faults": _cmd_faults,
+    "table1": _cmd_table1,
+    "flow": _cmd_flow,
+    "translate": _cmd_translate,
+    "version": _cmd_version,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The high-level compiler (the Galadriel & Nenya substitute).
+
+Public entry point: :func:`compile_function`, producing a
+:class:`Design` of one or more configurations plus an RTG.
+"""
+
+from .cfg import Cfg, build_cfg
+from .errors import CompileError, UnsupportedConstructError
+from .frontend import parse_function
+from .hir import Function
+from .partitioning import SPILL_MEMORY, split_function
+from .passes.manager import optimize
+from .pipeline import Configuration, Design, compile_function
+from .scheduling import Schedule, schedule_cfg
+from .spec import MemorySpec
+
+__all__ = [
+    "compile_function", "Design", "Configuration", "MemorySpec",
+    "CompileError", "UnsupportedConstructError",
+    "parse_function", "Function", "build_cfg", "Cfg",
+    "optimize", "schedule_cfg", "Schedule",
+    "split_function", "SPILL_MEMORY",
+]

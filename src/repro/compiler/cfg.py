@@ -1,0 +1,496 @@
+"""Control-flow graph of three-address code.
+
+The CFG linearises the HIR into basic blocks of simple operations over
+three kinds of values:
+
+* :class:`VConst` — integer literal,
+* :class:`VVar` — a scalar variable (lives in a datapath register),
+* :class:`VTemp` — an expression temporary (a combinational wire, or a
+  temp register when its value must cross a control step).
+
+A central invariant, relied on by scheduling and binding, is that **temps
+are block-local**: every use of a temp appears in the same basic block as
+its definition.  Values that must survive across blocks are variables.
+The builder enforces this by materialising loop bounds into synthetic
+variables.
+
+Operations: :class:`TOp` (one datapath operator), :class:`TLoad` /
+:class:`TStore` (SRAM access), :class:`TCopy` (write a variable
+register).  Terminators: :class:`TJump`, :class:`TBranch`, :class:`THalt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Union
+
+from .errors import CompileError
+from .hir import (BIN_OPS, CMP_OPS, Cond, EBin, EBoolOp, ECmp, EConst, ELoad,
+                  ENot, EUn, EVar, Expr, Function, SAssign, SFor, SIf, SStore,
+                  SWhile, Stmt, UN_OPS)
+from .spec import MemorySpec
+
+__all__ = [
+    "VConst", "VVar", "VTemp", "Value",
+    "TOp", "TLoad", "TStore", "TCopy", "Operation",
+    "TJump", "TBranch", "THalt", "Terminator",
+    "BasicBlock", "Cfg", "build_cfg",
+]
+
+
+# ----------------------------------------------------------------------
+# Values
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VConst:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VVar:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VTemp:
+    id: int
+    width: int
+
+    def __str__(self) -> str:
+        return f"t{self.id}"
+
+
+Value = Union[VConst, VVar, VTemp]
+
+
+# ----------------------------------------------------------------------
+# Operations
+# ----------------------------------------------------------------------
+@dataclass
+class TOp:
+    """``dest = op(a, b)`` — one datapath operator instance."""
+
+    dest: VTemp
+    op: str  # datapath operator type name ('add', 'lt', 'neg', ...)
+    a: Value
+    b: Optional[Value] = None  # None for unary operators
+
+    def operands(self) -> List[Value]:
+        return [self.a] if self.b is None else [self.a, self.b]
+
+    def __str__(self) -> str:
+        if self.b is None:
+            return f"{self.dest} = {self.op} {self.a}"
+        return f"{self.dest} = {self.op} {self.a}, {self.b}"
+
+
+@dataclass
+class TLoad:
+    """``dest = array[addr]`` (combinational SRAM read)."""
+
+    dest: VTemp
+    array: str
+    addr: Value
+
+    def operands(self) -> List[Value]:
+        return [self.addr]
+
+    def __str__(self) -> str:
+        return f"{self.dest} = load {self.array}[{self.addr}]"
+
+
+@dataclass
+class TStore:
+    """``array[addr] = value`` (synchronous SRAM write)."""
+
+    array: str
+    addr: Value
+    value: Value
+
+    def operands(self) -> List[Value]:
+        return [self.addr, self.value]
+
+    def __str__(self) -> str:
+        return f"store {self.array}[{self.addr}] = {self.value}"
+
+
+@dataclass
+class TCopy:
+    """``var = src`` (variable register update at end of step)."""
+
+    var: str
+    src: Value
+
+    def operands(self) -> List[Value]:
+        return [self.src]
+
+    def __str__(self) -> str:
+        return f"{self.var} = {self.src}"
+
+
+Operation = Union[TOp, TLoad, TStore, TCopy]
+
+
+# ----------------------------------------------------------------------
+# Terminators
+# ----------------------------------------------------------------------
+@dataclass
+class TJump:
+    target: str
+
+    def successors(self) -> List[str]:
+        return [self.target]
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class TBranch:
+    cond: Value
+    true_target: str
+    false_target: str
+
+    def successors(self) -> List[str]:
+        return [self.true_target, self.false_target]
+
+    def __str__(self) -> str:
+        return (f"branch {self.cond} ? {self.true_target} "
+                f": {self.false_target}")
+
+
+@dataclass
+class THalt:
+    def successors(self) -> List[str]:
+        return []
+
+    def __str__(self) -> str:
+        return "halt"
+
+
+Terminator = Union[TJump, TBranch, THalt]
+
+
+# ----------------------------------------------------------------------
+# Blocks and graph
+# ----------------------------------------------------------------------
+@dataclass
+class BasicBlock:
+    name: str
+    ops: List[Operation] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=THalt)
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {op}" for op in self.ops)
+        lines.append(f"  {self.terminator}")
+        return "\n".join(lines)
+
+
+class Cfg:
+    """The graph: ordered blocks, array specs, temp allocation."""
+
+    def __init__(self, name: str, word_width: int,
+                 arrays: Mapping[str, MemorySpec]) -> None:
+        self.name = name
+        self.word_width = word_width
+        self.arrays: Dict[str, MemorySpec] = dict(arrays)
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.entry: Optional[str] = None
+        self.variables: Set[str] = set()
+        self._next_temp = 0
+        self._block_counter: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def new_temp(self, width: Optional[int] = None) -> VTemp:
+        temp = VTemp(self._next_temp, width or self.word_width)
+        self._next_temp += 1
+        return temp
+
+    def new_block(self, hint: str) -> BasicBlock:
+        count = self._block_counter.get(hint, 0)
+        self._block_counter[hint] = count + 1
+        name = f"{hint}{count}" if count or hint[-1].isdigit() else hint
+        while name in self.blocks:
+            count += 1
+            self._block_counter[hint] = count + 1
+            name = f"{hint}{count}"
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        if self.entry is None:
+            self.entry = name
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise CompileError(f"unknown basic block {name!r}") from None
+
+    def successors(self, name: str) -> List[str]:
+        return self.block(name).terminator.successors()
+
+    def predecessors(self, name: str) -> List[str]:
+        return [b.name for b in self.blocks.values()
+                if name in b.terminator.successors()]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def op_count(self) -> int:
+        return sum(len(block.ops) for block in self)
+
+    def dump(self) -> str:
+        return "\n".join(str(block) for block in self) + "\n"
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Check structural invariants (block-local temps, refs, widths)."""
+        for block in self:
+            defined: Set[VTemp] = set()
+            for op in block.ops:
+                for operand in op.operands():
+                    if isinstance(operand, VTemp) and operand not in defined:
+                        raise CompileError(
+                            f"block {block.name!r}: temp {operand} used "
+                            f"before its definition (temps are block-local)"
+                        )
+                    if isinstance(operand, VVar) and \
+                            operand.name not in self.variables:
+                        raise CompileError(
+                            f"block {block.name!r}: unknown variable "
+                            f"{operand}"
+                        )
+                if isinstance(op, (TOp, TLoad)):
+                    if op.dest in defined:
+                        raise CompileError(
+                            f"block {block.name!r}: temp {op.dest} defined "
+                            f"twice"
+                        )
+                    defined.add(op.dest)
+                if isinstance(op, (TLoad, TStore)) and \
+                        op.array not in self.arrays:
+                    raise CompileError(
+                        f"block {block.name!r}: unknown array {op.array!r}"
+                    )
+                if isinstance(op, TCopy) and op.var not in self.variables:
+                    raise CompileError(
+                        f"block {block.name!r}: copy to unknown variable "
+                        f"{op.var!r}"
+                    )
+            terminator = block.terminator
+            for successor in terminator.successors():
+                if successor not in self.blocks:
+                    raise CompileError(
+                        f"block {block.name!r} jumps to unknown block "
+                        f"{successor!r}"
+                    )
+            if isinstance(terminator, TBranch):
+                cond = terminator.cond
+                if isinstance(cond, VTemp):
+                    if cond not in defined:
+                        raise CompileError(
+                            f"block {block.name!r}: branch condition "
+                            f"{cond} not defined in the block"
+                        )
+                    if cond.width != 1:
+                        raise CompileError(
+                            f"block {block.name!r}: branch condition "
+                            f"{cond} is not 1 bit wide"
+                        )
+                elif not isinstance(cond, VConst):
+                    raise CompileError(
+                        f"block {block.name!r}: branch condition must be a "
+                        f"temp or constant"
+                    )
+
+
+# ----------------------------------------------------------------------
+# HIR -> CFG lowering
+# ----------------------------------------------------------------------
+class _Builder:
+    def __init__(self, function: Function,
+                 arrays: Mapping[str, MemorySpec],
+                 word_width: int) -> None:
+        self.cfg = Cfg(function.name, word_width, arrays)
+        self.current: Optional[BasicBlock] = None
+        self._bound_counter = 0
+
+    # -- plumbing -------------------------------------------------------
+    def emit(self, op: Operation) -> None:
+        assert self.current is not None
+        self.current.ops.append(op)
+
+    def seal(self, terminator: Terminator) -> None:
+        assert self.current is not None
+        self.current.terminator = terminator
+        self.current = None
+
+    def start(self, block: BasicBlock) -> None:
+        self.current = block
+
+    def define_var(self, name: str) -> None:
+        self.cfg.variables.add(name)
+
+    # -- expressions ----------------------------------------------------
+    def value(self, expr: Expr) -> Value:
+        if isinstance(expr, EConst):
+            return VConst(expr.value)
+        if isinstance(expr, EVar):
+            return VVar(expr.name)
+        if isinstance(expr, ELoad):
+            addr = self.value(expr.index)
+            dest = self.cfg.new_temp()
+            self.emit(TLoad(dest, expr.array, addr))
+            return dest
+        if isinstance(expr, EBin):
+            a = self.value(expr.left)
+            b = self.value(expr.right)
+            dest = self.cfg.new_temp()
+            self.emit(TOp(dest, BIN_OPS[expr.op], a, b))
+            return dest
+        if isinstance(expr, EUn):
+            a = self.value(expr.operand)
+            dest = self.cfg.new_temp()
+            self.emit(TOp(dest, UN_OPS[expr.op], a))
+            return dest
+        raise CompileError(f"unexpected expression node {type(expr).__name__}")
+
+    def condition(self, cond: Cond) -> Value:
+        if isinstance(cond, ECmp):
+            a = self.value(cond.left)
+            b = self.value(cond.right)
+            dest = self.cfg.new_temp(width=1)
+            self.emit(TOp(dest, CMP_OPS[cond.op], a, b))
+            return dest
+        if isinstance(cond, EBoolOp):
+            op = "and" if cond.op == "and" else "or"
+            result = self.condition(cond.operands[0])
+            for operand in cond.operands[1:]:
+                rhs = self.condition(operand)
+                dest = self.cfg.new_temp(width=1)
+                self.emit(TOp(dest, op, result, rhs))
+                result = dest
+            return result
+        if isinstance(cond, ENot):
+            operand = self.condition(cond.operand)
+            dest = self.cfg.new_temp(width=1)
+            self.emit(TOp(dest, "not", operand))
+            return dest
+        raise CompileError(f"unexpected condition node {type(cond).__name__}")
+
+    # -- statements -----------------------------------------------------
+    def lower_stmts(self, stmts: List[Stmt]) -> None:
+        for stmt in stmts:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SAssign):
+            self.define_var(stmt.target)
+            self.emit(TCopy(stmt.target, self.value(stmt.value)))
+        elif isinstance(stmt, SStore):
+            addr = self.value(stmt.index)
+            value = self.value(stmt.value)
+            self.emit(TStore(stmt.array, addr, value))
+        elif isinstance(stmt, SIf):
+            self.lower_if(stmt)
+        elif isinstance(stmt, SWhile):
+            self.lower_while(stmt)
+        elif isinstance(stmt, SFor):
+            self.lower_for(stmt)
+        else:
+            raise CompileError(
+                f"unexpected statement node {type(stmt).__name__}"
+            )
+
+    def lower_if(self, stmt: SIf) -> None:
+        cond = self.condition(stmt.condition)
+        then_block = self.cfg.new_block("if_then")
+        join_block = self.cfg.new_block("if_join")
+        if stmt.else_body:
+            else_block = self.cfg.new_block("if_else")
+            self.seal(TBranch(cond, then_block.name, else_block.name))
+            self.start(else_block)
+            self.lower_stmts(stmt.else_body)
+            self.seal(TJump(join_block.name))
+        else:
+            self.seal(TBranch(cond, then_block.name, join_block.name))
+        self.start(then_block)
+        self.lower_stmts(stmt.then_body)
+        self.seal(TJump(join_block.name))
+        self.start(join_block)
+
+    def lower_while(self, stmt: SWhile) -> None:
+        header = self.cfg.new_block("while_head")
+        body = self.cfg.new_block("while_body")
+        exit_block = self.cfg.new_block("while_exit")
+        self.seal(TJump(header.name))
+        self.start(header)
+        cond = self.condition(stmt.condition)
+        self.seal(TBranch(cond, body.name, exit_block.name))
+        self.start(body)
+        self.lower_stmts(stmt.body)
+        self.seal(TJump(header.name))
+        self.start(exit_block)
+
+    def _loop_bound(self, stop: Expr) -> Value:
+        """Loop bounds are evaluated once; non-trivial ones get a variable
+        (temps are block-local and the header re-reads the bound)."""
+        if isinstance(stop, EConst):
+            return VConst(stop.value)
+        if isinstance(stop, EVar):
+            # Python evaluates range() once; if the body mutates the
+            # variable the bound must be pinned
+            return VVar(stop.name)
+        value = self.value(stop)
+        name = f"__bound{self._bound_counter}"
+        self._bound_counter += 1
+        self.define_var(name)
+        self.emit(TCopy(name, value))
+        return VVar(name)
+
+    def lower_for(self, stmt: SFor) -> None:
+        self.define_var(stmt.var)
+        start_value = self.value(stmt.start)
+        self.emit(TCopy(stmt.var, start_value))
+        bound = self._loop_bound(stmt.stop)
+        if isinstance(bound, VVar) and bound.name == stmt.var:
+            raise CompileError(
+                f"loop bound of {stmt.var!r} cannot be the loop variable "
+                f"itself", stmt.line
+            )
+        header = self.cfg.new_block("for_head")
+        body = self.cfg.new_block("for_body")
+        exit_block = self.cfg.new_block("for_exit")
+        self.seal(TJump(header.name))
+        self.start(header)
+        cmp_temp = self.cfg.new_temp(width=1)
+        cmp_op = "lt" if stmt.step > 0 else "gt"
+        self.emit(TOp(cmp_temp, cmp_op, VVar(stmt.var), bound))
+        self.seal(TBranch(cmp_temp, body.name, exit_block.name))
+        self.start(body)
+        self.lower_stmts(stmt.body)
+        increment = self.cfg.new_temp()
+        self.emit(TOp(increment, "add", VVar(stmt.var), VConst(stmt.step)))
+        self.emit(TCopy(stmt.var, increment))
+        self.seal(TJump(header.name))
+        self.start(exit_block)
+
+
+def build_cfg(function: Function,
+              arrays: Mapping[str, MemorySpec],
+              word_width: int = 32) -> Cfg:
+    """Lower a HIR function (plus its memory specs) into a verified CFG."""
+    builder = _Builder(function, arrays, word_width)
+    entry = builder.cfg.new_block("entry")
+    builder.start(entry)
+    builder.lower_stmts(function.body)
+    builder.seal(THalt())
+    builder.cfg.verify()
+    return builder.cfg

@@ -1,0 +1,25 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CompileError", "UnsupportedConstructError"]
+
+
+class CompileError(Exception):
+    """The input program cannot be compiled.
+
+    Carries the source line when known so users can find the offending
+    construct in their algorithm.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class UnsupportedConstructError(CompileError):
+    """The program uses a Python construct outside the supported subset."""

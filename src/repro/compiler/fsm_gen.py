@@ -1,0 +1,90 @@
+"""Control unit generation: schedule + binding plans → FSM.
+
+Every control step of every basic block becomes one Moore state asserting
+the control values the binder planned for it (register enables, mux
+selects, SRAM write enables).  Block terminators become transitions out
+of the block's last state; ``halt`` leads to a final ``S_done`` state
+asserting the conventional ``done`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hdl.model.expressions import Var
+from ..hdl.model.fsm import DONE_OUTPUT, Fsm
+from .cfg import Cfg, TBranch, THalt, TJump, VConst
+from .datapath_gen import BindingResult
+from .errors import CompileError
+from .scheduling import Schedule
+
+__all__ = ["generate_fsm", "state_name", "DONE_STATE"]
+
+DONE_STATE = "S_done"
+
+
+def state_name(block: str, step: int) -> str:
+    return f"S_{block}_{step}"
+
+
+def generate_fsm(cfg: Cfg, schedule: Schedule, binding: BindingResult,
+                 name: Optional[str] = None) -> Fsm:
+    """Build and validate the FSM for a scheduled, bound CFG."""
+    fsm = Fsm(name or f"{cfg.name}_ctl")
+
+    for status in binding.branch_status.values():
+        fsm.add_input(status)
+    for line in binding.datapath.controls.values():
+        fsm.add_output(line.name, width=line.width, default=0)
+    fsm.add_output(DONE_OUTPUT, width=1, default=0)
+
+    # states in block order, entry block first (it is the reset state)
+    block_names = list(cfg.blocks)
+    if cfg.entry is None:
+        raise CompileError("cfg has no entry block")
+    if block_names[0] != cfg.entry:
+        block_names.remove(cfg.entry)
+        block_names.insert(0, cfg.entry)
+
+    for block_name in block_names:
+        bs = schedule.blocks[block_name]
+        for step in range(bs.n_steps):
+            state = fsm.add_state(state_name(block_name, step))
+            for control, value in binding.step_plans.get(
+                    (block_name, step), ()):
+                state.assign(control, value)
+
+    done = fsm.add_state(DONE_STATE, final=True)
+    done.assign(DONE_OUTPUT, 1)
+
+    for block_name in block_names:
+        block = cfg.block(block_name)
+        bs = schedule.blocks[block_name]
+        for step in range(bs.n_steps - 1):
+            fsm.states[state_name(block_name, step)].transition(
+                state_name(block_name, step + 1)
+            )
+        last = fsm.states[state_name(block_name, bs.last_step)]
+        terminator = block.terminator
+        if isinstance(terminator, TJump):
+            last.transition(state_name(terminator.target, 0))
+        elif isinstance(terminator, TBranch):
+            if isinstance(terminator.cond, VConst):
+                target = terminator.true_target if terminator.cond.value \
+                    else terminator.false_target
+                last.transition(state_name(target, 0))
+            else:
+                status = binding.branch_status[block_name]
+                last.transition(state_name(terminator.true_target, 0),
+                                Var(status))
+                last.transition(state_name(terminator.false_target, 0))
+        elif isinstance(terminator, THalt):
+            last.transition(DONE_STATE)
+        else:  # pragma: no cover - exhaustive
+            raise CompileError(
+                f"unknown terminator {type(terminator).__name__}"
+            )
+
+    fsm.reset_state = state_name(cfg.entry, 0)
+    fsm.validate()
+    return fsm

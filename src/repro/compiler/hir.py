@@ -1,0 +1,280 @@
+"""High-level IR: the validated, specialised form of the input program.
+
+The frontend lowers the Python AST of the algorithm into these nodes,
+substituting scalar parameters with constants (hardware is generated per
+parameterisation, as the paper's compiler does per application).  The HIR
+keeps the loop/branch structure; the CFG builder then linearises it.
+
+Expression nodes
+    :class:`EConst`, :class:`EVar`, :class:`ELoad`, :class:`EBin`,
+    :class:`EUn` — *value* expressions (design-word wide);
+    :class:`ECmp`, :class:`EBoolOp`, :class:`ENot` — *condition*
+    expressions (1-bit).  Conditions may contain value expressions but
+    not vice versa: using a comparison result as an arithmetic operand is
+    rejected by the frontend (no implicit bool→int).
+
+Statement nodes
+    :class:`SAssign`, :class:`SStore`, :class:`SIf`, :class:`SWhile`,
+    :class:`SFor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+__all__ = [
+    "Expr", "EConst", "EVar", "ELoad", "EBin", "EUn",
+    "Cond", "ECmp", "EBoolOp", "ENot",
+    "Stmt", "SAssign", "SStore", "SIf", "SWhile", "SFor",
+    "Function", "BIN_OPS", "UN_OPS", "CMP_OPS",
+    "used_vars", "assigned_vars", "used_arrays",
+]
+
+#: value binary operators -> datapath operator type
+BIN_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "//": "fdiv", "%": "fmod",
+    "<<": "shl", ">>": "ashr", "&": "and", "|": "or", "^": "xor",
+    "min": "min", "max": "max",
+}
+
+#: value unary operators -> datapath operator type
+UN_OPS = {"-": "neg", "~": "not", "abs": "abs"}
+
+#: comparison operators -> datapath operator type (1-bit results)
+CMP_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+           "==": "eq", "!=": "ne"}
+
+
+class Expr:
+    """Base of value expressions."""
+
+    line: Optional[int] = None
+
+
+@dataclass
+class EConst(Expr):
+    value: int
+    line: Optional[int] = None
+
+
+@dataclass
+class EVar(Expr):
+    name: str
+    line: Optional[int] = None
+
+
+@dataclass
+class ELoad(Expr):
+    array: str
+    index: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class EBin(Expr):
+    op: str  # key of BIN_OPS
+    left: Expr
+    right: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class EUn(Expr):
+    op: str  # key of UN_OPS
+    operand: Expr
+    line: Optional[int] = None
+
+
+class Cond:
+    """Base of condition (1-bit) expressions."""
+
+    line: Optional[int] = None
+
+
+@dataclass
+class ECmp(Cond):
+    op: str  # key of CMP_OPS
+    left: Expr
+    right: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class EBoolOp(Cond):
+    op: str  # 'and' | 'or'
+    operands: List[Cond] = field(default_factory=list)
+    line: Optional[int] = None
+
+
+@dataclass
+class ENot(Cond):
+    operand: Cond
+    line: Optional[int] = None
+
+
+class Stmt:
+    """Base of statements."""
+
+    line: Optional[int] = None
+
+
+@dataclass
+class SAssign(Stmt):
+    target: str
+    value: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class SStore(Stmt):
+    array: str
+    index: Expr
+    value: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class SIf(Stmt):
+    condition: Cond
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+    line: Optional[int] = None
+
+
+@dataclass
+class SWhile(Stmt):
+    condition: Cond
+    body: List[Stmt] = field(default_factory=list)
+    line: Optional[int] = None
+
+
+@dataclass
+class SFor(Stmt):
+    var: str
+    start: Expr
+    stop: Expr
+    step: int
+    body: List[Stmt] = field(default_factory=list)
+    line: Optional[int] = None
+
+
+@dataclass
+class Function:
+    """A specialised algorithm: name, array names, and the body."""
+
+    name: str
+    arrays: List[str]
+    body: List[Stmt] = field(default_factory=list)
+    source: str = ""
+
+
+# ----------------------------------------------------------------------
+# Def/use analysis over statement lists (used by temporal partitioning)
+# ----------------------------------------------------------------------
+def _expr_vars(expr) -> Set[str]:
+    if isinstance(expr, EVar):
+        return {expr.name}
+    if isinstance(expr, EConst):
+        return set()
+    if isinstance(expr, ELoad):
+        return _expr_vars(expr.index)
+    if isinstance(expr, EBin):
+        return _expr_vars(expr.left) | _expr_vars(expr.right)
+    if isinstance(expr, EUn):
+        return _expr_vars(expr.operand)
+    if isinstance(expr, ECmp):
+        return _expr_vars(expr.left) | _expr_vars(expr.right)
+    if isinstance(expr, EBoolOp):
+        result: Set[str] = set()
+        for operand in expr.operands:
+            result |= _expr_vars(operand)
+        return result
+    if isinstance(expr, ENot):
+        return _expr_vars(expr.operand)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def used_vars(stmts: List[Stmt]) -> Set[str]:
+    """All scalar variables read anywhere in *stmts*."""
+    result: Set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, SAssign):
+            result |= _expr_vars(stmt.value)
+        elif isinstance(stmt, SStore):
+            result |= _expr_vars(stmt.index) | _expr_vars(stmt.value)
+        elif isinstance(stmt, SIf):
+            result |= _expr_vars(stmt.condition)
+            result |= used_vars(stmt.then_body) | used_vars(stmt.else_body)
+        elif isinstance(stmt, SWhile):
+            result |= _expr_vars(stmt.condition) | used_vars(stmt.body)
+        elif isinstance(stmt, SFor):
+            result |= _expr_vars(stmt.start) | _expr_vars(stmt.stop)
+            result |= used_vars(stmt.body)
+        else:
+            raise TypeError(f"unknown statement node {type(stmt).__name__}")
+    return result
+
+
+def assigned_vars(stmts: List[Stmt]) -> Set[str]:
+    """All scalar variables written anywhere in *stmts*."""
+    result: Set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, SAssign):
+            result.add(stmt.target)
+        elif isinstance(stmt, SIf):
+            result |= assigned_vars(stmt.then_body)
+            result |= assigned_vars(stmt.else_body)
+        elif isinstance(stmt, SWhile):
+            result |= assigned_vars(stmt.body)
+        elif isinstance(stmt, SFor):
+            result.add(stmt.var)
+            result |= assigned_vars(stmt.body)
+    return result
+
+
+def used_arrays(stmts: List[Stmt]) -> Tuple[Set[str], Set[str]]:
+    """Arrays (read, written) anywhere in *stmts*."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+
+    def walk_expr(expr) -> None:
+        if isinstance(expr, ELoad):
+            reads.add(expr.array)
+            walk_expr(expr.index)
+        elif isinstance(expr, EBin):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, EUn):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ECmp):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, EBoolOp):
+            for operand in expr.operands:
+                walk_expr(operand)
+        elif isinstance(expr, ENot):
+            walk_expr(expr.operand)
+
+    def walk(stmts: List[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, SAssign):
+                walk_expr(stmt.value)
+            elif isinstance(stmt, SStore):
+                writes.add(stmt.array)
+                walk_expr(stmt.index)
+                walk_expr(stmt.value)
+            elif isinstance(stmt, SIf):
+                walk_expr(stmt.condition)
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, SWhile):
+                walk_expr(stmt.condition)
+                walk(stmt.body)
+            elif isinstance(stmt, SFor):
+                walk_expr(stmt.start)
+                walk_expr(stmt.stop)
+                walk(stmt.body)
+
+    walk(stmts)
+    return reads, writes

@@ -1,0 +1,184 @@
+"""Temporal partitioning: one algorithm → several configurations.
+
+When a design does not fit the reconfigurable fabric (or the user asks
+for it, as with the paper's FDCT2), the compiler splits the algorithm's
+top-level statement list into contiguous groups, each becoming its own
+datapath + control unit.  Arrays live in memories shared across
+configurations; scalar values crossing a partition boundary are spilled
+to a small dedicated memory (``__spill``) at the end of one partition and
+reloaded at the start of the next — the hardware equivalent of the
+partitions "communicating" in the paper.
+
+Partition points come either from an explicit ``partition_after`` list of
+top-level statement indices or from a greedy size-balancing split into
+``n_partitions`` groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from .errors import CompileError
+from .hir import (EConst, ELoad, EVar, Function, SAssign, SFor, SIf, SStore,
+                  SWhile, Stmt, assigned_vars, used_vars)
+from .spec import MemorySpec
+
+__all__ = ["SPILL_MEMORY", "estimate_cost", "split_function",
+           "PartitionPlan"]
+
+SPILL_MEMORY = "__spill"
+
+
+def estimate_cost(stmt: Stmt) -> int:
+    """Static size estimate of a statement (operator-count proxy)."""
+    if isinstance(stmt, SAssign):
+        return 1 + _expr_cost(stmt.value)
+    if isinstance(stmt, SStore):
+        return 1 + _expr_cost(stmt.index) + _expr_cost(stmt.value)
+    if isinstance(stmt, SIf):
+        return (1 + _expr_cost(stmt.condition)
+                + sum(estimate_cost(s) for s in stmt.then_body)
+                + sum(estimate_cost(s) for s in stmt.else_body))
+    if isinstance(stmt, SWhile):
+        return (1 + _expr_cost(stmt.condition)
+                + sum(estimate_cost(s) for s in stmt.body))
+    if isinstance(stmt, SFor):
+        return 2 + sum(estimate_cost(s) for s in stmt.body)
+    raise CompileError(f"cannot estimate {type(stmt).__name__}")
+
+
+def _expr_cost(expr) -> int:
+    from .hir import EBin, EBoolOp, ECmp, ENot, EUn
+
+    if isinstance(expr, (EConst, EVar)):
+        return 0
+    if isinstance(expr, ELoad):
+        return 1 + _expr_cost(expr.index)
+    if isinstance(expr, EBin):
+        return 1 + _expr_cost(expr.left) + _expr_cost(expr.right)
+    if isinstance(expr, EUn):
+        return 1 + _expr_cost(expr.operand)
+    if isinstance(expr, ECmp):
+        return 1 + _expr_cost(expr.left) + _expr_cost(expr.right)
+    if isinstance(expr, EBoolOp):
+        return len(expr.operands) - 1 + sum(
+            _expr_cost(operand) for operand in expr.operands)
+    if isinstance(expr, ENot):
+        return 1 + _expr_cost(expr.operand)
+    raise CompileError(f"cannot estimate {type(expr).__name__}")
+
+
+def _auto_boundaries(body: Sequence[Stmt], n_partitions: int) -> List[int]:
+    """Greedy size-balanced split points (indices *after* which to cut)."""
+    if n_partitions > len(body):
+        raise CompileError(
+            f"cannot split {len(body)} top-level statement(s) into "
+            f"{n_partitions} partitions"
+        )
+    costs = [estimate_cost(stmt) for stmt in body]
+    total = sum(costs)
+    target = total / n_partitions
+    boundaries: List[int] = []
+    accumulated = 0.0
+    for index, cost in enumerate(costs):
+        accumulated += cost
+        remaining_stmts = len(body) - index - 1
+        remaining_cuts = n_partitions - len(boundaries) - 1
+        if remaining_cuts == 0:
+            break
+        if accumulated >= target or remaining_stmts == remaining_cuts:
+            boundaries.append(index)
+            accumulated = 0.0
+    return boundaries
+
+
+class PartitionPlan:
+    """The outcome of splitting: per-partition bodies plus spill info."""
+
+    def __init__(self, functions: List[Function],
+                 spill_slots: Dict[str, int],
+                 spill_spec: Optional[MemorySpec]) -> None:
+        self.functions = functions
+        self.spill_slots = spill_slots
+        self.spill_spec = spill_spec
+
+    @property
+    def count(self) -> int:
+        return len(self.functions)
+
+
+def split_function(function: Function, word_width: int,
+                   n_partitions: int = 1,
+                   partition_after: Optional[Sequence[int]] = None
+                   ) -> PartitionPlan:
+    """Split *function* into temporal partitions with spill code."""
+    body = function.body
+    if partition_after is not None:
+        boundaries = sorted(set(partition_after))
+        for boundary in boundaries:
+            if not 0 <= boundary < len(body) - 1:
+                raise CompileError(
+                    f"partition_after index {boundary} out of range "
+                    f"(0..{len(body) - 2})"
+                )
+    elif n_partitions <= 1:
+        return PartitionPlan([function], {}, None)
+    else:
+        boundaries = _auto_boundaries(body, n_partitions)
+
+    groups: List[List[Stmt]] = []
+    start = 0
+    for boundary in boundaries:
+        groups.append(list(body[start:boundary + 1]))
+        start = boundary + 1
+    groups.append(list(body[start:]))
+    if len(groups) == 1:
+        return PartitionPlan([function], {}, None)
+
+    group_uses = [used_vars(group) for group in groups]
+    group_defs = [assigned_vars(group) for group in groups]
+
+    # a variable spills if some later partition uses it after an earlier
+    # one assigned it
+    spill_vars: Set[str] = set()
+    for later in range(1, len(groups)):
+        assigned_before: Set[str] = set()
+        for earlier in range(later):
+            assigned_before |= group_defs[earlier]
+        spill_vars |= group_uses[later] & assigned_before
+    spill_slots = {var: slot
+                   for slot, var in enumerate(sorted(spill_vars))}
+    spill_spec = None
+    if spill_slots:
+        spill_spec = MemorySpec(width=word_width,
+                                depth=max(1, len(spill_slots)),
+                                signed=True, role="spill")
+
+    functions: List[Function] = []
+    arrays = list(function.arrays)
+    if spill_slots and SPILL_MEMORY not in arrays:
+        arrays = arrays + [SPILL_MEMORY]
+    assigned_so_far: Set[str] = set()
+    for index, group in enumerate(groups):
+        prologue: List[Stmt] = []
+        epilogue: List[Stmt] = []
+        if spill_slots:
+            needs_load = (group_uses[index] & set(spill_slots)
+                          & assigned_so_far)
+            for var in sorted(needs_load):
+                prologue.append(SAssign(
+                    var, ELoad(SPILL_MEMORY, EConst(spill_slots[var]))))
+            used_later: Set[str] = set()
+            for later in range(index + 1, len(groups)):
+                used_later |= group_uses[later]
+            needs_store = (group_defs[index] & set(spill_slots)
+                           & used_later)
+            for var in sorted(needs_store):
+                epilogue.append(SStore(
+                    SPILL_MEMORY, EConst(spill_slots[var]), EVar(var)))
+        assigned_so_far |= group_defs[index]
+        functions.append(Function(
+            f"{function.name}_p{index}", arrays,
+            prologue + group + epilogue, source=function.source,
+        ))
+    return PartitionPlan(functions, spill_slots, spill_spec)

@@ -1,0 +1,15 @@
+"""Optimization passes over the TAC CFG."""
+
+from .constfold import fold_constants
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code, remove_unreachable_blocks
+from .liveness import Liveness, compute_liveness
+from .manager import OPT_LEVELS, optimize
+from .strength import reduce_strength
+
+__all__ = [
+    "fold_constants", "eliminate_common_subexpressions",
+    "eliminate_dead_code", "remove_unreachable_blocks",
+    "compute_liveness", "Liveness", "reduce_strength",
+    "optimize", "OPT_LEVELS",
+]

@@ -1,0 +1,122 @@
+"""Local common-subexpression elimination.
+
+Within one basic block, identical pure operations reuse the first temp.
+Two ops are identical when the operator and the (resolved) operands
+match; an operand that is a *variable* is only safe to match while no
+copy to that variable intervenes, so the available-expression table is
+invalidated on every :class:`TCopy`.  Loads are CSE'd too, invalidated by
+any store to the same array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..cfg import (BasicBlock, Cfg, TCopy, TLoad, TOp, TStore, Value,
+                   VTemp, VVar)
+
+__all__ = ["eliminate_common_subexpressions"]
+
+#: commutative datapath operators (operands sorted for matching)
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor", "eq", "ne", "min", "max"}
+
+
+def eliminate_common_subexpressions(cfg: Cfg) -> bool:
+    changed = False
+    for block in cfg:
+        changed |= _cse_block(block)
+    return changed
+
+
+def _value_key(value: Value) -> Tuple:
+    if isinstance(value, VTemp):
+        return ("t", value.id)
+    if isinstance(value, VVar):
+        return ("v", value.name)
+    return ("c", value.value)
+
+
+def _cse_block(block: BasicBlock) -> bool:
+    changed = False
+    available: Dict[Tuple, VTemp] = {}
+    loads: Dict[Tuple, VTemp] = {}
+    replace: Dict[VTemp, VTemp] = {}
+
+    def resolve(value: Value) -> Value:
+        while isinstance(value, VTemp) and value in replace:
+            value = replace[value]
+        return value
+
+    def invalidate_var(name: str) -> None:
+        for table in (available, loads):
+            stale = [key for key in table if ("v", name) in key]
+            for key in stale:
+                del table[key]
+
+    new_ops = []
+    for op in block.ops:
+        if isinstance(op, TOp):
+            a = resolve(op.a)
+            b = resolve(op.b) if op.b is not None else None
+            if a is not op.a or b is not op.b:
+                op = TOp(op.dest, op.op, a, b)
+                changed = True
+            operand_keys = [_value_key(a)]
+            if b is not None:
+                operand_keys.append(_value_key(b))
+            if op.op in _COMMUTATIVE:
+                operand_keys.sort()
+            key = (op.op, op.dest.width, *operand_keys)
+            existing = available.get(key)
+            if existing is not None:
+                replace[op.dest] = existing
+                changed = True
+                continue
+            available[key] = op.dest
+            new_ops.append(op)
+        elif isinstance(op, TLoad):
+            addr = resolve(op.addr)
+            if addr is not op.addr:
+                op = TLoad(op.dest, op.array, addr)
+                changed = True
+            key = (op.array, _value_key(addr))
+            existing = loads.get(key)
+            if existing is not None:
+                replace[op.dest] = existing
+                changed = True
+                continue
+            loads[key] = op.dest
+            new_ops.append(op)
+        elif isinstance(op, TStore):
+            addr = resolve(op.addr)
+            value = resolve(op.value)
+            if addr is not op.addr or value is not op.value:
+                op = TStore(op.array, addr, value)
+                changed = True
+            # conservative: a store invalidates all loads of that array
+            stale = [key for key in loads if key[0] == op.array]
+            for key in stale:
+                del loads[key]
+            new_ops.append(op)
+        elif isinstance(op, TCopy):
+            src = resolve(op.src)
+            if src is not op.src:
+                op = TCopy(op.var, src)
+                changed = True
+            invalidate_var(op.var)
+            new_ops.append(op)
+        else:  # pragma: no cover - exhaustive
+            new_ops.append(op)
+    block.ops = new_ops
+
+    terminator = block.terminator
+    from ..cfg import TBranch
+
+    if isinstance(terminator, TBranch) and \
+            isinstance(terminator.cond, VTemp):
+        cond = resolve(terminator.cond)
+        if cond is not terminator.cond:
+            block.terminator = TBranch(cond, terminator.true_target,
+                                       terminator.false_target)
+            changed = True
+    return changed

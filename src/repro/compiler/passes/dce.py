@@ -1,0 +1,83 @@
+"""Dead code elimination.
+
+Three cleanups, all semantics-preserving for a memory-observing design
+(the verification contract only inspects memory contents):
+
+* operations whose temp result is never used (loads included — a dead
+  read has no architectural effect);
+* variable copies whose target is dead at that point (per liveness);
+* blocks unreachable from the entry (e.g. behind a folded branch).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..cfg import (BasicBlock, Cfg, TBranch, TCopy, TLoad, TOp, TStore,
+                   VTemp, VVar)
+from .liveness import compute_liveness
+
+__all__ = ["eliminate_dead_code", "remove_unreachable_blocks"]
+
+
+def eliminate_dead_code(cfg: Cfg) -> bool:
+    changed = remove_unreachable_blocks(cfg)
+    liveness = compute_liveness(cfg)
+    for block in cfg:
+        changed |= _clean_block(block, liveness.out_of(block.name))
+    return changed
+
+
+def remove_unreachable_blocks(cfg: Cfg) -> bool:
+    reachable: Set[str] = set()
+    frontier = [cfg.entry]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable or name is None:
+            continue
+        reachable.add(name)
+        frontier.extend(cfg.successors(name))
+    dead = [name for name in cfg.blocks if name not in reachable]
+    for name in dead:
+        del cfg.blocks[name]
+    return bool(dead)
+
+
+def _clean_block(block: BasicBlock, live_out: Set[str]) -> bool:
+    """Backward sweep removing dead temps and dead copies."""
+    needed_temps: Set[VTemp] = set()
+    live_vars: Set[str] = set(live_out)
+    terminator = block.terminator
+    if isinstance(terminator, TBranch):
+        if isinstance(terminator.cond, VTemp):
+            needed_temps.add(terminator.cond)
+        elif isinstance(terminator.cond, VVar):
+            live_vars.add(terminator.cond.name)
+
+    kept = []
+    changed = False
+    for op in reversed(block.ops):
+        if isinstance(op, TStore):
+            keep = True
+        elif isinstance(op, TCopy):
+            keep = op.var in live_vars
+            if keep:
+                # this copy defines the var; earlier copies only matter if
+                # something between them reads it
+                live_vars.discard(op.var)
+        elif isinstance(op, (TOp, TLoad)):
+            keep = op.dest in needed_temps
+        else:  # pragma: no cover - exhaustive
+            keep = True
+        if not keep:
+            changed = True
+            continue
+        for operand in op.operands():
+            if isinstance(operand, VTemp):
+                needed_temps.add(operand)
+            elif isinstance(operand, VVar):
+                live_vars.add(operand.name)
+        kept.append(op)
+    kept.reverse()
+    block.ops = kept
+    return changed

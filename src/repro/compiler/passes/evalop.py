@@ -1,0 +1,108 @@
+"""Compile-time evaluation of TAC operators with hardware semantics.
+
+Folding must agree bit-for-bit with what the datapath computes, so this
+mirrors the operator library: wrapping arithmetic, truncate-toward-zero
+division, barrel shifts, signed comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CompileError
+
+__all__ = ["eval_op"]
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _signed(value: int, width: int) -> int:
+    value = _mask(value, width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def eval_op(op: str, a: int, b: Optional[int], dest_width: int,
+            word_width: int) -> Optional[int]:
+    """The constant result of ``op`` over masked operands.
+
+    Returns ``None`` when the operation cannot be folded (division by
+    zero is left to simulation, where it raises loudly).  ``a``/``b`` are
+    raw Python ints; value operands are interpreted at *word_width*,
+    1-bit logic at *dest_width*.
+    """
+    if op in ("lt", "le", "gt", "ge", "eq", "ne"):
+        sa, sb = _signed(a, word_width), _signed(b, word_width)
+        return {
+            "lt": int(sa < sb), "le": int(sa <= sb),
+            "gt": int(sa > sb), "ge": int(sa >= sb),
+            "eq": int(sa == sb), "ne": int(sa != sb),
+        }[op]
+
+    width = dest_width
+    if op == "add":
+        return _mask(a + b, width)
+    if op == "sub":
+        return _mask(a - b, width)
+    if op == "mul":
+        return _mask(a * b, width)
+    if op == "div":
+        sb = _signed(b, width)
+        if sb == 0:
+            return None
+        sa = _signed(a, width)
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return _mask(quotient, width)
+    if op == "rem":
+        sb = _signed(b, width)
+        if sb == 0:
+            return None
+        sa = _signed(a, width)
+        remainder = abs(sa) % abs(sb)
+        if sa < 0:
+            remainder = -remainder
+        return _mask(remainder, width)
+    if op == "fdiv":
+        sb = _signed(b, width)
+        if sb == 0:
+            return None
+        return _mask(_signed(a, width) // sb, width)
+    if op == "fmod":
+        sb = _signed(b, width)
+        if sb == 0:
+            return None
+        return _mask(_signed(a, width) % sb, width)
+    if op == "shl":
+        amount = _mask(b, width)
+        return 0 if amount >= width else _mask(a << amount, width)
+    if op == "ashr":
+        amount = _mask(b, width)
+        sa = _signed(a, width)
+        if amount >= width:
+            return _mask(-1 if sa < 0 else 0, width)
+        return _mask(sa >> amount, width)
+    if op == "lshr":
+        amount = _mask(b, width)
+        return 0 if amount >= width else _mask(a, width) >> amount
+    if op == "and":
+        return _mask(a & b, width)
+    if op == "or":
+        return _mask(a | b, width)
+    if op == "xor":
+        return _mask(a ^ b, width)
+    if op == "not":
+        return _mask(~a, width)
+    if op == "neg":
+        return _mask(-a, width)
+    if op == "abs":
+        return _mask(abs(_signed(a, width)), width)
+    if op == "min":
+        return _mask(min(_signed(a, width), _signed(b, width)), width)
+    if op == "max":
+        return _mask(max(_signed(a, width), _signed(b, width)), width)
+    raise CompileError(f"cannot fold unknown operator {op!r}")

@@ -1,0 +1,71 @@
+"""Variable liveness analysis (backward dataflow over the CFG).
+
+Temps are block-local, so only *variables* need global liveness.  The
+result feeds dead-copy elimination and the temporal partitioner's spill
+decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..cfg import BasicBlock, Cfg, TBranch, TCopy, VVar
+
+__all__ = ["Liveness", "compute_liveness"]
+
+
+def _block_use_def(block: BasicBlock) -> Tuple[Set[str], Set[str]]:
+    """(use, def): vars read before any write / vars written, in order."""
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    for op in block.ops:
+        for operand in op.operands():
+            if isinstance(operand, VVar) and operand.name not in defs:
+                uses.add(operand.name)
+        if isinstance(op, TCopy):
+            defs.add(op.var)
+    terminator = block.terminator
+    if isinstance(terminator, TBranch) and isinstance(terminator.cond, VVar):
+        if terminator.cond.name not in defs:
+            uses.add(terminator.cond.name)
+    return uses, defs
+
+
+class Liveness:
+    """Per-block live-in / live-out variable sets."""
+
+    def __init__(self, live_in: Dict[str, Set[str]],
+                 live_out: Dict[str, Set[str]]) -> None:
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def out_of(self, block_name: str) -> Set[str]:
+        return self.live_out[block_name]
+
+    def into(self, block_name: str) -> Set[str]:
+        return self.live_in[block_name]
+
+
+def compute_liveness(cfg: Cfg) -> Liveness:
+    use: Dict[str, Set[str]] = {}
+    define: Dict[str, Set[str]] = {}
+    for block in cfg:
+        use[block.name], define[block.name] = _block_use_def(block)
+
+    live_in: Dict[str, Set[str]] = {name: set() for name in cfg.blocks}
+    live_out: Dict[str, Set[str]] = {name: set() for name in cfg.blocks}
+
+    names: List[str] = list(cfg.blocks)
+    changed = True
+    while changed:
+        changed = False
+        for name in reversed(names):
+            out: Set[str] = set()
+            for successor in cfg.successors(name):
+                out |= live_in[successor]
+            new_in = use[name] | (out - define[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return Liveness(live_in, live_out)

@@ -1,0 +1,50 @@
+"""The pass manager: run optimization passes to a fixpoint."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cfg import Cfg
+from .constfold import fold_constants
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .strength import reduce_strength
+
+__all__ = ["optimize", "OPT_LEVELS"]
+
+#: optimization levels: 0 = none, 1 = folding + DCE, 2 = + CSE + strength
+OPT_LEVELS = (0, 1, 2)
+
+
+def optimize(cfg: Cfg, level: int = 2, *, assume_nonnegative: bool = False,
+             max_iterations: int = 10) -> List[str]:
+    """Optimize *cfg* in place; returns the log of effective passes.
+
+    The sequence (fold → strength → CSE → DCE) repeats until no pass
+    reports a change, bounded by *max_iterations* as a safety stop.
+    """
+    if level not in OPT_LEVELS:
+        raise ValueError(f"optimization level must be one of {OPT_LEVELS}")
+    log: List[str] = []
+    if level == 0:
+        cfg.verify()
+        return log
+    for iteration in range(max_iterations):
+        changed = False
+        if fold_constants(cfg):
+            log.append(f"iter{iteration}:constfold")
+            changed = True
+        if level >= 2 and reduce_strength(
+                cfg, assume_nonnegative=assume_nonnegative):
+            log.append(f"iter{iteration}:strength")
+            changed = True
+        if level >= 2 and eliminate_common_subexpressions(cfg):
+            log.append(f"iter{iteration}:cse")
+            changed = True
+        if eliminate_dead_code(cfg):
+            log.append(f"iter{iteration}:dce")
+            changed = True
+        if not changed:
+            break
+    cfg.verify()
+    return log

@@ -1,0 +1,66 @@
+"""Strength reduction: expensive operators → cheap ones.
+
+Unconditional reductions (bit-exact for every signed input):
+
+* ``x * 2**k``    →  ``x << k`` (both operand orders)
+* ``x fdiv 2**k`` →  ``x ashr k``   (floor division *is* the arithmetic
+  shift, which is why the frontend maps Python ``//`` to ``fdiv``)
+* ``x fmod 2**k`` →  ``x & (2**k - 1)`` (floor modulo by a positive
+  power of two is the low-bit mask for every sign of ``x``)
+
+Reductions of the *truncating* ``div``/``rem`` (Java/C semantics) are
+only exact for non-negative dividends and therefore require
+``assume_nonnegative=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cfg import Cfg, TOp, VConst
+
+__all__ = ["reduce_strength"]
+
+
+def _log2_exact(value: int) -> Optional[int]:
+    if value > 0 and (value & (value - 1)) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def reduce_strength(cfg: Cfg, *, assume_nonnegative: bool = False) -> bool:
+    changed = False
+    for block in cfg:
+        for index, op in enumerate(block.ops):
+            if not isinstance(op, TOp):
+                continue
+            replacement = _reduce(op, assume_nonnegative)
+            if replacement is not None:
+                block.ops[index] = replacement
+                changed = True
+    return changed
+
+
+def _reduce(op: TOp, assume_nonnegative: bool) -> Optional[TOp]:
+    if op.op == "mul":
+        for x, c in ((op.a, op.b), (op.b, op.a)):
+            if isinstance(c, VConst):
+                shift = _log2_exact(c.value)
+                if shift is not None:
+                    return TOp(op.dest, "shl", x, VConst(shift))
+        return None
+    if not isinstance(op.b, VConst):
+        return None
+    shift = _log2_exact(op.b.value)
+    if shift is None:
+        return None
+    if op.op == "fdiv":
+        return TOp(op.dest, "ashr", op.a, VConst(shift))
+    if op.op == "fmod":
+        return TOp(op.dest, "and", op.a, VConst(op.b.value - 1))
+    if assume_nonnegative:
+        if op.op == "div":
+            return TOp(op.dest, "ashr", op.a, VConst(shift))
+        if op.op == "rem":
+            return TOp(op.dest, "and", op.a, VConst(op.b.value - 1))
+    return None

@@ -1,0 +1,192 @@
+"""Scheduling: pack each basic block's operations into control steps.
+
+The FSMD execution model (DESIGN.md):
+
+* operator results are combinational *wires* within the step that
+  computes them; chains of dependent operators may share a step;
+* variable registers and cross-step temp registers latch at the end of a
+  step; a value read in a later step comes from a register;
+* each SRAM has a single port: at most one access (load or store) per
+  step; stores commit at the end of their step, so a later load of the
+  same array must sit in a strictly later step;
+* the FSM samples branch conditions at the end of a block's last step.
+
+The scheduler is a forward list scheduler: every operation gets the
+earliest step satisfying its data, register and memory-port constraints
+(optionally bounded combinational chain depth).  It also derives which
+temps cross step boundaries and therefore need holding registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .cfg import (BasicBlock, Cfg, TBranch, TCopy, TLoad, TOp, TStore,
+                  VTemp, VVar)
+from .errors import CompileError
+
+__all__ = ["BlockSchedule", "Schedule", "schedule_cfg"]
+
+
+@dataclass
+class BlockSchedule:
+    """The step assignment for one basic block."""
+
+    block_name: str
+    n_steps: int
+    #: op index (within block.ops) -> step
+    step_of: Dict[int, int]
+    #: step -> op indices, in program order
+    ops_in_step: List[List[int]]
+    #: temp -> the step that computes it
+    def_step: Dict[VTemp, int]
+    #: temps read in a later step than their definition (need registers)
+    cross_step: Set[VTemp] = field(default_factory=set)
+
+    @property
+    def last_step(self) -> int:
+        return self.n_steps - 1
+
+
+@dataclass
+class Schedule:
+    """Per-block schedules plus summary statistics."""
+
+    blocks: Dict[str, BlockSchedule]
+    chain_limit: int = 0
+
+    def total_states(self) -> int:
+        return sum(bs.n_steps for bs in self.blocks.values())
+
+    def cross_step_temps(self) -> Set[VTemp]:
+        result: Set[VTemp] = set()
+        for bs in self.blocks.values():
+            result |= bs.cross_step
+        return result
+
+
+def schedule_cfg(cfg: Cfg, *, chain_limit: int = 0) -> Schedule:
+    """Schedule every block; ``chain_limit=0`` means unbounded chaining."""
+    if chain_limit < 0:
+        raise CompileError("chain_limit must be >= 0")
+    blocks = {
+        block.name: _schedule_block(block, chain_limit)
+        for block in cfg
+    }
+    return Schedule(blocks, chain_limit)
+
+
+def _schedule_block(block: BasicBlock, chain_limit: int) -> BlockSchedule:
+    step_of: Dict[int, int] = {}
+    def_step: Dict[VTemp, int] = {}
+    chain_depth: Dict[VTemp, int] = {}
+    #: per variable: step of the latest copy so far (RAW barrier)
+    var_copy_step: Dict[str, int] = {}
+    #: per variable: latest step in which it was read so far (WAR floor)
+    var_read_step: Dict[str, int] = {}
+    #: per array: steps already holding an access (single port)
+    port_busy: Dict[str, Set[int]] = {}
+    #: per array: step of the latest store / latest access so far
+    last_store: Dict[str, int] = {}
+    last_access: Dict[str, int] = {}
+
+    def operand_floor(op) -> int:
+        """Earliest step permitted by data dependencies."""
+        floor = 0
+        for operand in op.operands():
+            if isinstance(operand, VTemp):
+                floor = max(floor, def_step[operand])
+            elif isinstance(operand, VVar):
+                copy_step = var_copy_step.get(operand.name)
+                if copy_step is not None:
+                    floor = max(floor, copy_step + 1)
+        return floor
+
+    def note_reads(op, step: int) -> None:
+        for operand in op.operands():
+            if isinstance(operand, VVar):
+                var_read_step[operand.name] = max(
+                    var_read_step.get(operand.name, 0), step
+                )
+
+    def chain_of(op, step: int) -> int:
+        """Combinational depth this op would have at *step*."""
+        depth = 0
+        for operand in op.operands():
+            if isinstance(operand, VTemp) and def_step[operand] == step:
+                depth = max(depth, chain_depth.get(operand, 1))
+        return depth + 1
+
+    def place_with_chain(op, earliest: int) -> int:
+        if chain_limit == 0:
+            return earliest
+        step = earliest
+        while chain_of(op, step) > chain_limit:
+            step += 1
+        return step
+
+    def free_port_slot(array: str, earliest: int) -> int:
+        busy = port_busy.setdefault(array, set())
+        step = earliest
+        while step in busy:
+            step += 1
+        return step
+
+    for index, op in enumerate(block.ops):
+        if isinstance(op, TOp):
+            step = place_with_chain(op, operand_floor(op))
+            def_step[op.dest] = step
+            chain_depth[op.dest] = chain_of(op, step)
+        elif isinstance(op, TLoad):
+            earliest = operand_floor(op)
+            earliest = max(earliest, last_store.get(op.array, -1) + 1)
+            step = free_port_slot(op.array, earliest)
+            port_busy[op.array].add(step)
+            last_access[op.array] = max(last_access.get(op.array, -1), step)
+            def_step[op.dest] = step
+            chain_depth[op.dest] = 1  # dout is a fresh chain root
+        elif isinstance(op, TStore):
+            earliest = operand_floor(op)
+            earliest = max(earliest, last_access.get(op.array, -1) + 1)
+            step = free_port_slot(op.array, earliest)
+            port_busy[op.array].add(step)
+            last_access[op.array] = max(last_access.get(op.array, -1), step)
+            last_store[op.array] = max(last_store.get(op.array, -1), step)
+        elif isinstance(op, TCopy):
+            earliest = operand_floor(op)
+            # WAR: earlier readers may share the step (registers commit at
+            # the end); WAW: a later copy needs a strictly later step
+            earliest = max(earliest, var_read_step.get(op.var, 0))
+            previous_copy = var_copy_step.get(op.var)
+            if previous_copy is not None:
+                earliest = max(earliest, previous_copy + 1)
+            step = earliest
+            var_copy_step[op.var] = step
+        else:  # pragma: no cover - exhaustive
+            raise CompileError(f"cannot schedule {type(op).__name__}")
+        note_reads(op, step)
+        step_of[index] = step
+
+    n_steps = max(step_of.values(), default=-1) + 1
+    n_steps = max(n_steps, 1)  # empty blocks still occupy one state
+
+    # cross-step temps: read after their defining step
+    cross: Set[VTemp] = set()
+    for index, op in enumerate(block.ops):
+        for operand in op.operands():
+            if isinstance(operand, VTemp) and \
+                    step_of[index] > def_step[operand]:
+                cross.add(operand)
+    terminator = block.terminator
+    if isinstance(terminator, TBranch) and \
+            isinstance(terminator.cond, VTemp):
+        if def_step[terminator.cond] < n_steps - 1:
+            cross.add(terminator.cond)
+
+    ops_in_step: List[List[int]] = [[] for _ in range(n_steps)]
+    for index in range(len(block.ops)):
+        ops_in_step[step_of[index]].append(index)
+
+    return BlockSchedule(block.name, n_steps, step_of, ops_in_step,
+                         def_step, cross)

@@ -1,0 +1,34 @@
+"""Memory specifications: how array parameters map onto SRAM resources."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemorySpec"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Shape and interpretation of one array parameter.
+
+    ``signed`` controls how loads widen values narrower than the design
+    word (sign- vs zero-extension); stores always truncate.  ``role``
+    flows into the XML for reporting: ``input`` memories come from
+    stimulus files, ``output`` memories are compared against the golden
+    run, ``intermediate`` memories carry data between temporal
+    partitions.
+    """
+
+    width: int
+    depth: int
+    signed: bool = True
+    role: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"memory width must be positive, got {self.width}")
+        if self.depth <= 0:
+            raise ValueError(f"memory depth must be positive, got {self.depth}")
+        if self.role not in ("data", "input", "output", "intermediate",
+                             "spill"):
+            raise ValueError(f"unknown memory role {self.role!r}")

@@ -1,0 +1,33 @@
+"""The test infrastructure core (the paper's contribution).
+
+* stimulus files and deterministic generators
+* golden-vs-simulation verification by memory comparison
+* the staged build-and-test flow (the ANT substitute)
+* the regression suite runner and Table I metrics
+* :class:`TestInfrastructure`, the one-object façade
+"""
+
+from .faults import (CampaignResult, Fault, FaultVerdict, enumerate_faults,
+                     inject_fault, run_campaign)
+from .flow import Flow, FlowReport, FlowStage, StageResult, standard_flow
+from .infrastructure import TestInfrastructure
+from .report import (ConfigurationMetrics, DesignMetrics, collect_metrics,
+                     format_table)
+from .stimulus import (load_stimulus_files, ramp_image, random_words,
+                       synthetic_image, write_stimulus_files)
+from .testsuite import CaseResult, SuiteCase, SuiteReport, TestSuite
+from .verification import (MemoryCheck, VerificationResult, prepare_images,
+                           verify_design)
+
+__all__ = [
+    "TestInfrastructure",
+    "verify_design", "VerificationResult", "MemoryCheck", "prepare_images",
+    "TestSuite", "SuiteCase", "SuiteReport", "CaseResult",
+    "Flow", "FlowStage", "FlowReport", "StageResult", "standard_flow",
+    "collect_metrics", "format_table", "DesignMetrics",
+    "ConfigurationMetrics",
+    "synthetic_image", "ramp_image", "random_words",
+    "write_stimulus_files", "load_stimulus_files",
+    "Fault", "FaultVerdict", "CampaignResult",
+    "enumerate_faults", "inject_fault", "run_campaign",
+]

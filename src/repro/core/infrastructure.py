@@ -1,0 +1,104 @@
+"""The top-level façade: one object that ties the whole flow together.
+
+``TestInfrastructure`` is the programmatic equivalent of the paper's
+Figure 1 as a whole: register compiled algorithms, produce every
+artifact (XML, dot, generated Python, stimulus files), verify them
+against golden execution, and emit the Table I metrics — all under one
+working directory so a compiler regression run leaves a complete audit
+trail on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+from .flow import FlowReport, standard_flow
+from .report import DesignMetrics, collect_metrics, format_table
+from .testsuite import SuiteCase, SuiteReport, TestSuite
+
+__all__ = ["TestInfrastructure"]
+
+
+class TestInfrastructure:
+    """Register algorithms; build, simulate, verify and report them."""
+
+    __test__ = False  # library class, not a pytest test case
+
+    def __init__(self, workdir: Union[str, Path],
+                 name: str = "infrastructure") -> None:
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.suite = TestSuite(name)
+        self._inputs: Dict[str, Optional[Callable]] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, func: Callable,
+                 arrays: Mapping[str, MemorySpec],
+                 params: Optional[Mapping[str, int]] = None,
+                 *,
+                 inputs: Optional[Callable[[int],
+                                           Mapping[str, MemoryImage]]] = None,
+                 n_partitions: int = 1,
+                 word_width: int = 32,
+                 max_cycles: int = 50_000_000) -> SuiteCase:
+        """Add one algorithm to the managed suite."""
+        case = SuiteCase(
+            name=name, func=func, arrays=arrays, params=dict(params or {}),
+            inputs=inputs, n_partitions=n_partitions,
+            word_width=word_width, max_cycles=max_cycles,
+        )
+        self.suite.add(case)
+        self._inputs[name] = inputs
+        return case
+
+    # ------------------------------------------------------------------
+    def run_case(self, name: str, *, seed: int = 0,
+                 fsm_mode: str = "generated") -> FlowReport:
+        """Run one case through the full artifact-producing flow.
+
+        Artifacts land in ``<workdir>/<case>/``; the report carries the
+        per-stage timings (Figure 1, stage by stage).
+        """
+        case = self._case(name)
+        inputs = case.inputs(seed) if case.inputs else None
+        flow = standard_flow(
+            case.func, case.arrays, dict(case.params),
+            workdir=self.workdir / name, inputs=inputs,
+            n_partitions=case.n_partitions, word_width=case.word_width,
+            fsm_mode=fsm_mode, max_cycles=case.max_cycles,
+        )
+        return flow.run()
+
+    def run_all(self, *, seed: int = 0,
+                fsm_mode: str = "generated") -> SuiteReport:
+        """Verify every registered case (the regression-suite command)."""
+        return self.suite.run(seed=seed, fsm_mode=fsm_mode)
+
+    # ------------------------------------------------------------------
+    def metrics(self, name: str) -> DesignMetrics:
+        """Table I quantities for one case (without running it)."""
+        return collect_metrics(self._case(name).compile())
+
+    def metrics_table(self) -> str:
+        """Table I for every registered case (compile only)."""
+        return format_table([self.metrics(case.name)
+                             for case in self.suite.cases])
+
+    # ------------------------------------------------------------------
+    def _case(self, name: str) -> SuiteCase:
+        for case in self.suite.cases:
+            if case.name == name:
+                return case
+        raise KeyError(f"no registered case named {name!r}")
+
+    @property
+    def case_names(self) -> List[str]:
+        return [case.name for case in self.suite.cases]
+
+    def __repr__(self) -> str:
+        return (f"TestInfrastructure({str(self.workdir)!r}, "
+                f"cases={self.case_names})")

@@ -1,0 +1,113 @@
+"""Design metrics and the Table I report format.
+
+The paper's Table I reports, per example: lines of input source
+(``loJava``), lines of the XML FSM and datapath descriptions, lines of
+the generated FSM code (``loJava FSM``), the number of datapath
+operators, and the simulation time.  :func:`collect_metrics` computes the
+same quantities for a compiled :class:`Design`; multi-configuration
+designs report one value per configuration, stacked like the paper's
+FDCT2 row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..compiler.pipeline import Design
+from ..hdl.xmlio.datapath_xml import write_datapath
+from ..hdl.xmlio.fsm_xml import write_fsm
+from ..translate.to_python import fsm_to_python
+from ..util.loc import count_lines
+
+__all__ = ["ConfigurationMetrics", "DesignMetrics", "collect_metrics",
+           "format_table"]
+
+
+@dataclass
+class ConfigurationMetrics:
+    """Table I columns for one configuration."""
+
+    name: str
+    lo_xml_fsm: int
+    lo_xml_datapath: int
+    lo_generated_fsm: int
+    operators: int
+    states: int
+
+
+@dataclass
+class DesignMetrics:
+    """Table I row (or stacked rows) for one design."""
+
+    name: str
+    lo_source: int
+    configurations: List[ConfigurationMetrics] = field(default_factory=list)
+    simulation_seconds: Optional[float] = None
+    cycles: Optional[int] = None
+
+    def total_operators(self) -> int:
+        return sum(c.operators for c in self.configurations)
+
+
+def collect_metrics(design: Design,
+                    simulation_seconds: Optional[float] = None,
+                    cycles: Optional[int] = None) -> DesignMetrics:
+    """Compute the Table I quantities for *design*."""
+    metrics = DesignMetrics(
+        name=design.name,
+        lo_source=count_lines(design.source),
+        simulation_seconds=simulation_seconds,
+        cycles=cycles,
+    )
+    for config in design.configurations:
+        metrics.configurations.append(ConfigurationMetrics(
+            name=config.name,
+            lo_xml_fsm=count_lines(write_fsm(config.fsm)),
+            lo_xml_datapath=count_lines(write_datapath(config.datapath)),
+            lo_generated_fsm=count_lines(fsm_to_python(config.fsm)),
+            operators=config.datapath.operator_count(),
+            states=config.fsm.state_count(),
+        ))
+    return metrics
+
+
+_HEADER = ("Example", "loSource", "loXML FSM", "loXML datapath",
+           "loGen FSM", "Operators", "States", "Sim time (s)")
+
+
+def format_table(rows: Sequence[DesignMetrics]) -> str:
+    """Render metrics in the layout of the paper's Table I.
+
+    Multi-configuration designs occupy one line per configuration, with
+    the design-level columns only on the first line — exactly how the
+    paper prints FDCT2.
+    """
+    table: List[List[str]] = [list(_HEADER)]
+    for metrics in rows:
+        for index, config in enumerate(metrics.configurations):
+            first = index == 0
+            sim_time = ""
+            if first and metrics.simulation_seconds is not None:
+                seconds = metrics.simulation_seconds
+                sim_time = f"{seconds:.3f}" if seconds < 10 else \
+                    f"{seconds:.1f}"
+            table.append([
+                metrics.name if first else "",
+                str(metrics.lo_source) if first else "",
+                str(config.lo_xml_fsm),
+                str(config.lo_xml_datapath),
+                str(config.lo_generated_fsm),
+                str(config.operators),
+                str(config.states),
+                sim_time,
+            ])
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(_HEADER))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

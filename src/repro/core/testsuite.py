@@ -1,0 +1,147 @@
+"""The regression test suite runner.
+
+The paper's motivation: after every compiler change, re-verify the whole
+set of benchmark algorithms "in feasible time" with full automation.
+A :class:`TestSuite` holds :class:`SuiteCase` entries (algorithm +
+memory specs + stimulus factory + compile options) and runs each through
+:func:`verify_design`, collecting a pass/fail report plus the Table I
+metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional
+
+from ..compiler.pipeline import Design, compile_function
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+from .report import DesignMetrics, collect_metrics, format_table
+from .verification import VerificationResult, verify_design
+
+__all__ = ["SuiteCase", "CaseResult", "SuiteReport", "TestSuite"]
+
+
+@dataclass
+class SuiteCase:
+    """One benchmark algorithm with everything needed to verify it."""
+
+    name: str
+    func: Callable
+    arrays: Mapping[str, MemorySpec]
+    params: Mapping[str, int] = field(default_factory=dict)
+    #: seeded factory producing the input images for one run
+    inputs: Optional[Callable[[int], Mapping[str, MemoryImage]]] = None
+    n_partitions: int = 1
+    word_width: int = 32
+    opt_level: int = 2
+    max_cycles: int = 50_000_000
+
+    def compile(self) -> Design:
+        return compile_function(
+            self.func, self.arrays, dict(self.params), name=self.name,
+            word_width=self.word_width, opt_level=self.opt_level,
+            n_partitions=self.n_partitions,
+        )
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one case: verification verdict + metrics + timings."""
+
+    case: str
+    verification: Optional[VerificationResult]
+    metrics: Optional[DesignMetrics]
+    compile_seconds: float
+    error: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.error is None and self.verification is not None \
+            and self.verification.passed
+
+
+@dataclass
+class SuiteReport:
+    results: List[CaseResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [result for result in self.results if not result.passed]
+
+    def metrics_table(self) -> str:
+        rows = [result.metrics for result in self.results
+                if result.metrics is not None]
+        return format_table(rows)
+
+    def summary(self) -> str:
+        lines = [
+            f"suite: {len(self.results)} case(s), "
+            f"{len(self.failures)} failure(s), "
+            f"wall {self.wall_seconds:.2f}s",
+        ]
+        for result in self.results:
+            if result.error is not None:
+                lines.append(f"  [ERROR] {result.case}: {result.error}")
+            else:
+                verdict = "PASS" if result.passed else "FAIL"
+                v = result.verification
+                lines.append(
+                    f"  [{verdict}] {result.case}: {v.cycles} cycles, "
+                    f"sim {v.simulation_seconds:.3f}s"
+                )
+        return "\n".join(lines)
+
+
+class TestSuite:
+    """Register cases, run them all, get one report."""
+
+    __test__ = False  # library class, not a pytest test case
+
+    def __init__(self, name: str = "suite") -> None:
+        self.name = name
+        self.cases: List[SuiteCase] = []
+
+    def add(self, case: SuiteCase) -> SuiteCase:
+        if any(existing.name == case.name for existing in self.cases):
+            raise ValueError(f"duplicate case name {case.name!r}")
+        self.cases.append(case)
+        return case
+
+    def run(self, *, seed: int = 0, fsm_mode: str = "generated",
+            stop_on_failure: bool = False) -> SuiteReport:
+        report = SuiteReport()
+        suite_started = time.perf_counter()
+        for case in self.cases:
+            started = time.perf_counter()
+            try:
+                design = case.compile()
+                compile_seconds = time.perf_counter() - started
+                inputs = case.inputs(seed) if case.inputs else None
+                verification = verify_design(
+                    design, case.func, inputs, fsm_mode=fsm_mode,
+                    max_cycles=case.max_cycles,
+                )
+                metrics = collect_metrics(
+                    design,
+                    simulation_seconds=verification.simulation_seconds,
+                    cycles=verification.cycles,
+                )
+                report.results.append(CaseResult(
+                    case.name, verification, metrics, compile_seconds,
+                ))
+            except Exception as exc:  # noqa: BLE001 - suite must report
+                report.results.append(CaseResult(
+                    case.name, None, None,
+                    time.perf_counter() - started, error=str(exc),
+                ))
+            if stop_on_failure and not report.results[-1].passed:
+                break
+        report.wall_seconds = time.perf_counter() - suite_started
+        return report

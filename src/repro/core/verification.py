@@ -1,0 +1,176 @@
+"""Verify a compiled design against its golden software execution.
+
+This is the infrastructure's core contract (paper §2): run the original
+algorithm in software and the compiled hardware in simulation over the
+same memory contents, then compare data word by word.  Any divergence —
+a scheduling race, a mis-bound mux, a broken optimization pass — shows
+up as a concrete address/expected/actual triple.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..compiler.partitioning import SPILL_MEMORY
+from ..compiler.pipeline import Design
+from ..golden.runner import run_golden
+from ..rtg.context import ReconfigurationContext
+from ..rtg.executor import RtgExecutor, RtgRunResult
+from ..util.files import MemoryImage, MemoryMismatch, compare_images
+
+__all__ = ["MemoryCheck", "VerificationResult", "verify_design",
+           "prepare_images"]
+
+
+@dataclass
+class MemoryCheck:
+    """The comparison outcome for one memory resource."""
+
+    memory: str
+    role: str
+    words: int
+    mismatches: List[MemoryMismatch] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class VerificationResult:
+    """Everything one verification run produced."""
+
+    design: str
+    checks: List[MemoryCheck]
+    cycles: int
+    reconfigurations: int
+    golden_seconds: float
+    simulation_seconds: float
+    rtg_result: Optional[RtgRunResult] = None
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> List[MemoryCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"[{status}] {self.design}: {self.cycles} cycles, "
+            f"{self.reconfigurations} reconfiguration(s), "
+            f"sim {self.simulation_seconds:.3f}s, "
+            f"golden {self.golden_seconds:.3f}s"
+        ]
+        for check in self.checks:
+            if check.passed:
+                lines.append(f"  {check.memory}: {check.words} words OK")
+            else:
+                lines.append(
+                    f"  {check.memory}: {len(check.mismatches)} "
+                    f"mismatch(es), first: "
+                    f"{check.mismatches[0].describe(16)}"
+                )
+        return "\n".join(lines)
+
+
+def prepare_images(design: Design,
+                   inputs: Optional[Mapping[str, Union[MemoryImage,
+                                                       Sequence[int]]]] = None
+                   ) -> Dict[str, MemoryImage]:
+    """Fresh images for every design memory, filled from *inputs*.
+
+    *inputs* values may be :class:`MemoryImage` (copied) or plain word
+    sequences.  Memories without input data start zeroed.  The internal
+    spill memory is never initialised from inputs.
+    """
+    inputs = dict(inputs or {})
+    images: Dict[str, MemoryImage] = {}
+    for name, spec in design.arrays.items():
+        if name == SPILL_MEMORY:
+            images[name] = MemoryImage(spec.width, spec.depth, name=name)
+            continue
+        supplied = inputs.pop(name, None)
+        if supplied is None:
+            images[name] = MemoryImage(spec.width, spec.depth, name=name)
+        elif isinstance(supplied, MemoryImage):
+            if supplied.width != spec.width or supplied.depth != spec.depth:
+                raise ValueError(
+                    f"input {name!r}: image is "
+                    f"{supplied.width}x{supplied.depth}, design expects "
+                    f"{spec.width}x{spec.depth}"
+                )
+            images[name] = supplied.copy(name=name)
+        else:
+            images[name] = MemoryImage(spec.width, spec.depth,
+                                       words=list(supplied), name=name)
+    if inputs:
+        raise ValueError(
+            f"inputs supplied for unknown arrays: {sorted(inputs)}"
+        )
+    return images
+
+
+def verify_design(design: Design, func: Callable,
+                  inputs: Optional[Mapping[str, Union[MemoryImage,
+                                                      Sequence[int]]]] = None,
+                  *,
+                  compare: str = "all",
+                  fsm_mode: str = "generated",
+                  control_mode: str = "generated",
+                  max_cycles: int = 50_000_000,
+                  mismatch_limit: int = 32,
+                  trace_dir=None) -> VerificationResult:
+    """Run golden + simulation over identical inputs and compare memories.
+
+    ``compare`` selects which memories are checked: ``"all"`` (every
+    array except the spill memory) or ``"outputs"`` (only
+    ``role="output"`` arrays).  ``trace_dir`` dumps one VCD waveform
+    per executed configuration.
+    """
+    if compare not in ("all", "outputs"):
+        raise ValueError(f"compare must be 'all' or 'outputs', got {compare!r}")
+
+    base_images = prepare_images(design, inputs)
+    array_specs = {name: spec for name, spec in design.arrays.items()
+                   if name != SPILL_MEMORY}
+
+    golden_images = {name: image.copy()
+                     for name, image in base_images.items()
+                     if name != SPILL_MEMORY}
+    started = time.perf_counter()
+    run_golden(func, array_specs, golden_images, design.params)
+    golden_seconds = time.perf_counter() - started
+
+    context = ReconfigurationContext.from_rtg(design.rtg,
+                                              initial=base_images)
+    executor = RtgExecutor(design.rtg, context, fsm_mode=fsm_mode,
+                           control_mode=control_mode,
+                           max_cycles_per_configuration=max_cycles,
+                           trace_dir=trace_dir)
+    started = time.perf_counter()
+    rtg_result = executor.run()
+    simulation_seconds = time.perf_counter() - started
+
+    checks: List[MemoryCheck] = []
+    for name, spec in array_specs.items():
+        if compare == "outputs" and spec.role != "output":
+            continue
+        mismatches = compare_images(golden_images[name],
+                                    context.memory(name),
+                                    limit=mismatch_limit)
+        checks.append(MemoryCheck(name, spec.role,
+                                  words=spec.depth, mismatches=mismatches))
+
+    return VerificationResult(
+        design=design.name,
+        checks=checks,
+        cycles=rtg_result.total_cycles,
+        reconfigurations=rtg_result.reconfigurations,
+        golden_seconds=golden_seconds,
+        simulation_seconds=simulation_seconds,
+        rtg_result=rtg_result,
+    )

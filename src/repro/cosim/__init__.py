@@ -1,0 +1,16 @@
+"""Hardware/software co-simulation (the paper's stated further work).
+
+A small accumulator microprocessor (:class:`Microprocessor`) shares one
+simulator — and one set of memory images — with a compiled accelerator,
+coupled through a start/done handshake.  See :class:`CoupledSystem`.
+"""
+
+from .cpu import MemoryMap, Microprocessor
+from .isa import CosimError, Instruction, OPCODES, assemble
+from .system import CosimResult, CoupledSystem
+
+__all__ = [
+    "CoupledSystem", "CosimResult",
+    "Microprocessor", "MemoryMap",
+    "Instruction", "assemble", "OPCODES", "CosimError",
+]

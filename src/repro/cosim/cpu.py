@@ -1,0 +1,190 @@
+"""The host microprocessor model and its memory map.
+
+The processor is a behavioural simulation component like any operator in
+the library — "the use of the same language for modeling both components
+permits to mix both software and reconfigurable hardware components
+without specialized co-simulation environments" (paper §1).  It executes
+one instruction per clock edge against a unified word-addressed memory
+map whose segments are the same :class:`MemoryImage` objects the
+accelerator's SRAM ports use — tight coupling through shared memory —
+and talks to the accelerator over a start/done wire pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.component import Sequential
+from ..sim.signal import Signal
+from ..util.files import MemoryImage
+from .isa import CosimError, Instruction
+
+__all__ = ["MemoryMap", "Microprocessor"]
+
+
+class MemoryMap:
+    """Unified word-addressed view over named memory segments."""
+
+    def __init__(self) -> None:
+        #: ordered (name, base, image)
+        self.segments: List[Tuple[str, int, MemoryImage]] = []
+        self._next_base = 0
+
+    def attach(self, name: str, image: MemoryImage,
+               base: Optional[int] = None) -> int:
+        """Map *image* at *base* (default: next free); returns the base."""
+        if any(existing == name for existing, _, _ in self.segments):
+            raise CosimError(f"segment {name!r} already attached")
+        if base is None:
+            base = self._next_base
+        for other, other_base, other_image in self.segments:
+            if base < other_base + other_image.depth and \
+                    other_base < base + image.depth:
+                raise CosimError(
+                    f"segment {name!r} at {base} overlaps {other!r}"
+                )
+        self.segments.append((name, base, image))
+        self._next_base = max(self._next_base, base + image.depth)
+        return base
+
+    def base_of(self, name: str) -> int:
+        for segment, base, _ in self.segments:
+            if segment == name:
+                return base
+        raise CosimError(f"no segment named {name!r}")
+
+    def address_of(self, name: str, offset: int = 0) -> int:
+        """The absolute address of ``name[offset]``."""
+        return self.base_of(name) + offset
+
+    def _locate(self, address: int) -> Tuple[MemoryImage, int]:
+        for _, base, image in self.segments:
+            if base <= address < base + image.depth:
+                return image, address - base
+        raise CosimError(f"bus error: address {address} is unmapped")
+
+    def read(self, address: int) -> int:
+        image, offset = self._locate(address)
+        return image.read_signed(offset)
+
+    def write(self, address: int, value: int) -> None:
+        image, offset = self._locate(address)
+        image.write(offset, value)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}@{base}(+{image.depth})"
+                          for name, base, image in self.segments)
+        return f"MemoryMap({inner})"
+
+
+class Microprocessor(Sequential):
+    """A one-instruction-per-cycle accumulator CPU.
+
+    ``start`` is driven by the CPU (the accelerator's invocation line);
+    ``done`` is sampled by ``wait``.  Word width follows the memory map's
+    images; the accumulator itself is a Python int masked on store.
+    """
+
+    def __init__(self, name: str, program: List[Instruction],
+                 bus: MemoryMap, start: Signal,
+                 done: Optional[Signal] = None) -> None:
+        super().__init__(name, clock_enable=None)
+        if not program:
+            raise CosimError("empty program")
+        self.program = program
+        self.bus = bus
+        self.start = start
+        self.done = done
+        start.set_driver(self)
+        self.pc = 0
+        self.acc = 0
+        self.x = 0
+        self.halted = False
+        self.waiting = False
+        self.instructions_executed = 0
+        self.stall_cycles = 0
+        #: execution trace of (pc, op) pairs when enabled
+        self.trace: Optional[List[Tuple[int, str]]] = None
+
+    def enable_trace(self) -> None:
+        self.trace = []
+
+    # ------------------------------------------------------------------
+    def on_edge(self, sim) -> None:
+        if self.halted:
+            return
+        if self.waiting:
+            if self.done is None or self.done.value:
+                self.waiting = False
+            else:
+                self.stall_cycles += 1
+                return
+        if not 0 <= self.pc < len(self.program):
+            raise CosimError(
+                f"{self.name!r}: PC {self.pc} outside the program"
+            )
+        instruction = self.program[self.pc]
+        if self.trace is not None:
+            self.trace.append((self.pc, instruction.op))
+        self.pc += 1
+        self.instructions_executed += 1
+        self._execute(sim, instruction)
+
+    def _execute(self, sim, instruction: Instruction) -> None:
+        op, arg = instruction.op, instruction.arg
+        if op == "loadi":
+            self.acc = arg
+        elif op == "load":
+            self.acc = self.bus.read(arg)
+        elif op == "loadx":
+            self.acc = self.bus.read(arg + self.x)
+        elif op == "store":
+            self.bus.write(arg, self.acc)
+        elif op == "storex":
+            self.bus.write(arg + self.x, self.acc)
+        elif op == "add":
+            self.acc += self.bus.read(arg)
+        elif op == "addi":
+            self.acc += arg
+        elif op == "sub":
+            self.acc -= self.bus.read(arg)
+        elif op == "subi":
+            self.acc -= arg
+        elif op == "muli":
+            self.acc *= arg
+        elif op == "setx":
+            self.x = self.acc
+        elif op == "getx":
+            self.acc = self.x
+        elif op == "incx":
+            self.x += 1
+        elif op == "jmp":
+            self.pc = arg
+        elif op == "beqz":
+            if self.acc == 0:
+                self.pc = arg
+        elif op == "bnez":
+            if self.acc != 0:
+                self.pc = arg
+        elif op == "bltz":
+            if self.acc < 0:
+                self.pc = arg
+        elif op == "start":
+            sim.drive(self.start, 1)
+        elif op == "clear":
+            sim.drive(self.start, 0)
+        elif op == "wait":
+            if self.done is None:
+                raise CosimError(
+                    f"{self.name!r}: 'wait' without a done line"
+                )
+            self.waiting = True
+        elif op == "nop":
+            pass
+        elif op == "halt":
+            self.halted = True
+        else:  # pragma: no cover - assembler validates opcodes
+            raise CosimError(f"unknown opcode {op!r}")
+
+    def signals(self):
+        return tuple(s for s in (self.start, self.done) if s is not None)

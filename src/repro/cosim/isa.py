@@ -1,0 +1,138 @@
+"""The host processor's instruction set and assembler.
+
+The paper closes with "further work will focus on functional simulation
+of a microprocessor tightly coupled to reconfigurable hardware
+components", and argues earlier that using one language for both sides
+removes the need for specialised co-simulation environments.  This
+module defines the instruction set of a deliberately small accumulator
+machine — enough to orchestrate accelerators (move data, branch, start,
+wait) without becoming a second compiler project.
+
+Instructions (ACC is the accumulator; *addr* is a unified word address
+over the shared memory map; *imm* a constant; *label* a branch target):
+
+=========== =====================================================
+``loadi``   ACC ← imm
+``load``    ACC ← mem[addr]
+``loadx``   ACC ← mem[addr + X]  (X-indexed, for array walks)
+``store``   mem[addr] ← ACC
+``storex``  mem[addr + X] ← ACC
+``add``     ACC ← ACC + mem[addr]
+``addi``    ACC ← ACC + imm
+``sub``     ACC ← ACC - mem[addr]
+``subi``    ACC ← ACC - imm
+``muli``    ACC ← ACC * imm
+``setx``    X ← ACC
+``getx``    ACC ← X
+``incx``    X ← X + 1
+``jmp``     PC ← label
+``beqz``    if ACC == 0: PC ← label
+``bnez``    if ACC != 0: PC ← label
+``bltz``    if ACC < 0: PC ← label
+``start``   raise the accelerator's start line
+``clear``   drop the accelerator's start line
+``wait``    stall until the accelerator's done line is high
+``nop``     do nothing
+``halt``    stop the processor
+=========== =====================================================
+
+Programs are written as ``("op", arg)`` tuples with ``("label", name)``
+markers; :func:`assemble` resolves labels into instruction indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Instruction", "assemble", "CosimError", "OPCODES"]
+
+
+class CosimError(Exception):
+    """A co-simulation program or system is malformed."""
+
+
+#: opcode -> argument kind: None, "imm", "addr" or "label"
+OPCODES: Dict[str, Optional[str]] = {
+    "loadi": "imm",
+    "load": "addr",
+    "loadx": "addr",
+    "store": "addr",
+    "storex": "addr",
+    "add": "addr",
+    "addi": "imm",
+    "sub": "addr",
+    "subi": "imm",
+    "muli": "imm",
+    "setx": None,
+    "getx": None,
+    "incx": None,
+    "jmp": "label",
+    "beqz": "label",
+    "bnez": "label",
+    "bltz": "label",
+    "start": None,
+    "clear": None,
+    "wait": None,
+    "nop": None,
+    "halt": None,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction (labels already resolved)."""
+
+    op: str
+    arg: Optional[int] = None
+
+    def __str__(self) -> str:
+        return self.op if self.arg is None else f"{self.op} {self.arg}"
+
+
+Entry = Union[Tuple[str], Tuple[str, object]]
+
+
+def assemble(program: Sequence[Entry]) -> List[Instruction]:
+    """Resolve labels and validate a program written as tuples."""
+    labels: Dict[str, int] = {}
+    cursor = 0
+    for entry in program:
+        if not entry or not isinstance(entry, tuple):
+            raise CosimError(f"program entries must be tuples, got {entry!r}")
+        if entry[0] == "label":
+            name = entry[1]
+            if name in labels:
+                raise CosimError(f"duplicate label {name!r}")
+            labels[name] = cursor
+        else:
+            cursor += 1
+
+    instructions: List[Instruction] = []
+    for entry in program:
+        op = entry[0]
+        if op == "label":
+            continue
+        if op not in OPCODES:
+            raise CosimError(
+                f"unknown opcode {op!r} (known: {sorted(OPCODES)})"
+            )
+        kind = OPCODES[op]
+        arg = entry[1] if len(entry) > 1 else None
+        if kind is None:
+            if arg is not None:
+                raise CosimError(f"{op!r} takes no argument")
+            instructions.append(Instruction(op))
+        elif kind == "label":
+            if arg not in labels:
+                raise CosimError(f"{op!r}: unknown label {arg!r}")
+            instructions.append(Instruction(op, labels[arg]))
+        else:  # imm / addr
+            if not isinstance(arg, int):
+                raise CosimError(
+                    f"{op!r} needs an integer argument, got {arg!r}"
+                )
+            instructions.append(Instruction(op, arg))
+    if not any(instr.op == "halt" for instr in instructions):
+        raise CosimError("program never halts (add a ('halt',) entry)")
+    return instructions

@@ -1,0 +1,117 @@
+"""Processor + accelerator in one simulator: the coupled system.
+
+:class:`CoupledSystem` elaborates a compiled single-configuration design
+with the start/done handshake enabled, attaches its memory resources
+(plus a CPU scratch segment) to a unified memory map, and drops a
+:class:`Microprocessor` running the given program into the *same*
+simulator — the paper's envisioned "microprocessor tightly coupled to
+reconfigurable hardware components", with zero cross-simulator glue.
+
+Invocation protocol from the program's point of view::
+
+    write arguments into the shared memories
+    ("start",)        # raise the start line
+    ("wait",)         # stall until the accelerator asserts done
+    ("clear",)        # acknowledge; the accelerator re-arms
+    read results, repeat as often as needed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.pipeline import Design
+from ..sim.kernel import Simulator
+from ..translate.to_sim import SimDesign, build_simulation
+from ..util.files import MemoryImage
+from .cpu import MemoryMap, Microprocessor
+from .isa import CosimError, Instruction, assemble
+
+__all__ = ["CoupledSystem", "CosimResult"]
+
+
+@dataclass
+class CosimResult:
+    """Outcome of one co-simulated run."""
+
+    cycles: int
+    instructions: int
+    stall_cycles: int
+    accelerator_invocations: int
+
+    @property
+    def cpu_utilisation(self) -> float:
+        """Fraction of cycles the CPU was executing (not stalled)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class CoupledSystem:
+    """One simulator containing a CPU and one accelerator configuration."""
+
+    def __init__(self, design: Design,
+                 program: Sequence,
+                 *,
+                 memories: Optional[Dict[str, MemoryImage]] = None,
+                 scratch_words: int = 64,
+                 fsm_mode: str = "generated") -> None:
+        if design.multi_configuration:
+            raise CosimError(
+                "CoupledSystem couples a single configuration; compile "
+                "without temporal partitioning (or couple each partition "
+                "separately)"
+            )
+        self.design = design
+        self.sim = Simulator(name=f"{design.name}_system")
+        start = self.sim.signal("cpu_start", 1)
+
+        config = design.configurations[0]
+        self.accelerator: SimDesign = build_simulation(
+            config.datapath, config.fsm, memories=memories, sim=self.sim,
+            fsm_mode=fsm_mode, start_signal=start,
+        )
+        done = self.accelerator.done_signal
+        if done is None:
+            raise CosimError("the accelerator has no done output")
+
+        # unified memory map: accelerator memories first (declaration
+        # order), then the CPU's private scratch segment
+        self.bus = MemoryMap()
+        for name, image in self.accelerator.memories.items():
+            self.bus.attach(name, image)
+        self.scratch = MemoryImage(design.word_width, scratch_words,
+                                   name="scratch")
+        self.bus.attach("scratch", self.scratch)
+
+        instructions: List[Instruction]
+        if program and isinstance(program[0], Instruction):
+            instructions = list(program)
+        else:
+            instructions = assemble(program)
+        self.cpu = Microprocessor("cpu", instructions, self.bus,
+                                  start=start, done=done)
+        self.sim.add(self.cpu)
+        self.sim.settle()
+
+    # ------------------------------------------------------------------
+    def address_of(self, segment: str, offset: int = 0) -> int:
+        """Absolute bus address of ``segment[offset]`` (program helper)."""
+        return self.bus.address_of(segment, offset)
+
+    def memory(self, name: str) -> MemoryImage:
+        if name == "scratch":
+            return self.scratch
+        return self.accelerator.memory(name)
+
+    def run(self, max_cycles: int = 10_000_000) -> CosimResult:
+        """Run until the CPU halts; returns the execution record."""
+        cycles = self.sim.run_until(lambda: self.cpu.halted,
+                                    max_cycles=max_cycles)
+        return CosimResult(
+            cycles=cycles,
+            instructions=self.cpu.instructions_executed,
+            stall_cycles=self.cpu.stall_cycles,
+            accelerator_invocations=self.accelerator.controller.invocations,
+        )

@@ -1,0 +1,5 @@
+"""Golden (software) execution of the input algorithms."""
+
+from .runner import GoldenError, MemView, run_golden
+
+__all__ = ["run_golden", "MemView", "GoldenError"]

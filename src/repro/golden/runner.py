@@ -1,0 +1,92 @@
+"""Golden execution: run the original algorithm on the same memories.
+
+The paper verifies compiler output by "executing the Java input
+algorithm" against the same memory/stimulus files and comparing contents
+afterwards.  Here the original Python function runs against
+:class:`MemView` wrappers over the same :class:`MemoryImage` objects the
+simulated SRAMs use, with matching width semantics: loads sign- or
+zero-extend according to the array's :class:`MemorySpec`, stores mask to
+the memory width.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Mapping, Optional
+
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+
+__all__ = ["MemView", "run_golden", "GoldenError"]
+
+
+class GoldenError(Exception):
+    """The golden execution could not be performed."""
+
+
+class MemView:
+    """Array façade over a :class:`MemoryImage` with hardware semantics."""
+
+    def __init__(self, image: MemoryImage, signed: bool = True) -> None:
+        self.image = image
+        self.signed = signed
+
+    def __len__(self) -> int:
+        return self.image.depth
+
+    def __getitem__(self, index: int) -> int:
+        if self.signed:
+            return self.image.read_signed(index)
+        return self.image.read(index)
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self.image.write(index, value)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def __repr__(self) -> str:
+        return f"MemView({self.image!r}, signed={self.signed})"
+
+
+def run_golden(func: Callable,
+               arrays: Mapping[str, MemorySpec],
+               images: Mapping[str, MemoryImage],
+               params: Optional[Mapping[str, int]] = None) -> None:
+    """Execute *func* in software over *images* (mutated in place).
+
+    Arguments are assembled from the function signature: array parameters
+    become :class:`MemView` wrappers, scalar parameters take their value
+    from *params* (or the signature default).
+    """
+    params = dict(params or {})
+    try:
+        signature = inspect.signature(func)
+    except (TypeError, ValueError) as exc:
+        raise GoldenError(f"cannot inspect {func!r}: {exc}") from None
+    call_args = []
+    for name, parameter in signature.parameters.items():
+        if name in arrays:
+            spec = arrays[name]
+            try:
+                image = images[name]
+            except KeyError:
+                raise GoldenError(
+                    f"no memory image supplied for array {name!r}"
+                ) from None
+            if image.width != spec.width or image.depth != spec.depth:
+                raise GoldenError(
+                    f"array {name!r}: image is {image.width}x{image.depth}"
+                    f", spec says {spec.width}x{spec.depth}"
+                )
+            call_args.append(MemView(image, signed=spec.signed))
+        elif name in params:
+            call_args.append(params[name])
+        elif parameter.default is not inspect.Parameter.empty:
+            call_args.append(parameter.default)
+        else:
+            raise GoldenError(
+                f"parameter {name!r} has no array, value or default"
+            )
+    func(*call_args)

@@ -1,0 +1,32 @@
+"""Hardware IR and XML dialects (datapath / FSM / RTG).
+
+The object models live in :mod:`repro.hdl.model`; XML readers and writers
+in :mod:`repro.hdl.xmlio`.
+"""
+
+from .model.datapath import (ComponentDecl, ControlLine, Datapath,
+                             DatapathError, MemoryDecl, Net, PortRef,
+                             StatusLine)
+from .model.expressions import (And, Const, ConditionSyntaxError, Expr, FALSE,
+                                Not, Or, TRUE, Var, parse_condition)
+from .model.fsm import DONE_OUTPUT, Fsm, FsmError, OutputDecl, State, Transition
+from .model.rtg import ConfigurationRef, Rtg, RtgError, RtgTransition
+from .xmlio.common import XmlFormatError
+from .xmlio.datapath_xml import (load_datapath, read_datapath, save_datapath,
+                                 write_datapath)
+from .xmlio.fsm_xml import load_fsm, read_fsm, save_fsm, write_fsm
+from .xmlio.rtg_xml import (load_rtg, load_rtg_bundle, read_rtg, save_rtg,
+                            write_rtg)
+
+__all__ = [
+    "Datapath", "ComponentDecl", "Net", "PortRef", "ControlLine",
+    "StatusLine", "MemoryDecl", "DatapathError",
+    "Fsm", "State", "Transition", "OutputDecl", "FsmError", "DONE_OUTPUT",
+    "Rtg", "ConfigurationRef", "RtgTransition", "RtgError",
+    "Expr", "Const", "Var", "Not", "And", "Or", "TRUE", "FALSE",
+    "parse_condition", "ConditionSyntaxError",
+    "XmlFormatError",
+    "write_datapath", "read_datapath", "save_datapath", "load_datapath",
+    "write_fsm", "read_fsm", "save_fsm", "load_fsm",
+    "write_rtg", "read_rtg", "save_rtg", "load_rtg", "load_rtg_bundle",
+]

@@ -1,0 +1,336 @@
+"""Boolean condition expressions over FSM status inputs.
+
+FSM transitions are guarded by small boolean expressions over the 1-bit
+status lines the datapath feeds back to the control unit (comparator
+outputs).  The XML dialect stores them as text in the ``when`` attribute,
+e.g. ``st_lt and not st_done``; this module provides the expression tree,
+an evaluator, renderers for each translation backend (Python, VHDL,
+Verilog) and a recursive-descent parser for the textual form.
+
+Grammar::
+
+    expr    := or_term
+    or_term := and_term ('or' and_term)*
+    and_term:= factor ('and' factor)*
+    factor  := 'not' factor | '(' expr ')' | '0' | '1' | NAME
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+__all__ = ["Expr", "Const", "Var", "Not", "And", "Or", "parse_condition",
+           "TRUE", "FALSE", "ConditionSyntaxError"]
+
+
+class ConditionSyntaxError(ValueError):
+    """A ``when`` attribute failed to parse."""
+
+
+class Expr:
+    """Base class of condition expression nodes (immutable)."""
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        """0 or 1 given status values in *env* (missing names are errors)."""
+        raise NotImplementedError
+
+    def names(self) -> FrozenSet[str]:
+        """The status-input names the expression references."""
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        """Canonical textual form (reparses to an equal expression)."""
+        raise NotImplementedError
+
+    def to_python(self) -> str:
+        """A Python expression over ``env['name']`` producing 0/1."""
+        raise NotImplementedError
+
+    def to_vhdl(self) -> str:
+        """A VHDL boolean expression over std_logic status signals."""
+        raise NotImplementedError
+
+    def to_verilog(self) -> str:
+        """A Verilog boolean expression over 1-bit status wires."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and self._key() == other._key())  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_text()!r})"
+
+
+class Const(Expr):
+    """Literal 0 or 1.  ``Const(1)`` is the unconditional guard."""
+
+    def __init__(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError(f"condition constant must be 0 or 1, got {value}")
+        self.value = value
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        return self.value
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def to_text(self) -> str:
+        return str(self.value)
+
+    def to_python(self) -> str:
+        return str(self.value)
+
+    def to_vhdl(self) -> str:
+        return "true" if self.value else "false"
+
+    def to_verilog(self) -> str:
+        return "1'b1" if self.value else "1'b0"
+
+    def _key(self) -> Tuple:
+        return (self.value,)
+
+
+class Var(Expr):
+    """A reference to a 1-bit status input by name."""
+
+    def __init__(self, name: str) -> None:
+        if not name.isidentifier():
+            raise ValueError(f"invalid status name {name!r}")
+        self.name = name
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        try:
+            return 1 if env[self.name] else 0
+        except KeyError:
+            raise KeyError(
+                f"status input {self.name!r} missing from environment "
+                f"(have: {sorted(env)})"
+            ) from None
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def to_text(self) -> str:
+        return self.name
+
+    def to_python(self) -> str:
+        return f"env[{self.name!r}]"
+
+    def to_vhdl(self) -> str:
+        return f"{self.name} = '1'"
+
+    def to_verilog(self) -> str:
+        return self.name
+
+    def _key(self) -> Tuple:
+        return (self.name,)
+
+
+class Not(Expr):
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        return 1 - self.operand.evaluate(env)
+
+    def names(self) -> FrozenSet[str]:
+        return self.operand.names()
+
+    def _wrap(self, rendered: str) -> str:
+        if isinstance(self.operand, (And, Or)):
+            return f"({rendered})"
+        return rendered
+
+    def to_text(self) -> str:
+        return f"not {self._wrap(self.operand.to_text())}"
+
+    def to_python(self) -> str:
+        return f"(1 - {self.operand.to_python()})"
+
+    def to_vhdl(self) -> str:
+        return f"not ({self.operand.to_vhdl()})"
+
+    def to_verilog(self) -> str:
+        return f"!({self.operand.to_verilog()})"
+
+    def _key(self) -> Tuple:
+        return (self.operand,)
+
+
+class _NaryOp(Expr):
+    keyword = ""
+
+    def __init__(self, *operands: Expr) -> None:
+        if len(operands) < 2:
+            raise ValueError(
+                f"{type(self).__name__} needs at least two operands"
+            )
+        self.operands: Tuple[Expr, ...] = tuple(operands)
+
+    def names(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.names()
+        return result
+
+    def _render(self, parts: List[str], sep: str) -> str:
+        return sep.join(parts)
+
+    def _key(self) -> Tuple:
+        return self.operands
+
+
+class And(_NaryOp):
+    keyword = "and"
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        for operand in self.operands:
+            if not operand.evaluate(env):
+                return 0
+        return 1
+
+    def to_text(self) -> str:
+        parts = [f"({op.to_text()})" if isinstance(op, Or) else op.to_text()
+                 for op in self.operands]
+        return " and ".join(parts)
+
+    def to_python(self) -> str:
+        return "(" + " and ".join(op.to_python() for op in self.operands) + ")"
+
+    def to_vhdl(self) -> str:
+        return " and ".join(f"({op.to_vhdl()})" for op in self.operands)
+
+    def to_verilog(self) -> str:
+        return " && ".join(f"({op.to_verilog()})" for op in self.operands)
+
+
+class Or(_NaryOp):
+    keyword = "or"
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        for operand in self.operands:
+            if operand.evaluate(env):
+                return 1
+        return 0
+
+    def to_text(self) -> str:
+        return " or ".join(op.to_text() for op in self.operands)
+
+    def to_python(self) -> str:
+        return "(" + " or ".join(op.to_python() for op in self.operands) + ")"
+
+    def to_vhdl(self) -> str:
+        return " or ".join(f"({op.to_vhdl()})" for op in self.operands)
+
+    def to_verilog(self) -> str:
+        return " || ".join(f"({op.to_verilog()})" for op in self.operands)
+
+
+TRUE = Const(1)
+FALSE = Const(0)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _tokenize(text: str) -> Iterator[str]:
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()":
+            yield ch
+            i += 1
+        elif ch.isalnum() or ch == "_":
+            j = i
+            while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            yield text[i:j]
+            i = j
+        else:
+            raise ConditionSyntaxError(
+                f"unexpected character {ch!r} in condition {text!r}"
+            )
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def take(self) -> str:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise ConditionSyntaxError(
+                f"expected {token!r}, got {got!r} in condition {self.text!r}"
+            )
+
+    def parse(self) -> Expr:
+        expr = self.or_term()
+        if self.pos != len(self.tokens):
+            raise ConditionSyntaxError(
+                f"trailing tokens after condition in {self.text!r}"
+            )
+        return expr
+
+    def or_term(self) -> Expr:
+        operands = [self.and_term()]
+        while self.peek() == "or":
+            self.take()
+            operands.append(self.and_term())
+        return operands[0] if len(operands) == 1 else Or(*operands)
+
+    def and_term(self) -> Expr:
+        operands = [self.factor()]
+        while self.peek() == "and":
+            self.take()
+            operands.append(self.factor())
+        return operands[0] if len(operands) == 1 else And(*operands)
+
+    def factor(self) -> Expr:
+        token = self.peek()
+        if token == "not":
+            self.take()
+            return Not(self.factor())
+        if token == "(":
+            self.take()
+            inner = self.or_term()
+            self.expect(")")
+            return inner
+        if token in ("0", "1"):
+            self.take()
+            return Const(int(token))
+        if token and token.isidentifier() and token not in ("and", "or", "not"):
+            self.take()
+            return Var(token)
+        raise ConditionSyntaxError(
+            f"unexpected token {token!r} in condition {self.text!r}"
+        )
+
+
+def parse_condition(text: str) -> Expr:
+    """Parse the ``when`` attribute syntax into an expression tree.
+
+    An empty or missing string means the unconditional guard ``1``.
+    """
+    if not text or not text.strip():
+        return TRUE
+    return _Parser(text).parse()

@@ -1,0 +1,186 @@
+"""Reconfiguration Transition Graph — the object form of ``rtg.xml``.
+
+When the compiler maps an algorithm onto multiple *configurations*
+(temporal partitions), the RTG describes the flow between them: each node
+is a configuration (one datapath + control unit pair) and each edge says
+which configuration to load next once the current one finishes.  Shared
+memory resources declared at RTG level stay alive across reconfigurations
+— that is how partitions communicate (e.g. FDCT2's intermediate image).
+
+Edges may carry guard conditions over the finishing configuration's
+exported status lines; an unconditional edge is the common sequential
+case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .datapath import Datapath, MemoryDecl
+from .expressions import Const, Expr, TRUE
+from .fsm import Fsm
+
+__all__ = ["ConfigurationRef", "RtgTransition", "Rtg", "RtgError"]
+
+
+class RtgError(ValueError):
+    """The RTG description is malformed."""
+
+
+@dataclass
+class ConfigurationRef:
+    """One temporal partition.
+
+    ``datapath_file``/``fsm_file`` name the sibling XML documents (the
+    on-disk dialect); ``datapath``/``fsm`` optionally carry the already-
+    loaded objects when the RTG is built in memory by the compiler.
+    """
+
+    name: str
+    datapath_file: str
+    fsm_file: str
+    datapath: Optional[Datapath] = None
+    fsm: Optional[Fsm] = None
+
+
+@dataclass
+class RtgTransition:
+    """Edge: after *source* completes, load *target* if the guard holds."""
+
+    source: str
+    target: str
+    condition: Expr = field(default_factory=lambda: TRUE)
+
+    @property
+    def unconditional(self) -> bool:
+        return isinstance(self.condition, Const) and self.condition.value == 1
+
+
+class Rtg:
+    """The reconfiguration transition graph of a multi-partition design."""
+
+    def __init__(self, name: str, start: Optional[str] = None) -> None:
+        self.name = name
+        self.start = start
+        self.configurations: Dict[str, ConfigurationRef] = {}
+        self.transitions: List[RtgTransition] = []
+        self.final_configurations: Set[str] = set()
+        #: memories shared across configurations, by name
+        self.memories: Dict[str, MemoryDecl] = {}
+
+    # ------------------------------------------------------------------
+    def add_configuration(self, name: str, datapath_file: str = "",
+                          fsm_file: str = "",
+                          datapath: Optional[Datapath] = None,
+                          fsm: Optional[Fsm] = None,
+                          *, final: bool = False) -> ConfigurationRef:
+        if name in self.configurations:
+            raise RtgError(f"duplicate configuration {name!r}")
+        ref = ConfigurationRef(name, datapath_file or f"{name}_datapath.xml",
+                               fsm_file or f"{name}_fsm.xml", datapath, fsm)
+        self.configurations[name] = ref
+        if self.start is None:
+            self.start = name
+        if final:
+            self.final_configurations.add(name)
+        return ref
+
+    def add_transition(self, source: str, target: str,
+                       condition: Optional[Expr] = None) -> RtgTransition:
+        transition = RtgTransition(source, target, condition or TRUE)
+        self.transitions.append(transition)
+        return transition
+
+    def add_memory(self, name: str, width: int, depth: int,
+                   init: Optional[str] = None,
+                   role: str = "data") -> MemoryDecl:
+        if name in self.memories:
+            raise RtgError(f"duplicate shared memory {name!r}")
+        decl = MemoryDecl(name, width, depth, init, role)
+        self.memories[name] = decl
+        return decl
+
+    def mark_final(self, name: str) -> None:
+        if name not in self.configurations:
+            raise RtgError(f"cannot mark unknown configuration {name!r} final")
+        self.final_configurations.add(name)
+
+    # ------------------------------------------------------------------
+    def transitions_from(self, source: str) -> List[RtgTransition]:
+        return [t for t in self.transitions if t.source == source]
+
+    def next_configuration(self, source: str,
+                           env: Optional[Dict[str, int]] = None) -> Optional[str]:
+        """The configuration to load after *source*, or None if final."""
+        env = env or {}
+        for transition in self.transitions_from(source):
+            if transition.condition.evaluate(env):
+                return transition.target
+        if source in self.final_configurations:
+            return None
+        raise RtgError(
+            f"configuration {source!r}: no transition matched and it is "
+            f"not final"
+        )
+
+    def configuration_count(self) -> int:
+        return len(self.configurations)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if not self.configurations:
+            raise RtgError(f"rtg {self.name!r} has no configurations")
+        if self.start not in self.configurations:
+            raise RtgError(
+                f"rtg {self.name!r}: start configuration {self.start!r} "
+                f"does not exist"
+            )
+        for transition in self.transitions:
+            for end in (transition.source, transition.target):
+                if end not in self.configurations:
+                    raise RtgError(
+                        f"transition references unknown configuration "
+                        f"{end!r}"
+                    )
+        for name in self.configurations:
+            outgoing = self.transitions_from(name)
+            has_default = any(t.unconditional for t in outgoing)
+            if not outgoing and name not in self.final_configurations:
+                raise RtgError(
+                    f"configuration {name!r} has no outgoing transition "
+                    f"and is not final"
+                )
+            if outgoing and not has_default and \
+                    name not in self.final_configurations:
+                raise RtgError(
+                    f"configuration {name!r}: all outgoing transitions are "
+                    f"conditional and it is not final"
+                )
+        # every attached datapath must only use memories the RTG declares
+        # or its own local ones
+        for ref in self.configurations.values():
+            if ref.datapath is None:
+                continue
+            for mem_name in self._memories_used(ref.datapath):
+                if (mem_name not in self.memories
+                        and mem_name not in ref.datapath.memories):
+                    raise RtgError(
+                        f"configuration {ref.name!r} uses undeclared "
+                        f"memory {mem_name!r}"
+                    )
+
+    @staticmethod
+    def _memories_used(datapath: Datapath) -> Set[str]:
+        used: Set[str] = set()
+        for decl in datapath.components.values():
+            if decl.type in ("sram", "rom"):
+                memory = decl.param("memory")
+                if memory:
+                    used.add(memory)
+        return used
+
+    def __repr__(self) -> str:
+        return (f"Rtg({self.name!r}, configurations="
+                f"{len(self.configurations)}, "
+                f"transitions={len(self.transitions)})")

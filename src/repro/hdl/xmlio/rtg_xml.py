@@ -1,0 +1,131 @@
+"""Reader and writer for the ``rtg.xml`` dialect.
+
+Document shape::
+
+    <rtg name="fdct2" start="cfg0">
+      <memories>
+        <memory name="img_mid" width="16" depth="4096" role="intermediate"/>
+      </memories>
+      <configurations>
+        <configuration name="cfg0" datapath="cfg0_datapath.xml"
+                       fsm="cfg0_fsm.xml"/>
+        <configuration name="cfg1" datapath="cfg1_datapath.xml"
+                       fsm="cfg1_fsm.xml" final="true"/>
+      </configurations>
+      <transitions>
+        <transition from="cfg0" to="cfg1"/>
+      </transitions>
+    </rtg>
+
+``load_rtg_bundle`` also loads the referenced datapath/FSM documents from
+the directory of the RTG file, giving back a fully-attached graph.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Union
+
+from ..model.expressions import parse_condition
+from ..model.rtg import Rtg
+from .common import (bool_attr, int_attr, parse_root, require_attr,
+                     to_pretty_xml)
+from .datapath_xml import load_datapath
+from .fsm_xml import load_fsm
+
+__all__ = ["write_rtg", "read_rtg", "save_rtg", "load_rtg",
+           "load_rtg_bundle"]
+
+
+def write_rtg(rtg: Rtg) -> str:
+    root = ET.Element("rtg", name=rtg.name, start=rtg.start or "")
+
+    if rtg.memories:
+        memories = ET.SubElement(root, "memories")
+        for decl in rtg.memories.values():
+            attrs = {"name": decl.name, "width": str(decl.width),
+                     "depth": str(decl.depth), "role": decl.role}
+            if decl.init:
+                attrs["init"] = decl.init
+            ET.SubElement(memories, "memory", attrs)
+
+    configurations = ET.SubElement(root, "configurations")
+    for ref in rtg.configurations.values():
+        attrs = {"name": ref.name, "datapath": ref.datapath_file,
+                 "fsm": ref.fsm_file}
+        if ref.name in rtg.final_configurations:
+            attrs["final"] = "true"
+        ET.SubElement(configurations, "configuration", attrs)
+
+    transitions = ET.SubElement(root, "transitions")
+    for transition in rtg.transitions:
+        attrs = {"from": transition.source, "to": transition.target}
+        if not transition.unconditional:
+            attrs["when"] = transition.condition.to_text()
+        ET.SubElement(transitions, "transition", attrs)
+
+    return to_pretty_xml(root)
+
+
+def read_rtg(source: Union[str, Path]) -> Rtg:
+    root = parse_root(source, "rtg")
+    rtg = Rtg(require_attr(root, "name"))
+
+    for element in root.findall("./memories/memory"):
+        rtg.add_memory(
+            require_attr(element, "name", "memory"),
+            int_attr(element, "width", context="memory"),
+            int_attr(element, "depth", context="memory"),
+            init=element.get("init"),
+            role=element.get("role", "data"),
+        )
+
+    for element in root.findall("./configurations/configuration"):
+        name = require_attr(element, "name", "configuration")
+        rtg.add_configuration(
+            name,
+            datapath_file=require_attr(element, "datapath",
+                                       f"configuration {name!r}"),
+            fsm_file=require_attr(element, "fsm", f"configuration {name!r}"),
+            final=bool_attr(element, "final"),
+        )
+
+    for element in root.findall("./transitions/transition"):
+        rtg.add_transition(
+            require_attr(element, "from", "transition"),
+            require_attr(element, "to", "transition"),
+            parse_condition(element.get("when", "")),
+        )
+
+    start = root.get("start")
+    if start:
+        rtg.start = start
+    rtg.validate()
+    return rtg
+
+
+def save_rtg(rtg: Rtg, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(write_rtg(rtg))
+    return path
+
+
+def load_rtg(path: Union[str, Path]) -> Rtg:
+    return read_rtg(Path(path))
+
+
+def load_rtg_bundle(path: Union[str, Path]) -> Rtg:
+    """Load an RTG file plus the datapath/FSM documents it references.
+
+    Referenced files are resolved relative to the RTG file's directory and
+    attached to each :class:`ConfigurationRef`.
+    """
+    path = Path(path)
+    rtg = read_rtg(path)
+    base = path.parent
+    for ref in rtg.configurations.values():
+        ref.datapath = load_datapath(base / ref.datapath_file)
+        ref.fsm = load_fsm(base / ref.fsm_file)
+    rtg.validate()
+    return rtg

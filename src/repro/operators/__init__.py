@@ -1,0 +1,40 @@
+"""Behavioural operator library (the paper's "Library of Operators").
+
+Components follow conventional port names so the datapath XML dialect and
+the netlist builder can instantiate them uniformly through
+:mod:`repro.operators.catalog`.
+"""
+
+from .arithmetic import (AbsValue, Adder, Constant, DividerFloor,
+                         DividerSigned, DividerUnsigned, MaxSigned,
+                         MinSigned, Multiplier, MultiplierFull, Negate,
+                         RemainderFloor, RemainderSigned, RemainderUnsigned,
+                         Subtractor)
+from .base import BinaryOp, UnaryOp
+from .catalog import (BuildContext, build_operator, operator_types,
+                      register_operator)
+from .comparison import COMPARE_OPS, Comparator
+from .conversion import Concat, SignExtend, Slice, Truncate, ZeroExtend
+from .io import CaptureSink, StimulusSource
+from .logic import (BitwiseAnd, BitwiseNot, BitwiseOr, BitwiseXor, ShiftLeft,
+                    ShiftRightArith, ShiftRightLogical)
+from .memory import Rom, Sram
+from .mux import Mux, select_width
+from .registers import Counter, Register
+
+__all__ = [
+    "Adder", "Subtractor", "Multiplier", "MultiplierFull", "DividerSigned",
+    "RemainderSigned", "DividerFloor", "RemainderFloor",
+    "DividerUnsigned", "RemainderUnsigned", "Negate",
+    "AbsValue", "MinSigned", "MaxSigned", "Constant",
+    "BitwiseAnd", "BitwiseOr", "BitwiseXor", "BitwiseNot",
+    "ShiftLeft", "ShiftRightLogical", "ShiftRightArith",
+    "Comparator", "COMPARE_OPS",
+    "Mux", "select_width",
+    "Register", "Counter",
+    "Sram", "Rom",
+    "StimulusSource", "CaptureSink",
+    "ZeroExtend", "SignExtend", "Truncate", "Slice", "Concat",
+    "BinaryOp", "UnaryOp",
+    "BuildContext", "build_operator", "operator_types", "register_operator",
+]

@@ -1,0 +1,195 @@
+"""Arithmetic functional units.
+
+All units wrap modulo ``2**width`` like their hardware counterparts.
+Division and remainder follow Java/C truncate-toward-zero semantics (the
+compiler's source language convention); dividing by zero raises — in real
+hardware the result would be undefined, and surfacing the condition loudly
+is exactly what a functional test infrastructure is for.
+"""
+
+from __future__ import annotations
+
+from ..sim.component import Combinational
+from ..sim.errors import SimulationError
+from ..sim.signal import Signal
+from .base import BinaryOp, UnaryOp, require_same_width, signed_value
+
+__all__ = ["Adder", "Subtractor", "Multiplier", "MultiplierFull",
+           "DividerSigned", "RemainderSigned", "DividerFloor",
+           "RemainderFloor", "DividerUnsigned", "RemainderUnsigned",
+           "Negate", "AbsValue", "Constant", "MinSigned", "MaxSigned"]
+
+
+class Adder(BinaryOp):
+    """``y = (a + b) mod 2**width``."""
+
+    def compute(self, a: int, b: int) -> int:
+        return a + b
+
+
+class Subtractor(BinaryOp):
+    """``y = (a - b) mod 2**width``."""
+
+    def compute(self, a: int, b: int) -> int:
+        return a - b
+
+
+class Multiplier(BinaryOp):
+    """``y = (a * b) mod 2**width`` (low half of the product)."""
+
+    def compute(self, a: int, b: int) -> int:
+        return a * b
+
+
+class MultiplierFull(Combinational):
+    """Full-precision signed multiplier: ``y`` is ``2*width`` bits wide."""
+
+    def __init__(self, name: str, a: Signal, b: Signal, y: Signal) -> None:
+        super().__init__(name, inputs=(a, b))
+        width = require_same_width(name, a, b)
+        if y.width != 2 * width:
+            from ..sim.errors import ElaborationError
+
+            raise ElaborationError(
+                f"{name!r}: output must be {2 * width} bits, got {y.width}"
+            )
+        self.a, self.b, self.y = a, b, y
+        self.width = width
+        y.set_driver(self)
+
+    def evaluate(self, sim) -> None:
+        product = (signed_value(self.a.value, self.width)
+                   * signed_value(self.b.value, self.width))
+        sim.drive(self.y, product)
+
+    def signals(self):
+        return (self.a, self.b, self.y)
+
+
+class _DivBase(BinaryOp):
+    """Base for division units.
+
+    In ``strict`` mode (default) a zero divisor raises immediately —
+    right for hand-built designs and tests.  Compiler-generated datapaths
+    build with ``strict=False``: a divider's operands carry garbage in
+    control steps that do not use its result (operators compute
+    continuously), so a transient zero divisor is expected there; the
+    unit then outputs 0 and counts the event instead.
+    """
+
+    def __init__(self, name, a, b, y, *, strict: bool = True) -> None:
+        super().__init__(name, a, b, y)
+        self.strict = strict
+        self.zero_divisor_events = 0
+
+    def _zero_divisor(self) -> int:
+        if self.strict:
+            raise SimulationError(f"{self.name!r}: division by zero")
+        self.zero_divisor_events += 1
+        return 0
+
+
+class DividerSigned(_DivBase):
+    """Signed division truncating toward zero."""
+
+    def compute(self, a: int, b: int) -> int:
+        if b == 0:
+            return self._zero_divisor()
+        sa = signed_value(a, self.width)
+        sb = signed_value(b, self.width)
+        quotient = abs(sa) // abs(sb)
+        return -quotient if (sa < 0) != (sb < 0) else quotient
+
+
+class RemainderSigned(_DivBase):
+    """Signed remainder; sign follows the dividend."""
+
+    def compute(self, a: int, b: int) -> int:
+        if b == 0:
+            return self._zero_divisor()
+        sa = signed_value(a, self.width)
+        sb = signed_value(b, self.width)
+        remainder = abs(sa) % abs(sb)
+        return -remainder if sa < 0 else remainder
+
+
+class DividerFloor(_DivBase):
+    """Signed division rounding toward negative infinity (Python ``//``).
+
+    ``x fdiv 2**k`` equals ``x ashr k`` for every signed ``x``, which is
+    why the compiler's strength reduction is exact for this unit.
+    """
+
+    def compute(self, a: int, b: int) -> int:
+        if b == 0:
+            return self._zero_divisor()
+        return signed_value(a, self.width) // signed_value(b, self.width)
+
+
+class RemainderFloor(_DivBase):
+    """Floor modulo: sign follows the divisor (Python ``%``)."""
+
+    def compute(self, a: int, b: int) -> int:
+        if b == 0:
+            return self._zero_divisor()
+        return signed_value(a, self.width) % signed_value(b, self.width)
+
+
+class DividerUnsigned(_DivBase):
+    def compute(self, a: int, b: int) -> int:
+        if b == 0:
+            return self._zero_divisor()
+        return a // b
+
+
+class RemainderUnsigned(_DivBase):
+    def compute(self, a: int, b: int) -> int:
+        if b == 0:
+            return self._zero_divisor()
+        return a % b
+
+
+class Negate(UnaryOp):
+    """``y = (-a) mod 2**width``."""
+
+    def compute(self, a: int) -> int:
+        return -a
+
+
+class AbsValue(UnaryOp):
+    """``y = |a|`` under signed interpretation (wraps for INT_MIN)."""
+
+    def compute(self, a: int) -> int:
+        return abs(signed_value(a, self.width))
+
+
+class MinSigned(BinaryOp):
+    def compute(self, a: int, b: int) -> int:
+        return a if (signed_value(a, self.width)
+                     <= signed_value(b, self.width)) else b
+
+
+class MaxSigned(BinaryOp):
+    def compute(self, a: int, b: int) -> int:
+        return a if (signed_value(a, self.width)
+                     >= signed_value(b, self.width)) else b
+
+
+class Constant(Combinational):
+    """Drives a constant value; evaluated once when the net settles."""
+
+    def __init__(self, name: str, y: Signal, value: int) -> None:
+        super().__init__(name)
+        self.y = y
+        self.value = value & y.mask
+        y.set_driver(self)
+
+    def emit(self, sim) -> None:
+        """Drive the constant; call once after elaboration."""
+        sim.drive(self.y, self.value)
+
+    def evaluate(self, sim) -> None:  # pragma: no cover - no inputs
+        self.emit(sim)
+
+    def signals(self):
+        return (self.y,)

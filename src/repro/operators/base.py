@@ -1,0 +1,93 @@
+"""Shared machinery for the operator library.
+
+Every operator is a small simulation component with conventional port names
+(``a``/``b``/``y`` for binary operators, ``d``/``q``/``en`` for registers,
+and so on).  The same names appear in the datapath XML dialect, so the
+netlist builder in :mod:`repro.translate.to_sim` can wire any operator from
+its XML description via the catalog in :mod:`repro.operators.catalog`.
+"""
+
+from __future__ import annotations
+
+from ..sim.component import Combinational
+from ..sim.errors import ElaborationError
+from ..sim.signal import Signal
+
+__all__ = ["signed_value", "require_same_width", "require_width",
+           "BinaryOp", "UnaryOp"]
+
+
+def signed_value(value: int, width: int) -> int:
+    """Reinterpret a masked unsigned *value* as two's complement."""
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def require_same_width(name: str, *signals: Signal) -> int:
+    """All *signals* must share one width; returns it."""
+    widths = {sig.width for sig in signals}
+    if len(widths) != 1:
+        detail = ", ".join(f"{sig.name}:{sig.width}" for sig in signals)
+        raise ElaborationError(f"{name!r}: width mismatch ({detail})")
+    return widths.pop()
+
+
+def require_width(name: str, signal: Signal, width: int) -> None:
+    if signal.width != width:
+        raise ElaborationError(
+            f"{name!r}: signal {signal.name!r} must be {width} bits wide, "
+            f"got {signal.width}"
+        )
+
+
+class BinaryOp(Combinational):
+    """Two same-width inputs ``a``/``b``, one output ``y``.
+
+    Subclasses implement :meth:`compute` over the raw unsigned input
+    values; the result is masked to the output width by the kernel.
+    """
+
+    #: set by subclasses that produce a 1-bit result (comparators)
+    result_width_one = False
+
+    def __init__(self, name: str, a: Signal, b: Signal, y: Signal) -> None:
+        super().__init__(name, inputs=(a, b))
+        self.width = require_same_width(name, a, b)
+        if self.result_width_one:
+            require_width(name, y, 1)
+        else:
+            require_same_width(name, a, b, y)
+        self.a = a
+        self.b = b
+        self.y = y
+        y.set_driver(self)
+
+    def compute(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, sim) -> None:
+        sim.drive(self.y, self.compute(self.a.value, self.b.value))
+
+    def signals(self):
+        return (self.a, self.b, self.y)
+
+
+class UnaryOp(Combinational):
+    """One input ``a``, one output ``y`` of the same width."""
+
+    def __init__(self, name: str, a: Signal, y: Signal) -> None:
+        super().__init__(name, inputs=(a,))
+        self.width = require_same_width(name, a, y)
+        self.a = a
+        self.y = y
+        y.set_driver(self)
+
+    def compute(self, a: int) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, sim) -> None:
+        sim.drive(self.y, self.compute(self.a.value))
+
+    def signals(self):
+        return (self.a, self.y)

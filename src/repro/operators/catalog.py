@@ -1,0 +1,334 @@
+"""The operator catalog: XML type names → component builders.
+
+This is the "Library of Operators" box in the paper's Figure 1.  The
+netlist translator (:mod:`repro.translate.to_sim`) parses a datapath
+description, resolves nets to signals, and asks the catalog to build each
+component from its ``type`` attribute, port map and parameters.
+
+Users can extend the library by registering new builders with
+:func:`register_operator`, mirroring how new Hades operator models are
+added to the Java library in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim.component import Component
+from ..sim.errors import ElaborationError
+from ..sim.kernel import Simulator
+from ..sim.signal import Signal
+from ..util.files import MemoryImage
+from . import arithmetic, comparison, conversion, logic, memory, mux, registers
+
+__all__ = ["BuildContext", "register_operator", "build_operator",
+           "operator_types", "OperatorBuilder"]
+
+
+class BuildContext:
+    """Everything a builder may need beyond the port map.
+
+    ``memories`` maps memory resource ids to the live
+    :class:`MemoryImage` instances (owned by the test harness or the
+    reconfiguration context, so contents persist across configurations).
+    """
+
+    def __init__(self, sim: Simulator,
+                 memories: Optional[Dict[str, MemoryImage]] = None) -> None:
+        self.sim = sim
+        self.memories = memories or {}
+
+    def memory(self, memory_id: str) -> MemoryImage:
+        try:
+            return self.memories[memory_id]
+        except KeyError:
+            raise ElaborationError(
+                f"no memory resource bound for id {memory_id!r} "
+                f"(bound: {sorted(self.memories)})"
+            ) from None
+
+
+PortMap = Dict[str, Signal]
+ParamMap = Dict[str, str]
+OperatorBuilder = Callable[[BuildContext, str, PortMap, ParamMap], Component]
+
+_CATALOG: Dict[str, OperatorBuilder] = {}
+
+
+def register_operator(type_name: str) -> Callable[[OperatorBuilder],
+                                                  OperatorBuilder]:
+    """Decorator adding a builder for *type_name* to the catalog."""
+
+    def decorate(builder: OperatorBuilder) -> OperatorBuilder:
+        if type_name in _CATALOG:
+            raise ValueError(f"operator type {type_name!r} already registered")
+        _CATALOG[type_name] = builder
+        return builder
+
+    return decorate
+
+
+def operator_types() -> list:
+    """All registered operator type names, sorted."""
+    return sorted(_CATALOG)
+
+
+def build_operator(ctx: BuildContext, type_name: str, name: str,
+                   ports: PortMap, params: ParamMap) -> Component:
+    """Instantiate one operator and register it with the simulator."""
+    try:
+        builder = _CATALOG[type_name]
+    except KeyError:
+        raise ElaborationError(
+            f"component {name!r}: unknown operator type {type_name!r} "
+            f"(known: {operator_types()})"
+        ) from None
+    return builder(ctx, name, ports, params)
+
+
+# ----------------------------------------------------------------------
+# Port helpers
+# ----------------------------------------------------------------------
+def _port(name: str, ports: PortMap, port_name: str) -> Signal:
+    try:
+        return ports[port_name]
+    except KeyError:
+        raise ElaborationError(
+            f"component {name!r}: missing port {port_name!r} "
+            f"(have: {sorted(ports)})"
+        ) from None
+
+
+def _out(ctx: BuildContext, name: str, ports: PortMap, port_name: str,
+         width: int) -> Signal:
+    """The output signal for *port_name*, or a private stub when the
+    netlist leaves the output unconnected (legal for unused results,
+    e.g. in unoptimized designs)."""
+    signal = ports.get(port_name)
+    if signal is None:
+        signal = ctx.sim.signal(f"{name}__{port_name}", width)
+    return signal
+
+
+def _indexed_ports(name: str, ports: PortMap, prefix: str) -> list:
+    """Collect ``in0, in1, ...`` style ports in index order."""
+    indexed = []
+    for port_name, signal in ports.items():
+        if port_name.startswith(prefix) and port_name[len(prefix):].isdigit():
+            indexed.append((int(port_name[len(prefix):]), signal))
+    if not indexed:
+        raise ElaborationError(
+            f"component {name!r}: no {prefix}* ports found"
+        )
+    indexed.sort()
+    expected = list(range(len(indexed)))
+    if [i for i, _ in indexed] != expected:
+        raise ElaborationError(
+            f"component {name!r}: {prefix}* ports are not contiguous"
+        )
+    return [signal for _, signal in indexed]
+
+
+def _binary(cls):
+    def build(ctx: BuildContext, name: str, ports: PortMap,
+              params: ParamMap) -> Component:
+        a = _port(name, ports, "a")
+        component = cls(name, a, _port(name, ports, "b"),
+                        _out(ctx, name, ports, "y", a.width))
+        return ctx.sim.add_async(component)
+
+    return build
+
+
+def _unary(cls):
+    def build(ctx: BuildContext, name: str, ports: PortMap,
+              params: ParamMap) -> Component:
+        a = _port(name, ports, "a")
+        component = cls(name, a, _out(ctx, name, ports, "y", a.width))
+        return ctx.sim.add_async(component)
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def _divider(cls):
+    """Dividers built from a netlist run non-strict (see _DivBase): their
+    operands carry garbage in states that do not consume the result."""
+
+    def build(ctx: BuildContext, name: str, ports: PortMap,
+              params: ParamMap) -> Component:
+        strict = params.get("strict", "0") not in ("0", "false")
+        a = _port(name, ports, "a")
+        component = cls(name, a, _port(name, ports, "b"),
+                        _out(ctx, name, ports, "y", a.width),
+                        strict=strict)
+        return ctx.sim.add_async(component)
+
+    return build
+
+
+register_operator("add")(_binary(arithmetic.Adder))
+register_operator("sub")(_binary(arithmetic.Subtractor))
+register_operator("mul")(_binary(arithmetic.Multiplier))
+register_operator("mulfull")(_binary(arithmetic.MultiplierFull))
+register_operator("div")(_divider(arithmetic.DividerSigned))
+register_operator("fdiv")(_divider(arithmetic.DividerFloor))
+register_operator("fmod")(_divider(arithmetic.RemainderFloor))
+register_operator("rem")(_divider(arithmetic.RemainderSigned))
+register_operator("divu")(_divider(arithmetic.DividerUnsigned))
+register_operator("remu")(_divider(arithmetic.RemainderUnsigned))
+register_operator("min")(_binary(arithmetic.MinSigned))
+register_operator("max")(_binary(arithmetic.MaxSigned))
+register_operator("neg")(_unary(arithmetic.Negate))
+register_operator("abs")(_unary(arithmetic.AbsValue))
+
+
+@register_operator("const")
+def _build_const(ctx: BuildContext, name: str, ports: PortMap,
+                 params: ParamMap) -> Component:
+    if "value" not in params:
+        raise ElaborationError(f"component {name!r}: const needs a 'value'")
+    component = arithmetic.Constant(name, _port(name, ports, "y"),
+                                    int(params["value"], 0))
+    ctx.sim.add_async(component)
+    component.emit(ctx.sim)
+    return component
+
+
+# ----------------------------------------------------------------------
+# Logic and shifts
+# ----------------------------------------------------------------------
+register_operator("and")(_binary(logic.BitwiseAnd))
+register_operator("or")(_binary(logic.BitwiseOr))
+register_operator("xor")(_binary(logic.BitwiseXor))
+register_operator("not")(_unary(logic.BitwiseNot))
+register_operator("shl")(_binary(logic.ShiftLeft))
+register_operator("lshr")(_binary(logic.ShiftRightLogical))
+register_operator("ashr")(_binary(logic.ShiftRightArith))
+
+
+# ----------------------------------------------------------------------
+# Comparators
+# ----------------------------------------------------------------------
+def _comparator(op: str):
+    def build(ctx: BuildContext, name: str, ports: PortMap,
+              params: ParamMap) -> Component:
+        signed = params.get("signed", "1") not in ("0", "false")
+        component = comparison.Comparator(
+            name, op, _port(name, ports, "a"), _port(name, ports, "b"),
+            _out(ctx, name, ports, "y", 1), signed=signed,
+        )
+        return ctx.sim.add_async(component)
+
+    return build
+
+
+for _op in comparison.COMPARE_OPS:
+    register_operator(_op)(_comparator(_op))
+
+
+# ----------------------------------------------------------------------
+# Routing and storage
+# ----------------------------------------------------------------------
+@register_operator("mux")
+def _build_mux(ctx: BuildContext, name: str, ports: PortMap,
+               params: ParamMap) -> Component:
+    inputs = _indexed_ports(name, ports, "in")
+    component = mux.Mux(name, _port(name, ports, "sel"), inputs,
+                        _out(ctx, name, ports, "y", inputs[0].width))
+    return ctx.sim.add_async(component)
+
+
+@register_operator("reg")
+def _build_reg(ctx: BuildContext, name: str, ports: PortMap,
+               params: ParamMap) -> Component:
+    init = int(params.get("init", "0"), 0)
+    d = _port(name, ports, "d")
+    component = registers.Register(
+        name, d, _out(ctx, name, ports, "q", d.width),
+        en=ports.get("en"), init=init,
+    )
+    return ctx.sim.add(component)
+
+
+@register_operator("counter")
+def _build_counter(ctx: BuildContext, name: str, ports: PortMap,
+                   params: ParamMap) -> Component:
+    component = registers.Counter(
+        name, _port(name, ports, "q"), en=ports.get("en"),
+        load=ports.get("load"), d=ports.get("d"),
+        init=int(params.get("init", "0"), 0),
+        step=int(params.get("step", "1"), 0),
+    )
+    return ctx.sim.add(component)
+
+
+@register_operator("sram")
+def _build_sram(ctx: BuildContext, name: str, ports: PortMap,
+                params: ParamMap) -> Component:
+    if "memory" not in params:
+        raise ElaborationError(
+            f"component {name!r}: sram needs a 'memory' resource id"
+        )
+    image = ctx.memory(params["memory"])
+    # A write-only port leaves 'dout' unconnected; a read-only port leaves
+    # 'din'/'we' unconnected.  Unconnected ports get private stub signals
+    # ('we' stuck at 0 disables the write path entirely).
+    din = ports.get("din")
+    if din is None:
+        din = ctx.sim.signal(f"{name}__din", image.width)
+    dout = ports.get("dout")
+    if dout is None:
+        dout = ctx.sim.signal(f"{name}__dout", image.width)
+    we = ports.get("we")
+    if we is None:
+        we = ctx.sim.signal(f"{name}__we", 1)
+    component = memory.Sram(
+        name, _port(name, ports, "addr"), din, dout, we, image,
+    )
+    ctx.sim.add(component)
+    component.prime(ctx.sim)
+    return component
+
+
+@register_operator("rom")
+def _build_rom(ctx: BuildContext, name: str, ports: PortMap,
+               params: ParamMap) -> Component:
+    if "memory" not in params:
+        raise ElaborationError(
+            f"component {name!r}: rom needs a 'memory' resource id"
+        )
+    image = ctx.memory(params["memory"])
+    component = memory.Rom(name, _port(name, ports, "addr"),
+                           _port(name, ports, "dout"), image)
+    ctx.sim.add_async(component)
+    component.prime(ctx.sim)
+    return component
+
+
+# ----------------------------------------------------------------------
+# Width conversion
+# ----------------------------------------------------------------------
+register_operator("zext")(_unary(conversion.ZeroExtend))
+register_operator("sext")(_unary(conversion.SignExtend))
+register_operator("trunc")(_unary(conversion.Truncate))
+
+
+@register_operator("slice")
+def _build_slice(ctx: BuildContext, name: str, ports: PortMap,
+                 params: ParamMap) -> Component:
+    component = conversion.Slice(
+        name, _port(name, ports, "a"), _port(name, ports, "y"),
+        high=int(params["high"], 0), low=int(params["low"], 0),
+    )
+    return ctx.sim.add_async(component)
+
+
+@register_operator("concat")
+def _build_concat(ctx: BuildContext, name: str, ports: PortMap,
+                  params: ParamMap) -> Component:
+    inputs = _indexed_ports(name, ports, "in")
+    component = conversion.Concat(name, inputs, _port(name, ports, "y"))
+    return ctx.sim.add_async(component)

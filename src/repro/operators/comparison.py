@@ -1,0 +1,53 @@
+"""Comparators.
+
+A comparator produces the 1-bit status line the control unit samples when
+deciding FSM transitions (loop exits, ``if`` branches).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..sim.errors import ElaborationError
+from ..sim.signal import Signal
+from .base import BinaryOp, signed_value
+
+__all__ = ["Comparator", "COMPARE_OPS"]
+
+#: op name -> (signed predicate) over Python ints
+COMPARE_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+class Comparator(BinaryOp):
+    """``y = a <op> b`` as a single status bit.
+
+    ``op`` is one of ``eq ne lt le gt ge``; ordering comparisons use the
+    signed interpretation unless ``signed=False``.
+    """
+
+    result_width_one = True
+
+    def __init__(self, name: str, op: str, a: Signal, b: Signal, y: Signal,
+                 *, signed: bool = True) -> None:
+        if op not in COMPARE_OPS:
+            raise ElaborationError(
+                f"{name!r}: unknown comparison op {op!r} "
+                f"(expected one of {sorted(COMPARE_OPS)})"
+            )
+        self.op = op
+        self.signed_mode = signed
+        self._predicate = COMPARE_OPS[op]
+        super().__init__(name, a, b, y)
+
+    def compute(self, a: int, b: int) -> int:
+        if self.signed_mode and self.op not in ("eq", "ne"):
+            a = signed_value(a, self.width)
+            b = signed_value(b, self.width)
+        return int(self._predicate(a, b))

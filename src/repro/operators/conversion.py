@@ -1,0 +1,123 @@
+"""Width conversion: extension, truncation, slicing and concatenation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.component import Combinational
+from ..sim.errors import ElaborationError
+from ..sim.signal import Signal
+from .base import signed_value
+
+__all__ = ["ZeroExtend", "SignExtend", "Truncate", "Slice", "Concat"]
+
+
+class ZeroExtend(Combinational):
+    """``y = a`` with high bits cleared; ``y`` wider than ``a``."""
+
+    def __init__(self, name: str, a: Signal, y: Signal) -> None:
+        if y.width < a.width:
+            raise ElaborationError(
+                f"{name!r}: cannot zero-extend {a.width} bits to {y.width}"
+            )
+        super().__init__(name, inputs=(a,))
+        self.a, self.y = a, y
+        y.set_driver(self)
+
+    def evaluate(self, sim) -> None:
+        sim.drive(self.y, self.a.value)
+
+    def signals(self):
+        return (self.a, self.y)
+
+
+class SignExtend(Combinational):
+    """``y = a`` with the sign bit replicated; ``y`` wider than ``a``."""
+
+    def __init__(self, name: str, a: Signal, y: Signal) -> None:
+        if y.width < a.width:
+            raise ElaborationError(
+                f"{name!r}: cannot sign-extend {a.width} bits to {y.width}"
+            )
+        super().__init__(name, inputs=(a,))
+        self.a, self.y = a, y
+        y.set_driver(self)
+
+    def evaluate(self, sim) -> None:
+        sim.drive(self.y, signed_value(self.a.value, self.a.width))
+
+    def signals(self):
+        return (self.a, self.y)
+
+
+class Truncate(Combinational):
+    """``y = a[y.width-1:0]``; ``y`` narrower than ``a``."""
+
+    def __init__(self, name: str, a: Signal, y: Signal) -> None:
+        if y.width > a.width:
+            raise ElaborationError(
+                f"{name!r}: cannot truncate {a.width} bits to {y.width}"
+            )
+        super().__init__(name, inputs=(a,))
+        self.a, self.y = a, y
+        y.set_driver(self)
+
+    def evaluate(self, sim) -> None:
+        sim.drive(self.y, self.a.value)  # kernel masks to y.width
+
+    def signals(self):
+        return (self.a, self.y)
+
+
+class Slice(Combinational):
+    """``y = a[high:low]`` (inclusive, Verilog style)."""
+
+    def __init__(self, name: str, a: Signal, y: Signal,
+                 high: int, low: int) -> None:
+        if not 0 <= low <= high < a.width:
+            raise ElaborationError(
+                f"{name!r}: slice [{high}:{low}] out of range for "
+                f"{a.width}-bit input"
+            )
+        if y.width != high - low + 1:
+            raise ElaborationError(
+                f"{name!r}: output must be {high - low + 1} bits, "
+                f"got {y.width}"
+            )
+        super().__init__(name, inputs=(a,))
+        self.a, self.y = a, y
+        self.high, self.low = high, low
+        y.set_driver(self)
+
+    def evaluate(self, sim) -> None:
+        sim.drive(self.y, self.a.value >> self.low)
+
+    def signals(self):
+        return (self.a, self.y)
+
+
+class Concat(Combinational):
+    """``y = {inputs[0], inputs[1], ...}`` — first input is most significant."""
+
+    def __init__(self, name: str, inputs: Sequence[Signal],
+                 y: Signal) -> None:
+        if not inputs:
+            raise ElaborationError(f"{name!r}: concat needs inputs")
+        total = sum(sig.width for sig in inputs)
+        if y.width != total:
+            raise ElaborationError(
+                f"{name!r}: output must be {total} bits, got {y.width}"
+            )
+        super().__init__(name, inputs=inputs)
+        self.inputs = list(inputs)
+        self.y = y
+        y.set_driver(self)
+
+    def evaluate(self, sim) -> None:
+        value = 0
+        for sig in self.inputs:
+            value = (value << sig.width) | sig.value
+        sim.drive(self.y, value)
+
+    def signals(self):
+        return (*self.inputs, self.y)

@@ -1,0 +1,77 @@
+"""Stream-style I/O components: stimulus sources and capture sinks.
+
+The compiled designs exchange data through SRAMs, but hand-built designs
+and kernel tests also want cycle-by-cycle stimulus and capture — the
+"Stimulus" box of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim.component import Sequential
+from ..sim.errors import ElaborationError
+from ..sim.signal import Signal
+
+__all__ = ["StimulusSource", "CaptureSink"]
+
+
+class StimulusSource(Sequential):
+    """Plays a sequence of values, one per enabled clock cycle.
+
+    ``valid`` (if provided) is driven to 1 while values remain and 0 once
+    the sequence is exhausted; ``y`` holds the last value afterwards.
+    """
+
+    def __init__(self, name: str, y: Signal,
+                 values: Sequence[int],
+                 en: Optional[Signal] = None,
+                 valid: Optional[Signal] = None) -> None:
+        super().__init__(name, clock_enable=en)
+        if valid is not None and valid.width != 1:
+            raise ElaborationError(f"{name!r}: 'valid' must be 1 bit wide")
+        self.y = y
+        self.valid = valid
+        self.values = list(values)
+        self.index = 0
+        y.set_driver(self)
+        if valid is not None:
+            valid.set_driver(self)
+            valid.value = 1 if self.values else 0
+        if self.values:
+            y.value = self.values[0] & y.mask
+
+    def on_edge(self, sim) -> None:
+        if self.index + 1 < len(self.values):
+            self.index += 1
+            sim.drive(self.y, self.values[self.index])
+        elif self.valid is not None and self.index + 1 == len(self.values):
+            self.index += 1
+            sim.drive(self.valid, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every value has been presented on ``y``."""
+        return self.index + 1 >= len(self.values)
+
+    def signals(self):
+        return tuple(s for s in (self.y, self.valid, self.clock_enable)
+                     if s is not None)
+
+
+class CaptureSink(Sequential):
+    """Records the value of ``d`` at every enabled clock edge."""
+
+    def __init__(self, name: str, d: Signal,
+                 en: Optional[Signal] = None) -> None:
+        super().__init__(name, clock_enable=en)
+        self.d = d
+        self.en = en
+        self.captured: List[int] = []
+
+    def on_edge(self, sim) -> None:
+        if self.en is None or self.en.value:
+            self.captured.append(self.d.value)
+
+    def signals(self):
+        return tuple(s for s in (self.d, self.en) if s is not None)

@@ -1,0 +1,164 @@
+"""Memories: SRAM and ROM components backed by :class:`MemoryImage`.
+
+The paper's designs use SRAMs for input, output and intermediate images;
+their contents come from files and are compared against the golden run
+after simulation.  Backing each simulated SRAM with a
+:class:`~repro.util.files.MemoryImage` makes that comparison trivial and
+lets the reconfiguration runtime share one image across several temporal
+partitions (FDCT2's intermediate image lives across both configurations).
+
+Timing model: reads are combinational (``dout`` follows ``addr``, like FPGA
+distributed RAM), writes are synchronous (committed at the clock edge while
+``we`` is high).  A written word is immediately visible on ``dout`` when
+the read address matches (write-through).
+"""
+
+from __future__ import annotations
+
+from ..sim.component import Sequential
+from ..sim.errors import ElaborationError, SimulationError
+from ..sim.signal import Signal
+from ..util.files import MemoryImage
+
+__all__ = ["Sram", "Rom"]
+
+
+class Sram(Sequential):
+    """Single-port RAM: combinational read, synchronous write.
+
+    The component registers itself as a combinational sink of ``addr`` so
+    address changes re-drive ``dout`` event-style, while the write port is
+    dispatched by the clock domain only when ``we`` is armed.
+    """
+
+    def __init__(self, name: str, addr: Signal, din: Signal, dout: Signal,
+                 we: Signal, image: MemoryImage) -> None:
+        super().__init__(name, clock_enable=we)
+        if din.width != image.width or dout.width != image.width:
+            raise ElaborationError(
+                f"{name!r}: data ports must match memory width "
+                f"{image.width} (din={din.width}, dout={dout.width})"
+            )
+        if we.width != 1:
+            raise ElaborationError(f"{name!r}: 'we' must be 1 bit wide")
+        needed = max(1, (image.depth - 1).bit_length())
+        if addr.width < needed:
+            raise ElaborationError(
+                f"{name!r}: address is {addr.width} bits but depth "
+                f"{image.depth} needs {needed}"
+            )
+        self.addr = addr
+        self.din = din
+        self.dout = dout
+        self.we = we
+        self.image = image
+        self.reads = 0
+        self.writes = 0
+        #: out-of-range combinational reads observed (see below)
+        self.oob_reads = 0
+        dout.set_driver(self)
+        addr.add_sink(self)
+        # coherence with other bus masters: if something else (a
+        # co-simulated CPU, a test harness) writes the backing image at
+        # the currently-read address, the combinational dout must follow
+        self._sim = None
+        image.watch(self._on_external_write)
+
+    # -- combinational read path ---------------------------------------
+    # The read is combinational, so the address net carries transient
+    # values while an address chain settles; a transient overflow is not
+    # a design bug.  Out-of-range reads therefore return 0 and are only
+    # *counted* — writes, which sample a stable address at the clock
+    # edge, stay strict.
+    def evaluate(self, sim) -> None:
+        self._sim = sim
+        self.reads += 1
+        sim.drive(self.dout, self._read_lenient(self.addr.value))
+
+    def prime(self, sim) -> None:
+        """Drive ``dout`` for the initial address; call at elaboration."""
+        self._sim = sim
+        sim.drive(self.dout, self._read_lenient(self.addr.value))
+
+    def _on_external_write(self, address: int, value: int) -> None:
+        if self._sim is not None and address == self.addr.value:
+            self._sim.drive(self.dout, value)
+
+    def detach(self) -> None:
+        """Stop observing the backing image (when the port is retired,
+        e.g. after a reconfiguration replaces this datapath)."""
+        self.image.unwatch(self._on_external_write)
+        self._sim = None
+
+    def _read_lenient(self, address: int) -> int:
+        if address >= self.image.depth:
+            self.oob_reads += 1
+            return 0
+        return self.image.read(address)
+
+    # -- synchronous write path ----------------------------------------
+    def on_edge(self, sim) -> None:
+        if not self.we.value:
+            return
+        address = self.addr.value
+        if address >= self.image.depth:
+            raise SimulationError(
+                f"{self.name!r}: write address {address} exceeds depth "
+                f"{self.image.depth}"
+            )
+        self.image.write(address, self.din.value)
+        self.writes += 1
+        # write-through: the combinational read of the same address must
+        # observe the new word after the edge
+        sim.drive(self.dout, self.image.read(address))
+
+    def signals(self):
+        return (self.addr, self.din, self.dout, self.we)
+
+
+class Rom(Sequential):
+    """Read-only memory with combinational read.
+
+    Modelled as a Sequential with no writes purely so it shares the
+    :meth:`prime` convention; it never arms (``clock_enable`` stays at a
+    constant-0 sentinel is unnecessary — it simply has no edge behaviour).
+    """
+
+    def __init__(self, name: str, addr: Signal, dout: Signal,
+                 image: MemoryImage) -> None:
+        super().__init__(name, clock_enable=None)
+        if dout.width != image.width:
+            raise ElaborationError(
+                f"{name!r}: dout must match memory width {image.width}"
+            )
+        self.addr = addr
+        self.dout = dout
+        self.image = image
+        self.reads = 0
+        dout.set_driver(self)
+        addr.add_sink(self)
+        self._sim = None
+        image.watch(self._on_external_write)
+
+    def evaluate(self, sim) -> None:
+        self._sim = sim
+        self.reads += 1
+        sim.drive(self.dout, self.image.read(self.addr.value))
+
+    def prime(self, sim) -> None:
+        self._sim = sim
+        sim.drive(self.dout, self.image.read(self.addr.value))
+
+    def _on_external_write(self, address: int, value: int) -> None:
+        if self._sim is not None and address == self.addr.value:
+            self._sim.drive(self.dout, value)
+
+    def detach(self) -> None:
+        self.image.unwatch(self._on_external_write)
+        self._sim = None
+
+    def on_edge(self, sim) -> None:
+        return None
+
+    def signals(self):
+        return (self.addr, self.dout)

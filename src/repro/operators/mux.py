@@ -1,0 +1,60 @@
+"""Multiplexers.
+
+Muxes are the routing fabric the binder inserts wherever a register, SRAM
+address or SRAM data input can receive values from more than one producer;
+their select lines are control outputs of the FSM.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.component import Combinational
+from ..sim.errors import ElaborationError
+from ..sim.signal import Signal
+from .base import require_same_width
+
+__all__ = ["Mux", "select_width"]
+
+
+def select_width(n_inputs: int) -> int:
+    """Bits needed to select among *n_inputs* (>= 1 even for one input)."""
+    if n_inputs < 1:
+        raise ValueError("a mux needs at least one input")
+    return max(1, (n_inputs - 1).bit_length())
+
+
+class Mux(Combinational):
+    """``y = inputs[sel]``; out-of-range selects hold input 0.
+
+    An out-of-range select can only be produced by a control-unit bug; the
+    hold-input-0 behaviour keeps simulation alive so the data comparison
+    reports the functional divergence (rather than crashing), matching the
+    "verify by comparing results" philosophy of the infrastructure.
+    """
+
+    def __init__(self, name: str, sel: Signal,
+                 inputs: Sequence[Signal], y: Signal) -> None:
+        if not inputs:
+            raise ElaborationError(f"{name!r}: mux needs at least one input")
+        needed = select_width(len(inputs))
+        if sel.width < needed:
+            raise ElaborationError(
+                f"{name!r}: select is {sel.width} bits but "
+                f"{len(inputs)} inputs need {needed}"
+            )
+        super().__init__(name, inputs=(sel, *inputs))
+        self.width = require_same_width(name, *inputs, y)
+        self.sel = sel
+        self.inputs: List[Signal] = list(inputs)
+        self.y = y
+        y.set_driver(self)
+
+    def evaluate(self, sim) -> None:
+        index = self.sel.value
+        if index >= len(self.inputs):
+            index = 0
+        sim.drive(self.y, self.inputs[index].value)
+
+    def signals(self):
+        return (self.sel, *self.inputs, self.y)

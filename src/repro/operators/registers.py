@@ -1,0 +1,96 @@
+"""Sequential storage elements: registers and counters."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.component import Sequential
+from ..sim.errors import ElaborationError
+from ..sim.signal import Signal
+from .base import require_same_width, require_width
+
+__all__ = ["Register", "Counter"]
+
+
+class Register(Sequential):
+    """An edge-triggered register with optional enable.
+
+    ``q`` takes the pre-edge value of ``d`` at each clock edge while ``en``
+    (if present) is high.  The enable doubles as the clock-domain arming
+    signal, so a disabled register costs nothing per cycle in the main
+    kernel; the enable is still re-checked in :meth:`on_edge` so the
+    oblivious kernel (which ignores arming) produces identical results.
+    """
+
+    def __init__(self, name: str, d: Signal, q: Signal,
+                 en: Optional[Signal] = None, init: int = 0) -> None:
+        super().__init__(name, clock_enable=en)
+        require_same_width(name, d, q)
+        if en is not None:
+            require_width(name, en, 1)
+        self.d = d
+        self.q = q
+        self.en = en
+        self.init = init & q.mask
+        q.set_driver(self)
+        q.value = self.init
+
+    def on_edge(self, sim) -> None:
+        if self.en is None or self.en.value:
+            sim.drive(self.q, self.d.value)
+
+    def reset(self, sim) -> None:
+        """Force ``q`` back to its initial value (design-level reset)."""
+        sim.drive(self.q, self.init)
+
+    def signals(self):
+        return tuple(s for s in (self.d, self.q, self.en) if s is not None)
+
+
+class Counter(Sequential):
+    """An up-counter with enable and synchronous load.
+
+    Priority: load beats count.  Provided for hand-built designs and
+    kernel tests; the compiler builds loop counters out of registers and
+    adders instead (one FU per operation, as the paper's operator counts
+    suggest).
+    """
+
+    def __init__(self, name: str, q: Signal,
+                 en: Optional[Signal] = None,
+                 load: Optional[Signal] = None,
+                 d: Optional[Signal] = None,
+                 init: int = 0, step: int = 1) -> None:
+        if (load is None) != (d is None):
+            raise ElaborationError(
+                f"{name!r}: 'load' and 'd' must be given together"
+            )
+        # the counter must also wake up for loads, so only pure
+        # enable-gated counters can use arming
+        super().__init__(name, clock_enable=en if load is None else None)
+        if en is not None:
+            require_width(name, en, 1)
+        if load is not None:
+            require_width(name, load, 1)
+            require_same_width(name, d, q)
+        self.q = q
+        self.en = en
+        self.load = load
+        self.d = d
+        self.step = step
+        self.init = init & q.mask
+        q.set_driver(self)
+        q.value = self.init
+
+    def on_edge(self, sim) -> None:
+        if self.load is not None and self.load.value:
+            sim.drive(self.q, self.d.value)
+        elif self.en is None or self.en.value:
+            sim.drive(self.q, self.q.value + self.step)
+
+    def reset(self, sim) -> None:
+        sim.drive(self.q, self.init)
+
+    def signals(self):
+        return tuple(s for s in (self.q, self.en, self.load, self.d)
+                     if s is not None)

@@ -1,0 +1,7 @@
+"""Reconfiguration runtime: execute designs through their RTG."""
+
+from .context import ReconfigurationContext
+from .executor import ConfigurationRun, RtgExecutor, RtgRunResult
+
+__all__ = ["ReconfigurationContext", "RtgExecutor", "RtgRunResult",
+           "ConfigurationRun"]

@@ -1,0 +1,68 @@
+"""Reconfiguration context: memory state that survives reconfiguration.
+
+Temporal partitions communicate through memories declared at RTG level
+(the paper's FDCT2 passes an intermediate image from configuration 1 to
+configuration 2).  The context owns those :class:`MemoryImage` objects
+and hands the same instances to every configuration's elaboration, so a
+word written by one partition is simply *there* for the next.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from ..hdl.model.rtg import Rtg
+from ..util.files import MemoryImage, load_memory_file
+
+__all__ = ["ReconfigurationContext"]
+
+
+class ReconfigurationContext:
+    """Live memory images for one execution of a multi-partition design."""
+
+    def __init__(self, memories: Optional[Mapping[str, MemoryImage]] = None
+                 ) -> None:
+        self.memories: Dict[str, MemoryImage] = dict(memories or {})
+
+    @classmethod
+    def from_rtg(cls, rtg: Rtg,
+                 initial: Optional[Mapping[str, MemoryImage]] = None,
+                 init_dir: Optional[Union[str, Path]] = None
+                 ) -> "ReconfigurationContext":
+        """Bind every RTG-level memory declaration to a live image.
+
+        Priority per memory: caller-supplied image, then the declared
+        ``init`` file (resolved against *init_dir*), then a zeroed image.
+        """
+        context = cls(initial)
+        for decl in rtg.memories.values():
+            if decl.name in context.memories:
+                image = context.memories[decl.name]
+                if image.width != decl.width or image.depth != decl.depth:
+                    raise ValueError(
+                        f"memory {decl.name!r}: supplied image is "
+                        f"{image.width}x{image.depth}, RTG declares "
+                        f"{decl.width}x{decl.depth}"
+                    )
+                continue
+            if decl.init and init_dir is not None:
+                context.memories[decl.name] = load_memory_file(
+                    Path(init_dir) / decl.init, name=decl.name)
+            else:
+                context.memories[decl.name] = MemoryImage(
+                    decl.width, decl.depth, name=decl.name)
+        return context
+
+    def memory(self, name: str) -> MemoryImage:
+        try:
+            return self.memories[name]
+        except KeyError:
+            raise KeyError(
+                f"context has no memory {name!r} "
+                f"(have: {sorted(self.memories)})"
+            ) from None
+
+    def snapshot(self) -> Dict[str, MemoryImage]:
+        """Deep copies of every memory (for before/after diffing)."""
+        return {name: image.copy() for name, image in self.memories.items()}

@@ -1,0 +1,146 @@
+"""The reconfiguration executor: run a design through its RTG.
+
+This is the paper's generated "rtg.java": it sequences the simulation
+through the temporal partitions — load a configuration, simulate it to
+``done``, evaluate the RTG transition guards, reconfigure, repeat.  Each
+configuration gets a fresh simulator (new hardware after reconfiguration)
+but shares the context's memory images (state that survives on the
+platform's RAMs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..hdl.model.rtg import ConfigurationRef, Rtg, RtgError
+from ..hdl.xmlio.datapath_xml import load_datapath
+from ..hdl.xmlio.fsm_xml import load_fsm
+from ..translate.to_python import InterpretedRtgControl, compile_rtg
+from ..translate.to_sim import SimDesign, build_simulation
+from .context import ReconfigurationContext
+
+__all__ = ["ConfigurationRun", "RtgRunResult", "RtgExecutor"]
+
+
+@dataclass
+class ConfigurationRun:
+    """Timing record of one configuration execution."""
+
+    configuration: str
+    cycles: int
+    evaluations: int
+    final_state: str
+
+
+@dataclass
+class RtgRunResult:
+    """Aggregate record of a complete RTG execution."""
+
+    runs: List[ConfigurationRun] = field(default_factory=list)
+    reconfigurations: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(run.cycles for run in self.runs)
+
+    @property
+    def trace(self) -> List[str]:
+        return [run.configuration for run in self.runs]
+
+
+class RtgExecutor:
+    """Executes an RTG over a :class:`ReconfigurationContext`."""
+
+    def __init__(self, rtg: Rtg,
+                 context: Optional[ReconfigurationContext] = None,
+                 *,
+                 base_dir: Optional[Union[str, Path]] = None,
+                 fsm_mode: str = "generated",
+                 control_mode: str = "generated",
+                 max_cycles_per_configuration: int = 50_000_000,
+                 max_reconfigurations: int = 10_000,
+                 trace_dir: Optional[Union[str, Path]] = None) -> None:
+        rtg.validate()
+        self.rtg = rtg
+        self.context = context or ReconfigurationContext.from_rtg(rtg)
+        self.base_dir = Path(base_dir) if base_dir is not None else None
+        self.fsm_mode = fsm_mode
+        self.max_cycles = max_cycles_per_configuration
+        self.max_reconfigurations = max_reconfigurations
+        #: when set, each configuration run dumps a VCD waveform
+        #: ``<trace_dir>/<run#>_<configuration>.vcd``
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if control_mode == "generated":
+            self.control = compile_rtg(rtg)
+        elif control_mode == "interpreted":
+            self.control = InterpretedRtgControl(rtg)
+        else:
+            raise ValueError(
+                f"control_mode must be 'generated' or 'interpreted', "
+                f"got {control_mode!r}"
+            )
+        #: observer hook: called with the live SimDesign before each run
+        self.on_configure = None
+
+    # ------------------------------------------------------------------
+    def _resolve(self, ref: ConfigurationRef):
+        datapath = ref.datapath
+        fsm = ref.fsm
+        if datapath is None or fsm is None:
+            if self.base_dir is None:
+                raise RtgError(
+                    f"configuration {ref.name!r} has no attached design "
+                    f"and no base_dir to load XML from"
+                )
+            datapath = datapath or load_datapath(
+                self.base_dir / ref.datapath_file)
+            fsm = fsm or load_fsm(self.base_dir / ref.fsm_file)
+        return datapath, fsm
+
+    def _configure(self, name: str) -> SimDesign:
+        """Reconfiguration: elaborate fresh hardware on shared memories."""
+        ref = self.rtg.configurations[name]
+        datapath, fsm = self._resolve(ref)
+        return build_simulation(datapath, fsm, memories=self.context.memories,
+                                fsm_mode=self.fsm_mode)
+
+    def run(self) -> RtgRunResult:
+        """Execute from the start configuration until a final one ends."""
+        result = RtgRunResult()
+        current: Optional[str] = self.control.start
+        while current is not None:
+            if len(result.runs) > self.max_reconfigurations:
+                raise RtgError(
+                    f"exceeded {self.max_reconfigurations} "
+                    f"reconfigurations — runaway RTG?"
+                )
+            design = self._configure(current)
+            if self.on_configure is not None:
+                self.on_configure(design)
+            try:
+                if self.trace_dir is not None:
+                    self.trace_dir.mkdir(parents=True, exist_ok=True)
+                    trace_path = self.trace_dir / \
+                        f"{len(result.runs)}_{current}.vcd"
+                    with design.trace(trace_path):
+                        cycles = design.run_to_done(
+                            max_cycles=self.max_cycles)
+                else:
+                    cycles = design.run_to_done(max_cycles=self.max_cycles)
+            finally:
+                design.release()  # retire SRAM ports before reconfiguring
+            result.runs.append(ConfigurationRun(
+                configuration=current,
+                cycles=cycles,
+                evaluations=design.sim.stats.evaluations,
+                final_state=design.controller.state,
+            ))
+            env = {name: signal.value
+                   for name, signal in design.output_signals.items()}
+            next_configuration = self.control.next_configuration(current, env)
+            if next_configuration is not None:
+                result.reconfigurations += 1
+            current = next_configuration
+        return result

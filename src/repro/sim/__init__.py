@@ -1,0 +1,41 @@
+"""Event-driven functional simulation kernel (the Hades substitute).
+
+Public surface:
+
+* :class:`Simulator` — the hybrid event/cycle kernel
+* :class:`ObliviousSimulator` — evaluate-everything reference kernel
+* :class:`Signal`, :class:`Combinational`, :class:`Sequential`,
+  :class:`ClockDomain` — the structural model
+* :class:`Probe`, :class:`Assertion`, :class:`StopCondition`,
+  :class:`VcdWriter` — observation facilities
+"""
+
+from .clock import ClockDomain
+from .component import Combinational, Component, Sequential
+from .errors import (CombinationalLoopError, DriveConflictError,
+                     ElaborationError, SimulationError, SimulationTimeout)
+from .kernel import SimulationStats, Simulator
+from .oblivious import ObliviousSimulator
+from .probe import Assertion, Probe, StopCondition
+from .signal import Signal
+from .vcd import VcdWriter
+
+__all__ = [
+    "Simulator",
+    "ObliviousSimulator",
+    "SimulationStats",
+    "Signal",
+    "Component",
+    "Combinational",
+    "Sequential",
+    "ClockDomain",
+    "Probe",
+    "Assertion",
+    "StopCondition",
+    "VcdWriter",
+    "SimulationError",
+    "ElaborationError",
+    "CombinationalLoopError",
+    "SimulationTimeout",
+    "DriveConflictError",
+]

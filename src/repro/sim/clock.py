@@ -1,0 +1,81 @@
+"""Clock domains and the clock-enable arming optimisation.
+
+A :class:`ClockDomain` owns the set of sequential components driven by one
+clock.  Components whose ``clock_enable`` signal is low are *disarmed*: they
+are skipped entirely during edge dispatch.  Arming is maintained by watching
+the enable signals, so the per-edge cost is proportional to the number of
+components that actually do something this cycle — the property that makes
+simulating a 169-operator FDCT datapath feasible in seconds, as in the
+paper's Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from .component import Sequential
+from .signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulator
+
+__all__ = ["ClockDomain"]
+
+
+class ClockDomain:
+    """A named clock with a period (in simulator time units)."""
+
+    def __init__(self, name: str = "clk", period: int = 10) -> None:
+        if period <= 0:
+            raise ValueError("clock period must be positive")
+        self.name = name
+        self.period = period
+        #: every sequential component in the domain
+        self.members: List[Sequential] = []
+        #: members currently dispatched at each edge
+        self._armed: Dict[Sequential, None] = {}
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    def add(self, component: Sequential) -> Sequential:
+        """Register *component*; wires up enable-based arming."""
+        self.members.append(component)
+        enable = component.clock_enable
+        if enable is None:
+            self._armed[component] = None
+        else:
+            if enable.value:
+                self._armed[component] = None
+            enable.watch(self._make_arm_watcher(component))
+        return component
+
+    def _make_arm_watcher(self, component: Sequential):
+        armed = self._armed
+
+        def on_enable_change(signal: Signal, old: int, new: int) -> None:
+            if new:
+                armed[component] = None
+            else:
+                armed.pop(component, None)
+
+        return on_enable_change
+
+    # ------------------------------------------------------------------
+    @property
+    def armed_count(self) -> int:
+        return len(self._armed)
+
+    def dispatch_edge(self, sim: "Simulator") -> None:
+        """Call :meth:`on_edge` of every armed member (pre-edge values).
+
+        Iterating the dict directly is safe: the kernel stages every
+        drive during the edge phase, so no enable signal (and hence no
+        arming watcher) can fire until after dispatch completes.
+        """
+        for component in self._armed:
+            component.on_edge(sim)
+        self.cycles += 1
+
+    def __repr__(self) -> str:
+        return (f"ClockDomain({self.name!r}, period={self.period}, "
+                f"members={len(self.members)}, armed={len(self._armed)})")

@@ -1,0 +1,79 @@
+"""Component base classes.
+
+The kernel distinguishes two behaviours, mirroring the synchronous designs
+the compiler emits:
+
+* :class:`Combinational` components re-evaluate whenever one of their input
+  signals changes (event-driven activation, as in Hades).
+* :class:`Sequential` components act only at clock edges.  They *sample*
+  their inputs with pre-edge values and *stage* output updates, which the
+  kernel applies after every sequential component has sampled — the usual
+  race-free register semantics.
+
+A sequential component may expose a 1-bit ``clock_enable`` signal.  The
+clock domain then keeps the component out of the per-edge dispatch list
+while the enable is low, which is the kernel's key throughput optimisation:
+in a compiled FSMD only the handful of registers enabled in the current
+control step pay any cost per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from .signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulator
+
+__all__ = ["Component", "Combinational", "Sequential"]
+
+
+class Component:
+    """Anything with a name that lives inside a :class:`Simulator`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def signals(self) -> Iterable[Signal]:
+        """The signals this component touches (for introspection only)."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Combinational(Component):
+    """A component whose outputs are a pure function of its inputs."""
+
+    def __init__(self, name: str, inputs: Iterable[Signal] = ()) -> None:
+        super().__init__(name)
+        for sig in inputs:
+            sig.add_sink(self)
+
+    def listen(self, *signals: Signal) -> None:
+        """Subscribe to additional input signals after construction."""
+        for sig in signals:
+            sig.add_sink(self)
+
+    def evaluate(self, sim: "Simulator") -> None:
+        """Recompute outputs from current input values via ``sim.drive``."""
+        raise NotImplementedError
+
+
+class Sequential(Component):
+    """A component that acts on clock edges.
+
+    Subclasses implement :meth:`on_edge`, reading input signal values (all
+    still pre-edge) and staging updates with ``sim.drive``.
+    """
+
+    def __init__(self, name: str,
+                 clock_enable: Optional[Signal] = None) -> None:
+        super().__init__(name)
+        #: when set, the clock domain only dispatches this component while
+        #: the enable signal is 1
+        self.clock_enable = clock_enable
+
+    def on_edge(self, sim: "Simulator") -> None:
+        raise NotImplementedError

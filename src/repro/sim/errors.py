@@ -1,0 +1,40 @@
+"""Exceptions raised by the simulation kernel."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "ElaborationError",
+    "CombinationalLoopError",
+    "SimulationTimeout",
+    "DriveConflictError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all simulator failures."""
+
+
+class ElaborationError(SimulationError):
+    """The design could not be built (bad connection, width mismatch...)."""
+
+
+class CombinationalLoopError(SimulationError):
+    """The combinational network failed to settle.
+
+    Raised when a single settle phase exceeds its evaluation budget, which
+    in a correct synchronous design can only happen if there is a
+    combinational cycle.
+    """
+
+
+class SimulationTimeout(SimulationError):
+    """A bounded run ended before its stop condition was met."""
+
+    def __init__(self, message: str, cycles: int = 0) -> None:
+        super().__init__(message)
+        self.cycles = cycles
+
+
+class DriveConflictError(SimulationError):
+    """Two components drive the same signal."""

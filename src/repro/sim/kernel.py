@@ -1,0 +1,286 @@
+"""The event-driven simulation kernel (the Hades substitute).
+
+The kernel combines two engines:
+
+* an **event-driven combinational core** — when a signal changes, only the
+  components in its fanout are re-evaluated, and their output drives
+  propagate through a worklist until the network settles;
+* a **cycle-driven synchronous loop** — :meth:`Simulator.step_cycle`
+  performs one clock cycle as *sample → commit → settle*: every armed
+  sequential component samples its (pre-edge) inputs and stages updates,
+  the staged updates are committed at once, and the resulting combinational
+  wave is settled.
+
+This hybrid gives the race-free semantics of delta cycles without paying
+event-queue overhead for the clock itself, which is what makes language-
+level functional simulation fast — the property the paper relies on (its
+refs [2] and [3]).
+
+A small timed-event queue (:meth:`Simulator.schedule`) is kept for stimulus
+processes and asynchronous tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .clock import ClockDomain
+from .component import Combinational, Component, Sequential
+from .errors import (CombinationalLoopError, ElaborationError,
+                     SimulationTimeout)
+from .signal import Signal
+
+__all__ = ["Simulator", "SimulationStats"]
+
+
+class SimulationStats:
+    """Counters describing how much work a run performed."""
+
+    __slots__ = ("cycles", "evaluations", "edge_dispatches", "signal_updates",
+                 "timed_events")
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.evaluations = 0
+        self.edge_dispatches = 0
+        self.signal_updates = 0
+        self.timed_events = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SimulationStats({inner})"
+
+
+class Simulator:
+    """Owns signals, components, clock domains and simulated time."""
+
+    def __init__(self, name: str = "sim", *,
+                 settle_limit_per_component: int = 64,
+                 settle_limit_floor: int = 4096) -> None:
+        self.name = name
+        self.now = 0
+        self.stats = SimulationStats()
+        self._signals: Dict[str, Signal] = {}
+        self._components: Dict[str, Component] = {}
+        self._domains: Dict[str, ClockDomain] = {}
+        self._default_domain: Optional[ClockDomain] = None
+        # combinational worklist
+        self._worklist: Deque[Combinational] = deque()
+        self._settle_limit_per_component = settle_limit_per_component
+        self._settle_limit_floor = settle_limit_floor
+        # edge staging
+        self._staging = False
+        self._staged: List[Tuple[Signal, int]] = []
+        # timed events: (time, seq, callback)
+        self._timed: List[Tuple[int, int, Callable[[], None]]] = []
+        self._timed_seq = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def signal(self, name: str, width: int, init: int = 0) -> Signal:
+        """Create and register a new signal; names must be unique."""
+        if name in self._signals:
+            raise ElaborationError(f"duplicate signal name {name!r}")
+        sig = Signal(name, width, init)
+        self._signals[name] = sig
+        return sig
+
+    def add(self, component: Component) -> Component:
+        """Register a component; sequential ones join the default domain."""
+        self._register(component)
+        if isinstance(component, Sequential):
+            self.default_domain.add(component)
+        return component
+
+    def add_async(self, component: Component) -> Component:
+        """Register a component without attaching it to a clock domain."""
+        return self._register(component)
+
+    def _register(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise ElaborationError(
+                f"duplicate component name {component.name!r}"
+            )
+        self._components[component.name] = component
+        # time-zero elaboration: anything with combinational behaviour is
+        # evaluated at the next settle so outputs reflect initial inputs
+        if hasattr(component, "evaluate"):
+            self._worklist.append(component)
+        return component
+
+    def clock_domain(self, name: str = "clk", period: int = 10) -> ClockDomain:
+        if name in self._domains:
+            return self._domains[name]
+        domain = ClockDomain(name, period)
+        self._domains[name] = domain
+        if self._default_domain is None:
+            self._default_domain = domain
+        return domain
+
+    @property
+    def default_domain(self) -> ClockDomain:
+        if self._default_domain is None:
+            self._default_domain = self.clock_domain()
+        return self._default_domain
+
+    def get_signal(self, name: str) -> Signal:
+        try:
+            return self._signals[name]
+        except KeyError:
+            raise ElaborationError(f"no signal named {name!r}") from None
+
+    def get_component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise ElaborationError(f"no component named {name!r}") from None
+
+    @property
+    def signals(self) -> Dict[str, Signal]:
+        return dict(self._signals)
+
+    @property
+    def components(self) -> Dict[str, Component]:
+        return dict(self._components)
+
+    # ------------------------------------------------------------------
+    # Driving signals
+    # ------------------------------------------------------------------
+    def drive(self, signal: Signal, value: int) -> None:
+        """Set *signal* to *value*.
+
+        During the edge phase the update is staged and committed after all
+        sequential components have sampled; otherwise it is applied
+        immediately and the fanout is queued for re-evaluation.
+        """
+        if self._staging:
+            self._staged.append((signal, value))
+        else:
+            self._apply(signal, value)
+
+    def _apply(self, signal: Signal, value: int) -> None:
+        value &= signal.mask
+        if value == signal.value:
+            return
+        old = signal.value
+        signal.value = value
+        self.stats.signal_updates += 1
+        for watcher in signal.watchers:
+            watcher(signal, old, value)
+        self._worklist.extend(signal.sinks)
+
+    def settle(self) -> int:
+        """Propagate combinational changes until the network is stable.
+
+        Returns the number of component evaluations performed.  Raises
+        :class:`CombinationalLoopError` if the budget is exhausted, which in
+        a correct synchronous design indicates a combinational cycle.
+        """
+        worklist = self._worklist
+        limit = max(
+            self._settle_limit_floor,
+            self._settle_limit_per_component * max(len(self._components), 1),
+        )
+        count = 0
+        while worklist:
+            component = worklist.popleft()
+            component.evaluate(self)
+            count += 1
+            if count > limit:
+                raise CombinationalLoopError(
+                    f"combinational network failed to settle after {count} "
+                    f"evaluations (suspect a loop near "
+                    f"{component.name!r})"
+                )
+        self.stats.evaluations += count
+        return count
+
+    # ------------------------------------------------------------------
+    # Synchronous execution
+    # ------------------------------------------------------------------
+    def step_cycle(self, domain: Optional[ClockDomain] = None) -> None:
+        """Advance one clock cycle: sample, commit, settle."""
+        domain = domain or self.default_domain
+        # 1. sample phase — every armed sequential component reads pre-edge
+        #    values and stages its updates
+        self._staging = True
+        try:
+            domain.dispatch_edge(self)
+            self.stats.edge_dispatches += len(domain._armed)
+        finally:
+            self._staging = False
+        # 2. commit phase
+        staged = self._staged
+        self._staged = []
+        for signal, value in staged:
+            self._apply(signal, value)
+        # 3. settle phase
+        self.settle()
+        self.now += domain.period
+        self.stats.cycles += 1
+
+    def run_cycles(self, cycles: int,
+                   domain: Optional[ClockDomain] = None) -> None:
+        """Run exactly *cycles* clock cycles."""
+        self.settle()  # flush any pending stimulus
+        for _ in range(cycles):
+            self.step_cycle(domain)
+
+    def run_until(self, condition: Callable[[], bool], *,
+                  max_cycles: int = 1_000_000,
+                  domain: Optional[ClockDomain] = None) -> int:
+        """Run cycles until *condition()* is true; returns cycles run.
+
+        Raises :class:`SimulationTimeout` after *max_cycles*.
+        """
+        self.settle()
+        for cycle in range(max_cycles):
+            if condition():
+                return cycle
+            self.step_cycle(domain)
+        if condition():
+            return max_cycles
+        raise SimulationTimeout(
+            f"condition not met within {max_cycles} cycles", max_cycles
+        )
+
+    def run_until_high(self, signal: Signal, *,
+                       max_cycles: int = 1_000_000,
+                       domain: Optional[ClockDomain] = None) -> int:
+        """Run until *signal* is 1 (e.g. a design's ``done`` line)."""
+        return self.run_until(lambda: bool(signal.value),
+                              max_cycles=max_cycles, domain=domain)
+
+    # ------------------------------------------------------------------
+    # Timed events (stimulus processes, asynchronous tests)
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run *callback* once, *delay* time units from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._timed_seq += 1
+        heapq.heappush(self._timed, (self.now + delay, self._timed_seq,
+                                     callback))
+
+    def run_timed(self, until: int) -> None:
+        """Process timed events up to absolute time *until* (no clocks)."""
+        while self._timed and self._timed[0][0] <= until:
+            time, _, callback = heapq.heappop(self._timed)
+            self.now = time
+            callback()
+            self.stats.timed_events += 1
+            self.settle()
+        if self.now < until:
+            self.now = until
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (f"Simulator({self.name!r}, now={self.now}, "
+                f"components={len(self._components)}, "
+                f"signals={len(self._signals)})")

@@ -1,0 +1,77 @@
+"""An oblivious (non-event-driven) reference kernel.
+
+This kernel re-evaluates *every* combinational component on every sweep and
+dispatches *every* sequential component on every edge, ignoring both the
+event-driven fanout filtering and the clock-enable arming of the main
+kernel.  It exists for two reasons:
+
+* as an ablation baseline quantifying how much the event-driven design
+  buys (benchmark A2 in DESIGN.md), supporting the paper's premise that a
+  language-level *event-based* engine (Hades) is the right substrate;
+* as a semantics cross-check: both kernels must produce identical results
+  on any synchronous design, which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .clock import ClockDomain
+from .component import Combinational
+from .errors import CombinationalLoopError
+from .kernel import Simulator
+
+__all__ = ["ObliviousSimulator"]
+
+
+class ObliviousSimulator(Simulator):
+    """Evaluate-everything kernel with identical observable semantics."""
+
+    def __init__(self, name: str = "oblivious-sim", *,
+                 max_sweeps: int = 64) -> None:
+        super().__init__(name)
+        self._max_sweeps = max_sweeps
+
+    def _combinational(self) -> List[Combinational]:
+        # anything with combinational behaviour, not just Combinational
+        # subclasses: an SRAM is Sequential (write port) but also has an
+        # evaluate() read path that every sweep must refresh
+        return [c for c in self._components.values()
+                if hasattr(c, "evaluate")]
+
+    def settle(self) -> int:
+        """Sweep all combinational components until no signal changes."""
+        self._worklist.clear()  # ignore event-driven bookkeeping entirely
+        comb = self._combinational()
+        count = 0
+        for _ in range(self._max_sweeps):
+            before = self.stats.signal_updates
+            for component in comb:
+                component.evaluate(self)
+                count += 1
+            self._worklist.clear()
+            if self.stats.signal_updates == before:
+                self.stats.evaluations += count
+                return count
+        raise CombinationalLoopError(
+            f"network did not stabilise within {self._max_sweeps} full sweeps"
+        )
+
+    def step_cycle(self, domain: Optional[ClockDomain] = None) -> None:
+        """One cycle, dispatching *all* members (no enable arming)."""
+        domain = domain or self.default_domain
+        self._staging = True
+        try:
+            for component in domain.members:
+                component.on_edge(self)
+            self.stats.edge_dispatches += len(domain.members)
+            domain.cycles += 1
+        finally:
+            self._staging = False
+        staged = self._staged
+        self._staged = []
+        for signal, value in staged:
+            self._apply(signal, value)
+        self.settle()
+        self.now += domain.period
+        self.stats.cycles += 1

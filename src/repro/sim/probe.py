@@ -1,0 +1,126 @@
+"""Probes: observe signal activity without disturbing the design.
+
+The paper lists "access to values on certain connections, assertions,
+inclusion of probes and stop mechanisms" among the facilities implementation
+on a real FPGA cannot easily provide — this module provides them for the
+simulated design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .errors import SimulationError
+from .kernel import Simulator
+from .signal import Signal
+
+__all__ = ["Probe", "Assertion", "StopCondition"]
+
+
+class Probe:
+    """Records every value change of a signal as ``(time, value)``."""
+
+    def __init__(self, sim: Simulator, signal: Signal,
+                 *, record_initial: bool = True) -> None:
+        self._sim = sim
+        self.signal = signal
+        self.samples: List[Tuple[int, int]] = []
+        if record_initial:
+            self.samples.append((sim.now, signal.value))
+        signal.watch(self._on_change)
+
+    def _on_change(self, signal: Signal, old: int, new: int) -> None:
+        self.samples.append((self._sim.now, new))
+
+    # ------------------------------------------------------------------
+    @property
+    def change_count(self) -> int:
+        """Number of recorded changes (excluding the initial sample)."""
+        return max(0, len(self.samples) - 1)
+
+    def last_value(self) -> int:
+        return self.samples[-1][1]
+
+    def values(self) -> List[int]:
+        return [value for _, value in self.samples]
+
+    def value_at(self, time: int) -> int:
+        """The signal's value as of *time* (last change at or before it)."""
+        result: Optional[int] = None
+        for sample_time, value in self.samples:
+            if sample_time > time:
+                break
+            result = value
+        if result is None:
+            raise SimulationError(
+                f"no sample of {self.signal.name!r} at or before time {time}"
+            )
+        return result
+
+    def detach(self) -> None:
+        self.signal.unwatch(self._on_change)
+
+
+class Assertion:
+    """Checks an invariant whenever a signal changes.
+
+    The predicate receives the new value; a falsy result raises
+    :class:`SimulationError` immediately, stopping the run at the violating
+    update — the "assertions" facility of the paper's infrastructure.
+    """
+
+    def __init__(self, sim: Simulator, signal: Signal,
+                 predicate: Callable[[int], bool],
+                 message: str = "") -> None:
+        self._sim = sim
+        self.signal = signal
+        self.predicate = predicate
+        self.message = message or f"assertion on {signal.name!r} failed"
+        self.checks = 0
+        signal.watch(self._on_change)
+
+    def _on_change(self, signal: Signal, old: int, new: int) -> None:
+        self.checks += 1
+        if not self.predicate(new):
+            raise SimulationError(
+                f"{self.message} (signal {signal.name!r} = {new} "
+                f"at time {self._sim.now})"
+            )
+
+    def detach(self) -> None:
+        self.signal.unwatch(self._on_change)
+
+
+class StopCondition:
+    """Latches when a signal takes a given value; used as a stop mechanism.
+
+    Combine with :meth:`Simulator.run_until`::
+
+        stop = StopCondition(sim, error_flag, value=1)
+        sim.run_until(stop.triggered_check, max_cycles=100000)
+    """
+
+    def __init__(self, sim: Simulator, signal: Signal, value: int = 1) -> None:
+        self.signal = signal
+        self.value = value
+        self.triggered = False
+        self.trigger_time: Optional[int] = None
+        self._sim = sim
+        if signal.value == value:
+            self._latch()
+        signal.watch(self._on_change)
+
+    def _latch(self) -> None:
+        if not self.triggered:
+            self.triggered = True
+            self.trigger_time = self._sim.now
+
+    def _on_change(self, signal: Signal, old: int, new: int) -> None:
+        if new == self.value:
+            self._latch()
+
+    def triggered_check(self) -> bool:
+        return self.triggered
+
+    def detach(self) -> None:
+        self.signal.unwatch(self._on_change)

@@ -1,0 +1,33 @@
+"""Translation backends: the XSLT-equivalent layer of the infrastructure.
+
+* :mod:`repro.translate.engine` — the pluggable backend registry
+* :mod:`repro.translate.to_sim` — datapath+FSM -> live simulation ("to hds")
+* :mod:`repro.translate.to_python` — FSM/RTG -> Python source ("to java")
+* :mod:`repro.translate.to_dot` — IR -> Graphviz ("to dotty")
+* :mod:`repro.translate.to_vhdl` / ``to_verilog`` — HDL text emitters
+"""
+
+from .engine import (TranslationEngine, TranslationError, default_engine,
+                     register_translation, translate)
+from .to_dot import datapath_to_dot, fsm_to_dot, rtg_to_dot
+from .to_python import (GeneratedFsmBehavior, GeneratedRtgControl,
+                        InterpretedFsmBehavior, InterpretedRtgControl,
+                        compile_fsm, compile_rtg, fsm_to_python,
+                        rtg_to_python)
+from .to_sim import (FsmController, SimDesign, build_simulation,
+                     check_interface)
+from .to_verilog import datapath_to_verilog, fsm_to_verilog, rtg_to_verilog
+from .to_vhdl import datapath_to_vhdl, fsm_to_vhdl, rtg_to_vhdl
+
+__all__ = [
+    "TranslationEngine", "TranslationError", "default_engine",
+    "register_translation", "translate",
+    "datapath_to_dot", "fsm_to_dot", "rtg_to_dot",
+    "fsm_to_python", "compile_fsm", "GeneratedFsmBehavior",
+    "InterpretedFsmBehavior",
+    "rtg_to_python", "compile_rtg", "GeneratedRtgControl",
+    "InterpretedRtgControl",
+    "build_simulation", "SimDesign", "FsmController", "check_interface",
+    "datapath_to_vhdl", "fsm_to_vhdl", "rtg_to_vhdl",
+    "datapath_to_verilog", "fsm_to_verilog", "rtg_to_verilog",
+]

@@ -1,0 +1,105 @@
+"""The translation engine: pluggable backends per (dialect, target).
+
+In the paper, XSLT stylesheets turn each XML dialect into the language a
+tool needs — Hades netlists for simulation, Java for FSM/RTG behaviour,
+``dot`` for visualization — and "users [can] define their own XSL
+translation rules to output representations using the chosen language
+(e.g., Verilog, VHDL, SystemC)".  This module is the equivalent extension
+point: a registry keyed by (source kind, target name), where the source
+kind is the IR class (Datapath, Fsm, Rtg).
+
+Built-in targets registered by this package:
+
+======== ======================================= =======================
+target    produces                                paper analogue
+======== ======================================= =======================
+dot       Graphviz source                         "to dotty"
+python    executable Python source                "to java"
+vhdl      VHDL source                             user-defined XSL
+verilog   Verilog source                          user-defined XSL
+======== ======================================= =======================
+
+(The simulator builder in :mod:`repro.translate.to_sim` — the paper's
+"to hds" — returns live objects rather than text, so it has its own entry
+point, but it is also reachable here under the target name ``sim``.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+__all__ = ["TranslationEngine", "TranslationError", "default_engine",
+           "register_translation", "translate"]
+
+
+class TranslationError(ValueError):
+    """No backend matches, or the backend rejected its input."""
+
+
+Backend = Callable[..., Any]
+
+
+class TranslationEngine:
+    """A registry of translation backends."""
+
+    def __init__(self) -> None:
+        self._backends: Dict[Tuple[Type, str], Backend] = {}
+
+    def register(self, source_type: Type, target: str,
+                 backend: Backend = None):
+        """Register *backend* for *source_type* → *target*.
+
+        Usable directly or as a decorator::
+
+            @engine.register(Datapath, "firrtl")
+            def datapath_to_firrtl(datapath): ...
+        """
+        if backend is None:
+            def decorate(func: Backend) -> Backend:
+                self.register(source_type, target, func)
+                return func
+
+            return decorate
+        key = (source_type, target)
+        if key in self._backends:
+            raise TranslationError(
+                f"backend for {source_type.__name__} -> {target!r} "
+                f"already registered"
+            )
+        self._backends[key] = backend
+        return backend
+
+    def translate(self, obj: Any, target: str, **options: Any) -> Any:
+        """Dispatch on ``type(obj)`` (including base classes)."""
+        for klass in type(obj).__mro__:
+            backend = self._backends.get((klass, target))
+            if backend is not None:
+                return backend(obj, **options)
+        known = self.targets_for(type(obj))
+        raise TranslationError(
+            f"no backend translates {type(obj).__name__} to {target!r} "
+            f"(available targets: {known or 'none'})"
+        )
+
+    def targets_for(self, source_type: Type) -> List[str]:
+        targets = {t for (klass, t) in self._backends
+                   if klass in source_type.__mro__}
+        return sorted(targets)
+
+    def sources_for(self, target: str) -> List[str]:
+        return sorted({klass.__name__ for (klass, t) in self._backends
+                       if t == target})
+
+
+#: the process-wide engine pre-loaded with the built-in backends
+default_engine = TranslationEngine()
+
+
+def register_translation(source_type: Type, target: str):
+    """Decorator registering a backend on the default engine."""
+    return default_engine.register(source_type, target)
+
+
+def translate(obj: Any, target: str, **options: Any) -> Any:
+    """Translate *obj* using the default engine."""
+    return default_engine.translate(obj, target, **options)

@@ -1,0 +1,138 @@
+"""Graphviz backends — the paper's "to dotty" stylesheets.
+
+Each IR (datapath, FSM, RTG) renders to Graphviz source for inspection
+with any dot viewer.  Rendering to an image is out of scope here, exactly
+as in the paper where ``dotty`` is an external tool.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hdl.model.datapath import Datapath
+from ..hdl.model.fsm import Fsm
+from ..hdl.model.rtg import Rtg
+from .engine import register_translation
+
+__all__ = ["datapath_to_dot", "fsm_to_dot", "rtg_to_dot"]
+
+_TYPE_SHAPES = {
+    "reg": ("box", "lightblue"),
+    "sram": ("box3d", "lightyellow"),
+    "rom": ("box3d", "lightyellow"),
+    "mux": ("trapezium", "lightgrey"),
+    "const": ("plaintext", "white"),
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r'\"') + '"'
+
+
+@register_translation(Datapath, "dot")
+def datapath_to_dot(datapath: Datapath) -> str:
+    """Structural view: components as nodes, nets as edges."""
+    lines: List[str] = [
+        f"digraph {_quote(datapath.name)} {{",
+        "  rankdir=LR;",
+        "  node [fontsize=10];",
+    ]
+    for decl in datapath.components.values():
+        shape, fill = _TYPE_SHAPES.get(decl.type, ("ellipse", "white"))
+        label = f"{decl.name}\\n{decl.type}[{decl.width}]"
+        extra = ""
+        if decl.type == "const":
+            label = f"{decl.param('value', '?')}"
+        if decl.type in ("sram", "rom"):
+            extra = f"\\n({decl.param('memory', '?')})"
+        lines.append(
+            f"  {_quote(decl.name)} [label={_quote(label + extra)} "
+            f"shape={shape} style=filled fillcolor={fill}];"
+        )
+    for net in datapath.nets.values():
+        for sink in net.sinks:
+            lines.append(
+                f"  {_quote(net.source.component)} -> "
+                f"{_quote(sink.component)} "
+                f"[label={_quote(net.name)} fontsize=8];"
+            )
+    # control and status interface rendered as a synthetic FSM node
+    if datapath.controls or datapath.statuses:
+        lines.append(
+            "  FSM [shape=doubleoctagon style=filled fillcolor=lightpink];"
+        )
+        for line in datapath.controls.values():
+            for target in line.targets:
+                lines.append(
+                    f"  FSM -> {_quote(target.component)} "
+                    f"[label={_quote(line.name)} style=dashed fontsize=8 "
+                    f"color=red];"
+                )
+        for status in datapath.statuses.values():
+            lines.append(
+                f"  {_quote(status.source.component)} -> FSM "
+                f"[label={_quote(status.name)} style=dashed fontsize=8 "
+                f"color=blue];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+@register_translation(Fsm, "dot")
+def fsm_to_dot(fsm: Fsm) -> str:
+    """State diagram: states as nodes, guarded transitions as edges."""
+    lines: List[str] = [
+        f"digraph {_quote(fsm.name)} {{",
+        "  node [shape=circle fontsize=10];",
+        "  __reset [shape=point];",
+        f"  __reset -> {_quote(fsm.reset_state or '?')};",
+    ]
+    for state in fsm.states.values():
+        shape = "doublecircle" if state.name in fsm.final_states else "circle"
+        asserted = [f"{k}={v}" for k, v in state.assigns.items()]
+        label = state.name
+        if asserted:
+            label += "\\n" + "\\n".join(asserted)
+        lines.append(
+            f"  {_quote(state.name)} [shape={shape} label={_quote(label)}];"
+        )
+        for transition in state.transitions:
+            guard = "" if transition.unconditional else \
+                transition.condition.to_text()
+            lines.append(
+                f"  {_quote(state.name)} -> {_quote(transition.target)} "
+                f"[label={_quote(guard)} fontsize=8];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+@register_translation(Rtg, "dot")
+def rtg_to_dot(rtg: Rtg) -> str:
+    """Configuration flow: one node per temporal partition."""
+    lines: List[str] = [
+        f"digraph {_quote(rtg.name)} {{",
+        "  node [shape=component fontsize=10];",
+        "  __start [shape=point];",
+        f"  __start -> {_quote(rtg.start or '?')};",
+    ]
+    for ref in rtg.configurations.values():
+        style = "bold" if ref.name in rtg.final_configurations else "solid"
+        label = f"{ref.name}\\n{ref.datapath_file}\\n{ref.fsm_file}"
+        lines.append(
+            f"  {_quote(ref.name)} [label={_quote(label)} style={style}];"
+        )
+    for transition in rtg.transitions:
+        guard = "" if transition.unconditional else \
+            transition.condition.to_text()
+        lines.append(
+            f"  {_quote(transition.source)} -> {_quote(transition.target)} "
+            f"[label={_quote(guard)} fontsize=8];"
+        )
+    for decl in rtg.memories.values():
+        lines.append(
+            f"  {_quote('mem:' + decl.name)} [shape=cylinder "
+            f"label={_quote(decl.name + f' [{decl.width}x{decl.depth}]')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,408 @@
+"""Verilog backend: datapath and FSM as Verilog-2001 text.
+
+The Verilog sibling of :mod:`repro.translate.to_vhdl` — the second
+instance of the paper's user-defined translation rules.  One module per
+datapath (operators as continuous assignments, registers/RAMs as always
+blocks) and one module per FSM (localparam state encoding, two always
+blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hdl.model.datapath import ComponentDecl, Datapath
+from ..hdl.model.fsm import Fsm
+from ..hdl.model.rtg import Rtg
+from .engine import TranslationError, register_translation
+
+__all__ = ["datapath_to_verilog", "fsm_to_verilog", "rtg_to_verilog"]
+
+
+def _range(width: int) -> str:
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+def _literal(value: int, width: int) -> str:
+    value &= (1 << width) - 1
+    return f"{width}'d{value}"
+
+
+class _VerilogDatapathEmitter:
+    def __init__(self, datapath: Datapath) -> None:
+        datapath.validate()
+        self.dp = datapath
+        self.lines: List[str] = []
+        self.wires: Dict[tuple, str] = {}
+        self.wire_widths: Dict[str, int] = {}
+        for net in datapath.nets.values():
+            self.wires[(net.source.component, net.source.port)] = net.name
+            self.wire_widths[net.name] = net.width
+            for sink in net.sinks:
+                self.wires[(sink.component, sink.port)] = net.name
+        for line in datapath.controls.values():
+            for target in line.targets:
+                self.wires[(target.component, target.port)] = line.name
+        for status in datapath.statuses.values():
+            key = (status.source.component, status.source.port)
+            self.wires.setdefault(key, status.name)
+        #: wires driven from always blocks must be declared reg
+        self.reg_wires: set = set()
+
+    def wire(self, component: str, port: str) -> str:
+        try:
+            return self.wires[(component, port)]
+        except KeyError:
+            raise TranslationError(
+                f"component {component!r}: port {port!r} is unconnected; "
+                f"the Verilog backend requires fully wired operators"
+            ) from None
+
+    def signed(self, component: str, port: str) -> str:
+        return f"$signed({self.wire(component, port)})"
+
+    # ------------------------------------------------------------------
+    def emit(self) -> str:
+        body: List[str] = []
+        for decl in self.dp.components.values():
+            self.emit_component(decl, body)
+        for status in self.dp.statuses.values():
+            key = (status.source.component, status.source.port)
+            inner = self.wires[key]
+            if inner != status.name:
+                body.append(f"  assign {status.name} = {inner};")
+
+        out = self.lines
+        ports = ["clk"] + [line.name for line in self.dp.controls.values()] \
+            + [status.name for status in self.dp.statuses.values()]
+        out.append(f"module {self.dp.name} (")
+        out.append("  " + ",\n  ".join(ports))
+        out.append(");")
+        out.append("  input wire clk;")
+        for line in self.dp.controls.values():
+            out.append(f"  input wire {_range(line.width)}{line.name};")
+        for status in self.dp.statuses.values():
+            out.append(f"  output wire {status.name};")
+        for net in self.dp.nets.values():
+            kind = "reg" if net.name in self.reg_wires else "wire"
+            out.append(f"  {kind} {_range(net.width)}{net.name};")
+        out.append("")
+        out.extend(body)
+        out.append("endmodule")
+        return "\n".join(out) + "\n"
+
+    # ------------------------------------------------------------------
+    def emit_component(self, decl: ComponentDecl, body: List[str]) -> None:
+        handler = getattr(self, f"_emit_{decl.type}", None)
+        if handler is None:
+            handler = self._emit_binary_like
+        handler(decl, body)
+
+    _BINARY = {
+        "add": "{a} + {b}", "sub": "{a} - {b}", "mul": "{a} * {b}",
+        "and": "{a} & {b}", "or": "{a} | {b}", "xor": "{a} ^ {b}",
+        "shl": "{a} << {braw}", "ashr": "{a} >>> {braw}",
+        "lshr": "{araw} >> {braw}",
+        "div": "{a} / {b}", "rem": "{a} % {b}",
+        "min": "(({a} < {b}) ? {araw} : {braw})",
+        "max": "(({a} > {b}) ? {araw} : {braw})",
+    }
+
+    _COMPARE = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+                "gt": ">", "ge": ">="}
+
+    def _fields(self, name: str) -> Dict[str, str]:
+        fields: Dict[str, str] = {}
+        for port in ("a", "b"):
+            if (name, port) in self.wires:
+                fields[port] = self.signed(name, port)
+                fields[port + "raw"] = self.wire(name, port)
+        return fields
+
+    def _emit_binary_like(self, decl: ComponentDecl,
+                          body: List[str]) -> None:
+        name = decl.name
+        if decl.type in self._COMPARE:
+            op = self._COMPARE[decl.type]
+            body.append(
+                f"  assign {self.wire(name, 'y')} = "
+                f"{self.signed(name, 'a')} {op} {self.signed(name, 'b')};"
+                f"  // {name}"
+            )
+            return
+        if decl.type in ("fdiv", "fmod"):
+            self._emit_floor_div(decl, body)
+            return
+        if decl.type in self._BINARY:
+            expr = self._BINARY[decl.type].format(**self._fields(name))
+            body.append(
+                f"  assign {self.wire(name, 'y')} = {expr};  // {name}"
+            )
+            return
+        raise TranslationError(
+            f"no Verilog emitter for operator type {decl.type!r}"
+        )
+
+    def _emit_floor_div(self, decl: ComponentDecl,
+                        body: List[str]) -> None:
+        """Floor division/modulo from Verilog's truncating / and %."""
+        name = decl.name
+        a = self.signed(name, "a")
+        b = self.signed(name, "b")
+        y = self.wire(name, "y")
+        if decl.type == "fdiv":
+            body.append(
+                f"  assign {y} = ({b} == 0) ? 0 : "
+                f"(({a} % {b} != 0) && (({a} < 0) != ({b} < 0))) ? "
+                f"({a} / {b}) - 1 : ({a} / {b});  // {name} (floor)"
+            )
+        else:
+            body.append(
+                f"  assign {y} = ({b} == 0) ? 0 : "
+                f"(({a} % {b} != 0) && (({a} < 0) != ({b} < 0))) ? "
+                f"({a} % {b}) + {b} : ({a} % {b});  // {name} (floor)"
+            )
+
+    def _emit_const(self, decl: ComponentDecl, body: List[str]) -> None:
+        value = int(decl.param("value", "0"), 0)
+        body.append(
+            f"  assign {self.wire(decl.name, 'y')} = "
+            f"{_literal(value, decl.width)};  // {decl.name}"
+        )
+
+    def _emit_not(self, decl: ComponentDecl, body: List[str]) -> None:
+        body.append(
+            f"  assign {self.wire(decl.name, 'y')} = "
+            f"~{self.wire(decl.name, 'a')};  // {decl.name}"
+        )
+
+    def _emit_neg(self, decl: ComponentDecl, body: List[str]) -> None:
+        body.append(
+            f"  assign {self.wire(decl.name, 'y')} = "
+            f"-{self.signed(decl.name, 'a')};  // {decl.name}"
+        )
+
+    def _emit_abs(self, decl: ComponentDecl, body: List[str]) -> None:
+        a = self.signed(decl.name, "a")
+        body.append(
+            f"  assign {self.wire(decl.name, 'y')} = "
+            f"({a} < 0) ? -{a} : {a};  // {decl.name}"
+        )
+
+    def _emit_sext(self, decl: ComponentDecl, body: List[str]) -> None:
+        a = self.wire(decl.name, "a")
+        in_width = self.wire_widths.get(a, decl.width)
+        extra = decl.width - in_width
+        body.append(
+            f"  assign {self.wire(decl.name, 'y')} = "
+            f"{{{{{extra}{{{a}[{in_width - 1}]}}}}, {a}}};  // {decl.name}"
+        )
+
+    def _emit_zext(self, decl: ComponentDecl, body: List[str]) -> None:
+        body.append(
+            f"  assign {self.wire(decl.name, 'y')} = "
+            f"{self.wire(decl.name, 'a')};  // {decl.name} (zero-extend)"
+        )
+
+    def _emit_trunc(self, decl: ComponentDecl, body: List[str]) -> None:
+        body.append(
+            f"  assign {self.wire(decl.name, 'y')} = "
+            f"{self.wire(decl.name, 'a')}[{decl.width - 1}:0];"
+            f"  // {decl.name}"
+        )
+
+    def _emit_mux(self, decl: ComponentDecl, body: List[str]) -> None:
+        name = decl.name
+        inputs = sorted(
+            (int(port[2:]), wire)
+            for (component, port), wire in self.wires.items()
+            if component == name and port.startswith("in")
+            and port[2:].isdigit()
+        )
+        sel = self.wire(name, "sel")
+        target = self.wire(name, "y")
+        self.reg_wires.add(target)
+        body.append(f"  always @(*) begin  // {name}")
+        body.append(f"    case ({sel})")
+        for index, wire in inputs:
+            body.append(f"      {index}: {target} = {wire};")
+        body.append(f"      default: {target} = {inputs[0][1]};")
+        body.append("    endcase")
+        body.append("  end")
+
+    def _emit_reg(self, decl: ComponentDecl, body: List[str]) -> None:
+        name = decl.name
+        d = self.wire(name, "d")
+        q = self.wire(name, "q")
+        self.reg_wires.add(q)
+        enable = self.wires.get((name, "en"))
+        body.append(f"  always @(posedge clk) begin  // {name}")
+        if enable is not None:
+            body.append(f"    if ({enable}) {q} <= {d};")
+        else:
+            body.append(f"    {q} <= {d};")
+        body.append("  end")
+
+    def _emit_sram(self, decl: ComponentDecl, body: List[str]) -> None:
+        name = decl.name
+        memory = self.dp.memories[decl.param("memory")]
+        addr = self.wire(name, "addr")
+        dout = self.wires.get((name, "dout"))
+        din = self.wires.get((name, "din"))
+        we = self.wires.get((name, "we"))
+        body.append(
+            f"  reg {_range(memory.width)}mem_{name} "
+            f"[0:{memory.depth - 1}];  // memory {memory.name!r}"
+        )
+        if dout is not None:
+            body.append(f"  assign {dout} = mem_{name}[{addr}];")
+        if we is not None and din is not None:
+            body.append(f"  always @(posedge clk) begin")
+            body.append(f"    if ({we}) mem_{name}[{addr}] <= {din};")
+            body.append("  end")
+
+    _emit_rom = _emit_sram
+
+
+@register_translation(Datapath, "verilog")
+def datapath_to_verilog(datapath: Datapath) -> str:
+    """Emit the datapath as one self-contained Verilog module."""
+    return _VerilogDatapathEmitter(datapath).emit()
+
+
+@register_translation(Fsm, "verilog")
+def fsm_to_verilog(fsm: Fsm) -> str:
+    """Emit the control unit as a two-always-block Verilog FSM."""
+    fsm.validate()
+    state_bits = max(1, (len(fsm.states) - 1).bit_length())
+    out: List[str] = []
+    ports = ["clk", "rst"] + list(fsm.inputs) + list(fsm.outputs)
+    out.append(f"module {fsm.name} (")
+    out.append("  " + ",\n  ".join(ports))
+    out.append(");")
+    out.append("  input wire clk;")
+    out.append("  input wire rst;")
+    for name in fsm.inputs:
+        out.append(f"  input wire {name};")
+    for decl in fsm.outputs.values():
+        out.append(f"  output reg {_range(decl.width)}{decl.name};")
+    out.append("")
+    for index, name in enumerate(fsm.states):
+        out.append(f"  localparam S_{name.upper()} = "
+                   f"{_literal(index, state_bits)};")
+    out.append(f"  reg {_range(state_bits)}state = "
+               f"S_{fsm.reset_state.upper()};")
+    out.append("")
+    out.append("  always @(posedge clk) begin")
+    out.append("    if (rst) begin")
+    out.append(f"      state <= S_{fsm.reset_state.upper()};")
+    out.append("    end else begin")
+    out.append("      case (state)")
+    for state in fsm.states.values():
+        out.append(f"        S_{state.name.upper()}: begin")
+        conditional = [t for t in state.transitions if not t.unconditional]
+        default = next((t for t in state.transitions if t.unconditional),
+                       None)
+        if conditional:
+            for index, transition in enumerate(conditional):
+                keyword = "if" if index == 0 else "else if"
+                out.append(f"          {keyword} "
+                           f"({transition.condition.to_verilog()})")
+                out.append(f"            state <= "
+                           f"S_{transition.target.upper()};")
+            if default is not None:
+                out.append("          else")
+                out.append(f"            state <= "
+                           f"S_{default.target.upper()};")
+        elif default is not None:
+            out.append(f"          state <= S_{default.target.upper()};")
+        else:
+            out.append(f"          state <= S_{state.name.upper()};"
+                       f"  // final")
+        out.append("        end")
+    out.append("      endcase")
+    out.append("    end")
+    out.append("  end")
+    out.append("")
+    out.append("  always @(*) begin")
+    for decl in fsm.outputs.values():
+        out.append(f"    {decl.name} = "
+                   f"{_literal(decl.default, decl.width)};")
+    out.append("    case (state)")
+    for state in fsm.states.values():
+        out.append(f"      S_{state.name.upper()}: begin")
+        for output, value in state.assigns.items():
+            width = fsm.outputs[output].width
+            out.append(f"        {output} = {_literal(value, width)};")
+        out.append("      end")
+    out.append("      default: ;")
+    out.append("    endcase")
+    out.append("  end")
+    out.append("endmodule")
+    return "\n".join(out) + "\n"
+
+
+@register_translation(Rtg, "verilog")
+def rtg_to_verilog(rtg: Rtg) -> str:
+    """Emit the reconfiguration sequencer as a Verilog module."""
+    rtg.validate()
+    names = list(rtg.configurations)
+    index_bits = max(1, (len(names) - 1).bit_length())
+    state_bits = max(1, len(names).bit_length())
+    out: List[str] = [
+        f"// reconfiguration sequencer for design '{rtg.name}'",
+        "// shared memories (survive reconfiguration):",
+    ]
+    for decl in rtg.memories.values():
+        out.append(f"//   {decl.name}: {decl.width}x{decl.depth} "
+                   f"({decl.role})")
+    out.append(f"module {rtg.name}_sequencer (")
+    out.append("  clk, rst, cfg_done, load_request, load_index, all_done")
+    out.append(");")
+    out.append("  input wire clk;")
+    out.append("  input wire rst;")
+    out.append("  input wire cfg_done;")
+    out.append("  output wire load_request;")
+    out.append(f"  output reg {_range(index_bits)}load_index;")
+    out.append("  output wire all_done;")
+    out.append("")
+    for position, name in enumerate(names):
+        out.append(f"  localparam C_{name.upper()} = "
+                   f"{_literal(position, state_bits)};")
+    out.append(f"  localparam C_FINISHED = "
+               f"{_literal(len(names), state_bits)};")
+    out.append(f"  reg {_range(state_bits)}current = "
+               f"C_{rtg.start.upper()};")
+    out.append("")
+    out.append("  always @(posedge clk) begin")
+    out.append("    if (rst)")
+    out.append(f"      current <= C_{rtg.start.upper()};")
+    out.append("    else if (cfg_done) begin")
+    out.append("      case (current)")
+    for name in names:
+        transitions = rtg.transitions_from(name)
+        if transitions:
+            default = next((t for t in transitions if t.unconditional),
+                           None)
+            target = default.target if default else transitions[0].target
+            out.append(f"        C_{name.upper()}: current <= "
+                       f"C_{target.upper()};")
+        else:
+            out.append(f"        C_{name.upper()}: current <= C_FINISHED;")
+    out.append("        default: ;")
+    out.append("      endcase")
+    out.append("    end")
+    out.append("  end")
+    out.append("")
+    out.append("  assign all_done = (current == C_FINISHED);")
+    out.append("  assign load_request = !all_done;")
+    out.append("  always @(*) begin")
+    out.append("    case (current)")
+    for position, name in enumerate(names):
+        out.append(f"      C_{name.upper()}: load_index = "
+                   f"{_literal(position, index_bits)};")
+    out.append(f"      default: load_index = {_literal(0, index_bits)};")
+    out.append("    endcase")
+    out.append("  end")
+    out.append("endmodule")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,477 @@
+"""VHDL backend: datapath and FSM as synthesizable-style VHDL text.
+
+The paper notes users can add translation rules for "the chosen language
+(e.g., Verilog, VHDL, SystemC)"; this module is the VHDL instance of
+that extension point.  The datapath becomes one self-contained entity
+(no external component library needed): each operator instance is a
+concurrent statement or process implementing its behaviour, registers
+and SRAMs are clocked processes, and the control/status interface is the
+port list.  The FSM becomes the classic two-process state machine.
+
+These emitters target *plausible, reviewable* VHDL mirroring the
+simulated semantics (wrapping arithmetic, floor division helpers,
+write-through RAM); pin-accurate synthesis sign-off is out of scope for
+a functional-test infrastructure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hdl.model.datapath import ComponentDecl, Datapath
+from ..hdl.model.fsm import Fsm
+from ..hdl.model.rtg import Rtg
+from .engine import TranslationError, register_translation
+
+__all__ = ["datapath_to_vhdl", "fsm_to_vhdl", "rtg_to_vhdl"]
+
+
+def _slv(width: int) -> str:
+    if width == 1:
+        return "std_logic"
+    return f"std_logic_vector({width - 1} downto 0)"
+
+
+def _literal(value: int, width: int) -> str:
+    value &= (1 << width) - 1
+    if width == 1:
+        return f"'{value}'"
+    return f'std_logic_vector(to_unsigned({value}, {width}))'
+
+
+_HELPERS = """\
+  -- floor division / modulo (Python semantics; VHDL's / truncates)
+  function f_div(a, b : signed) return signed is
+    variable q : signed(a'range);
+  begin
+    if b = 0 then
+      return to_signed(0, a'length);
+    end if;
+    q := a / b;
+    if (a rem b) /= 0 and ((a < 0) /= (b < 0)) then
+      q := q - 1;
+    end if;
+    return q;
+  end function;
+
+  function f_mod(a, b : signed) return signed is
+    variable r : signed(a'range);
+  begin
+    if b = 0 then
+      return to_signed(0, a'length);
+    end if;
+    r := a rem b;
+    if r /= 0 and ((r < 0) /= (b < 0)) then
+      r := r + b;
+    end if;
+    return r;
+  end function;
+"""
+
+
+class _VhdlDatapathEmitter:
+    def __init__(self, datapath: Datapath) -> None:
+        datapath.validate()
+        self.dp = datapath
+        self.lines: List[str] = []
+        #: (component, port) -> signal name inside the architecture
+        self.wires: Dict[tuple, str] = {}
+        for net in datapath.nets.values():
+            self.wires[(net.source.component, net.source.port)] = net.name
+            for sink in net.sinks:
+                self.wires[(sink.component, sink.port)] = net.name
+        for line in datapath.controls.values():
+            for target in line.targets:
+                self.wires[(target.component, target.port)] = line.name
+        for status in datapath.statuses.values():
+            key = (status.source.component, status.source.port)
+            self.wires.setdefault(key, status.name)
+
+    def wire(self, component: str, port: str) -> str:
+        try:
+            return self.wires[(component, port)]
+        except KeyError:
+            raise TranslationError(
+                f"component {component!r}: port {port!r} is unconnected; "
+                f"the VHDL backend requires fully wired operators"
+            ) from None
+
+    def signed(self, component: str, port: str) -> str:
+        return f"signed({self.wire(component, port)})"
+
+    # ------------------------------------------------------------------
+    def emit(self) -> str:
+        out = self.lines
+        out.append("library ieee;")
+        out.append("use ieee.std_logic_1164.all;")
+        out.append("use ieee.numeric_std.all;")
+        out.append("")
+        out.append(f"entity {self.dp.name} is")
+        out.append("  port (")
+        ports = ["    clk : in std_logic"]
+        for line in self.dp.controls.values():
+            ports.append(f"    {line.name} : in {_slv(line.width)}")
+        for status in self.dp.statuses.values():
+            ports.append(f"    {status.name} : out std_logic")
+        out.append(";\n".join(ports))
+        out.append("  );")
+        out.append(f"end entity {self.dp.name};")
+        out.append("")
+        out.append(f"architecture rtl of {self.dp.name} is")
+        for net in self.dp.nets.values():
+            out.append(f"  signal {net.name} : {_slv(net.width)};")
+        out.append(_HELPERS)
+        out.append("begin")
+        for decl in self.dp.components.values():
+            self.emit_component(decl)
+        for status in self.dp.statuses.values():
+            key = (status.source.component, status.source.port)
+            inner = self.wires[key]
+            if inner != status.name:
+                out.append(f"  {status.name} <= {inner};")
+        out.append(f"end architecture rtl;")
+        return "\n".join(out) + "\n"
+
+    # ------------------------------------------------------------------
+    def emit_component(self, decl: ComponentDecl) -> None:
+        handler = getattr(self, f"_emit_{decl.type}", None)
+        if handler is None:
+            handler = self._emit_binary_like
+        handler(decl)
+
+    # -- leaf emitters ----------------------------------------------------
+    _BINARY_VHDL = {
+        "add": "{a} + {b}",
+        "sub": "{a} - {b}",
+        "mul": "resize({a} * {b}, {w})",
+        "and": "{a} and {b}",
+        "or": "{a} or {b}",
+        "xor": "{a} xor {b}",
+        "min": "minimum({a}, {b})",
+        "max": "maximum({a}, {b})",
+        "div": "{a} / {b}",
+        "rem": "{a} rem {b}",
+        "fdiv": "f_div({a}, {b})",
+        "fmod": "f_mod({a}, {b})",
+        "shl": "shift_left({a}, to_integer(unsigned({braw})))",
+        "ashr": "shift_right({a}, to_integer(unsigned({braw})))",
+        "lshr": ("signed(shift_right(unsigned({araw}), "
+                 "to_integer(unsigned({braw}))))"),
+    }
+
+    _COMPARE_VHDL = {"eq": "=", "ne": "/=", "lt": "<", "le": "<=",
+                     "gt": ">", "ge": ">="}
+
+    def _emit_binary_like(self, decl: ComponentDecl) -> None:
+        name = decl.name
+        if decl.type in self._COMPARE_VHDL:
+            op = self._COMPARE_VHDL[decl.type]
+            self.lines.append(
+                f"  {self.wire(name, 'y')} <= '1' when "
+                f"{self.signed(name, 'a')} {op} {self.signed(name, 'b')} "
+                f"else '0';  -- {name}"
+            )
+            return
+        if decl.type in self._BINARY_VHDL:
+            fields = {"w": decl.width}
+            for port in ("a", "b"):
+                if (name, port) in self.wires:
+                    fields[port] = self.signed(name, port)
+                    fields[port + "raw"] = self.wire(name, port)
+            expr = self._BINARY_VHDL[decl.type].format(**fields)
+            self.lines.append(
+                f"  {self.wire(name, 'y')} <= std_logic_vector({expr});"
+                f"  -- {name}"
+            )
+            return
+        raise TranslationError(
+            f"no VHDL emitter for operator type {decl.type!r}"
+        )
+
+    def _emit_const(self, decl: ComponentDecl) -> None:
+        value = int(decl.param("value", "0"), 0)
+        target = self.wire(decl.name, "y")
+        self.lines.append(
+            f"  {target} <= {_literal(value, decl.width)};  -- {decl.name}"
+        )
+
+    def _emit_not(self, decl: ComponentDecl) -> None:
+        self.lines.append(
+            f"  {self.wire(decl.name, 'y')} <= "
+            f"not {self.wire(decl.name, 'a')};  -- {decl.name}"
+        )
+
+    def _emit_neg(self, decl: ComponentDecl) -> None:
+        self.lines.append(
+            f"  {self.wire(decl.name, 'y')} <= std_logic_vector("
+            f"-{self.signed(decl.name, 'a')});  -- {decl.name}"
+        )
+
+    def _emit_abs(self, decl: ComponentDecl) -> None:
+        self.lines.append(
+            f"  {self.wire(decl.name, 'y')} <= std_logic_vector("
+            f"abs({self.signed(decl.name, 'a')}));  -- {decl.name}"
+        )
+
+    def _emit_sext(self, decl: ComponentDecl) -> None:
+        self.lines.append(
+            f"  {self.wire(decl.name, 'y')} <= std_logic_vector(resize("
+            f"{self.signed(decl.name, 'a')}, {decl.width}));"
+            f"  -- {decl.name}"
+        )
+
+    def _emit_zext(self, decl: ComponentDecl) -> None:
+        self.lines.append(
+            f"  {self.wire(decl.name, 'y')} <= std_logic_vector(resize("
+            f"unsigned({self.wire(decl.name, 'a')}), {decl.width}));"
+            f"  -- {decl.name}"
+        )
+
+    def _emit_trunc(self, decl: ComponentDecl) -> None:
+        self.lines.append(
+            f"  {self.wire(decl.name, 'y')} <= "
+            f"{self.wire(decl.name, 'a')}({decl.width - 1} downto 0);"
+            f"  -- {decl.name}"
+        )
+
+    def _emit_mux(self, decl: ComponentDecl) -> None:
+        name = decl.name
+        inputs = sorted(
+            (int(port[2:]), wire)
+            for (component, port), wire in self.wires.items()
+            if component == name and port.startswith("in")
+            and port[2:].isdigit()
+        )
+        sel = self.wire(name, "sel")
+        target = self.wire(name, "y")
+        sel_width = max(1, (len(inputs) - 1).bit_length())
+        lines = [f"  process({sel}" +
+                 "".join(f", {wire}" for _, wire in inputs) + ")"]
+        lines.append("  begin")
+        lines.append(f"    case {sel} is")
+        for index, wire in inputs:
+            if len(inputs) == 1:
+                choice = "others"
+            else:
+                choice = f"\"{index:0{sel_width}b}\"" if sel_width > 1 \
+                    else f"'{index}'"
+            lines.append(f"      when {choice} => {target} <= {wire};")
+        if len(inputs) > 1:
+            lines.append(f"      when others => {target} <= "
+                         f"{inputs[0][1]};")
+        lines.append("    end case;")
+        lines.append(f"  end process;  -- {name}")
+        self.lines.extend(lines)
+
+    def _emit_reg(self, decl: ComponentDecl) -> None:
+        name = decl.name
+        d = self.wire(name, "d")
+        q = self.wire(name, "q")
+        enable = self.wires.get((name, "en"))
+        lines = [f"  process(clk)  -- {name}", "  begin",
+                 "    if rising_edge(clk) then"]
+        if enable is not None:
+            lines.append(f"      if {enable} = '1' then")
+            lines.append(f"        {q} <= {d};")
+            lines.append("      end if;")
+        else:
+            lines.append(f"      {q} <= {d};")
+        lines.append("    end if;")
+        lines.append("  end process;")
+        self.lines.extend(lines)
+
+    def _emit_sram(self, decl: ComponentDecl) -> None:
+        name = decl.name
+        memory = self.dp.memories[decl.param("memory")]
+        addr = self.wire(name, "addr")
+        dout = self.wires.get((name, "dout"))
+        din = self.wires.get((name, "din"))
+        we = self.wires.get((name, "we"))
+        lines = [
+            f"  blk_{name} : block  -- memory {memory.name!r}",
+            f"    type t_{name} is array (0 to {memory.depth - 1}) of "
+            f"{_slv(memory.width)};",
+            f"    signal mem_{name} : t_{name};",
+            "  begin",
+        ]
+        if dout is not None:
+            lines.append(
+                f"    {dout} <= mem_{name}(to_integer(unsigned({addr})));"
+            )
+        if we is not None and din is not None:
+            lines.extend([
+                "    process(clk)",
+                "    begin",
+                "      if rising_edge(clk) then",
+                f"        if {we} = '1' then",
+                f"          mem_{name}(to_integer(unsigned({addr}))) "
+                f"<= {din};",
+                "        end if;",
+                "      end if;",
+                "    end process;",
+            ])
+        lines.append(f"  end block blk_{name};")
+        self.lines.extend(lines)
+
+    _emit_rom = _emit_sram
+
+
+@register_translation(Datapath, "vhdl")
+def datapath_to_vhdl(datapath: Datapath) -> str:
+    """Emit the datapath as one self-contained VHDL entity."""
+    return _VhdlDatapathEmitter(datapath).emit()
+
+
+@register_translation(Fsm, "vhdl")
+def fsm_to_vhdl(fsm: Fsm) -> str:
+    """Emit the control unit as a two-process VHDL state machine."""
+    fsm.validate()
+    out: List[str] = [
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "use ieee.numeric_std.all;",
+        "",
+        f"entity {fsm.name} is",
+        "  port (",
+    ]
+    ports = ["    clk : in std_logic", "    rst : in std_logic"]
+    for name in fsm.inputs:
+        ports.append(f"    {name} : in std_logic")
+    for decl in fsm.outputs.values():
+        ports.append(f"    {decl.name} : out {_slv(decl.width)}")
+    out.append(";\n".join(ports))
+    out.extend(["  );", f"end entity {fsm.name};", ""])
+    out.append(f"architecture rtl of {fsm.name} is")
+    states = ", ".join(f"s_{name}" for name in fsm.states)
+    out.append(f"  type t_state is ({states});")
+    out.append(f"  signal state : t_state := s_{fsm.reset_state};")
+    out.append("begin")
+    # next-state process
+    out.append("  process(clk)")
+    out.append("  begin")
+    out.append("    if rising_edge(clk) then")
+    out.append("      if rst = '1' then")
+    out.append(f"        state <= s_{fsm.reset_state};")
+    out.append("      else")
+    out.append("        case state is")
+    for state in fsm.states.values():
+        out.append(f"          when s_{state.name} =>")
+        emitted_default = False
+        conditional = [t for t in state.transitions if not t.unconditional]
+        default = next((t for t in state.transitions if t.unconditional),
+                       None)
+        if conditional:
+            for index, transition in enumerate(conditional):
+                keyword = "if" if index == 0 else "elsif"
+                out.append(f"            {keyword} "
+                           f"{transition.condition.to_vhdl()} then")
+                out.append(f"              state <= s_{transition.target};")
+            if default is not None:
+                out.append("            else")
+                out.append(f"              state <= s_{default.target};")
+            out.append("            end if;")
+        elif default is not None:
+            out.append(f"            state <= s_{default.target};")
+        else:
+            out.append(f"            state <= s_{state.name};  -- final")
+    out.append("        end case;")
+    out.append("      end if;")
+    out.append("    end if;")
+    out.append("  end process;")
+    out.append("")
+    # Moore output process
+    out.append("  process(state)")
+    out.append("  begin")
+    for decl in fsm.outputs.values():
+        out.append(f"    {decl.name} <= "
+                   f"{_literal(decl.default, decl.width)};")
+    out.append("    case state is")
+    for state in fsm.states.values():
+        assigns = [(output, value) for output, value in
+                   state.assigns.items()]
+        out.append(f"      when s_{state.name} =>")
+        if not assigns:
+            out.append("        null;")
+        for output, value in assigns:
+            width = fsm.outputs[output].width
+            out.append(f"        {output} <= {_literal(value, width)};")
+    out.append("    end case;")
+    out.append("  end process;")
+    out.append(f"end architecture rtl;")
+    return "\n".join(out) + "\n"
+
+
+@register_translation(Rtg, "vhdl")
+def rtg_to_vhdl(rtg: Rtg) -> str:
+    """Emit the reconfiguration controller as a VHDL sequencer skeleton.
+
+    On a real platform reconfiguration is performed by a configuration
+    controller (ICAP access etc.); this emitter produces the sequencing
+    FSM that tells such a controller which bitstream to load next, plus
+    the shared-memory inventory as comments.
+    """
+    rtg.validate()
+    out: List[str] = [
+        f"-- reconfiguration sequencer for design {rtg.name!r}",
+        "-- shared memories (survive reconfiguration):",
+    ]
+    for decl in rtg.memories.values():
+        out.append(f"--   {decl.name}: {decl.width}x{decl.depth} "
+                   f"({decl.role})")
+    out.extend([
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "use ieee.numeric_std.all;",
+        "",
+        f"entity {rtg.name}_sequencer is",
+        "  port (",
+        "    clk : in std_logic;",
+        "    rst : in std_logic;",
+        "    cfg_done : in std_logic;  -- current configuration finished",
+        "    load_request : out std_logic;",
+        f"    load_index : out unsigned("
+        f"{max(1, (len(rtg.configurations) - 1).bit_length()) - 1} "
+        f"downto 0);",
+        "    all_done : out std_logic",
+        "  );",
+        f"end entity {rtg.name}_sequencer;",
+        "",
+        f"architecture rtl of {rtg.name}_sequencer is",
+    ])
+    names = list(rtg.configurations)
+    states = ", ".join(f"c_{name}" for name in names) + ", c_finished"
+    out.append(f"  type t_cfg is ({states});")
+    out.append(f"  signal current : t_cfg := c_{rtg.start};")
+    out.append("begin")
+    out.append("  process(clk)")
+    out.append("  begin")
+    out.append("    if rising_edge(clk) then")
+    out.append("      if rst = '1' then")
+    out.append(f"        current <= c_{rtg.start};")
+    out.append("      elsif cfg_done = '1' then")
+    out.append("        case current is")
+    for name in names:
+        transitions = rtg.transitions_from(name)
+        out.append(f"          when c_{name} =>")
+        if transitions:
+            default = next((t for t in transitions if t.unconditional),
+                           None)
+            target = default.target if default else transitions[0].target
+            out.append(f"            current <= c_{target};")
+        else:
+            out.append("            current <= c_finished;")
+    out.append("          when c_finished => null;")
+    out.append("        end case;")
+    out.append("      end if;")
+    out.append("    end if;")
+    out.append("  end process;")
+    out.append("  all_done <= '1' when current = c_finished else '0';")
+    out.append("  load_request <= '0' when current = c_finished else '1';")
+    index_width = max(1, (len(names) - 1).bit_length())
+    out.append("  with current select load_index <=")
+    for position, name in enumerate(names):
+        out.append(f"    to_unsigned({position}, {index_width}) "
+                   f"when c_{name},")
+    out.append(f"    to_unsigned(0, {index_width}) when others;")
+    out.append("end architecture rtl;")
+    return "\n".join(out) + "\n"

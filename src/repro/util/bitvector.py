@@ -1,0 +1,343 @@
+"""Fixed-width, two's-complement bit vectors.
+
+Every value travelling through the simulated datapaths is a
+:class:`BitVector`: an immutable, fixed-width binary word.  Arithmetic wraps
+modulo ``2**width`` exactly as hardware adders/multipliers do, and division
+follows the truncate-toward-zero convention of Java and C (the paper's
+compiler input language is Java), *not* Python's floor division.
+
+The class is deliberately small and allocation-light: the simulator creates
+millions of these while simulating an image-sized workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = ["BitVector", "bv"]
+
+
+class BitVector:
+    """An immutable fixed-width binary word.
+
+    The stored representation is always the unsigned value in
+    ``[0, 2**width)``.  Signed interpretation is available through
+    :attr:`signed` and the ``*_signed`` operations.
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: int, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"BitVector width must be positive, got {width}")
+        self._width = width
+        self._value = value & ((1 << width) - 1)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_signed(cls, value: int, width: int) -> "BitVector":
+        """Build from a signed integer; the value is wrapped into range."""
+        return cls(value, width)
+
+    @classmethod
+    def zeros(cls, width: int) -> "BitVector":
+        return cls(0, width)
+
+    @classmethod
+    def ones(cls, width: int) -> "BitVector":
+        return cls(-1, width)
+
+    @classmethod
+    def from_bits(cls, bits: "list[int]") -> "BitVector":
+        """Build from a list of bits, index 0 being the LSB."""
+        if not bits:
+            raise ValueError("cannot build a BitVector from an empty bit list")
+        value = 0
+        for i, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+            value |= bit << i
+        return cls(value, len(bits))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def unsigned(self) -> int:
+        """The value interpreted as an unsigned integer."""
+        return self._value
+
+    @property
+    def signed(self) -> int:
+        """The value interpreted as a two's-complement signed integer."""
+        sign_bit = 1 << (self._width - 1)
+        if self._value & sign_bit:
+            return self._value - (1 << self._width)
+        return self._value
+
+    @property
+    def msb(self) -> int:
+        return (self._value >> (self._width - 1)) & 1
+
+    @property
+    def lsb(self) -> int:
+        return self._value & 1
+
+    def bit(self, index: int) -> int:
+        """The bit at *index* (0 = LSB)."""
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit index {index} out of range for width {self._width}")
+        return (self._value >> index) & 1
+
+    def bits(self) -> Iterator[int]:
+        """Iterate bits from LSB to MSB."""
+        for i in range(self._width):
+            yield (self._value >> i) & 1
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._width))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitVector):
+            return self._value == other._value and self._width == other._width
+        if isinstance(other, int):
+            return self._value == (other & ((1 << self._width) - 1))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"BitVector(0x{self._value:x}, width={self._width})"
+
+    def __str__(self) -> str:
+        digits = (self._width + 3) // 4
+        return f"{self._width}'h{self._value:0{digits}x}"
+
+    # ------------------------------------------------------------------
+    # Width manipulation
+    # ------------------------------------------------------------------
+    def zero_extend(self, width: int) -> "BitVector":
+        if width < self._width:
+            raise ValueError(f"cannot zero-extend width {self._width} to {width}")
+        return BitVector(self._value, width)
+
+    def sign_extend(self, width: int) -> "BitVector":
+        if width < self._width:
+            raise ValueError(f"cannot sign-extend width {self._width} to {width}")
+        return BitVector(self.signed, width)
+
+    def truncate(self, width: int) -> "BitVector":
+        if width > self._width:
+            raise ValueError(f"cannot truncate width {self._width} to {width}")
+        return BitVector(self._value, width)
+
+    def resize(self, width: int, signed: bool = True) -> "BitVector":
+        """Resize to *width*, extending (sign- or zero-) or truncating."""
+        if width == self._width:
+            return self
+        if width < self._width:
+            return self.truncate(width)
+        return self.sign_extend(width) if signed else self.zero_extend(width)
+
+    def slice(self, high: int, low: int) -> "BitVector":
+        """Bits ``[high:low]`` inclusive, Verilog style."""
+        if not 0 <= low <= high < self._width:
+            raise ValueError(
+                f"slice [{high}:{low}] out of range for width {self._width}"
+            )
+        width = high - low + 1
+        return BitVector(self._value >> low, width)
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """``{self, other}`` — *self* becomes the high part."""
+        return BitVector(
+            (self._value << other._width) | other._value,
+            self._width + other._width,
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic (wrapping, same-width operands)
+    # ------------------------------------------------------------------
+    def _check_width(self, other: "BitVector") -> None:
+        if self._width != other._width:
+            raise ValueError(
+                f"width mismatch: {self._width} vs {other._width}"
+            )
+
+    def __add__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value + other._value, self._width)
+
+    def __sub__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value - other._value, self._width)
+
+    def __mul__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value * other._value, self._width)
+
+    def __neg__(self) -> "BitVector":
+        return BitVector(-self._value, self._width)
+
+    def div_signed(self, other: "BitVector") -> "BitVector":
+        """Signed division truncating toward zero (Java/C semantics)."""
+        self._check_width(other)
+        if other._value == 0:
+            raise ZeroDivisionError("BitVector division by zero")
+        a, b = self.signed, other.signed
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return BitVector(q, self._width)
+
+    def rem_signed(self, other: "BitVector") -> "BitVector":
+        """Signed remainder; sign follows the dividend (Java/C semantics)."""
+        self._check_width(other)
+        if other._value == 0:
+            raise ZeroDivisionError("BitVector remainder by zero")
+        a, b = self.signed, other.signed
+        r = abs(a) % abs(b)
+        if a < 0:
+            r = -r
+        return BitVector(r, self._width)
+
+    def div_unsigned(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        if other._value == 0:
+            raise ZeroDivisionError("BitVector division by zero")
+        return BitVector(self._value // other._value, self._width)
+
+    def rem_unsigned(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        if other._value == 0:
+            raise ZeroDivisionError("BitVector remainder by zero")
+        return BitVector(self._value % other._value, self._width)
+
+    def mul_full(self, other: "BitVector") -> "BitVector":
+        """Full-precision signed product, ``2*width`` bits wide."""
+        self._check_width(other)
+        return BitVector(self.signed * other.signed, 2 * self._width)
+
+    def add_carry(self, other: "BitVector", carry_in: int = 0) -> Tuple["BitVector", int]:
+        """Sum and carry-out of an unsigned addition."""
+        self._check_width(other)
+        total = self._value + other._value + (carry_in & 1)
+        return BitVector(total, self._width), (total >> self._width) & 1
+
+    def abs_signed(self) -> "BitVector":
+        return BitVector(abs(self.signed), self._width)
+
+    # ------------------------------------------------------------------
+    # Bitwise
+    # ------------------------------------------------------------------
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value & other._value, self._width)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value | other._value, self._width)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value ^ other._value, self._width)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(~self._value, self._width)
+
+    # ------------------------------------------------------------------
+    # Shifts.  The shift amount is taken modulo nothing: amounts >= width
+    # shift everything out (logical) or saturate to the sign (arithmetic),
+    # matching a barrel shifter fed the full amount.
+    # ------------------------------------------------------------------
+    def shift_left(self, amount: int) -> "BitVector":
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        if amount >= self._width:
+            return BitVector(0, self._width)
+        return BitVector(self._value << amount, self._width)
+
+    def shift_right_logical(self, amount: int) -> "BitVector":
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        if amount >= self._width:
+            return BitVector(0, self._width)
+        return BitVector(self._value >> amount, self._width)
+
+    def shift_right_arith(self, amount: int) -> "BitVector":
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        if amount >= self._width:
+            amount = self._width - 1 if self.msb else self._width
+        return BitVector(self.signed >> amount, self._width)
+
+    # ------------------------------------------------------------------
+    # Comparisons (return plain ints 0/1, the width-1 status a comparator
+    # feeds to the FSM)
+    # ------------------------------------------------------------------
+    def eq(self, other: "BitVector") -> int:
+        self._check_width(other)
+        return int(self._value == other._value)
+
+    def ne(self, other: "BitVector") -> int:
+        return 1 - self.eq(other)
+
+    def lt_signed(self, other: "BitVector") -> int:
+        self._check_width(other)
+        return int(self.signed < other.signed)
+
+    def le_signed(self, other: "BitVector") -> int:
+        self._check_width(other)
+        return int(self.signed <= other.signed)
+
+    def gt_signed(self, other: "BitVector") -> int:
+        self._check_width(other)
+        return int(self.signed > other.signed)
+
+    def ge_signed(self, other: "BitVector") -> int:
+        self._check_width(other)
+        return int(self.signed >= other.signed)
+
+    def lt_unsigned(self, other: "BitVector") -> int:
+        self._check_width(other)
+        return int(self._value < other._value)
+
+    def ge_unsigned(self, other: "BitVector") -> int:
+        self._check_width(other)
+        return int(self._value >= other._value)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def popcount(self) -> int:
+        return bin(self._value).count("1")
+
+    def reduce_and(self) -> int:
+        return int(self._value == (1 << self._width) - 1)
+
+    def reduce_or(self) -> int:
+        return int(self._value != 0)
+
+    def reduce_xor(self) -> int:
+        return self.popcount() & 1
+
+
+def bv(value: int, width: int) -> BitVector:
+    """Terse constructor used pervasively in tests and examples."""
+    return BitVector(value, width)

@@ -1,0 +1,253 @@
+"""Memory image files.
+
+The paper stores memory contents and I/O stimuli in files shared between the
+golden software execution and the hardware simulation; after simulation "a
+simple comparison of data content is performed to verify results".  This
+module defines that file format and the in-memory :class:`MemoryImage` both
+sides operate on.
+
+File format (``.mem``)::
+
+    # free-form comments
+    width 16
+    depth 4096
+    @0000 002a
+    @0001 ffd6
+    0013            # no @addr: next sequential address
+
+Words are stored as unsigned hexadecimal; interpretation (signed/unsigned)
+is up to the consumer, exactly like a RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+__all__ = ["MemoryImage", "MemoryMismatch", "compare_images", "load_memory_file",
+           "save_memory_file"]
+
+
+@dataclass(frozen=True)
+class MemoryMismatch:
+    """One differing word between two memory images."""
+
+    address: int
+    expected: int
+    actual: int
+
+    def describe(self, width: int) -> str:
+        digits = (width + 3) // 4
+        return (
+            f"@{self.address:04x}: expected 0x{self.expected:0{digits}x}, "
+            f"got 0x{self.actual:0{digits}x}"
+        )
+
+
+class MemoryImage:
+    """A fixed-width, fixed-depth word-addressable memory content."""
+
+    def __init__(self, width: int, depth: int,
+                 words: Optional[Sequence[int]] = None,
+                 name: str = "mem") -> None:
+        if width <= 0:
+            raise ValueError(f"memory width must be positive, got {width}")
+        if depth <= 0:
+            raise ValueError(f"memory depth must be positive, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.name = name
+        self._mask = (1 << width) - 1
+        if words is None:
+            self._words: List[int] = [0] * depth
+        else:
+            if len(words) > depth:
+                raise ValueError(
+                    f"{len(words)} initial words exceed depth {depth}"
+                )
+            self._words = [w & self._mask for w in words]
+            self._words.extend([0] * (depth - len(words)))
+        #: write observers ``callback(address, value)`` — used by
+        #: simulated SRAM ports to keep their combinational read path
+        #: coherent when another bus master (e.g. a co-simulated CPU)
+        #: writes the same storage directly
+        self._watchers: List = []
+
+    # ------------------------------------------------------------------
+    # Word access.  Reads/writes mask to width; signed helpers follow
+    # two's complement.
+    # ------------------------------------------------------------------
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.depth:
+            raise IndexError(
+                f"address {address} out of range for {self.name!r} "
+                f"(depth {self.depth})"
+            )
+
+    def read(self, address: int) -> int:
+        self._check_address(address)
+        return self._words[address]
+
+    def read_signed(self, address: int) -> int:
+        word = self.read(address)
+        if word & (1 << (self.width - 1)):
+            return word - (1 << self.width)
+        return word
+
+    def write(self, address: int, value: int) -> None:
+        self._check_address(address)
+        value &= self._mask
+        self._words[address] = value
+        for watcher in self._watchers:
+            watcher(address, value)
+
+    def watch(self, callback) -> None:
+        """Call ``callback(address, value)`` after every write."""
+        self._watchers.append(callback)
+
+    def unwatch(self, callback) -> None:
+        self._watchers.remove(callback)
+
+    def fill(self, value: int) -> None:
+        masked = value & self._mask
+        for i in range(self.depth):
+            self._words[i] = masked
+        for watcher in self._watchers:
+            for i in range(self.depth):
+                watcher(i, masked)
+
+    def load_words(self, words: Iterable[int], base: int = 0) -> None:
+        for offset, word in enumerate(words):
+            self.write(base + offset, word)
+
+    def words(self) -> List[int]:
+        """A copy of all words (unsigned)."""
+        return list(self._words)
+
+    def words_signed(self) -> List[int]:
+        half = 1 << (self.width - 1)
+        full = 1 << self.width
+        return [w - full if w >= half else w for w in self._words]
+
+    def copy(self, name: Optional[str] = None) -> "MemoryImage":
+        return MemoryImage(self.width, self.depth, self._words,
+                           name=name or self.name)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._words)
+
+    def __getitem__(self, address: int) -> int:
+        return self.read(address)
+
+    def __setitem__(self, address: int, value: int) -> None:
+        self.write(address, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryImage):
+            return NotImplemented
+        return (self.width == other.width and self.depth == other.depth
+                and self._words == other._words)
+
+    def __repr__(self) -> str:
+        return (f"MemoryImage(name={self.name!r}, width={self.width}, "
+                f"depth={self.depth})")
+
+    # ------------------------------------------------------------------
+    # File I/O
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path], *, sparse: bool = False) -> None:
+        save_memory_file(self, path, sparse=sparse)
+
+    @classmethod
+    def load(cls, path: Union[str, Path], name: Optional[str] = None) -> "MemoryImage":
+        return load_memory_file(path, name=name)
+
+
+def save_memory_file(image: MemoryImage, path: Union[str, Path], *,
+                     sparse: bool = False) -> None:
+    """Write *image* to *path* in ``.mem`` format.
+
+    With ``sparse=True`` only non-zero words are emitted (with explicit
+    ``@addr`` prefixes), which keeps stimulus files for large, mostly-empty
+    memories small.
+    """
+    path = Path(path)
+    digits = (image.width + 3) // 4
+    addr_digits = max(4, (max(image.depth - 1, 1).bit_length() + 3) // 4)
+    lines = [
+        f"# memory image {image.name!r}",
+        f"width {image.width}",
+        f"depth {image.depth}",
+    ]
+    if sparse:
+        for address, word in enumerate(image):
+            if word:
+                lines.append(f"@{address:0{addr_digits}x} {word:0{digits}x}")
+    else:
+        for address, word in enumerate(image):
+            lines.append(f"@{address:0{addr_digits}x} {word:0{digits}x}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_memory_file(path: Union[str, Path],
+                     name: Optional[str] = None) -> MemoryImage:
+    """Parse a ``.mem`` file written by :func:`save_memory_file`."""
+    path = Path(path)
+    width: Optional[int] = None
+    depth: Optional[int] = None
+    entries: List[tuple] = []
+    cursor = 0
+    for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "width":
+            width = int(parts[1])
+        elif parts[0] == "depth":
+            depth = int(parts[1])
+        elif parts[0].startswith("@"):
+            cursor = int(parts[0][1:], 16)
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_no}: @addr line without a word")
+            entries.append((cursor, int(parts[1], 16)))
+            cursor += 1
+        else:
+            for token in parts:
+                entries.append((cursor, int(token, 16)))
+                cursor += 1
+    if width is None or depth is None:
+        raise ValueError(f"{path}: missing 'width' or 'depth' header")
+    image = MemoryImage(width, depth, name=name or path.stem)
+    for address, word in entries:
+        image.write(address, word)
+    return image
+
+
+def compare_images(expected: MemoryImage, actual: MemoryImage,
+                   *, limit: Optional[int] = None) -> List[MemoryMismatch]:
+    """Word-by-word comparison; the paper's post-simulation check.
+
+    Returns the mismatching words (up to *limit* of them).  Width or depth
+    disagreement is an error, not a mismatch list — it means the designs are
+    not comparable at all.
+    """
+    if expected.width != actual.width:
+        raise ValueError(
+            f"memory widths differ: {expected.width} vs {actual.width}"
+        )
+    if expected.depth != actual.depth:
+        raise ValueError(
+            f"memory depths differ: {expected.depth} vs {actual.depth}"
+        )
+    mismatches: List[MemoryMismatch] = []
+    for address, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            mismatches.append(MemoryMismatch(address, want, got))
+            if limit is not None and len(mismatches) >= limit:
+                break
+    return mismatches

@@ -1,0 +1,193 @@
+"""Tests for the benchmark applications (golden-level semantics)."""
+
+import math
+import random
+
+import pytest
+
+from repro.apps import (build_fdct1, build_fdct2, build_hamming,
+                        fdct_arrays, fdct_inputs, fdct_kernel, fdct_params,
+                        fir_arrays, fir_inputs, fir_kernel, fir_params,
+                        hamming_arrays, hamming_decode_kernel,
+                        hamming_encode, hamming_inputs, inject_errors,
+                        matmul_arrays, matmul_inputs, matmul_kernel,
+                        popcount_arrays, popcount_inputs, popcount_kernel,
+                        standard_suite, suite_case, threshold_kernel)
+from repro.golden import run_golden
+from repro.util.files import MemoryImage
+
+
+class TestFdctGolden:
+    def run_kernel(self, pixels):
+        arrays = fdct_arrays(pixels)
+        images = {name: MemoryImage(spec.width, spec.depth, name=name)
+                  for name, spec in arrays.items()}
+        images["img_in"] = fdct_inputs(pixels)["img_in"]
+        run_golden(fdct_kernel, arrays, images, fdct_params(pixels))
+        return images
+
+    def test_dc_coefficient_matches_block_sum(self):
+        """DC output = mean-scaled block sum (within integer rounding)."""
+        images = self.run_kernel(64)
+        pixels = images["img_in"].words()
+        dc = images["img_out"].read_signed(0)
+        # jfdctint scaling: DC = 8 * sum / 8 = sum (per the 1/8 factor of
+        # the 2-D normalisation used by this integer variant)
+        assert abs(dc - sum(pixels)) <= 8
+
+    def test_matches_float_dct(self):
+        """Cross-check against an independent float DCT-II reference."""
+        images = self.run_kernel(64)
+        pixels = images["img_in"].words()
+        block = [[pixels[r * 8 + c] for c in range(8)] for r in range(8)]
+
+        def dct_1d(vector):
+            out = []
+            for k in range(8):
+                total = sum(vector[n] * math.cos(math.pi * k *
+                                                 (2 * n + 1) / 16)
+                            for n in range(8))
+                out.append(total)
+            return out
+
+        rows = [dct_1d(row) for row in block]
+        cols = [dct_1d([rows[r][c] for r in range(8)]) for c in range(8)]
+        # jfdctint scaling: each AC axis carries an extra sqrt(2)
+        for r in range(8):
+            for c in range(8):
+                reference = cols[c][r]
+                if r:
+                    reference *= math.sqrt(2)
+                if c:
+                    reference *= math.sqrt(2)
+                got = images["img_out"].read_signed(r * 8 + c)
+                assert abs(got - reference) <= max(
+                    2.0, abs(reference) * 0.01), (r, c)
+
+    def test_arrays_validate_pixel_count(self):
+        with pytest.raises(ValueError, match="multiple"):
+            fdct_arrays(100)
+
+
+class TestHammingGolden:
+    def test_encode_decode_roundtrip(self):
+        for nibble in range(16):
+            code = hamming_encode(nibble)
+            arrays = hamming_arrays(1)
+            images = {"code_in": MemoryImage(8, 1, words=[code]),
+                      "data_out": MemoryImage(8, 1)}
+            run_golden(hamming_decode_kernel, arrays, images,
+                       {"n_words": 1})
+            assert images["data_out"].read(0) == nibble
+
+    def test_single_bit_errors_corrected(self):
+        for nibble in (0, 5, 10, 15):
+            code = hamming_encode(nibble)
+            for bit in range(7):
+                corrupted = code ^ (1 << bit)
+                arrays = hamming_arrays(1)
+                images = {"code_in": MemoryImage(8, 1, words=[corrupted]),
+                          "data_out": MemoryImage(8, 1)}
+                run_golden(hamming_decode_kernel, arrays, images,
+                           {"n_words": 1})
+                assert images["data_out"].read(0) == nibble, (nibble, bit)
+
+    def test_encode_range_check(self):
+        with pytest.raises(ValueError):
+            hamming_encode(16)
+
+    def test_inject_errors_deterministic(self):
+        words = [hamming_encode(n % 16) for n in range(32)]
+        assert inject_errors(words, seed=1) == inject_errors(words, seed=1)
+        assert inject_errors(words, seed=1) != inject_errors(words, seed=2)
+
+    def test_inputs_decodable(self):
+        images = hamming_inputs(16, seed=0)
+        arrays = hamming_arrays(16)
+        images = {"code_in": images["code_in"],
+                  "data_out": MemoryImage(8, 16)}
+        run_golden(hamming_decode_kernel, arrays, images, {"n_words": 16})
+        rng = random.Random(0)
+        payload = [rng.randrange(16) for _ in range(16)]
+        assert images["data_out"].words() == payload
+
+
+class TestOtherKernels:
+    def test_fir_matches_direct_convolution(self):
+        arrays = fir_arrays(8, 4)
+        inputs = fir_inputs(8, 4, seed=1)
+        images = {"samples": inputs["samples"], "coeffs": inputs["coeffs"],
+                  "filtered": MemoryImage(32, 8)}
+        run_golden(fir_kernel, arrays, images, fir_params(8, 4))
+        samples = images["samples"].words_signed()
+        coeffs = images["coeffs"].words_signed()
+        for i in range(8):
+            expected = sum(samples[i + t] * coeffs[t] for t in range(4))
+            assert images["filtered"].read_signed(i) == expected
+
+    def test_matmul_matches_reference(self):
+        n = 4
+        arrays = matmul_arrays(n)
+        inputs = matmul_inputs(n, seed=1)
+        images = {"mat_a": inputs["mat_a"], "mat_b": inputs["mat_b"],
+                  "mat_c": MemoryImage(32, n * n)}
+        run_golden(matmul_kernel, arrays, images, {"n": n})
+        a = images["mat_a"].words_signed()
+        b = images["mat_b"].words_signed()
+        for i in range(n):
+            for j in range(n):
+                expected = sum(a[i * n + k] * b[k * n + j]
+                               for k in range(n))
+                assert images["mat_c"].read_signed(i * n + j) == expected
+
+    def test_popcount_matches_bin_count(self):
+        arrays = popcount_arrays(16)
+        inputs = popcount_inputs(16, seed=1)
+        images = {"words_in": inputs["words_in"],
+                  "counts_out": MemoryImage(16, 16)}
+        run_golden(popcount_kernel, arrays, images, {"n_words": 16})
+        for i, word in enumerate(images["words_in"].words()):
+            assert images["counts_out"].read(i) == bin(word).count("1")
+
+
+class TestBuilders:
+    def test_fdct1_single_configuration(self):
+        design = build_fdct1(128)
+        assert not design.multi_configuration
+
+    def test_fdct2_two_configurations(self):
+        design = build_fdct2(128)
+        assert len(design.configurations) == 2
+        # pass 2 reads what pass 1 wrote through the shared intermediate
+        assert "img_mid" in design.rtg.memories
+
+    def test_fdct2_partitions_smaller_than_fdct1(self):
+        """Table I's key structural effect: temporal partitioning yields
+        smaller per-configuration designs."""
+        fdct1 = build_fdct1(128)
+        fdct2 = build_fdct2(128)
+        whole = fdct1.configurations[0].operator_count()
+        for config in fdct2.configurations:
+            assert config.operator_count() < whole
+
+    def test_hamming_smallest_design(self):
+        hamming = build_hamming(64)
+        fdct1 = build_fdct1(128)
+        assert hamming.total_operators() < \
+            fdct1.total_operators() // 2
+
+
+class TestRegistry:
+    def test_standard_suite_contents(self):
+        suite = standard_suite()
+        names = [case.name for case in suite.cases]
+        assert names == ["fdct1", "fdct2", "idct", "hamming", "fir",
+                         "matmul", "threshold", "popcount"]
+
+    def test_unknown_case(self):
+        with pytest.raises(KeyError, match="unknown case"):
+            suite_case("ghost")
+
+    def test_case_sizing_forwarded(self):
+        case = suite_case("hamming", n_words=16)
+        assert case.arrays["code_in"].depth == 16

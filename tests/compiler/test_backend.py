@@ -1,0 +1,250 @@
+"""Tests for datapath generation, FSM generation and partitioning."""
+
+import pytest
+
+from repro.compiler import (CompileError, build_cfg, compile_function,
+                            parse_function, schedule_cfg, split_function)
+from repro.compiler.datapath_gen import generate_datapath
+from repro.compiler.fsm_gen import DONE_STATE, generate_fsm, state_name
+from repro.compiler.partitioning import SPILL_MEMORY, estimate_cost
+from repro.compiler.spec import MemorySpec
+from repro.hdl import DONE_OUTPUT
+
+ARR = {"a": MemorySpec(32, 32), "b": MemorySpec(16, 32, signed=False)}
+
+
+def bound(source):
+    signature = source.splitlines()[0].split("(", 1)[1]
+    arrays = {name: spec for name, spec in ARR.items() if name in signature}
+    function = parse_function(source, arrays)
+    cfg = build_cfg(function, arrays, 32)
+    schedule = schedule_cfg(cfg)
+    binding = generate_datapath(cfg, schedule)
+    return cfg, schedule, binding
+
+
+class TestDatapathGen:
+    def test_validates(self):
+        _, _, binding = bound(
+            "def f(a):\n    for i in range(4):\n        a[i] = i * 3\n"
+        )
+        binding.datapath.validate()
+
+    def test_spatial_binding_one_fu_per_op(self):
+        cfg, _, binding = bound("def f(a):\n    x = 1\n    a[0] = x + x * x\n")
+        histogram = binding.datapath.operator_histogram()
+        # one mul, one add (spatial binding, no sharing)
+        assert histogram.get("mul") == 1
+        assert histogram.get("add") == 1
+
+    def test_constants_deduplicated(self):
+        _, _, binding = bound(
+            "def f(a):\n    a[0] = 7\n    a[1] = 7\n    a[2] = 7 + 7\n"
+        )
+        consts = [c for c in binding.datapath.components.values()
+                  if c.type == "const"]
+        values = [c.param("value") for c in consts]
+        assert len(values) == len(set((v, c.width) for v, c in
+                                      zip(values, consts)))
+
+    def test_memory_declared_with_spec(self):
+        _, _, binding = bound("def f(b):\n    b[0] = 1\n")
+        memory = binding.datapath.memories["b"]
+        assert memory.width == 16 and memory.depth == 32
+
+    def test_address_mux_has_idle_zero_input(self):
+        _, _, binding = bound("def f(a):\n    a[3] = 1\n")
+        dp = binding.datapath
+        amux = dp.components["amux_a"]
+        assert amux.type == "mux"
+        # input 0 of the address mux must come from a constant-0 net
+        net = next(net for net in dp.nets.values()
+                   if any(str(sink) == "amux_a.in0" for sink in net.sinks))
+        source_comp = dp.components[net.source.component]
+        assert source_comp.type == "const"
+        assert source_comp.param("value") == "0"
+
+    def test_narrow_memory_gets_extension_and_trunc(self):
+        _, _, binding = bound("def f(b):\n    b[1] = b[0] + 1\n")
+        dp = binding.datapath
+        assert dp.components["x_b"].type == "zext"  # unsigned loads
+        assert dp.components["tr_b"].type == "trunc"
+
+    def test_signed_narrow_memory_sign_extends(self):
+        arrays = {"s": MemorySpec(8, 8, signed=True)}
+        function = parse_function("def f(s):\n    s[1] = s[0]\n", arrays)
+        cfg = build_cfg(function, arrays, 32)
+        binding = generate_datapath(cfg, schedule_cfg(cfg))
+        assert binding.datapath.components["x_s"].type == "sext"
+
+    def test_write_only_array_has_no_value_wire(self):
+        _, _, binding = bound("def f(a):\n    a[0] = 1\n")
+        assert "x_a" not in binding.datapath.components
+        # dout is unconnected: no net mentions it
+        assert not any("ram_a.dout" in str(net.source)
+                       for net in binding.datapath.nets.values())
+
+    def test_var_with_multiple_sources_gets_mux(self):
+        _, _, binding = bound(
+            "def f(a):\n"
+            "    x = 0\n"
+            "    for i in range(3):\n"
+            "        x = x + a[i]\n"
+            "    a[4] = x\n"
+        )
+        dp = binding.datapath
+        assert "mux_x" in dp.components
+        assert "sel_x" in dp.controls
+
+    def test_single_source_var_direct_wire(self):
+        _, _, binding = bound("def f(a):\n    x = 5\n    a[0] = x\n")
+        dp = binding.datapath
+        assert "mux_x" not in dp.components
+        assert "en_x" in dp.controls
+
+    def test_status_lines_per_branch_block(self):
+        _, _, binding = bound(
+            "def f(a):\n"
+            "    for i in range(3):\n"
+            "        if a[i] > 0:\n"
+            "            a[i] = 0\n"
+        )
+        assert len(binding.branch_status) == 2  # loop head + if
+        for status in binding.branch_status.values():
+            assert status in binding.datapath.statuses
+
+    def test_step_plan_conflicts_rejected(self):
+        cfg, schedule, binding = bound("def f(a):\n    a[0] = 1\n")
+        from repro.compiler.datapath_gen import _Binder
+
+        binder = _Binder(cfg, schedule, "x")
+        binder.plan("entry", 0, "we_a", 1)
+        with pytest.raises(CompileError, match="assigned both"):
+            binder.plan("entry", 0, "we_a", 0)
+
+
+class TestFsmGen:
+    def test_state_per_step_plus_done(self):
+        cfg, schedule, binding = bound(
+            "def f(a):\n    for i in range(3):\n        a[i] = i\n"
+        )
+        fsm = generate_fsm(cfg, schedule, binding)
+        assert fsm.state_count() == schedule.total_states() + 1
+        assert DONE_STATE in fsm.states
+        assert DONE_STATE in fsm.final_states
+
+    def test_reset_state_is_entry_step0(self):
+        cfg, schedule, binding = bound("def f(a):\n    a[0] = 1\n")
+        fsm = generate_fsm(cfg, schedule, binding)
+        assert fsm.reset_state == state_name("entry", 0)
+
+    def test_done_asserted_only_in_done_state(self):
+        cfg, schedule, binding = bound("def f(a):\n    a[0] = 1\n")
+        fsm = generate_fsm(cfg, schedule, binding)
+        for name in fsm.states:
+            expected = 1 if name == DONE_STATE else 0
+            assert fsm.output_vector(name)[DONE_OUTPUT] == expected
+
+    def test_branch_uses_status_guard(self):
+        cfg, schedule, binding = bound(
+            "def f(a):\n    for i in range(3):\n        a[i] = i\n"
+        )
+        fsm = generate_fsm(cfg, schedule, binding)
+        head_last = state_name("for_head",
+                               schedule.blocks["for_head"].last_step)
+        transitions = fsm.states[head_last].transitions
+        assert len(transitions) == 2
+        assert not transitions[0].unconditional
+        assert transitions[1].unconditional
+
+    def test_outputs_match_datapath_controls(self):
+        cfg, schedule, binding = bound(
+            "def f(a):\n    for i in range(3):\n        a[i] = i\n"
+        )
+        fsm = generate_fsm(cfg, schedule, binding)
+        for name, line in binding.datapath.controls.items():
+            assert fsm.outputs[name].width == line.width
+
+    def test_validates(self):
+        cfg, schedule, binding = bound(
+            "def f(a):\n"
+            "    x = 0\n"
+            "    while x < 5:\n"
+            "        if a[x] > 2:\n"
+            "            a[x] = 2\n"
+            "        x = x + 1\n"
+        )
+        generate_fsm(cfg, schedule, binding).validate()
+
+
+def parse_simple(source, arrays):
+    return parse_function(source, arrays)
+
+
+class TestPartitioning:
+    TWO_LOOPS = (
+        "def f(a):\n"
+        "    s = 3\n"
+        "    for i in range(4):\n"
+        "        a[i] = a[i] + s\n"
+        "    for j in range(4):\n"
+        "        a[j] = a[j] * s\n"
+    )
+
+    def test_single_partition_identity(self):
+        function = parse_simple(self.TWO_LOOPS, {"a": ARR["a"]})
+        plan = split_function(function, 32, n_partitions=1)
+        assert plan.count == 1
+        assert plan.functions[0] is function
+
+    def test_auto_split_balances(self):
+        function = parse_simple(self.TWO_LOOPS, {"a": ARR["a"]})
+        plan = split_function(function, 32, n_partitions=2)
+        assert plan.count == 2
+
+    def test_scalar_crossing_spilled(self):
+        function = parse_simple(self.TWO_LOOPS, {"a": ARR["a"]})
+        plan = split_function(function, 32, partition_after=[1])
+        assert "s" in plan.spill_slots
+        # partition 0 ends with a spill store, partition 1 starts with a load
+        from repro.compiler.hir import SAssign, SStore
+
+        last = plan.functions[0].body[-1]
+        assert isinstance(last, SStore) and last.array == SPILL_MEMORY
+        first = plan.functions[1].body[0]
+        assert isinstance(first, SAssign)
+
+    def test_no_crossing_no_spill(self):
+        source = (
+            "def f(a):\n"
+            "    for i in range(4):\n"
+            "        a[i] = i\n"
+            "    for j in range(4):\n"
+            "        a[j] = a[j] + 1\n"
+        )
+        function = parse_simple(source, {"a": ARR["a"]})
+        plan = split_function(function, 32, partition_after=[0])
+        assert plan.spill_slots == {}
+        assert plan.spill_spec is None
+
+    def test_boundary_out_of_range(self):
+        function = parse_simple(self.TWO_LOOPS, {"a": ARR["a"]})
+        with pytest.raises(CompileError, match="out of range"):
+            split_function(function, 32, partition_after=[5])
+
+    def test_too_many_partitions(self):
+        function = parse_simple(self.TWO_LOOPS, {"a": ARR["a"]})
+        with pytest.raises(CompileError, match="cannot split"):
+            split_function(function, 32, n_partitions=9)
+
+    def test_estimate_cost_positive(self):
+        function = parse_simple(self.TWO_LOOPS, {"a": ARR["a"]})
+        assert all(estimate_cost(stmt) > 0 for stmt in function.body)
+
+    def test_compiled_two_partition_design(self):
+        design = compile_function(self.TWO_LOOPS, {"a": ARR["a"]},
+                                  partition_after=[1])
+        assert design.multi_configuration
+        assert SPILL_MEMORY in design.arrays
+        assert design.rtg.configuration_count() == 2
+        assert design.rtg.next_configuration("cfg0") == "cfg1"

@@ -1,0 +1,189 @@
+"""Tests for CFG construction and its invariants."""
+
+import pytest
+
+from repro.compiler import CompileError, build_cfg, parse_function
+from repro.compiler.cfg import (TBranch, TCopy, THalt, TJump, TLoad, TOp,
+                                TStore, VConst, VTemp, VVar)
+from repro.compiler.spec import MemorySpec
+
+ARR = {"buf": MemorySpec(16, 32)}
+
+
+def cfg_of(source, arrays=None, params=None, width=32):
+    arrays = arrays if arrays is not None else ARR
+    return build_cfg(parse_function(source, arrays, params), arrays, width)
+
+
+class TestShapes:
+    def test_straight_line(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1 + 2\n")
+        assert list(cfg.blocks) == ["entry"]
+        assert isinstance(cfg.block("entry").terminator, THalt)
+
+    def test_for_loop_shape(self):
+        cfg = cfg_of("def f(buf):\n    for i in range(4):\n        buf[i] = i\n")
+        names = list(cfg.blocks)
+        assert names == ["entry", "for_head", "for_body", "for_exit"]
+        head = cfg.block("for_head")
+        assert isinstance(head.terminator, TBranch)
+        assert head.terminator.successors() == ["for_body", "for_exit"]
+        # body increments and jumps back
+        body = cfg.block("for_body")
+        assert isinstance(body.terminator, TJump)
+        assert body.terminator.target == "for_head"
+
+    def test_negative_step_uses_gt(self):
+        cfg = cfg_of(
+            "def f(buf):\n    for i in range(6, 0, -2):\n        buf[i] = i\n"
+        )
+        head = cfg.block("for_head")
+        compare = [op for op in head.ops if isinstance(op, TOp)][0]
+        assert compare.op == "gt"
+
+    def test_if_else_shape(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 1\n"
+            "    if x > 0:\n"
+            "        buf[0] = 1\n"
+            "    else:\n"
+            "        buf[0] = 2\n"
+            "    buf[1] = 3\n"
+        )
+        names = set(cfg.blocks)
+        assert {"entry", "if_then", "if_else", "if_join"} <= names
+
+    def test_if_without_else_branches_to_join(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 1\n"
+            "    if x > 0:\n"
+            "        buf[0] = 1\n"
+        )
+        branch = cfg.block("entry").terminator
+        assert isinstance(branch, TBranch)
+        assert branch.false_target == "if_join"
+
+    def test_while_shape(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 0\n"
+            "    while x < 3:\n"
+            "        x = x + 1\n"
+        )
+        assert {"while_head", "while_body", "while_exit"} <= set(cfg.blocks)
+
+    def test_nested_loops_unique_names(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    for i in range(2):\n"
+            "        for j in range(2):\n"
+            "            buf[i * 2 + j] = 1\n"
+        )
+        heads = [name for name in cfg.blocks if name.startswith("for_head")]
+        assert len(heads) == 2
+        assert len(set(heads)) == 2
+
+
+class TestBounds:
+    def test_computed_bound_pinned_to_variable(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    n = 3\n"
+            "    for i in range(n * 2):\n"
+            "        buf[i] = i\n"
+        )
+        assert any(var.startswith("__bound") for var in cfg.variables)
+        head = cfg.block("for_head")
+        compare = [op for op in head.ops if isinstance(op, TOp)][0]
+        assert isinstance(compare.b, VVar)
+
+    def test_variable_bound_used_directly(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    n = 3\n"
+            "    for i in range(n):\n"
+            "        buf[i] = i\n"
+        )
+        assert not any(var.startswith("__bound") for var in cfg.variables)
+
+    def test_loop_var_as_own_bound_rejected(self):
+        with pytest.raises(CompileError, match="loop variable itself"):
+            cfg_of(
+                "def f(buf):\n"
+                "    i = 0\n"
+                "    for i in range(i):\n"
+                "        buf[0] = 1\n"
+            )
+
+
+class TestValues:
+    def test_temp_widths(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 1\n"
+            "    if x < 2 and x > 0:\n"
+            "        buf[0] = x + 1\n"
+        )
+        widths = {}
+        for block in cfg:
+            for op in block.ops:
+                if isinstance(op, TOp):
+                    widths[op.op] = op.dest.width
+        assert widths["lt"] == 1
+        assert widths["gt"] == 1
+        assert widths["and"] == 1
+        assert widths["add"] == 32
+
+    def test_op_count(self):
+        cfg = cfg_of("def f(buf):\n    buf[1] = buf[0] + 1\n")
+        assert cfg.op_count() == 3  # load, add, store
+
+    def test_dump_is_readable(self):
+        cfg = cfg_of("def f(buf):\n    for i in range(2):\n        buf[i] = i\n")
+        text = cfg.dump()
+        assert "for_head:" in text
+        assert "branch" in text
+        assert "store buf[" in text
+
+
+class TestVerify:
+    def test_temp_used_before_definition_detected(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1 + 2\n")
+        block = cfg.block("entry")
+        ghost = VTemp(999, 32)
+        block.ops.insert(0, TCopy("x", ghost))
+        cfg.variables.add("x")
+        with pytest.raises(CompileError, match="before its definition"):
+            cfg.verify()
+
+    def test_unknown_successor_detected(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1\n")
+        cfg.block("entry").terminator = TJump("nowhere")
+        with pytest.raises(CompileError, match="unknown block"):
+            cfg.verify()
+
+    def test_unknown_array_detected(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1\n")
+        cfg.block("entry").ops.append(TStore("ghost", VConst(0), VConst(0)))
+        with pytest.raises(CompileError, match="unknown array"):
+            cfg.verify()
+
+    def test_wide_branch_condition_detected(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1\n")
+        block = cfg.block("entry")
+        wide = cfg.new_temp(width=32)
+        block.ops.append(TOp(wide, "add", VConst(1), VConst(2)))
+        block.terminator = TBranch(wide, "entry", "entry")
+        with pytest.raises(CompileError, match="1 bit"):
+            cfg.verify()
+
+    def test_duplicate_temp_detected(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1\n")
+        block = cfg.block("entry")
+        temp = cfg.new_temp()
+        block.ops.append(TOp(temp, "add", VConst(1), VConst(2)))
+        block.ops.append(TOp(temp, "add", VConst(1), VConst(3)))
+        with pytest.raises(CompileError, match="defined twice"):
+            cfg.verify()

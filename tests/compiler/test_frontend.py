@@ -1,0 +1,253 @@
+"""Tests for the restricted-Python frontend."""
+
+import pytest
+
+from repro.compiler import CompileError, UnsupportedConstructError, parse_function
+from repro.compiler.hir import (EBin, EBoolOp, ECmp, EConst, ELoad, ENot,
+                                EUn, EVar, SAssign, SFor, SIf, SStore,
+                                SWhile)
+from repro.compiler.spec import MemorySpec
+
+ARR = {"buf": MemorySpec(16, 32)}
+
+
+def parse(source, arrays=None, params=None):
+    return parse_function(source, arrays if arrays is not None else ARR,
+                          params)
+
+
+class TestSignature:
+    def test_scalar_param_specialised(self):
+        fn = parse("def f(buf, n):\n    buf[0] = n\n", params={"n": 7})
+        store = fn.body[0]
+        assert isinstance(store, SStore)
+        assert isinstance(store.value, EConst) and store.value.value == 7
+
+    def test_default_value_used(self):
+        fn = parse("def f(buf, n=3):\n    buf[0] = n\n")
+        assert fn.body[0].value.value == 3
+
+    def test_explicit_param_beats_default(self):
+        fn = parse("def f(buf, n=3):\n    buf[0] = n\n", params={"n": 9})
+        assert fn.body[0].value.value == 9
+
+    def test_missing_scalar_rejected(self):
+        with pytest.raises(CompileError, match="neither an array"):
+            parse("def f(buf, n):\n    buf[0] = n\n")
+
+    def test_non_int_param_rejected(self):
+        with pytest.raises(CompileError, match="must be an int"):
+            parse("def f(buf, n):\n    buf[0] = n\n", params={"n": 1.5})
+
+    def test_bool_param_rejected(self):
+        with pytest.raises(CompileError, match="must be an int"):
+            parse("def f(buf, n):\n    buf[0] = n\n", params={"n": True})
+
+    def test_array_not_in_signature_rejected(self):
+        with pytest.raises(CompileError, match="not a parameter"):
+            parse("def f(x=1):\n    pass\n")
+
+    def test_starargs_rejected(self):
+        with pytest.raises(UnsupportedConstructError):
+            parse("def f(buf, *rest):\n    pass\n")
+
+    def test_two_functions_rejected(self):
+        with pytest.raises(CompileError, match="exactly one"):
+            parse("def f(buf):\n    pass\ndef g(buf):\n    pass\n")
+
+    def test_callable_input(self):
+        from repro.apps import threshold_kernel
+
+        fn = parse_function(
+            threshold_kernel,
+            {"pixels_in": MemorySpec(16, 4), "pixels_out": MemorySpec(16, 4)},
+            {"n_pixels": 4, "cut": 100},
+        )
+        assert fn.name == "threshold_kernel"
+        assert fn.source
+
+
+class TestStatements:
+    def test_for_range_forms(self):
+        fn = parse(
+            "def f(buf):\n"
+            "    for i in range(4):\n"
+            "        buf[i] = i\n"
+            "    for j in range(1, 4):\n"
+            "        buf[j] = j\n"
+            "    for k in range(6, 0, -2):\n"
+            "        buf[k] = k\n"
+        )
+        loops = fn.body
+        assert [type(s) for s in loops] == [SFor, SFor, SFor]
+        assert loops[0].start.value == 0 and loops[0].step == 1
+        assert loops[1].start.value == 1
+        assert loops[2].step == -2
+
+    def test_range_step_zero_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="non-zero"):
+            parse("def f(buf):\n    for i in range(0, 4, 0):\n        pass\n")
+
+    def test_for_over_list_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="range"):
+            parse("def f(buf):\n    for i in [1, 2]:\n        pass\n")
+
+    def test_while_and_if(self):
+        fn = parse(
+            "def f(buf):\n"
+            "    x = 0\n"
+            "    while x < 4:\n"
+            "        if x == 2:\n"
+            "            buf[x] = 9\n"
+            "        else:\n"
+            "            buf[x] = x\n"
+            "        x = x + 1\n"
+        )
+        assert isinstance(fn.body[1], SWhile)
+        assert isinstance(fn.body[1].body[0], SIf)
+
+    def test_elif_nests(self):
+        fn = parse(
+            "def f(buf):\n"
+            "    x = 1\n"
+            "    if x == 0:\n"
+            "        buf[0] = 0\n"
+            "    elif x == 1:\n"
+            "        buf[0] = 1\n"
+            "    else:\n"
+            "        buf[0] = 2\n"
+        )
+        outer = fn.body[1]
+        assert isinstance(outer.else_body[0], SIf)
+
+    def test_augassign_scalar(self):
+        fn = parse("def f(buf):\n    x = 1\n    x += 2\n    buf[0] = x\n")
+        aug = fn.body[1]
+        assert isinstance(aug, SAssign)
+        assert isinstance(aug.value, EBin) and aug.value.op == "+"
+
+    def test_augassign_before_def_rejected(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            parse("def f(buf):\n    x += 1\n")
+
+    def test_augassign_array(self):
+        fn = parse("def f(buf):\n    buf[3] += 5\n")
+        store = fn.body[0]
+        assert isinstance(store, SStore)
+        assert isinstance(store.value.left, ELoad)
+
+    def test_docstring_and_pass_skipped(self):
+        fn = parse('def f(buf):\n    """doc"""\n    pass\n    buf[0] = 1\n')
+        assert len(fn.body) == 1
+
+    def test_bare_return_at_end_ok(self):
+        fn = parse("def f(buf):\n    buf[0] = 1\n    return\n")
+        assert len(fn.body) == 1
+
+    def test_return_value_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="output array"):
+            parse("def f(buf):\n    return 1\n")
+
+    def test_early_return_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="early return"):
+            parse("def f(buf):\n    return\n    buf[0] = 1\n")
+
+    def test_reassigning_param_rejected(self):
+        with pytest.raises(CompileError, match="reassign"):
+            parse("def f(buf, n=1):\n    n = 2\n")
+
+    def test_unsupported_statement_reported_with_line(self):
+        with pytest.raises(UnsupportedConstructError, match="line 2"):
+            parse("def f(buf):\n    import os\n")
+
+
+class TestExpressions:
+    def test_all_binary_operators(self):
+        fn = parse(
+            "def f(buf):\n"
+            "    x = 9\n"
+            "    buf[0] = x + 1 - 2 * 3 // 4 % 5\n"
+            "    buf[1] = (x << 1) >> 2\n"
+            "    buf[2] = (x & 3) | (x ^ 5)\n"
+        )
+        assert len(fn.body) == 4
+
+    def test_intrinsics(self):
+        fn = parse(
+            "def f(buf):\n"
+            "    x = -5\n"
+            "    buf[0] = abs(x) + min(x, 2) + max(x, 2)\n"
+        )
+        value = fn.body[1].value
+        assert isinstance(value.left.left, EUn)
+
+    def test_min_of_three(self):
+        fn = parse("def f(buf):\n    buf[0] = min(1, 2, 3)\n")
+        assert isinstance(fn.body[0].value, EBin)
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="call"):
+            parse("def f(buf):\n    buf[0] = len(buf)\n")
+
+    def test_unary_minus_constant_folds(self):
+        fn = parse("def f(buf):\n    buf[0] = -7\n")
+        assert fn.body[0].value == EConst(-7, line=2)
+
+    def test_float_constant_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="integer"):
+            parse("def f(buf):\n    buf[0] = 1.5\n")
+
+    def test_array_as_scalar_rejected(self):
+        with pytest.raises(CompileError, match="used as a scalar"):
+            parse("def f(buf):\n    x = buf\n")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(CompileError, match="before assignment"):
+            parse("def f(buf):\n    buf[0] = ghost\n")
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(CompileError, match="not an array"):
+            parse("def f(buf):\n    other[0] = 1\n")
+
+    def test_slice_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="slicing"):
+            parse("def f(buf):\n    buf[0:2] = 1\n")
+
+    def test_comparison_as_value_rejected(self):
+        with pytest.raises(UnsupportedConstructError, match="if/else"):
+            parse("def f(buf):\n    x = 1 < 2\n")
+
+
+class TestConditions:
+    def test_compound_condition(self):
+        fn = parse(
+            "def f(buf):\n"
+            "    x = 1\n"
+            "    if x > 0 and x < 5 or not x == 3:\n"
+            "        buf[0] = 1\n"
+        )
+        cond = fn.body[1].condition
+        assert isinstance(cond, EBoolOp) and cond.op == "or"
+        assert isinstance(cond.operands[1], ENot)
+
+    def test_chained_comparison_expands(self):
+        fn = parse(
+            "def f(buf):\n    x = 1\n    if 0 < x < 5:\n        buf[0] = 1\n"
+        )
+        cond = fn.body[1].condition
+        assert isinstance(cond, EBoolOp) and cond.op == "and"
+        assert len(cond.operands) == 2
+
+    def test_bare_value_condition_becomes_ne_zero(self):
+        fn = parse("def f(buf):\n    x = 1\n    if x:\n        buf[0] = 1\n")
+        cond = fn.body[1].condition
+        assert isinstance(cond, ECmp) and cond.op == "!="
+        assert isinstance(cond.right, EConst) and cond.right.value == 0
+
+    def test_boolean_literal_condition(self):
+        fn = parse("def f(buf):\n    while False:\n        buf[0] = 1\n")
+        assert isinstance(fn.body[0].condition, ECmp)
+
+    def test_is_comparison_rejected(self):
+        with pytest.raises(UnsupportedConstructError):
+            parse("def f(buf):\n    x = 1\n    if x is 1:\n        pass\n")

@@ -1,0 +1,306 @@
+"""Tests for the optimization passes."""
+
+import pytest
+
+from repro.compiler import build_cfg, optimize, parse_function
+from repro.compiler.cfg import (TBranch, TCopy, TJump, TLoad, TOp, TStore,
+                                VConst, VVar)
+from repro.compiler.passes import (compute_liveness,
+                                   eliminate_common_subexpressions,
+                                   eliminate_dead_code, fold_constants,
+                                   reduce_strength,
+                                   remove_unreachable_blocks)
+from repro.compiler.passes.evalop import eval_op
+from repro.compiler.spec import MemorySpec
+
+ARR = {"buf": MemorySpec(32, 32), "src": MemorySpec(32, 32)}
+
+
+def cfg_of(source, width=32):
+    header = source.splitlines()[0]
+    arrays = {name: spec for name, spec in ARR.items() if name in header}
+    return build_cfg(parse_function(source, arrays), arrays, width)
+
+
+def entry_ops(cfg):
+    return cfg.block("entry").ops
+
+
+class TestEvalOp:
+    def test_wrapping_add(self):
+        assert eval_op("add", 0xFFFFFFFF, 1, 32, 32) == 0
+
+    def test_signed_compare(self):
+        assert eval_op("lt", 0xFFFFFFFF, 1, 1, 32) == 1  # -1 < 1
+
+    def test_fdiv_floor(self):
+        minus7 = (-7) & 0xFFFFFFFF
+        assert eval_op("fdiv", minus7, 2, 32, 32) == (-4) & 0xFFFFFFFF
+
+    def test_div_truncates(self):
+        minus7 = (-7) & 0xFFFFFFFF
+        assert eval_op("div", minus7, 2, 32, 32) == (-3) & 0xFFFFFFFF
+
+    def test_fmod_sign_of_divisor(self):
+        minus7 = (-7) & 0xFFFFFFFF
+        assert eval_op("fmod", minus7, 3, 32, 32) == 2
+
+    def test_division_by_zero_not_folded(self):
+        assert eval_op("div", 4, 0, 32, 32) is None
+        assert eval_op("fdiv", 4, 0, 32, 32) is None
+        assert eval_op("fmod", 4, 0, 32, 32) is None
+
+    def test_shift_semantics(self):
+        assert eval_op("shl", 1, 40, 32, 32) == 0
+        assert eval_op("ashr", 0x80000000, 31, 32, 32) == 0xFFFFFFFF
+
+    def test_min_max_signed(self):
+        minus1 = 0xFFFFFFFF
+        assert eval_op("min", minus1, 1, 32, 32) == minus1
+        assert eval_op("max", minus1, 1, 32, 32) == 1
+
+    def test_abs_neg_not(self):
+        assert eval_op("abs", (-5) & 0xFF, None, 8, 8) == 5
+        assert eval_op("neg", 1, None, 8, 8) == 0xFF
+        assert eval_op("not", 0, None, 1, 32) == 1
+
+
+class TestConstFold:
+    def test_constant_expression_collapses(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 2 * 3 + 4\n")
+        fold_constants(cfg)
+        ops = entry_ops(cfg)
+        assert len(ops) == 1
+        assert isinstance(ops[0], TStore)
+        assert ops[0].value == VConst(10)
+
+    def test_identity_add_zero(self):
+        # x comes from a load so it is not a known constant: x + 0 must
+        # alias the variable itself
+        cfg = cfg_of("def f(buf, src):\n    x = src[0]\n    buf[0] = x + 0\n")
+        fold_constants(cfg)
+        stores = [op for op in entry_ops(cfg) if isinstance(op, TStore)]
+        assert stores[0].value == VVar("x")
+
+    def test_constant_copy_propagates(self):
+        cfg = cfg_of("def f(buf):\n    x = 5\n    buf[0] = x + 0\n")
+        fold_constants(cfg)
+        stores = [op for op in entry_ops(cfg) if isinstance(op, TStore)]
+        assert stores[0].value == VConst(5)
+
+    def test_mul_by_zero(self):
+        cfg = cfg_of("def f(buf):\n    x = 5\n    buf[0] = x * 0\n")
+        fold_constants(cfg)
+        stores = [op for op in entry_ops(cfg) if isinstance(op, TStore)]
+        assert stores[0].value == VConst(0)
+
+    def test_constant_branch_becomes_jump(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    if 1 < 2:\n"
+            "        buf[0] = 1\n"
+            "    else:\n"
+            "        buf[0] = 2\n"
+        )
+        fold_constants(cfg)
+        terminator = cfg.block("entry").terminator
+        assert isinstance(terminator, TJump)
+        assert terminator.target == "if_then"
+
+    def test_var_alias_blocked_by_later_copy(self):
+        """t = x + 0 must NOT alias x when x is copied later in the block
+        and t is consumed after that copy."""
+        cfg = cfg_of(
+            "def f(buf, src):\n"
+            "    x = src[0]\n"
+            "    y = x + 0\n"
+            "    x = 7\n"
+            "    buf[0] = y\n"
+        )
+        fold_constants(cfg)
+        # the add survives: aliasing y's source to the x register would
+        # read 7 instead of 5
+        adds = [op for op in entry_ops(cfg)
+                if isinstance(op, TOp) and op.op == "add"]
+        assert len(adds) == 1
+
+    def test_xor_self_is_zero(self):
+        cfg = cfg_of("def f(buf):\n    x = 5\n    buf[0] = x ^ x\n")
+        fold_constants(cfg)
+        stores = [op for op in entry_ops(cfg) if isinstance(op, TStore)]
+        assert stores[0].value == VConst(0)
+
+
+class TestStrength:
+    def test_mul_power_of_two(self):
+        cfg = cfg_of("def f(buf):\n    x = 3\n    buf[0] = x * 8\n")
+        assert reduce_strength(cfg)
+        shls = [op for op in entry_ops(cfg)
+                if isinstance(op, TOp) and op.op == "shl"]
+        assert shls and shls[0].b == VConst(3)
+
+    def test_mul_other_order(self):
+        cfg = cfg_of("def f(buf):\n    x = 3\n    buf[0] = 16 * x\n")
+        assert reduce_strength(cfg)
+
+    def test_floor_div_always_reduced(self):
+        cfg = cfg_of("def f(buf):\n    x = -9\n    buf[0] = x // 4\n")
+        assert reduce_strength(cfg)
+        ashrs = [op for op in entry_ops(cfg)
+                 if isinstance(op, TOp) and op.op == "ashr"]
+        assert ashrs and ashrs[0].b == VConst(2)
+
+    def test_floor_mod_always_reduced(self):
+        cfg = cfg_of("def f(buf):\n    x = -9\n    buf[0] = x % 8\n")
+        assert reduce_strength(cfg)
+        ands = [op for op in entry_ops(cfg)
+                if isinstance(op, TOp) and op.op == "and"]
+        assert ands and ands[0].b == VConst(7)
+
+    def test_non_power_untouched(self):
+        cfg = cfg_of("def f(buf):\n    x = 3\n    buf[0] = x * 6\n")
+        assert not reduce_strength(cfg)
+
+
+class TestCse:
+    def test_duplicate_expression_shared(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 3\n"
+            "    buf[0] = x * 5 + 1\n"
+            "    buf[1] = x * 5 + 2\n"
+        )
+        assert eliminate_common_subexpressions(cfg)
+        muls = [op for op in entry_ops(cfg)
+                if isinstance(op, TOp) and op.op == "mul"]
+        assert len(muls) == 1
+
+    def test_commutative_matching(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 3\n"
+            "    y = 4\n"
+            "    buf[0] = x + y\n"
+            "    buf[1] = y + x\n"
+        )
+        assert eliminate_common_subexpressions(cfg)
+        adds = [op for op in entry_ops(cfg)
+                if isinstance(op, TOp) and op.op == "add"]
+        assert len(adds) == 1
+
+    def test_copy_invalidates(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 3\n"
+            "    buf[0] = x + 1\n"
+            "    x = 9\n"
+            "    buf[1] = x + 1\n"
+        )
+        eliminate_common_subexpressions(cfg)
+        adds = [op for op in entry_ops(cfg)
+                if isinstance(op, TOp) and op.op == "add"]
+        assert len(adds) == 2
+
+    def test_loads_shared_until_store(self):
+        cfg = cfg_of(
+            "def f(buf, src):\n"
+            "    buf[0] = src[3] + src[3]\n"
+            "    src[3] = 7\n"
+            "    buf[1] = src[3]\n"
+        )
+        eliminate_common_subexpressions(cfg)
+        loads = [op for op in entry_ops(cfg) if isinstance(op, TLoad)]
+        assert len(loads) == 2  # one before the store, one after
+
+
+class TestDce:
+    def test_dead_temp_removed(self):
+        cfg = cfg_of("def f(buf):\n    x = 1\n    buf[0] = 2\n")
+        # x is never used: the copy and its source must go
+        optimize(cfg, level=1)
+        assert all(not isinstance(op, TCopy) for op in entry_ops(cfg))
+
+    def test_store_never_removed(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1\n")
+        eliminate_dead_code(cfg)
+        assert any(isinstance(op, TStore) for op in entry_ops(cfg))
+
+    def test_live_loop_var_kept(self):
+        cfg = cfg_of(
+            "def f(buf):\n    for i in range(4):\n        buf[i] = i\n"
+        )
+        eliminate_dead_code(cfg)
+        assert any(isinstance(op, TCopy) and op.var == "i"
+                   for op in cfg.block("for_body").ops)
+
+    def test_unreachable_block_removed(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    if 1 < 2:\n"
+            "        buf[0] = 1\n"
+            "    else:\n"
+            "        buf[0] = 2\n"
+        )
+        fold_constants(cfg)
+        assert remove_unreachable_blocks(cfg)
+        assert "if_else" not in cfg.blocks
+
+    def test_overwritten_copy_removed(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 1\n"
+            "    x = 2\n"
+            "    buf[0] = x\n"
+        )
+        eliminate_dead_code(cfg)
+        copies = [op for op in entry_ops(cfg) if isinstance(op, TCopy)]
+        assert len(copies) == 1
+        assert copies[0].src == VConst(2)
+
+
+class TestLiveness:
+    def test_loop_variable_live_around_loop(self):
+        cfg = cfg_of(
+            "def f(buf):\n    for i in range(4):\n        buf[i] = i\n"
+        )
+        liveness = compute_liveness(cfg)
+        assert "i" in liveness.into("for_head")
+        assert "i" in liveness.out_of("for_body")
+        assert "i" not in liveness.out_of("for_exit")
+
+    def test_straight_line_liveness(self):
+        cfg = cfg_of(
+            "def f(buf):\n    x = 1\n    y = 2\n    buf[0] = x\n"
+        )
+        liveness = compute_liveness(cfg)
+        assert liveness.out_of("entry") == set()
+
+
+class TestOptimizeManager:
+    def test_level_validation(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1\n")
+        with pytest.raises(ValueError):
+            optimize(cfg, level=7)
+
+    def test_level_zero_is_noop(self):
+        cfg = cfg_of("def f(buf):\n    buf[0] = 1 + 2\n")
+        before = cfg.dump()
+        assert optimize(cfg, level=0) == []
+        assert cfg.dump() == before
+
+    def test_log_reports_passes(self):
+        cfg = cfg_of("def f(buf):\n    x = 2 * 8\n    buf[0] = x + 0\n")
+        log = optimize(cfg, level=2)
+        assert any("constfold" in entry for entry in log)
+
+    def test_reaches_fixpoint(self):
+        cfg = cfg_of(
+            "def f(buf):\n"
+            "    x = 2 * 3\n"
+            "    y = x + 0\n"
+            "    buf[0] = y * 1\n"
+        )
+        optimize(cfg, level=2)
+        ops = entry_ops(cfg)
+        assert len(ops) == 1
+        assert isinstance(ops[0], TStore) and ops[0].value == VConst(6)

@@ -1,0 +1,118 @@
+"""Tests for compile_function / Design, including XML round trips."""
+
+import pytest
+
+from repro.compiler import (CompileError, Design, MemorySpec,
+                            compile_function)
+from repro.core import verify_design
+from repro.hdl import load_rtg_bundle
+from repro.rtg import ReconfigurationContext, RtgExecutor
+
+ARRAYS = {
+    "src": MemorySpec(16, 16, signed=False, role="input"),
+    "dst": MemorySpec(32, 16, role="output"),
+}
+
+
+def scale_kernel(src, dst, n=16, k=3):
+    for i in range(n):
+        dst[i] = src[i] * k
+
+
+class TestCompileFunction:
+    def test_design_fields(self):
+        design = compile_function(scale_kernel, ARRAYS, {"n": 16, "k": 3})
+        assert design.name == "scale_kernel"
+        assert design.word_width == 32
+        assert not design.multi_configuration
+        assert design.total_operators() > 0
+        assert design.params == {"n": 16, "k": 3}
+        assert "for i in range" in design.source
+
+    def test_custom_name_and_width(self):
+        design = compile_function(scale_kernel, ARRAYS, name="scaler",
+                                  word_width=24)
+        assert design.name == "scaler"
+        assert design.configurations[0].datapath.width == 24
+
+    def test_bad_word_width(self):
+        with pytest.raises(CompileError):
+            compile_function(scale_kernel, ARRAYS, word_width=0)
+
+    def test_configuration_lookup(self):
+        design = compile_function(scale_kernel, ARRAYS)
+        assert design.configuration("cfg0").name == "cfg0"
+        with pytest.raises(CompileError):
+            design.configuration("cfg9")
+
+    def test_opt_levels_produce_equivalent_hardware(self):
+        inputs = {"src": list(range(16))}
+        results = {}
+        for level in (0, 1, 2):
+            design = compile_function(scale_kernel, ARRAYS,
+                                      opt_level=level)
+            outcome = verify_design(design, scale_kernel, inputs)
+            assert outcome.passed, f"opt level {level} diverged"
+            results[level] = outcome.cycles
+        # optimization must not slow the design down
+        assert results[2] <= results[0]
+
+    def test_chain_limit_still_correct(self):
+        design = compile_function(scale_kernel, ARRAYS, chain_limit=1)
+        outcome = verify_design(design, scale_kernel,
+                                {"src": list(range(16))})
+        assert outcome.passed
+
+    def test_rtg_always_present(self):
+        design = compile_function(scale_kernel, ARRAYS)
+        assert design.rtg.configuration_count() == 1
+        assert design.rtg.next_configuration("cfg0") is None
+
+
+class TestSaveAndReload:
+    def test_save_writes_all_documents(self, tmp_path):
+        design = compile_function(scale_kernel, ARRAYS)
+        written = design.save(tmp_path)
+        names = sorted(path.name for path in written)
+        assert names == [
+            "scale_kernel_cfg0_datapath.xml",
+            "scale_kernel_cfg0_fsm.xml",
+            "scale_kernel_rtg.xml",
+        ]
+
+    def test_reloaded_bundle_simulates_identically(self, tmp_path):
+        """The full Figure 1 path: XML files in, verified results out."""
+        design = compile_function(scale_kernel, ARRAYS)
+        design.save(tmp_path)
+        rtg = load_rtg_bundle(tmp_path / "scale_kernel_rtg.xml")
+        from repro.util.files import MemoryImage
+
+        src = MemoryImage(16, 16, words=list(range(16)), name="src")
+        context = ReconfigurationContext.from_rtg(rtg,
+                                                  initial={"src": src})
+        result = RtgExecutor(rtg, context).run()
+        assert context.memory("dst").words() == [i * 3 for i in range(16)]
+        assert result.total_cycles > 16
+
+    def test_two_partition_bundle_roundtrip(self, tmp_path):
+        def two_phase(src, dst, n=8):
+            s = 0
+            for i in range(n):
+                s = s + src[i]
+            for j in range(n):
+                dst[j] = src[j] + s
+
+        arrays = {
+            "src": MemorySpec(16, 8, signed=False, role="input"),
+            "dst": MemorySpec(32, 8, role="output"),
+        }
+        design = compile_function(two_phase, arrays, partition_after=[1])
+        design.save(tmp_path)
+        rtg = load_rtg_bundle(tmp_path / "two_phase_rtg.xml")
+        from repro.util.files import MemoryImage
+
+        src = MemoryImage(16, 8, words=[5] * 8, name="src")
+        context = ReconfigurationContext.from_rtg(rtg, initial={"src": src})
+        result = RtgExecutor(rtg, context).run()
+        assert result.reconfigurations == 1
+        assert context.memory("dst").words() == [45] * 8

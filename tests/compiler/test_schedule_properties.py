@@ -1,0 +1,131 @@
+"""Property-based tests: scheduler invariants over random programs.
+
+The differential tester checks end-to-end value equality; these
+properties check the *structural* guarantees the FSMD model rests on,
+for every block of every randomly generated program:
+
+* single memory port: at most one access per array per step;
+* loads sit strictly after the latest earlier store to the same array,
+  stores strictly after any earlier access;
+* data dependencies: an operation never runs before the step defining
+  its temp operand, nor at/before the latest earlier copy to a variable
+  it reads;
+* copies to the same variable occupy strictly increasing steps;
+* every cross-step temp is flagged for a holding register.
+"""
+
+import pytest
+
+from repro.compiler import build_cfg, optimize, parse_function, schedule_cfg
+from repro.compiler.cfg import TCopy, TLoad, TOp, TStore, VTemp, VVar
+from repro.compiler.spec import MemorySpec
+
+from tests.integration.test_differential import ARRAYS, ProgramGenerator
+
+
+def scheduled_blocks(seed, opt_level=2, chain_limit=0):
+    source = ProgramGenerator(seed).generate()
+    cfg = build_cfg(parse_function(source, ARRAYS), ARRAYS, 32)
+    optimize(cfg, opt_level)
+    schedule = schedule_cfg(cfg, chain_limit=chain_limit)
+    for block in cfg:
+        yield block, schedule.blocks[block.name]
+
+
+SEEDS = list(range(25))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_memory_port(seed):
+    for block, bs in scheduled_blocks(seed):
+        used = set()
+        for index, op in enumerate(block.ops):
+            if isinstance(op, (TLoad, TStore)):
+                key = (op.array, bs.step_of[index])
+                assert key not in used, \
+                    f"two accesses to {op.array!r} in one step"
+                used.add(key)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_memory_ordering(seed):
+    for block, bs in scheduled_blocks(seed):
+        last_store = {}
+        last_access = {}
+        for index, op in enumerate(block.ops):
+            step = bs.step_of[index]
+            if isinstance(op, TLoad):
+                assert step > last_store.get(op.array, -1), \
+                    "load not after the previous store"
+                last_access[op.array] = max(
+                    last_access.get(op.array, -1), step)
+            elif isinstance(op, TStore):
+                assert step > last_access.get(op.array, -1), \
+                    "store not after the previous access"
+                last_access[op.array] = max(
+                    last_access.get(op.array, -1), step)
+                last_store[op.array] = max(
+                    last_store.get(op.array, -1), step)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_data_dependencies(seed):
+    for block, bs in scheduled_blocks(seed):
+        def_step = {}
+        var_copy_step = {}
+        for index, op in enumerate(block.ops):
+            step = bs.step_of[index]
+            for operand in op.operands():
+                if isinstance(operand, VTemp):
+                    assert step >= def_step[operand], \
+                        "use scheduled before its definition"
+                elif isinstance(operand, VVar):
+                    previous = var_copy_step.get(operand.name)
+                    if previous is not None:
+                        assert step > previous, \
+                            "read not after the preceding register write"
+            if isinstance(op, (TOp, TLoad)):
+                def_step[op.dest] = step
+            elif isinstance(op, TCopy):
+                previous = var_copy_step.get(op.var)
+                if previous is not None:
+                    assert step > previous, "WAW copies share a step"
+                var_copy_step[op.var] = step
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cross_step_temps_flagged(seed):
+    for block, bs in scheduled_blocks(seed):
+        for index, op in enumerate(block.ops):
+            for operand in op.operands():
+                if isinstance(operand, VTemp) and \
+                        bs.step_of[index] > bs.def_step[operand]:
+                    assert operand in bs.cross_step, \
+                        f"{operand} crosses steps without a register"
+
+
+@pytest.mark.parametrize("seed", SEEDS[:8])
+@pytest.mark.parametrize("chain_limit", [1, 2, 4])
+def test_chain_limit_respected(seed, chain_limit):
+    for block, bs in scheduled_blocks(seed, chain_limit=chain_limit):
+        depth = {}
+        for index, op in enumerate(block.ops):
+            if not isinstance(op, TOp):
+                continue
+            step = bs.step_of[index]
+            longest = 0
+            for operand in op.operands():
+                if isinstance(operand, VTemp) and \
+                        bs.def_step.get(operand) == step:
+                    longest = max(longest, depth.get(operand, 1))
+            depth[op.dest] = longest + 1
+            assert depth[op.dest] <= chain_limit, \
+                f"chain depth {depth[op.dest]} exceeds {chain_limit}"
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+def test_every_op_scheduled_exactly_once(seed):
+    for block, bs in scheduled_blocks(seed):
+        flattened = sorted(i for step in bs.ops_in_step for i in step)
+        assert flattened == list(range(len(block.ops)))
+        assert set(bs.step_of) == set(range(len(block.ops)))

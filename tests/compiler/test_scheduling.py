@@ -1,0 +1,154 @@
+"""Tests for the control-step scheduler."""
+
+import pytest
+
+from repro.compiler import CompileError, build_cfg, parse_function, schedule_cfg
+from repro.compiler.cfg import TLoad, TOp, TStore
+from repro.compiler.spec import MemorySpec
+
+ARR = {"a": MemorySpec(32, 32), "b": MemorySpec(32, 32)}
+
+
+def scheduled(source, chain_limit=0):
+    signature = source.splitlines()[0].split("(", 1)[1]
+    arrays = {name: spec for name, spec in ARR.items() if name in signature}
+    cfg = build_cfg(parse_function(source, arrays), arrays, 32)
+    return cfg, schedule_cfg(cfg, chain_limit=chain_limit)
+
+
+def steps_of(cfg, schedule, block, op_type):
+    bs = schedule.blocks[block]
+    return [bs.step_of[i] for i, op in enumerate(cfg.block(block).ops)
+            if isinstance(op, op_type)]
+
+
+class TestChaining:
+    def test_dependent_ops_chain_in_one_step(self):
+        cfg, schedule = scheduled(
+            "def f(a):\n    x = 1\n    a[0] = x + 2 + 3 + 4\n"
+        )
+        bs = schedule.blocks["entry"]
+        op_steps = steps_of(cfg, schedule, "entry", TOp)
+        assert op_steps and len(set(op_steps)) == 1
+
+    def test_chain_limit_splits_steps(self):
+        source = "def f(a):\n    x = 1\n    a[0] = ((x + 2) + 3) + 4\n"
+        _, unlimited = scheduled(source)
+        _, limited = scheduled(source, chain_limit=1)
+        assert limited.blocks["entry"].n_steps > \
+            unlimited.blocks["entry"].n_steps
+
+    def test_negative_chain_limit_rejected(self):
+        cfg, _ = scheduled("def f(a):\n    a[0] = 1\n")
+        with pytest.raises(CompileError):
+            schedule_cfg(cfg, chain_limit=-1)
+
+
+class TestMemoryPort:
+    def test_two_loads_same_array_distinct_steps(self):
+        cfg, schedule = scheduled("def f(a):\n    a[2] = a[0] + a[1]\n")
+        load_steps = steps_of(cfg, schedule, "entry", TLoad)
+        assert len(load_steps) == 2
+        assert load_steps[0] != load_steps[1]
+
+    def test_loads_different_arrays_may_share_step(self):
+        cfg, schedule = scheduled("def f(a, b):\n    a[2] = a[0] + b[0]\n")
+        load_steps = steps_of(cfg, schedule, "entry", TLoad)
+        assert load_steps[0] == load_steps[1]
+
+    def test_store_after_load_same_array_later_step(self):
+        cfg, schedule = scheduled("def f(a):\n    a[1] = a[0]\n")
+        bs = schedule.blocks["entry"]
+        load_steps = steps_of(cfg, schedule, "entry", TLoad)
+        store_steps = steps_of(cfg, schedule, "entry", TStore)
+        assert store_steps[0] > load_steps[0]
+
+    def test_load_after_store_same_array_later_step(self):
+        cfg, schedule = scheduled(
+            "def f(a):\n    a[0] = 7\n    a[1] = a[0] + 1\n"
+        )
+        load_steps = steps_of(cfg, schedule, "entry", TLoad)
+        store_steps = steps_of(cfg, schedule, "entry", TStore)
+        first_store = min(store_steps)
+        assert all(step > first_store for step in load_steps)
+
+    def test_two_stores_distinct_steps(self):
+        cfg, schedule = scheduled("def f(a):\n    a[0] = 1\n    a[1] = 2\n")
+        store_steps = steps_of(cfg, schedule, "entry", TStore)
+        assert store_steps[0] != store_steps[1]
+
+
+class TestRegisters:
+    def test_read_after_copy_needs_next_step(self):
+        cfg, schedule = scheduled(
+            "def f(a):\n    x = 1\n    y = x + 1\n    a[0] = y\n"
+        )
+        bs = schedule.blocks["entry"]
+        ops = cfg.block("entry").ops
+        copy_x = next(i for i, op in enumerate(ops)
+                      if getattr(op, "var", None) == "x")
+        add = next(i for i, op in enumerate(ops)
+                   if isinstance(op, TOp) and op.op == "add")
+        assert bs.step_of[add] > bs.step_of[copy_x]
+
+    def test_two_copies_same_var_ordered(self):
+        cfg, schedule = scheduled(
+            "def f(a):\n    x = 1\n    x = 2\n    a[0] = x\n"
+        )
+        # DCE has not run: both copies are present
+        bs = schedule.blocks["entry"]
+        ops = cfg.block("entry").ops
+        copies = [i for i, op in enumerate(ops)
+                  if getattr(op, "var", None) == "x"]
+        assert bs.step_of[copies[0]] < bs.step_of[copies[1]]
+
+
+class TestCrossStep:
+    def test_cross_step_temps_detected(self):
+        cfg, schedule = scheduled("def f(a):\n    a[2] = a[0] + a[1]\n")
+        # the first load's result crosses into the second load's step
+        assert schedule.cross_step_temps()
+
+    def test_single_step_block_has_no_cross_temps(self):
+        cfg, schedule = scheduled("def f(a):\n    x = 1\n    y = 2\n")
+        assert schedule.blocks["entry"].cross_step == set()
+
+    def test_branch_condition_cross_step(self):
+        # the condition is computed from a load early in the block; an
+        # unrelated second access pushes the block's last step later
+        cfg, schedule = scheduled(
+            "def f(a):\n"
+            "    while a[0] + a[1] > 0:\n"
+            "        a[0] = a[0] - 1\n"
+        )
+        head = next(name for name in schedule.blocks
+                    if name.startswith("while_head"))
+        bs = schedule.blocks[head]
+        assert bs.n_steps >= 2
+
+
+class TestShape:
+    def test_empty_block_one_state(self):
+        cfg, schedule = scheduled(
+            "def f(a):\n"
+            "    x = 0\n"
+            "    if x > 0:\n"
+            "        pass\n"
+            "    a[0] = x\n"
+        )
+        then_block = next(name for name in schedule.blocks
+                          if name.startswith("if_then"))
+        assert schedule.blocks[then_block].n_steps == 1
+
+    def test_total_states(self):
+        cfg, schedule = scheduled("def f(a):\n    a[0] = 1\n")
+        assert schedule.total_states() == \
+            sum(bs.n_steps for bs in schedule.blocks.values())
+
+    def test_ops_in_step_partition(self):
+        cfg, schedule = scheduled(
+            "def f(a):\n    a[2] = a[0] + a[1]\n"
+        )
+        bs = schedule.blocks["entry"]
+        flattened = sorted(i for step in bs.ops_in_step for i in step)
+        assert flattened == list(range(len(cfg.block("entry").ops)))

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.seed == 0
+        assert args.fsm_mode == "generated"
+        assert args.cases is None
+
+    def test_translate_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["translate", "x.xml"])
+
+
+class TestSuiteCommand:
+    def test_selected_cases_pass(self, capsys):
+        status = main(["suite", "--case", "threshold", "--case", "popcount"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "[PASS] threshold" in out
+        assert "[PASS] popcount" in out
+        assert "Operators" in out  # metrics table appended
+
+    def test_unknown_case_is_an_error(self, capsys):
+        status = main(["suite", "--case", "ghost"])
+        assert status == 2
+        assert "unknown case" in capsys.readouterr().err
+
+    def test_interpreted_mode(self, capsys):
+        assert main(["suite", "--case", "threshold",
+                     "--fsm-mode", "interpreted"]) == 0
+
+
+class TestTable1Command:
+    def test_compile_only(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fdct1", "fdct2", "hamming"):
+            assert name in out
+
+
+class TestFlowCommand:
+    def test_produces_artifacts(self, tmp_path, capsys):
+        status = main(["flow", "hamming", "--workdir", str(tmp_path)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert any(path.suffix == ".xml" for path in tmp_path.iterdir())
+
+    def test_unknown_case(self, tmp_path, capsys):
+        assert main(["flow", "ghost", "--workdir", str(tmp_path)]) == 2
+
+
+class TestTranslateCommand:
+    @pytest.fixture()
+    def xml_files(self, tmp_path):
+        from repro.apps import build_threshold
+
+        design = build_threshold(16)
+        design.save(tmp_path)
+        return {
+            "datapath": tmp_path / "threshold_cfg0_datapath.xml",
+            "fsm": tmp_path / "threshold_cfg0_fsm.xml",
+            "rtg": tmp_path / "threshold_rtg.xml",
+        }
+
+    def test_datapath_to_dot(self, xml_files, capsys):
+        assert main(["translate", str(xml_files["datapath"]),
+                     "--to", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_fsm_to_vhdl(self, xml_files, capsys):
+        assert main(["translate", str(xml_files["fsm"]),
+                     "--to", "vhdl"]) == 0
+        assert "entity" in capsys.readouterr().out
+
+    def test_rtg_to_verilog_file_output(self, xml_files, tmp_path, capsys):
+        out_path = tmp_path / "seq.v"
+        assert main(["translate", str(xml_files["rtg"]), "--to", "verilog",
+                     "--output", str(out_path)]) == 0
+        assert "module" in out_path.read_text()
+
+    def test_fsm_to_python(self, xml_files, capsys):
+        assert main(["translate", str(xml_files["fsm"]),
+                     "--to", "python"]) == 0
+        assert "def next_state" in capsys.readouterr().out
+
+    def test_invalid_xml_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<mystery/>")
+        with pytest.raises(SystemExit, match="not a valid"):
+            main(["translate", str(bad), "--to", "dot"])
+
+
+def test_version(capsys):
+    assert main(["version"]) == 0
+    assert capsys.readouterr().out.startswith("repro ")
+
+
+class TestFaultsCommand:
+    def test_campaign_runs(self, capsys):
+        from repro.cli import main as cli_main
+
+        status = cli_main(["faults", "threshold", "--limit-per-kind", "1"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "fault campaign:" in out
+
+    def test_unknown_case(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["faults", "ghost"]) == 2
+
+    def test_multi_configuration_case_rejected(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["faults", "fdct2"]) == 2
+        assert "multiple configurations" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Tests for verification, stimulus and metrics reporting."""
+
+import pytest
+
+from repro.compiler import MemorySpec, compile_function
+from repro.core import (collect_metrics, format_table, prepare_images,
+                        ramp_image, random_words, synthetic_image,
+                        verify_design, write_stimulus_files,
+                        load_stimulus_files)
+from repro.util.files import MemoryImage
+
+ARRAYS = {
+    "src": MemorySpec(16, 8, signed=False, role="input"),
+    "dst": MemorySpec(32, 8, role="output"),
+}
+
+
+def double(src, dst, n=8):
+    for i in range(n):
+        dst[i] = src[i] * 2
+
+
+def build():
+    return compile_function(double, ARRAYS)
+
+
+class TestStimulus:
+    def test_random_words_deterministic(self):
+        a = random_words(16, 8, seed=3)
+        b = random_words(16, 8, seed=3)
+        c = random_words(16, 8, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_random_words_range(self):
+        image = random_words(64, 8, seed=1, low=5, high=9)
+        assert all(5 <= word <= 9 for word in image)
+
+    def test_synthetic_image_bounds(self):
+        image = synthetic_image(256, seed=7)
+        assert all(0 <= pixel <= 255 for pixel in image)
+
+    def test_synthetic_image_not_constant(self):
+        image = synthetic_image(256, seed=7)
+        assert len(set(image.words())) > 10
+
+    def test_ramp(self):
+        image = ramp_image(5, width=8, step=3)
+        assert image.words() == [0, 3, 6, 9, 12]
+
+    def test_stimulus_file_roundtrip(self, tmp_path):
+        images = {"a": random_words(8, 16, seed=1, name="a"),
+                  "b": ramp_image(8, name="b")}
+        paths = write_stimulus_files(tmp_path, images)
+        assert sorted(p.name for p in paths.values()) == ["a.mem", "b.mem"]
+        loaded = load_stimulus_files(tmp_path, ["a", "b"])
+        assert loaded["a"] == images["a"]
+        assert loaded["b"] == images["b"]
+
+
+class TestPrepareImages:
+    def test_sequences_and_images_accepted(self):
+        design = build()
+        images = prepare_images(design, {
+            "src": [1, 2, 3],
+        })
+        assert images["src"].words()[:4] == [1, 2, 3, 0]
+        assert images["dst"].words() == [0] * 8
+
+    def test_wrong_shape_rejected(self):
+        design = build()
+        with pytest.raises(ValueError, match="design expects"):
+            prepare_images(design, {"src": MemoryImage(16, 9)})
+
+    def test_unknown_input_rejected(self):
+        design = build()
+        with pytest.raises(ValueError, match="unknown arrays"):
+            prepare_images(design, {"ghost": [1]})
+
+    def test_supplied_image_copied(self):
+        design = build()
+        src = MemoryImage(16, 8, words=[5] * 8)
+        images = prepare_images(design, {"src": src})
+        images["src"].write(0, 9)
+        assert src.read(0) == 5
+
+
+class TestVerifyDesign:
+    def test_pass(self):
+        result = verify_design(build(), double, {"src": list(range(8))})
+        assert result.passed
+        assert result.cycles > 8
+        assert result.reconfigurations == 0
+        assert {check.memory for check in result.checks} == {"src", "dst"}
+        assert "PASS" in result.summary()
+
+    def test_outputs_only_mode(self):
+        result = verify_design(build(), double, {"src": [1] * 8},
+                               compare="outputs")
+        assert [check.memory for check in result.checks] == ["dst"]
+
+    def test_bad_compare_mode(self):
+        with pytest.raises(ValueError, match="compare"):
+            verify_design(build(), double, compare="some")
+
+    def test_detects_wrong_golden(self):
+        def wrong(src, dst, n=8):
+            for i in range(n):
+                dst[i] = src[i] * 3  # deliberately different
+
+        result = verify_design(build(), wrong, {"src": [1] * 8})
+        assert not result.passed
+        failed = result.failed_checks()
+        assert [check.memory for check in failed] == ["dst"]
+        first = failed[0].mismatches[0]
+        assert (first.expected, first.actual) == (3, 2)
+        assert "FAIL" in result.summary()
+
+    def test_mismatch_limit_respected(self):
+        def wrong(src, dst, n=8):
+            for i in range(n):
+                dst[i] = src[i] + 1
+
+        result = verify_design(build(), wrong, {"src": [3] * 8},
+                               mismatch_limit=3)
+        assert len(result.failed_checks()[0].mismatches) == 3
+
+
+class TestMetrics:
+    def test_collect(self):
+        design = build()
+        metrics = collect_metrics(design, simulation_seconds=1.25,
+                                  cycles=100)
+        assert metrics.name == "double"
+        assert metrics.lo_source >= 3
+        config = metrics.configurations[0]
+        assert config.lo_xml_datapath > 10
+        assert config.lo_xml_fsm > 5
+        assert config.lo_generated_fsm > 10
+        assert config.operators == design.total_operators()
+
+    def test_format_table_single(self):
+        table = format_table([collect_metrics(build(),
+                                              simulation_seconds=0.5)])
+        assert "double" in table
+        assert "0.5" in table
+        assert "Operators" in table
+
+    def test_format_table_multi_configuration_stacks(self):
+        def two(src, dst, n=8):
+            for i in range(n):
+                dst[i] = src[i]
+            for j in range(n):
+                dst[j] = dst[j] + 1
+
+        design = compile_function(two, ARRAYS, partition_after=[0])
+        table = format_table([collect_metrics(design)])
+        lines = table.splitlines()
+        data_lines = [line for line in lines[2:] if line.strip()]
+        assert len(data_lines) == 2  # one per configuration
+        assert data_lines[0].startswith("two")
+        assert data_lines[1].startswith(" ")  # continuation row

@@ -1,0 +1,278 @@
+"""Tests for hardware/software co-simulation."""
+
+import pytest
+
+from repro.apps import build_threshold
+from repro.compiler import MemorySpec, compile_function
+from repro.cosim import (CosimError, CoupledSystem, Instruction, MemoryMap,
+                         Microprocessor, assemble)
+from repro.sim import Simulator
+from repro.util.files import MemoryImage
+
+
+class TestAssembler:
+    def test_resolves_labels(self):
+        program = assemble([
+            ("loadi", 3),
+            ("label", "loop"),
+            ("subi", 1),
+            ("bnez", "loop"),
+            ("halt",),
+        ])
+        assert [i.op for i in program] == ["loadi", "subi", "bnez", "halt"]
+        assert program[2].arg == 1  # label points at subi
+
+    def test_unknown_opcode(self):
+        with pytest.raises(CosimError, match="unknown opcode"):
+            assemble([("fly",), ("halt",)])
+
+    def test_unknown_label(self):
+        with pytest.raises(CosimError, match="unknown label"):
+            assemble([("jmp", "nowhere"), ("halt",)])
+
+    def test_duplicate_label(self):
+        with pytest.raises(CosimError, match="duplicate label"):
+            assemble([("label", "a"), ("label", "a"), ("halt",)])
+
+    def test_argument_kind_checked(self):
+        with pytest.raises(CosimError, match="takes no argument"):
+            assemble([("halt", 1)])
+        with pytest.raises(CosimError, match="integer argument"):
+            assemble([("loadi", "x"), ("halt",)])
+
+    def test_must_halt(self):
+        with pytest.raises(CosimError, match="never halts"):
+            assemble([("nop",)])
+
+
+class TestMemoryMap:
+    def test_sequential_attachment(self):
+        bus = MemoryMap()
+        a = MemoryImage(16, 8, name="a")
+        b = MemoryImage(16, 4, name="b")
+        assert bus.attach("a", a) == 0
+        assert bus.attach("b", b) == 8
+        assert bus.address_of("b", 2) == 10
+
+    def test_read_write_routes_to_segment(self):
+        bus = MemoryMap()
+        a = MemoryImage(16, 4, name="a")
+        b = MemoryImage(16, 4, name="b")
+        bus.attach("a", a)
+        bus.attach("b", b)
+        bus.write(5, 42)
+        assert b.read(1) == 42
+        assert bus.read(5) == 42
+
+    def test_signed_reads(self):
+        bus = MemoryMap()
+        a = MemoryImage(8, 2, words=[0xFF, 1], name="a")
+        bus.attach("a", a)
+        assert bus.read(0) == -1
+
+    def test_bus_error_on_unmapped(self):
+        bus = MemoryMap()
+        bus.attach("a", MemoryImage(16, 4))
+        with pytest.raises(CosimError, match="bus error"):
+            bus.read(99)
+
+    def test_overlap_rejected(self):
+        bus = MemoryMap()
+        bus.attach("a", MemoryImage(16, 8), base=0)
+        with pytest.raises(CosimError, match="overlaps"):
+            bus.attach("b", MemoryImage(16, 8), base=4)
+
+    def test_duplicate_name_rejected(self):
+        bus = MemoryMap()
+        bus.attach("a", MemoryImage(16, 4))
+        with pytest.raises(CosimError, match="already attached"):
+            bus.attach("a", MemoryImage(16, 4))
+
+
+def run_cpu(program, *, data=None, cycles=1000):
+    """Run a bare CPU (no accelerator) against one scratch segment."""
+    sim = Simulator()
+    start = sim.signal("start", 1)
+    bus = MemoryMap()
+    scratch = MemoryImage(32, 32, name="scratch")
+    if data:
+        scratch.load_words(data)
+    bus.attach("scratch", scratch)
+    cpu = Microprocessor("cpu", assemble(program), bus, start=start)
+    sim.add(cpu)
+    sim.run_until(lambda: cpu.halted, max_cycles=cycles)
+    return cpu, scratch
+
+
+class TestMicroprocessor:
+    def test_arithmetic_chain(self):
+        cpu, scratch = run_cpu([
+            ("loadi", 10), ("addi", 5), ("muli", 3), ("subi", 1),
+            ("store", 0), ("halt",),
+        ])
+        assert scratch.read(0) == 44
+
+    def test_memory_ops(self):
+        cpu, scratch = run_cpu([
+            ("load", 0), ("add", 1), ("store", 2),
+            ("sub", 0), ("store", 3), ("halt",),
+        ], data=[7, 5])
+        assert scratch.read(2) == 12
+        assert scratch.read(3) == 5
+
+    def test_indexed_addressing(self):
+        cpu, scratch = run_cpu([
+            ("loadi", 2), ("setx",),
+            ("loadx", 0),        # scratch[2]
+            ("storex", 10),      # scratch[12]
+            ("incx",), ("getx",), ("store", 1),
+            ("halt",),
+        ], data=[0, 0, 99])
+        assert scratch.read(10 + 2) == 99
+        assert scratch.read(1) == 3
+
+    def test_loop_sums(self):
+        # sum 1..5 via a bnez loop
+        cpu, scratch = run_cpu([
+            ("loadi", 0), ("store", 0),
+            ("loadi", 5),
+            ("label", "loop"),
+            ("store", 1),
+            ("add", 0), ("store", 0),
+            ("load", 1), ("subi", 1),
+            ("bnez", "loop"),
+            ("halt",),
+        ])
+        assert scratch.read(0) == 15
+
+    def test_branches(self):
+        cpu, scratch = run_cpu([
+            ("loadi", 0), ("beqz", "yes"),
+            ("loadi", 111), ("store", 0), ("halt",),
+            ("label", "yes"),
+            ("loadi", 222), ("store", 0),
+            ("loadi", -1), ("bltz", "neg"),
+            ("halt",),
+            ("label", "neg"),
+            ("loadi", 333), ("store", 1), ("halt",),
+        ])
+        assert scratch.read(0) == 222
+        assert scratch.read(1) == 333
+
+    def test_one_instruction_per_cycle(self):
+        cpu, _ = run_cpu([("nop",)] * 7 + [("halt",)])
+        assert cpu.instructions_executed == 8
+
+    def test_wait_without_done_rejected(self):
+        with pytest.raises(CosimError, match="done line"):
+            run_cpu([("wait",), ("halt",)])
+
+    def test_trace(self):
+        sim = Simulator()
+        start = sim.signal("start", 1)
+        bus = MemoryMap()
+        bus.attach("scratch", MemoryImage(32, 4))
+        cpu = Microprocessor("cpu", assemble([("loadi", 1), ("halt",)]),
+                             bus, start=start)
+        cpu.enable_trace()
+        sim.add(cpu)
+        sim.run_until(lambda: cpu.halted, max_cycles=10)
+        assert cpu.trace == [(0, "loadi"), (1, "halt")]
+
+
+ARRAYS = {
+    "src": MemorySpec(16, 8, signed=False, role="input"),
+    "dst": MemorySpec(32, 8, role="output"),
+}
+
+
+def double_kernel(src, dst, n=8):
+    for i in range(n):
+        dst[i] = src[i] * 2
+
+
+class TestCoupledSystem:
+    def build(self, program):
+        design = compile_function(double_kernel, ARRAYS)
+        return CoupledSystem(design, program)
+
+    def test_invoke_once(self):
+        system = self.build([("halt",)])
+        src = system.address_of("src")
+        dst = system.address_of("dst")
+        program = []
+        for i in range(8):
+            program += [("loadi", i + 1), ("store", src + i)]
+        program += [("start",), ("wait",), ("clear",),
+                    ("load", dst), ("store", system.address_of("scratch")),
+                    ("halt",)]
+        system = CoupledSystem(compile_function(double_kernel, ARRAYS),
+                               program)
+        result = system.run()
+        assert system.memory("dst").words() == [2, 4, 6, 8, 10, 12, 14, 16]
+        assert system.scratch.read(0) == 2
+        assert result.accelerator_invocations == 1
+        assert result.stall_cycles > 0
+        assert 0 < result.cpu_utilisation < 1
+
+    def test_reinvocation_sees_new_data(self):
+        design = compile_function(double_kernel, ARRAYS)
+        probe = CoupledSystem(design, [("halt",)])
+        src = probe.address_of("src")
+        dst = probe.address_of("dst")
+        scratch = probe.address_of("scratch")
+        program = [
+            ("loadi", 5), ("store", src),
+            ("start",), ("wait",), ("clear",),
+            ("load", dst), ("store", scratch),
+            ("loadi", 9), ("store", src),
+            ("start",), ("wait",), ("clear",),
+            ("load", dst), ("store", scratch + 1),
+            ("halt",),
+        ]
+        system = CoupledSystem(compile_function(double_kernel, ARRAYS),
+                               program)
+        result = system.run()
+        assert system.scratch.read(0) == 10
+        assert system.scratch.read(1) == 18
+        assert result.accelerator_invocations == 2
+
+    def test_accelerator_idles_until_start(self):
+        # a program that never starts the accelerator: dst stays zero
+        system = self.build([("nop",)] * 20 + [("halt",)])
+        system.memory("src").load_words([3] * 8)
+        system.run()
+        assert system.memory("dst").words() == [0] * 8
+        assert system.accelerator.controller.invocations == 0
+
+    def test_multi_configuration_rejected(self):
+        def two(src, dst, n=8):
+            for i in range(n):
+                dst[i] = src[i]
+            for j in range(n):
+                dst[j] = dst[j] + 1
+
+        design = compile_function(two, ARRAYS, partition_after=[0])
+        with pytest.raises(CosimError, match="single configuration"):
+            CoupledSystem(design, [("halt",)])
+
+    def test_matches_golden_execution(self):
+        """The co-simulated accelerator computes exactly the kernel."""
+        from repro.golden import run_golden
+
+        design = compile_function(double_kernel, ARRAYS)
+        probe = CoupledSystem(design, [("halt",)])
+        src = probe.address_of("src")
+        program = []
+        values = [11, 22, 33, 44, 55, 66, 77, 88]
+        for i, value in enumerate(values):
+            program += [("loadi", value), ("store", src + i)]
+        program += [("start",), ("wait",), ("clear",), ("halt",)]
+        system = CoupledSystem(compile_function(double_kernel, ARRAYS),
+                               program)
+        system.run()
+
+        golden = {"src": MemoryImage(16, 8, words=values, name="src"),
+                  "dst": MemoryImage(32, 8, name="dst")}
+        run_golden(double_kernel, ARRAYS, golden)
+        assert system.memory("dst") == golden["dst"]

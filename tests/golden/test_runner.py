@@ -1,0 +1,93 @@
+"""Tests for golden execution and MemView semantics."""
+
+import pytest
+
+from repro.compiler import MemorySpec
+from repro.golden import GoldenError, MemView, run_golden
+from repro.util.files import MemoryImage
+
+
+class TestMemView:
+    def test_signed_view(self):
+        image = MemoryImage(8, 4, words=[0xFF, 0x7F, 0, 1])
+        view = MemView(image, signed=True)
+        assert view[0] == -1
+        assert view[1] == 127
+
+    def test_unsigned_view(self):
+        image = MemoryImage(8, 2, words=[0xFF, 1])
+        view = MemView(image, signed=False)
+        assert view[0] == 255
+
+    def test_write_masks(self):
+        image = MemoryImage(8, 2)
+        view = MemView(image)
+        view[0] = -1
+        assert image.read(0) == 0xFF
+        view[1] = 0x1FF
+        assert image.read(1) == 0xFF
+
+    def test_len_and_iter(self):
+        image = MemoryImage(8, 3, words=[1, 2, 3])
+        view = MemView(image)
+        assert len(view) == 3
+        assert list(view) == [1, 2, 3]
+
+
+class TestRunGolden:
+    ARRAYS = {
+        "src": MemorySpec(16, 4, signed=False, role="input"),
+        "dst": MemorySpec(16, 4, role="output"),
+    }
+
+    @staticmethod
+    def double(src, dst, n=4):
+        for i in range(n):
+            dst[i] = src[i] * 2
+
+    def images(self):
+        return {
+            "src": MemoryImage(16, 4, words=[1, 2, 3, 4], name="src"),
+            "dst": MemoryImage(16, 4, name="dst"),
+        }
+
+    def test_executes_over_images(self):
+        images = self.images()
+        run_golden(self.double, self.ARRAYS, images)
+        assert images["dst"].words() == [2, 4, 6, 8]
+
+    def test_param_overrides_default(self):
+        images = self.images()
+        run_golden(self.double, self.ARRAYS, images, params={"n": 2})
+        assert images["dst"].words() == [2, 4, 0, 0]
+
+    def test_missing_image_reported(self):
+        with pytest.raises(GoldenError, match="no memory image"):
+            run_golden(self.double, self.ARRAYS, {"src": self.images()["src"]})
+
+    def test_shape_mismatch_reported(self):
+        images = self.images()
+        images["src"] = MemoryImage(16, 9, name="src")
+        with pytest.raises(GoldenError, match="spec says"):
+            run_golden(self.double, self.ARRAYS, images)
+
+    def test_missing_scalar_reported(self):
+        def kernel(src, dst, k):
+            dst[0] = src[0] + k
+
+        with pytest.raises(GoldenError, match="no array, value or default"):
+            run_golden(kernel, self.ARRAYS, self.images())
+
+    def test_signedness_follows_spec(self):
+        arrays = {
+            "src": MemorySpec(8, 1, signed=True, role="input"),
+            "dst": MemorySpec(16, 1, role="output"),
+        }
+
+        def kernel(src, dst):
+            dst[0] = src[0]
+
+        images = {"src": MemoryImage(8, 1, words=[0xFF], name="src"),
+                  "dst": MemoryImage(16, 1, name="dst")}
+        run_golden(kernel, arrays, images)
+        assert images["dst"].read_signed(0) == -1

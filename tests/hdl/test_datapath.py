@@ -1,0 +1,148 @@
+"""Tests for the datapath model and its XML dialect."""
+
+import pytest
+
+from repro.hdl import (Datapath, DatapathError, PortRef, XmlFormatError,
+                       load_datapath, read_datapath, save_datapath,
+                       write_datapath)
+
+
+def build_sample() -> Datapath:
+    """A small but representative datapath: reg + adder + const + sram."""
+    dp = Datapath("sample", width=16)
+    dp.add_memory("buf", width=16, depth=64, init="buf.mem", role="input")
+    dp.add_component("c_one", "const", value=1)
+    dp.add_component("add_1", "add")
+    dp.add_component("r_acc", "reg", init=0)
+    dp.add_component("cmp_1", "lt")
+    dp.add_component("ram_buf", "sram", memory="buf")
+    dp.add_component("c_limit", "const", value=10)
+    dp.add_net("n_one", "c_one.y", ["add_1.b"])
+    dp.add_net("n_acc", "r_acc.q", ["add_1.a", "cmp_1.a", "ram_buf.addr"])
+    dp.add_net("n_sum", "add_1.y", ["r_acc.d", "ram_buf.din"])
+    dp.add_net("n_limit", "c_limit.y", ["cmp_1.b"])
+    dp.add_control("en_acc", ["r_acc.en"])
+    dp.add_control("we_buf", ["ram_buf.we"])
+    dp.add_status("st_lt", "cmp_1.y")
+    return dp
+
+
+class TestPortRef:
+    def test_parse(self):
+        ref = PortRef.parse("add_1.y")
+        assert ref.component == "add_1" and ref.port == "y"
+        assert str(ref) == "add_1.y"
+
+    @pytest.mark.parametrize("bad", ["add_1", ".y", "add_1.", ""])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(DatapathError):
+            PortRef.parse(bad)
+
+
+class TestModel:
+    def test_validate_passes(self):
+        build_sample().validate()
+
+    def test_duplicate_component_rejected(self):
+        dp = build_sample()
+        with pytest.raises(DatapathError):
+            dp.add_component("add_1", "add")
+
+    def test_net_unknown_component(self):
+        dp = build_sample()
+        dp.add_net("n_bad", "ghost.y", ["add_1.a2"])
+        with pytest.raises(DatapathError, match="unknown component"):
+            dp.validate()
+
+    def test_net_without_sinks(self):
+        dp = build_sample()
+        dp.nets["n_one"].sinks.clear()
+        with pytest.raises(DatapathError, match="no sinks"):
+            dp.validate()
+
+    def test_doubly_wired_port_rejected(self):
+        dp = build_sample()
+        dp.add_net("n_dup", "c_limit.y", ["add_1.b"])  # add_1.b already wired
+        with pytest.raises(DatapathError, match="wired to both"):
+            dp.validate()
+
+    def test_sram_needs_declared_memory(self):
+        dp = build_sample()
+        dp.components["ram_buf"].params["memory"] = "ghost"
+        with pytest.raises(DatapathError, match="undeclared memory"):
+            dp.validate()
+
+    def test_sram_needs_memory_param(self):
+        dp = build_sample()
+        del dp.components["ram_buf"].params["memory"]
+        with pytest.raises(DatapathError, match="needs a 'memory'"):
+            dp.validate()
+
+    def test_operator_count_and_histogram(self):
+        dp = build_sample()
+        assert dp.operator_count() == 6
+        histogram = dp.operator_histogram()
+        assert histogram["const"] == 2
+        assert histogram["add"] == 1
+
+    def test_memory_address_width(self):
+        dp = build_sample()
+        assert dp.memories["buf"].address_width == 6
+
+    def test_width_default_from_datapath(self):
+        dp = build_sample()
+        assert dp.components["add_1"].width == 16
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(DatapathError):
+            Datapath("x", width=0)
+
+
+class TestXml:
+    def test_roundtrip(self):
+        dp = build_sample()
+        text = write_datapath(dp)
+        loaded = read_datapath(text)
+        assert loaded.name == dp.name
+        assert loaded.width == dp.width
+        assert set(loaded.components) == set(dp.components)
+        assert set(loaded.nets) == set(dp.nets)
+        assert set(loaded.controls) == set(dp.controls)
+        assert set(loaded.statuses) == set(dp.statuses)
+        assert loaded.memories["buf"].depth == 64
+        assert loaded.memories["buf"].init == "buf.mem"
+        assert loaded.components["c_one"].param("value") == "1"
+
+    def test_file_roundtrip(self, tmp_path):
+        dp = build_sample()
+        path = save_datapath(dp, tmp_path / "dp.xml")
+        assert load_datapath(path).operator_count() == dp.operator_count()
+
+    def test_pretty_printed(self):
+        text = write_datapath(build_sample())
+        assert text.count("\n") > 10
+        assert "  <components>" in text
+
+    def test_read_validates(self):
+        text = write_datapath(build_sample())
+        broken = text.replace('from="cmp_1.y"', 'from="ghost.y"')
+        with pytest.raises(DatapathError):
+            read_datapath(broken)
+
+    def test_missing_attribute_reported(self):
+        with pytest.raises(XmlFormatError, match="missing required"):
+            read_datapath("<datapath name='x'/>")
+
+    def test_wrong_root_reported(self):
+        with pytest.raises(XmlFormatError, match="expected root"):
+            read_datapath("<fsm name='x'/>")
+
+    def test_malformed_xml_reported(self):
+        with pytest.raises(XmlFormatError, match="not well-formed"):
+            read_datapath("<datapath name='x'")
+
+    def test_reserved_param_rejected_on_write(self):
+        dp = build_sample()
+        dp.components["add_1"].params["type"] = "oops"
+        with pytest.raises(XmlFormatError, match="reserved"):
+            write_datapath(dp)

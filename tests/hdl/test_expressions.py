@@ -1,0 +1,120 @@
+"""Tests for the condition expression language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdl import (And, Const, ConditionSyntaxError, FALSE, Not, Or, TRUE,
+                       Var, parse_condition)
+
+
+class TestNodes:
+    def test_const_values(self):
+        assert TRUE.evaluate({}) == 1
+        assert FALSE.evaluate({}) == 0
+        with pytest.raises(ValueError):
+            Const(2)
+
+    def test_var_lookup(self):
+        assert Var("a").evaluate({"a": 1}) == 1
+        assert Var("a").evaluate({"a": 0}) == 0
+
+    def test_var_truthiness_normalised(self):
+        assert Var("a").evaluate({"a": 7}) == 1
+
+    def test_var_missing_raises(self):
+        with pytest.raises(KeyError, match="status input"):
+            Var("a").evaluate({"b": 1})
+
+    def test_var_name_validated(self):
+        with pytest.raises(ValueError):
+            Var("not a name")
+
+    def test_not(self):
+        assert Not(Var("a")).evaluate({"a": 0}) == 1
+
+    def test_and_or(self):
+        env = {"a": 1, "b": 0}
+        assert And(Var("a"), Var("b")).evaluate(env) == 0
+        assert Or(Var("a"), Var("b")).evaluate(env) == 1
+
+    def test_nary_needs_two(self):
+        with pytest.raises(ValueError):
+            And(Var("a"))
+
+    def test_names(self):
+        expr = And(Var("a"), Or(Var("b"), Not(Var("c"))))
+        assert expr.names() == frozenset("abc")
+
+    def test_equality_and_hash(self):
+        assert And(Var("a"), Var("b")) == And(Var("a"), Var("b"))
+        assert And(Var("a"), Var("b")) != Or(Var("a"), Var("b"))
+        assert len({Var("x"), Var("x")}) == 1
+
+
+class TestParser:
+    def test_empty_is_true(self):
+        assert parse_condition("") == TRUE
+        assert parse_condition("   ") == TRUE
+
+    def test_single_var(self):
+        assert parse_condition("st_done") == Var("st_done")
+
+    def test_constants(self):
+        assert parse_condition("1") == TRUE
+        assert parse_condition("0") == FALSE
+
+    def test_precedence_and_binds_tighter(self):
+        expr = parse_condition("a or b and c")
+        assert expr == Or(Var("a"), And(Var("b"), Var("c")))
+
+    def test_parentheses(self):
+        expr = parse_condition("(a or b) and c")
+        assert expr == And(Or(Var("a"), Var("b")), Var("c"))
+
+    def test_not(self):
+        assert parse_condition("not a") == Not(Var("a"))
+        assert parse_condition("not not a") == Not(Not(Var("a")))
+
+    def test_chained_operators(self):
+        expr = parse_condition("a and b and c")
+        assert expr == And(Var("a"), Var("b"), Var("c"))
+
+    @pytest.mark.parametrize("bad", ["and", "a or", "a b", "(a", "a)",
+                                     "a & b", "not"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ConditionSyntaxError):
+            parse_condition(bad)
+
+
+def exprs(depth=3):
+    names = st.sampled_from(["a", "b", "c"])
+    base = st.one_of(names.map(Var), st.sampled_from([TRUE, FALSE]))
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda t: And(*t)),
+            st.tuples(children, children).map(lambda t: Or(*t)),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestRoundtripProperties:
+    @given(exprs(), st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    def test_text_roundtrip_preserves_semantics(self, expr, bits):
+        env = dict(zip("abc", map(int, bits)))
+        reparsed = parse_condition(expr.to_text())
+        assert reparsed.evaluate(env) == expr.evaluate(env)
+
+    @given(exprs(), st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    def test_python_rendering_matches(self, expr, bits):
+        env = dict(zip("abc", map(int, bits)))
+        assert bool(eval(expr.to_python(), {"env": env})) == \
+            bool(expr.evaluate(env))
+
+    @given(exprs())
+    def test_renderers_produce_text(self, expr):
+        assert expr.to_vhdl()
+        assert expr.to_verilog()
+        assert repr(expr)

@@ -1,0 +1,200 @@
+"""Tests for the FSM and RTG models and their XML dialects."""
+
+import pytest
+
+from repro.hdl import (DONE_OUTPUT, Fsm, FsmError, Rtg, RtgError, Var,
+                       load_rtg_bundle, parse_condition, read_fsm, read_rtg,
+                       save_datapath, save_fsm, save_rtg, write_fsm,
+                       write_rtg)
+
+from tests.hdl.test_datapath import build_sample
+
+
+def build_fsm() -> Fsm:
+    """Idle -> run (loops while st_lt) -> done."""
+    fsm = Fsm("ctl")
+    fsm.add_input("st_lt")
+    fsm.add_output("en_acc")
+    fsm.add_output("we_buf")
+    fsm.add_output(DONE_OUTPUT)
+    fsm.add_state("S_idle").transition("S_run")
+    run = fsm.add_state("S_run")
+    run.assign("en_acc", 1)
+    run.assign("we_buf", 1)
+    run.transition("S_run", parse_condition("st_lt"))
+    run.transition("S_done")
+    fsm.add_state("S_done", final=True).assign(DONE_OUTPUT, 1)
+    return fsm
+
+
+class TestFsmModel:
+    def test_validate_passes(self):
+        build_fsm().validate()
+
+    def test_reset_defaults_to_first_state(self):
+        assert build_fsm().reset_state == "S_idle"
+
+    def test_output_vector_includes_defaults(self):
+        fsm = build_fsm()
+        vector = fsm.output_vector("S_run")
+        assert vector == {"en_acc": 1, "we_buf": 1, "done": 0}
+        assert fsm.output_vector("S_idle") == {"en_acc": 0, "we_buf": 0,
+                                               "done": 0}
+
+    def test_next_state_follows_guards(self):
+        fsm = build_fsm()
+        assert fsm.next_state("S_run", {"st_lt": 1}) == "S_run"
+        assert fsm.next_state("S_run", {"st_lt": 0}) == "S_done"
+
+    def test_final_state_self_loops(self):
+        assert build_fsm().next_state("S_done", {}) == "S_done"
+
+    def test_nonfinal_without_default_rejected(self):
+        fsm = build_fsm()
+        fsm.states["S_run"].transitions.pop()  # drop the default
+        with pytest.raises(FsmError, match="no default transition"):
+            fsm.validate()
+
+    def test_undeclared_output_rejected(self):
+        fsm = build_fsm()
+        fsm.states["S_run"].assign("ghost", 1)
+        with pytest.raises(FsmError, match="undeclared output"):
+            fsm.validate()
+
+    def test_value_out_of_width_rejected(self):
+        fsm = build_fsm()
+        fsm.states["S_run"].assign("en_acc", 2)
+        with pytest.raises(FsmError, match="does not fit"):
+            fsm.validate()
+
+    def test_unknown_target_rejected(self):
+        fsm = build_fsm()
+        fsm.states["S_idle"].transition("S_ghost")
+        with pytest.raises(FsmError, match="unknown"):
+            fsm.validate()
+
+    def test_undeclared_condition_input_rejected(self):
+        fsm = build_fsm()
+        fsm.states["S_idle"].transitions[0].condition = Var("mystery")
+        fsm.states["S_idle"].transition("S_run")
+        with pytest.raises(FsmError, match="undeclared inputs"):
+            fsm.validate()
+
+    def test_reachability(self):
+        fsm = build_fsm()
+        fsm.add_state("S_orphan").transition("S_done")
+        assert "S_orphan" not in fsm.reachable_states()
+
+    def test_nonexistent_state_queries(self):
+        fsm = build_fsm()
+        with pytest.raises(FsmError):
+            fsm.output_vector("nope")
+        with pytest.raises(FsmError):
+            fsm.mark_final("nope")
+
+
+class TestFsmXml:
+    def test_roundtrip(self):
+        fsm = build_fsm()
+        loaded = read_fsm(write_fsm(fsm))
+        assert loaded.state_names == fsm.state_names
+        assert loaded.reset_state == fsm.reset_state
+        assert loaded.final_states == fsm.final_states
+        assert loaded.output_vector("S_run") == fsm.output_vector("S_run")
+        assert loaded.next_state("S_run", {"st_lt": 1}) == "S_run"
+
+    def test_when_attribute_roundtrip(self):
+        fsm = build_fsm()
+        text = write_fsm(fsm)
+        assert 'when="st_lt"' in text
+        # unconditional transitions carry no 'when'
+        assert text.count("when=") == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = save_fsm(build_fsm(), tmp_path / "fsm.xml")
+        assert read_fsm(path.read_text()).state_count() == 3
+
+    def test_read_validates(self):
+        text = write_fsm(build_fsm()).replace('next="S_run"', 'next="S_x"')
+        with pytest.raises(FsmError):
+            read_fsm(text)
+
+
+def build_rtg() -> Rtg:
+    rtg = Rtg("two_part")
+    rtg.add_memory("shared", width=16, depth=64, role="intermediate")
+    rtg.add_configuration("cfg0")
+    rtg.add_configuration("cfg1", final=True)
+    rtg.add_transition("cfg0", "cfg1")
+    return rtg
+
+
+class TestRtgModel:
+    def test_validate_passes(self):
+        build_rtg().validate()
+
+    def test_start_defaults_to_first(self):
+        assert build_rtg().start == "cfg0"
+
+    def test_next_configuration(self):
+        rtg = build_rtg()
+        assert rtg.next_configuration("cfg0") == "cfg1"
+        assert rtg.next_configuration("cfg1") is None
+
+    def test_dangling_configuration_rejected(self):
+        rtg = build_rtg()
+        rtg.add_configuration("cfg2")  # no outgoing edge, not final
+        with pytest.raises(RtgError, match="no outgoing"):
+            rtg.validate()
+
+    def test_unknown_transition_end_rejected(self):
+        rtg = build_rtg()
+        rtg.add_transition("cfg1", "ghost")
+        with pytest.raises(RtgError, match="unknown configuration"):
+            rtg.validate()
+
+    def test_conditional_only_nonfinal_rejected(self):
+        rtg = Rtg("r")
+        rtg.add_configuration("a")
+        rtg.add_configuration("b", final=True)
+        rtg.add_transition("a", "b", parse_condition("st_x"))
+        with pytest.raises(RtgError, match="conditional"):
+            rtg.validate()
+
+    def test_attached_datapath_memory_check(self):
+        rtg = build_rtg()
+        dp = build_sample()  # uses local memory 'buf'
+        rtg.configurations["cfg0"].datapath = dp
+        rtg.validate()  # 'buf' is local to the datapath: fine
+        del dp.memories["buf"]
+        with pytest.raises(RtgError, match="undeclared memory"):
+            rtg.validate()
+
+    def test_duplicate_memory_rejected(self):
+        rtg = build_rtg()
+        with pytest.raises(RtgError):
+            rtg.add_memory("shared", 16, 64)
+
+
+class TestRtgXml:
+    def test_roundtrip(self):
+        rtg = build_rtg()
+        loaded = read_rtg(write_rtg(rtg))
+        assert set(loaded.configurations) == {"cfg0", "cfg1"}
+        assert loaded.start == "cfg0"
+        assert loaded.final_configurations == {"cfg1"}
+        assert loaded.memories["shared"].role == "intermediate"
+        assert loaded.next_configuration("cfg0") == "cfg1"
+
+    def test_bundle_loading(self, tmp_path):
+        from tests.hdl.test_fsm_rtg import build_fsm
+
+        rtg = build_rtg()
+        save_datapath(build_sample(), tmp_path / "cfg0_datapath.xml")
+        save_fsm(build_fsm(), tmp_path / "cfg0_fsm.xml")
+        save_datapath(build_sample(), tmp_path / "cfg1_datapath.xml")
+        save_fsm(build_fsm(), tmp_path / "cfg1_fsm.xml")
+        save_rtg(rtg, tmp_path / "design.rtg.xml")
+        bundle = load_rtg_bundle(tmp_path / "design.rtg.xml")
+        assert bundle.configurations["cfg0"].datapath is not None
+        assert bundle.configurations["cfg1"].fsm.state_count() == 3

@@ -1,0 +1,106 @@
+"""Probes, assertions and VCD on *compiled* designs.
+
+The paper motivates simulation over in-FPGA testing with "access to
+values on certain connections, assertions, inclusion of probes and stop
+mechanisms" — these tests exercise each facility against a compiled
+design rather than a hand-built circuit.
+"""
+
+import pytest
+
+from repro.compiler import MemorySpec, compile_function
+from repro.core import prepare_images
+from repro.sim import Assertion, Probe, SimulationError, StopCondition
+from repro.translate import build_simulation
+
+ARRAYS = {
+    "src": MemorySpec(16, 8, signed=False, role="input"),
+    "dst": MemorySpec(32, 8, role="output"),
+}
+
+
+def accumulate(src, dst, n=8):
+    total = 0
+    for i in range(n):
+        total = total + src[i]
+        dst[i] = total
+
+
+def build(values):
+    design = compile_function(accumulate, ARRAYS)
+    config = design.configurations[0]
+    images = prepare_images(design, {"src": values})
+    sim_design = build_simulation(config.datapath, config.fsm,
+                                  memories=images)
+    return sim_design, images
+
+
+class TestProbeOnCompiledDesign:
+    def test_register_probe_sees_running_total(self):
+        sim_design, _ = build([1, 2, 3, 4, 5, 6, 7, 8])
+        total_q = sim_design.sim.get_signal("n_r_total_q")
+        probe = Probe(sim_design.sim, total_q)
+        sim_design.run_to_done()
+        values = probe.values()
+        # the running totals 1, 3, 6, ... all appear, in order
+        expected = [1, 3, 6, 10, 15, 21, 28, 36]
+        positions = []
+        cursor = 0
+        for value in expected:
+            cursor = values.index(value, cursor)
+            positions.append(cursor)
+        assert positions == sorted(positions)
+
+    def test_control_line_activity(self):
+        sim_design, _ = build([1] * 8)
+        we = sim_design.sim.get_signal("we_dst")
+        probe = Probe(sim_design.sim, we)
+        sim_design.run_to_done()
+        # we toggles on and off once per store: 8 rising edges
+        rising = sum(1 for earlier, later in
+                     zip(probe.values(), probe.values()[1:])
+                     if earlier == 0 and later == 1)
+        assert rising >= 1  # the FSM may batch consecutive store states
+
+
+class TestAssertionOnCompiledDesign:
+    def test_invariant_holds(self):
+        sim_design, _ = build([1] * 8)
+        total_q = sim_design.sim.get_signal("n_r_total_q")
+        check = Assertion(sim_design.sim, total_q,
+                          lambda value: value <= 8,
+                          "running total exceeded the input sum")
+        sim_design.run_to_done()
+        assert check.checks > 0
+
+    def test_violation_stops_simulation(self):
+        sim_design, _ = build([10] * 8)
+        total_q = sim_design.sim.get_signal("n_r_total_q")
+        Assertion(sim_design.sim, total_q, lambda value: value < 35,
+                  "total hit 35")
+        with pytest.raises(SimulationError, match="total hit 35"):
+            sim_design.run_to_done()
+
+
+class TestStopConditionOnCompiledDesign:
+    def test_stop_when_memory_half_written(self):
+        sim_design, images = build([1] * 8)
+        we = sim_design.sim.get_signal("we_dst")
+        writes = {"count": 0}
+
+        def count_writes(signal, old, new):
+            if new:
+                writes["count"] += 1
+
+        we.watch(count_writes)
+        sim_design.sim.run_until(lambda: writes["count"] >= 4,
+                                 max_cycles=10_000)
+        assert not sim_design.done  # stopped mid-run
+        written = sum(1 for word in images["dst"].words() if word)
+        assert written < 8
+
+    def test_done_stop_condition(self):
+        sim_design, _ = build([1] * 8)
+        stop = StopCondition(sim_design.sim, sim_design.done_signal)
+        sim_design.sim.run_until(stop.triggered_check, max_cycles=10_000)
+        assert sim_design.done

@@ -1,0 +1,179 @@
+"""Tests for the reconfiguration context and executor."""
+
+import pytest
+
+from repro.compiler import MemorySpec, compile_function
+from repro.hdl import Rtg, RtgError, parse_condition
+from repro.rtg import ReconfigurationContext, RtgExecutor
+from repro.util.files import MemoryImage
+
+ARRAYS = {
+    "src": MemorySpec(16, 8, signed=False, role="input"),
+    "dst": MemorySpec(32, 8, role="output"),
+}
+
+
+def two_phase(src, dst, n=8):
+    s = 0
+    for i in range(n):
+        s = s + src[i]
+    for j in range(n):
+        dst[j] = src[j] + s
+
+
+def build_design():
+    return compile_function(two_phase, ARRAYS, partition_after=[1])
+
+
+class TestContext:
+    def test_from_rtg_creates_blank_memories(self):
+        design = build_design()
+        context = ReconfigurationContext.from_rtg(design.rtg)
+        assert set(context.memories) >= {"src", "dst", "__spill"}
+        assert context.memory("src").words() == [0] * 8
+
+    def test_supplied_image_used_as_is(self):
+        design = build_design()
+        src = MemoryImage(16, 8, words=[1] * 8, name="src")
+        context = ReconfigurationContext.from_rtg(design.rtg,
+                                                  initial={"src": src})
+        assert context.memory("src") is src
+
+    def test_shape_mismatch_rejected(self):
+        design = build_design()
+        bad = MemoryImage(16, 4, name="src")
+        with pytest.raises(ValueError, match="RTG declares"):
+            ReconfigurationContext.from_rtg(design.rtg,
+                                            initial={"src": bad})
+
+    def test_init_file_loaded(self, tmp_path):
+        rtg = Rtg("r")
+        rtg.add_configuration("cfg0", final=True)
+        rtg.add_memory("m", 8, 4, init="m.mem")
+        MemoryImage(8, 4, words=[9, 8, 7, 6], name="m").save(
+            tmp_path / "m.mem")
+        context = ReconfigurationContext.from_rtg(rtg, init_dir=tmp_path)
+        assert context.memory("m").words() == [9, 8, 7, 6]
+
+    def test_snapshot_is_deep(self):
+        design = build_design()
+        context = ReconfigurationContext.from_rtg(design.rtg)
+        snap = context.snapshot()
+        context.memory("dst").write(0, 5)
+        assert snap["dst"].read(0) == 0
+
+    def test_unknown_memory_reported(self):
+        context = ReconfigurationContext()
+        with pytest.raises(KeyError, match="no memory"):
+            context.memory("ghost")
+
+
+class TestExecutor:
+    def test_runs_through_both_configurations(self):
+        design = build_design()
+        src = MemoryImage(16, 8, words=list(range(8)), name="src")
+        context = ReconfigurationContext.from_rtg(design.rtg,
+                                                  initial={"src": src})
+        result = RtgExecutor(design.rtg, context).run()
+        assert result.trace == ["cfg0", "cfg1"]
+        assert result.reconfigurations == 1
+        total = sum(range(8))
+        assert context.memory("dst").words() == \
+            [value + total for value in range(8)]
+
+    def test_per_configuration_records(self):
+        design = build_design()
+        result = RtgExecutor(design.rtg).run()
+        assert len(result.runs) == 2
+        assert all(run.cycles > 0 for run in result.runs)
+        assert result.total_cycles == sum(run.cycles for run in result.runs)
+        assert all(run.final_state == "S_done" for run in result.runs)
+
+    def test_interpreted_control_matches_generated(self):
+        design = build_design()
+        src = MemoryImage(16, 8, words=[3] * 8, name="src")
+        results = {}
+        for mode in ("generated", "interpreted"):
+            context = ReconfigurationContext.from_rtg(
+                design.rtg, initial={"src": src.copy()})
+            RtgExecutor(design.rtg, context, control_mode=mode).run()
+            results[mode] = context.memory("dst").words()
+        assert results["generated"] == results["interpreted"]
+
+    def test_bad_control_mode_rejected(self):
+        design = build_design()
+        with pytest.raises(ValueError, match="control_mode"):
+            RtgExecutor(design.rtg, control_mode="quantum")
+
+    def test_on_configure_hook_called(self):
+        design = build_design()
+        seen = []
+        executor = RtgExecutor(design.rtg)
+        executor.on_configure = lambda sim_design: seen.append(
+            sim_design.datapath.name)
+        executor.run()
+        assert seen == ["two_phase_cfg0", "two_phase_cfg1"]
+
+    def test_missing_design_without_base_dir_rejected(self):
+        rtg = Rtg("r")
+        rtg.add_configuration("cfg0", final=True)
+        with pytest.raises(RtgError, match="base_dir"):
+            RtgExecutor(rtg).run()
+
+    def test_runaway_rtg_detected(self):
+        design = compile_function(
+            "def f(dst):\n    dst[0] = 1\n",
+            {"dst": MemorySpec(16, 4, role="output")},
+        )
+        rtg = design.rtg
+        # make the single configuration loop forever
+        rtg.final_configurations.clear()
+        rtg.add_transition("cfg0", "cfg0")
+        executor = RtgExecutor(rtg, max_reconfigurations=5)
+        with pytest.raises(RtgError, match="runaway"):
+            executor.run()
+
+    def test_conditional_rtg_edges(self):
+        """RTG transitions guarded on the finishing design's outputs."""
+        design = compile_function(
+            "def f(dst):\n    dst[0] = 7\n",
+            {"dst": MemorySpec(16, 4, role="output")},
+        )
+        config = design.configurations[0]
+        rtg = Rtg("cond")
+        rtg.add_configuration("start", datapath=config.datapath,
+                              fsm=config.fsm)
+        rtg.add_configuration("again", datapath=config.datapath,
+                              fsm=config.fsm, final=True)
+        # 'done' is 1 when the configuration finishes, so the guarded
+        # edge is taken
+        rtg.add_transition("start", "again", parse_condition("done"))
+        rtg.add_transition("start", "start")
+        for name, spec in design.arrays.items():
+            rtg.add_memory(name, spec.width, spec.depth, role=spec.role)
+        result = RtgExecutor(rtg).run()
+        assert result.trace == ["start", "again"]
+
+
+class TestTracing:
+    def test_trace_dir_produces_vcd_per_configuration(self, tmp_path):
+        design = build_design()
+        src = MemoryImage(16, 8, words=[1] * 8, name="src")
+        context = ReconfigurationContext.from_rtg(design.rtg,
+                                                  initial={"src": src})
+        executor = RtgExecutor(design.rtg, context, trace_dir=tmp_path)
+        executor.run()
+        traces = sorted(path.name for path in tmp_path.glob("*.vcd"))
+        assert traces == ["0_cfg0.vcd", "1_cfg1.vcd"]
+        text = (tmp_path / "0_cfg0.vcd").read_text()
+        assert "$enddefinitions" in text
+        assert "done" in text
+
+    def test_verify_design_trace_passthrough(self, tmp_path):
+        from repro.core import verify_design
+
+        design = build_design()
+        result = verify_design(design, two_phase,
+                               {"src": [2] * 8}, trace_dir=tmp_path)
+        assert result.passed
+        assert list(tmp_path.glob("*.vcd"))

@@ -1,0 +1,275 @@
+"""Tests for the simulation kernel: settling, cycles, arming, errors."""
+
+import pytest
+
+from repro.operators import Adder, Constant, Register
+from repro.sim import (ClockDomain, Combinational, CombinationalLoopError,
+                       DriveConflictError, ElaborationError, Sequential,
+                       SimulationTimeout, Simulator)
+
+
+def build_accumulator(sim, width=8, step=1):
+    """q' = q + step, every cycle (no enable)."""
+    q = sim.signal("q", width)
+    d = sim.signal("d", width)
+    one = sim.signal("one", width)
+    const = Constant("const", one, step)
+    sim.add_async(const)
+    sim.add_async(Adder("add", q, one, d))
+    sim.add(Register("acc", d, q))
+    const.emit(sim)
+    sim.settle()
+    return q
+
+
+class TestSignals:
+    def test_signal_factory_checks_duplicates(self):
+        sim = Simulator()
+        sim.signal("s", 4)
+        with pytest.raises(ElaborationError):
+            sim.signal("s", 4)
+
+    def test_get_signal(self):
+        sim = Simulator()
+        s = sim.signal("s", 4)
+        assert sim.get_signal("s") is s
+        with pytest.raises(ElaborationError):
+            sim.get_signal("missing")
+
+    def test_drive_masks(self):
+        sim = Simulator()
+        s = sim.signal("s", 4)
+        sim.drive(s, 0x1F)
+        assert s.value == 0xF
+
+    def test_signed_view(self):
+        sim = Simulator()
+        s = sim.signal("s", 4)
+        sim.drive(s, 0xF)
+        assert s.signed == -1
+
+    def test_single_driver_rule(self):
+        sim = Simulator()
+        a = sim.signal("a", 4)
+        b = sim.signal("b", 4)
+        y = sim.signal("y", 4)
+        sim.add_async(Adder("add1", a, b, y))
+        with pytest.raises(DriveConflictError):
+            Adder("add2", a, b, y)
+
+    def test_duplicate_component_rejected(self):
+        sim = Simulator()
+        a = sim.signal("a", 4)
+        y = sim.signal("y", 4)
+        c = Constant("c", y, 1)
+        sim.add_async(c)
+        with pytest.raises(ElaborationError):
+            sim.add_async(Constant("c", a, 1))
+
+
+class TestSettle:
+    def test_propagates_through_chain(self):
+        sim = Simulator()
+        a = sim.signal("a", 8)
+        b = sim.signal("b", 8)
+        c = sim.signal("c", 8)
+        d = sim.signal("d", 8)
+        sim.add_async(Adder("add1", a, b, c))
+        sim.add_async(Adder("add2", c, a, d))
+        sim.drive(a, 1)
+        sim.drive(b, 2)
+        sim.settle()
+        assert c.value == 3
+        assert d.value == 4
+
+    def test_no_change_no_evaluation(self):
+        sim = Simulator()
+        a = sim.signal("a", 8)
+        b = sim.signal("b", 8)
+        y = sim.signal("y", 8)
+        sim.add_async(Adder("add", a, b, y))
+        sim.drive(a, 1)
+        sim.settle()
+        before = sim.stats.evaluations
+        sim.drive(a, 1)  # same value
+        sim.settle()
+        assert sim.stats.evaluations == before
+
+    def test_combinational_loop_detected(self):
+        class Inverter(Combinational):
+            def __init__(self, name, a, y):
+                super().__init__(name, inputs=(a,))
+                self.a, self.y = a, y
+
+            def evaluate(self, sim):
+                sim.drive(self.y, ~self.a.value)
+
+        # a ring oscillator never settles
+        sim = Simulator()
+        a = sim.signal("a", 1)
+        sim.add_async(Inverter("ring", a, a))
+        sim.drive(a, 1)
+        with pytest.raises(CombinationalLoopError):
+            sim.settle()
+
+
+class TestCycles:
+    def test_accumulator_counts(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        sim.run_cycles(5)
+        assert q.value == 5
+        assert sim.stats.cycles == 5
+
+    def test_time_advances_by_period(self):
+        sim = Simulator()
+        sim.clock_domain("clk", period=7)
+        build_accumulator(sim)
+        sim.run_cycles(3)
+        assert sim.now == 21
+
+    def test_wrap_at_width(self):
+        sim = Simulator()
+        q = build_accumulator(sim, width=4)
+        sim.run_cycles(18)
+        assert q.value == 2
+
+    def test_run_until(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        cycles = sim.run_until(lambda: q.value == 10)
+        assert cycles == 10
+
+    def test_run_until_timeout(self):
+        sim = Simulator()
+        build_accumulator(sim)
+        with pytest.raises(SimulationTimeout):
+            sim.run_until(lambda: False, max_cycles=10)
+
+    def test_run_until_high(self):
+        sim = Simulator()
+        q = build_accumulator(sim, width=8)
+        flag = sim.signal("flag", 1)
+
+        class Watch(Combinational):
+            def __init__(self, name, src, dst):
+                super().__init__(name, inputs=(src,))
+                self.src, self.dst = src, dst
+
+            def evaluate(self, sim):
+                sim.drive(self.dst, 1 if self.src.value >= 3 else 0)
+
+        sim.add_async(Watch("w", q, flag))
+        assert sim.run_until_high(flag) == 3
+
+
+class TestArming:
+    def test_disabled_register_not_dispatched(self):
+        sim = Simulator()
+        d = sim.signal("d", 8)
+        q = sim.signal("q", 8)
+        en = sim.signal("en", 1)
+        sim.add(Register("r", d, q, en=en))
+        sim.drive(d, 42)
+        sim.settle()
+        sim.run_cycles(3)
+        assert q.value == 0  # enable low: no update
+        assert sim.stats.edge_dispatches == 0
+        sim.drive(en, 1)
+        sim.settle()
+        sim.run_cycles(1)
+        assert q.value == 42
+        assert sim.stats.edge_dispatches == 1
+
+    def test_enable_initially_high(self):
+        sim = Simulator()
+        d = sim.signal("d", 8)
+        q = sim.signal("q", 8)
+        en = sim.signal("en", 1, init=1)
+        sim.add(Register("r", d, q, en=en))
+        sim.drive(d, 7)
+        sim.settle()
+        sim.run_cycles(1)
+        assert q.value == 7
+
+    def test_armed_count_tracks_enables(self):
+        sim = Simulator()
+        domain = sim.default_domain
+        d = sim.signal("d", 8)
+        q = sim.signal("q", 8)
+        en = sim.signal("en", 1)
+        sim.add(Register("r", d, q, en=en))
+        assert domain.armed_count == 0
+        sim.drive(en, 1)
+        assert domain.armed_count == 1
+        sim.drive(en, 0)
+        assert domain.armed_count == 0
+
+
+class TestEdgeSemantics:
+    def test_register_chain_shifts_one_per_cycle(self):
+        """Two back-to-back registers must not fall through in one cycle."""
+        sim = Simulator()
+        a = sim.signal("a", 8)
+        b = sim.signal("b", 8)
+        c = sim.signal("c", 8)
+        sim.add(Register("r1", a, b))
+        sim.add(Register("r2", b, c))
+        sim.drive(a, 5)
+        sim.settle()
+        sim.run_cycles(1)
+        assert (b.value, c.value) == (5, 0)
+        sim.run_cycles(1)
+        assert (b.value, c.value) == (5, 5)
+
+    def test_swap_registers(self):
+        """Classic swap: both registers sample pre-edge values."""
+        sim = Simulator()
+        a = sim.signal("a", 8, init=1)
+        b = sim.signal("b", 8, init=2)
+        ra = Register("ra", b, a)
+        rb = Register("rb", a, b)
+        ra.init, rb.init = 1, 2
+        a.value, b.value = 1, 2
+        sim.add(ra)
+        sim.add(rb)
+        sim.run_cycles(1)
+        assert (a.value, b.value) == (2, 1)
+        sim.run_cycles(1)
+        assert (a.value, b.value) == (1, 2)
+
+
+class TestTimedEvents:
+    def test_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: seen.append("b"))
+        sim.schedule(5, lambda: seen.append("a"))
+        sim.schedule(10, lambda: seen.append("c"))
+        sim.run_timed(20)
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 20
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append("late"))
+        sim.run_timed(50)
+        assert seen == []
+        sim.run_timed(150)
+        assert seen == ["late"]
+
+
+class TestClockDomain:
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            ClockDomain(period=0)
+
+    def test_same_name_returns_same_domain(self):
+        sim = Simulator()
+        assert sim.clock_domain("clk") is sim.clock_domain("clk")

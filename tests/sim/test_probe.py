@@ -1,0 +1,101 @@
+"""Tests for probes, assertions and stop conditions."""
+
+import pytest
+
+from repro.sim import Assertion, Probe, SimulationError, Simulator, StopCondition
+from repro.operators import Register
+
+from tests.sim.test_kernel import build_accumulator
+
+
+class TestProbe:
+    def test_records_changes_with_time(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        probe = Probe(sim, q)
+        sim.run_cycles(3)
+        assert probe.values() == [0, 1, 2, 3]
+        times = [t for t, _ in probe.samples]
+        assert times == sorted(times)
+
+    def test_change_count(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        probe = Probe(sim, q)
+        sim.run_cycles(4)
+        assert probe.change_count == 4
+
+    def test_value_at(self):
+        sim = Simulator()
+        sim.clock_domain("clk", period=10)
+        q = build_accumulator(sim)
+        probe = Probe(sim, q)
+        sim.run_cycles(5)
+        # q becomes 1 at the end of the first cycle (time advances to 10
+        # after the edge), so at time 10 the value is already 1
+        assert probe.value_at(0) == 1
+        assert probe.value_at(25) == 3
+        assert probe.last_value() == 5
+
+    def test_value_at_before_first_sample(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        probe = Probe(sim, q, record_initial=False)
+        with pytest.raises(SimulationError):
+            probe.value_at(0)
+
+    def test_detach_stops_recording(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        probe = Probe(sim, q)
+        sim.run_cycles(1)
+        probe.detach()
+        sim.run_cycles(5)
+        assert probe.change_count == 1
+
+
+class TestAssertion:
+    def test_passes_while_invariant_holds(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        check = Assertion(sim, q, lambda v: v <= 100, "q exceeded 100")
+        sim.run_cycles(10)
+        assert check.checks == 10
+
+    def test_raises_on_violation(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        Assertion(sim, q, lambda v: v < 3, "q reached 3")
+        with pytest.raises(SimulationError, match="q reached 3"):
+            sim.run_cycles(10)
+
+    def test_detach(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        check = Assertion(sim, q, lambda v: v < 3)
+        check.detach()
+        sim.run_cycles(10)  # no raise
+
+
+class TestStopCondition:
+    def test_triggers_on_value(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        stop = StopCondition(sim, q, value=4)
+        cycles = sim.run_until(stop.triggered_check, max_cycles=100)
+        assert cycles == 4
+        assert stop.triggered
+        assert stop.trigger_time is not None
+
+    def test_latches(self):
+        sim = Simulator()
+        q = build_accumulator(sim, width=4)
+        stop = StopCondition(sim, q, value=2)
+        sim.run_cycles(20)  # q wraps past 2 several times
+        assert stop.triggered
+
+    def test_already_true_at_construction(self):
+        sim = Simulator()
+        s = sim.signal("s", 1, init=1)
+        stop = StopCondition(sim, s, value=1)
+        assert stop.triggered

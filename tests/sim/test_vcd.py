@@ -1,0 +1,73 @@
+"""Tests for the VCD waveform writer."""
+
+from repro.sim import Simulator, VcdWriter
+from repro.sim.vcd import _identifier
+
+from tests.sim.test_kernel import build_accumulator
+
+
+def test_identifier_uniqueness():
+    ids = {_identifier(i) for i in range(5000)}
+    assert len(ids) == 5000
+    assert all(all(33 <= ord(c) <= 126 for c in ident) for ident in ids)
+
+
+def test_header_declares_signals(tmp_path):
+    sim = Simulator()
+    q = build_accumulator(sim)
+    path = tmp_path / "t.vcd"
+    with VcdWriter(sim, path, signals=[q]):
+        sim.run_cycles(2)
+    text = path.read_text()
+    assert "$timescale 1ns $end" in text
+    assert f"$var wire {q.width}" in text
+    assert "q" in text
+    assert "$enddefinitions $end" in text
+
+
+def test_changes_recorded_with_timestamps(tmp_path):
+    sim = Simulator()
+    sim.clock_domain("clk", period=10)
+    q = build_accumulator(sim)
+    path = tmp_path / "t.vcd"
+    with VcdWriter(sim, path, signals=[q]):
+        sim.run_cycles(3)
+    lines = path.read_text().splitlines()
+    # q updates happen at times 0, 10, 20 (before time advances)
+    assert "b1 !" in lines
+    assert "#10" in lines
+    assert "b10 !" in lines
+    assert "#20" in lines
+    assert "b11 !" in lines
+
+
+def test_scalar_format_for_1bit(tmp_path):
+    sim = Simulator()
+    s = sim.signal("flag", 1)
+    path = tmp_path / "s.vcd"
+    with VcdWriter(sim, path, signals=[s]):
+        sim.drive(s, 1)
+        sim.settle()
+    text = path.read_text()
+    assert "1!" in text
+
+
+def test_all_signals_by_default(tmp_path):
+    sim = Simulator()
+    build_accumulator(sim)
+    path = tmp_path / "all.vcd"
+    with VcdWriter(sim, path):
+        sim.run_cycles(1)
+    text = path.read_text()
+    for name in ("q", "d", "one"):
+        assert f" {name} $end" in text
+
+
+def test_close_detaches_watchers(tmp_path):
+    sim = Simulator()
+    q = build_accumulator(sim)
+    path = tmp_path / "d.vcd"
+    writer = VcdWriter(sim, path, signals=[q]).open()
+    writer.close()
+    sim.run_cycles(5)  # must not write to a closed file
+    assert q.watchers == []

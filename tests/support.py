@@ -1,0 +1,48 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.sim import Simulator
+from repro.sim.signal import Signal
+
+
+def make_binop(cls: Type, a_val: int, b_val: int, width: int,
+               out_width: Optional[int] = None):
+    """Build ``cls`` on fresh signals, settle, and return the simulator
+    plus the output signal."""
+    sim = Simulator()
+    a = sim.signal("a", width)
+    b = sim.signal("b", width)
+    y = sim.signal("y", out_width or width)
+    sim.add_async(cls("op", a, b, y))
+    sim.drive(a, a_val)
+    sim.drive(b, b_val)
+    sim.settle()
+    return sim, y
+
+
+def binop_result(cls: Type, a_val: int, b_val: int, width: int,
+                 out_width: Optional[int] = None) -> int:
+    """The settled output value of a fresh binary operator."""
+    _, y = make_binop(cls, a_val, b_val, width, out_width)
+    return y.value
+
+
+def unop_result(cls: Type, a_val: int, width: int,
+                out_width: Optional[int] = None) -> int:
+    sim = Simulator()
+    a = sim.signal("a", width)
+    y = sim.signal("y", out_width or width)
+    sim.add_async(cls("op", a, y))
+    sim.drive(a, a_val)
+    sim.settle()
+    return y.value
+
+
+def to_signed(value: int, width: int) -> int:
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value

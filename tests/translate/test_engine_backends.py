@@ -1,0 +1,131 @@
+"""Tests for the translation engine, dot backends and Python codegen."""
+
+import pytest
+
+from repro.hdl import Datapath, Fsm, Rtg
+from repro.translate import (GeneratedFsmBehavior, InterpretedFsmBehavior,
+                             InterpretedRtgControl, TranslationEngine,
+                             TranslationError, compile_fsm, compile_rtg,
+                             fsm_to_python, rtg_to_python, translate)
+from repro.util.loc import count_lines
+
+from tests.hdl.test_datapath import build_sample
+from tests.hdl.test_fsm_rtg import build_fsm, build_rtg
+
+
+class TestEngine:
+    def test_default_targets_registered(self):
+        assert "dot" in translate.__globals__["default_engine"].targets_for(Datapath)
+        for source in (Datapath, Fsm, Rtg):
+            targets = translate.__globals__["default_engine"].targets_for(source)
+            assert "dot" in targets
+
+    def test_unknown_target_reports_available(self):
+        with pytest.raises(TranslationError, match="available targets"):
+            translate(build_fsm(), "cobol")
+
+    def test_custom_engine_registration(self):
+        engine = TranslationEngine()
+
+        @engine.register(Fsm, "summary")
+        def fsm_summary(fsm):
+            return f"{fsm.name}:{fsm.state_count()}"
+
+        assert engine.translate(build_fsm(), "summary") == "ctl:3"
+        assert engine.sources_for("summary") == ["Fsm"]
+
+    def test_duplicate_registration_rejected(self):
+        engine = TranslationEngine()
+        engine.register(Fsm, "x", lambda f: "")
+        with pytest.raises(TranslationError, match="already registered"):
+            engine.register(Fsm, "x", lambda f: "")
+
+    def test_options_forwarded(self):
+        engine = TranslationEngine()
+        engine.register(Fsm, "opt", lambda f, prefix="": prefix + f.name)
+        assert engine.translate(build_fsm(), "opt", prefix=">") == ">ctl"
+
+
+class TestDotBackends:
+    def test_datapath_dot(self):
+        dot = translate(build_sample(), "dot")
+        assert dot.startswith('digraph "sample"')
+        assert '"add_1"' in dot
+        assert "FSM ->" in dot       # control edges
+        assert "-> FSM" in dot       # status edges
+        assert dot.rstrip().endswith("}")
+
+    def test_fsm_dot(self):
+        dot = translate(build_fsm(), "dot")
+        assert "doublecircle" in dot       # final state
+        assert "__reset ->" in dot
+        assert "st_lt" in dot              # guard label
+
+    def test_rtg_dot(self):
+        dot = translate(build_rtg(), "dot")
+        assert '"cfg0" -> "cfg1"' in dot
+        assert "cylinder" in dot           # shared memory node
+
+    def test_quoting(self):
+        dp = Datapath("we\"ird", width=8)
+        dot = translate(dp, "dot")
+        assert '\\"' in dot
+
+
+class TestFsmCodegen:
+    def test_generated_module_fields(self):
+        behavior = compile_fsm(build_fsm())
+        assert behavior.reset_state == "S_idle"
+        assert behavior.finals == frozenset({"S_done"})
+        assert behavior.output_widths["done"] == 1
+        assert behavior.output_vectors["S_run"]["en_acc"] == 1
+
+    def test_generated_matches_interpreted(self):
+        fsm = build_fsm()
+        generated = compile_fsm(fsm)
+        interpreted = InterpretedFsmBehavior(fsm)
+        for state in fsm.states:
+            for st_lt in (0, 1):
+                env = {"st_lt": st_lt}
+                assert generated.next_state(state, env) == \
+                    interpreted.next_state(state, env)
+            assert generated.output_vectors[state] == \
+                interpreted.output_vectors[state]
+
+    def test_unknown_state_raises(self):
+        behavior = compile_fsm(build_fsm())
+        with pytest.raises(ValueError, match="unknown state"):
+            behavior.next_state("S_ghost", {})
+
+    def test_source_is_line_countable(self):
+        source = fsm_to_python(build_fsm())
+        assert count_lines(source) > 20
+        assert "def next_state" in source
+
+    def test_via_engine(self):
+        assert "def next_state" in translate(build_fsm(), "python")
+
+
+class TestRtgCodegen:
+    def test_generated_control(self):
+        control = compile_rtg(build_rtg())
+        assert control.start == "cfg0"
+        assert control.next_configuration("cfg0", {}) == "cfg1"
+        assert control.next_configuration("cfg1", {}) is None
+        assert "cfg0" in control.configurations
+
+    def test_generated_matches_interpreted(self):
+        rtg = build_rtg()
+        generated = compile_rtg(rtg)
+        interpreted = InterpretedRtgControl(rtg)
+        for name in rtg.configurations:
+            assert generated.next_configuration(name, {}) == \
+                interpreted.next_configuration(name, {})
+
+    def test_unknown_configuration_raises(self):
+        control = compile_rtg(build_rtg())
+        with pytest.raises(ValueError, match="unknown configuration"):
+            control.next_configuration("ghost", {})
+
+    def test_source_via_engine(self):
+        assert "def next_configuration" in translate(build_rtg(), "python")

@@ -1,0 +1,158 @@
+"""Tests for the VHDL and Verilog emitters (structural text checks)."""
+
+import pytest
+
+from repro.apps import build_fdct2, build_hamming, build_matmul
+from repro.compiler import MemorySpec, compile_function
+from repro.translate import (TranslationError, datapath_to_verilog,
+                             datapath_to_vhdl, fsm_to_verilog, fsm_to_vhdl,
+                             rtg_to_verilog, rtg_to_vhdl, translate)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_hamming(8)
+
+
+@pytest.fixture(scope="module")
+def fdiv_design():
+    # exercises floor division/modulo and signed narrow memories
+    def kernel(src, dst, n=4):
+        for i in range(n):
+            dst[i] = src[i] // 3 + src[i] % 5
+
+    return compile_function(kernel, {
+        "src": MemorySpec(8, 4, signed=True, role="input"),
+        "dst": MemorySpec(32, 4, role="output"),
+    })
+
+
+class TestVhdlDatapath:
+    def test_entity_structure(self, design):
+        text = datapath_to_vhdl(design.configurations[0].datapath)
+        assert "library ieee;" in text
+        assert "entity hamming_cfg0 is" in text
+        assert "architecture rtl of hamming_cfg0" in text
+        assert text.count("end architecture") == 1
+        assert "clk : in std_logic" in text
+
+    def test_controls_become_inputs(self, design):
+        dp = design.configurations[0].datapath
+        text = datapath_to_vhdl(dp)
+        for name in dp.controls:
+            assert f"{name} : in" in text
+
+    def test_statuses_become_outputs(self, design):
+        dp = design.configurations[0].datapath
+        text = datapath_to_vhdl(dp)
+        for name in dp.statuses:
+            assert f"{name} : out std_logic" in text
+
+    def test_registers_are_clocked(self, design):
+        text = datapath_to_vhdl(design.configurations[0].datapath)
+        assert "rising_edge(clk)" in text
+
+    def test_memories_become_ram_blocks(self, design):
+        text = datapath_to_vhdl(design.configurations[0].datapath)
+        assert "type t_ram_code_in is array" in text
+        assert "type t_ram_data_out is array" in text
+
+    def test_floor_div_helpers_used(self, fdiv_design):
+        text = datapath_to_vhdl(fdiv_design.configurations[0].datapath)
+        assert "function f_div" in text
+        assert "f_div(" in text
+        assert "f_mod(" in text
+
+    def test_balanced_process_blocks(self, design):
+        text = datapath_to_vhdl(design.configurations[0].datapath)
+        assert text.count("process") % 2 == 0  # begin/end pairs
+        assert text.count("  begin") + text.count("begin") >= \
+            text.count("end process")
+
+
+class TestVerilogDatapath:
+    def test_module_structure(self, design):
+        text = datapath_to_verilog(design.configurations[0].datapath)
+        assert text.startswith("module hamming_cfg0 (")
+        assert text.rstrip().endswith("endmodule")
+        assert "input wire clk;" in text
+
+    def test_register_always_blocks(self, design):
+        text = datapath_to_verilog(design.configurations[0].datapath)
+        assert "always @(posedge clk)" in text
+
+    def test_memories(self, design):
+        text = datapath_to_verilog(design.configurations[0].datapath)
+        assert "reg [7:0] mem_ram_code_in" in text
+
+    def test_floor_div_inline(self, fdiv_design):
+        text = datapath_to_verilog(fdiv_design.configurations[0].datapath)
+        assert "(floor)" in text
+
+    def test_sign_extension_replication(self, fdiv_design):
+        text = datapath_to_verilog(fdiv_design.configurations[0].datapath)
+        assert "{24{" in text  # 8 -> 32 bits: replicate the sign 24 times
+
+    def test_mux_case_blocks(self, design):
+        text = datapath_to_verilog(design.configurations[0].datapath)
+        assert "case (" in text
+        assert "endcase" in text
+
+
+class TestFsmBackends:
+    def test_vhdl_fsm(self, design):
+        text = fsm_to_vhdl(design.configurations[0].fsm)
+        assert "type t_state is (" in text
+        assert "case state is" in text
+        assert "rising_edge(clk)" in text
+        # every state appears in the type declaration
+        for name in design.configurations[0].fsm.states:
+            assert f"s_{name}" in text
+
+    def test_verilog_fsm(self, design):
+        fsm = design.configurations[0].fsm
+        text = fsm_to_verilog(fsm)
+        assert f"module {fsm.name} (" in text
+        for name in fsm.states:
+            assert f"S_{name.upper()}" in text
+        assert "always @(posedge clk)" in text
+        assert "always @(*)" in text
+
+    def test_guarded_transitions_rendered(self, design):
+        fsm = design.configurations[0].fsm
+        vhdl = fsm_to_vhdl(fsm)
+        verilog = fsm_to_verilog(fsm)
+        for status in fsm.inputs:
+            assert status in vhdl
+            assert status in verilog
+
+
+class TestRtgBackends:
+    def test_vhdl_sequencer(self):
+        design = build_fdct2(64)
+        text = rtg_to_vhdl(design.rtg)
+        assert "entity fdct2_sequencer" in text
+        assert "c_cfg0" in text and "c_cfg1" in text
+        assert "img_mid" in text  # shared memory documented
+
+    def test_verilog_sequencer(self):
+        design = build_fdct2(64)
+        text = rtg_to_verilog(design.rtg)
+        assert "module fdct2_sequencer" in text
+        assert "C_CFG0" in text and "C_CFG1" in text
+        assert "cfg_done" in text
+
+
+class TestViaEngine:
+    @pytest.mark.parametrize("target", ["vhdl", "verilog"])
+    def test_engine_routes_all_ir_kinds(self, target, design):
+        config = design.configurations[0]
+        assert translate(config.datapath, target)
+        assert translate(config.fsm, target)
+        assert translate(design.rtg, target)
+
+    def test_matmul_emits_too(self):
+        design = build_matmul(4)
+        config = design.configurations[0]
+        assert "module" in translate(config.datapath, "verilog")
+        assert "entity" in translate(config.datapath, "vhdl")

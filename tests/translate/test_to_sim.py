@@ -1,0 +1,139 @@
+"""End-to-end tests: hand-built datapath + FSM simulated to completion."""
+
+import pytest
+
+from repro.hdl import Datapath, Fsm, parse_condition
+from repro.sim import ElaborationError, SimulationTimeout
+from repro.translate import build_simulation, check_interface
+from repro.util.files import MemoryImage
+
+from tests.hdl.test_datapath import build_sample
+from tests.hdl.test_fsm_rtg import build_fsm
+
+
+def build_design(fsm_mode="generated", memories=None):
+    """The sample accumulator: writes buf[i] = i+1 while i < 10."""
+    return build_simulation(build_sample(), build_fsm(),
+                            memories=memories, fsm_mode=fsm_mode)
+
+
+class TestCheckInterface:
+    def test_matching_interface_passes(self):
+        check_interface(build_sample(), build_fsm())
+
+    def test_unknown_control_rejected(self):
+        dp = build_sample()
+        dp.add_component("r2", "reg")
+        dp.add_net("n_r2", "r2.q", ["add_1.a2"]) if False else None
+        dp.add_control("en_ghost", ["r2.en"])
+        with pytest.raises(ElaborationError, match="not an FSM output"):
+            check_interface(dp, build_fsm())
+
+    def test_width_mismatch_rejected(self):
+        dp = build_sample()
+        dp.controls["en_acc"].width = 2
+        with pytest.raises(ElaborationError, match="width"):
+            check_interface(dp, build_fsm())
+
+    def test_unknown_status_rejected(self):
+        fsm = build_fsm()
+        fsm.add_input("st_ghost")
+        with pytest.raises(ElaborationError, match="not a datapath status"):
+            check_interface(build_sample(), fsm)
+
+
+class TestRunToDone:
+    @pytest.mark.parametrize("fsm_mode", ["generated", "interpreted"])
+    def test_accumulator_fills_memory(self, fsm_mode):
+        design = build_design(fsm_mode)
+        cycles = design.run_to_done(max_cycles=100)
+        buf = design.memory("buf")
+        # the design keeps writing until the stale st_lt catches up, so
+        # addresses 0..10 receive i+1
+        assert buf.words()[:11] == list(range(1, 12))
+        assert all(w == 0 for w in buf.words()[11:])
+        assert design.done
+        assert cycles > 10
+
+    def test_modes_agree_exactly(self):
+        design_a = build_design("generated")
+        design_b = build_design("interpreted")
+        cycles_a = design_a.run_to_done()
+        cycles_b = design_b.run_to_done()
+        assert cycles_a == cycles_b
+        assert design_a.memory("buf") == design_b.memory("buf")
+
+    def test_supplied_memory_is_used_in_place(self):
+        image = MemoryImage(16, 64, name="buf")
+        design = build_design(memories={"buf": image})
+        design.run_to_done()
+        assert image.read(0) == 1  # same object, mutated in place
+
+    def test_done_signal_exposed(self):
+        design = build_design()
+        assert design.done_signal is not None
+        assert design.done_signal.value == 0
+        design.run_to_done()
+        assert design.done_signal.value == 1
+
+    def test_timeout_reports_state(self):
+        design = build_design()
+        with pytest.raises(SimulationTimeout, match="did not finish"):
+            design.run_to_done(max_cycles=3)
+
+    def test_controller_counts_transitions(self):
+        design = build_design()
+        design.run_to_done()
+        # idle->run and run->done
+        assert design.controller.transitions == 2
+
+    def test_memory_shape_mismatch_rejected(self):
+        image = MemoryImage(16, 32, name="buf")  # wrong depth
+        with pytest.raises(ElaborationError, match="declaration says"):
+            build_design(memories={"buf": image})
+
+    def test_bad_fsm_mode_rejected(self):
+        with pytest.raises(ValueError, match="fsm_mode"):
+            build_design("quantum")
+
+    def test_missing_memory_created_blank(self):
+        design = build_design()
+        assert design.memory("buf").depth == 64
+        with pytest.raises(ElaborationError, match="no memory"):
+            design.memory("ghost")
+
+
+class TestStatusOnlyNet:
+    def test_status_source_without_net_gets_own_signal(self):
+        """A comparator feeding only the FSM still works."""
+        dp = Datapath("minimal", width=8)
+        dp.add_memory("out", width=8, depth=8)
+        dp.add_component("c_zero", "const", value=0)
+        dp.add_component("c_one", "const", value=1)
+        dp.add_component("r_i", "reg")
+        dp.add_component("add_i", "add")
+        dp.add_component("cmp_done", "ge")
+        dp.add_component("c_lim", "const", value=3)
+        dp.add_component("ram_out", "sram", memory="out")
+        dp.add_net("n_i", "r_i.q", ["add_i.a", "cmp_done.a", "ram_out.addr"])
+        dp.add_net("n_one", "c_one.y", ["add_i.b"])
+        dp.add_net("n_next", "add_i.y", ["r_i.d"])
+        dp.add_net("n_lim", "c_lim.y", ["cmp_done.b"])
+        dp.add_net("n_zero", "c_zero.y", ["ram_out.din"])
+        dp.add_control("en_i", ["r_i.en"])
+        dp.add_control("we_out", ["ram_out.we"])
+        dp.add_status("st_ge", "cmp_done.y")  # only consumed by the FSM
+        fsm = Fsm("ctl")
+        fsm.add_input("st_ge")
+        fsm.add_output("en_i")
+        fsm.add_output("we_out")
+        fsm.add_output("done")
+        run = fsm.add_state("S_run")
+        run.assign("en_i", 1)
+        run.assign("we_out", 1)
+        run.transition("S_done", parse_condition("st_ge"))
+        run.transition("S_run")
+        fsm.add_state("S_done", final=True).assign("done", 1)
+        design = build_simulation(dp, fsm)
+        design.run_to_done(max_cycles=50)
+        assert design.status_signals["st_ge"].value == 1

@@ -1,0 +1,175 @@
+"""Tests for memory images and the .mem file format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.files import (MemoryImage, MemoryMismatch, compare_images,
+                              load_memory_file, save_memory_file)
+
+
+class TestMemoryImage:
+    def test_initial_zero(self):
+        mem = MemoryImage(8, 16)
+        assert mem.words() == [0] * 16
+
+    def test_init_words_padded(self):
+        mem = MemoryImage(8, 4, words=[1, 2])
+        assert mem.words() == [1, 2, 0, 0]
+
+    def test_init_words_masked(self):
+        mem = MemoryImage(8, 2, words=[0x1FF, -1])
+        assert mem.words() == [0xFF, 0xFF]
+
+    def test_too_many_words_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryImage(8, 2, words=[1, 2, 3])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryImage(0, 4)
+        with pytest.raises(ValueError):
+            MemoryImage(8, 0)
+
+    def test_write_masks(self):
+        mem = MemoryImage(8, 4)
+        mem.write(1, 0x1234)
+        assert mem.read(1) == 0x34
+
+    def test_read_signed(self):
+        mem = MemoryImage(8, 4)
+        mem.write(0, 0xFF)
+        assert mem.read_signed(0) == -1
+        mem.write(1, 0x7F)
+        assert mem.read_signed(1) == 127
+
+    def test_out_of_range_access(self):
+        mem = MemoryImage(8, 4)
+        with pytest.raises(IndexError):
+            mem.read(4)
+        with pytest.raises(IndexError):
+            mem.write(-1, 0)
+
+    def test_getitem_setitem(self):
+        mem = MemoryImage(16, 4)
+        mem[2] = 0xBEEF
+        assert mem[2] == 0xBEEF
+
+    def test_fill(self):
+        mem = MemoryImage(8, 3)
+        mem.fill(-1)
+        assert mem.words() == [0xFF] * 3
+
+    def test_load_words_with_base(self):
+        mem = MemoryImage(8, 5)
+        mem.load_words([1, 2], base=2)
+        assert mem.words() == [0, 0, 1, 2, 0]
+
+    def test_words_signed(self):
+        mem = MemoryImage(8, 2, words=[0xFF, 1])
+        assert mem.words_signed() == [-1, 1]
+
+    def test_copy_is_independent(self):
+        mem = MemoryImage(8, 2, words=[1, 2])
+        dup = mem.copy()
+        dup.write(0, 9)
+        assert mem.read(0) == 1
+        assert dup == MemoryImage(8, 2, words=[9, 2])
+
+    def test_equality(self):
+        assert MemoryImage(8, 2, words=[1, 2]) == MemoryImage(8, 2, words=[1, 2])
+        assert MemoryImage(8, 2) != MemoryImage(8, 3)
+        assert MemoryImage(8, 2) != MemoryImage(9, 2)
+
+
+class TestFileRoundtrip:
+    def test_roundtrip_dense(self, tmp_path):
+        mem = MemoryImage(12, 8, words=[1, 0, 0xFFF, 7])
+        path = tmp_path / "a.mem"
+        mem.save(path)
+        loaded = MemoryImage.load(path)
+        assert loaded == mem
+
+    def test_roundtrip_sparse(self, tmp_path):
+        mem = MemoryImage(16, 100)
+        mem.write(42, 0xABCD)
+        path = tmp_path / "sparse.mem"
+        mem.save(path, sparse=True)
+        text = path.read_text()
+        # only the one non-zero word appears
+        assert text.count("@") == 1
+        assert MemoryImage.load(path) == mem
+
+    def test_sequential_words(self, tmp_path):
+        path = tmp_path / "seq.mem"
+        path.write_text("width 8\ndepth 4\n01 02\n03\n")
+        mem = load_memory_file(path)
+        assert mem.words() == [1, 2, 3, 0]
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.mem"
+        path.write_text("# header\nwidth 8\ndepth 2\n@0000 0a # trailing\n")
+        assert load_memory_file(path).read(0) == 0x0A
+
+    def test_addr_jump_then_sequential(self, tmp_path):
+        path = tmp_path / "j.mem"
+        path.write_text("width 8\ndepth 8\n@0004 11\n22\n")
+        mem = load_memory_file(path)
+        assert mem.read(4) == 0x11
+        assert mem.read(5) == 0x22
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mem"
+        path.write_text("@0000 11\n")
+        with pytest.raises(ValueError):
+            load_memory_file(path)
+
+    def test_addr_without_word_rejected(self, tmp_path):
+        path = tmp_path / "bad2.mem"
+        path.write_text("width 8\ndepth 2\n@0000\n")
+        with pytest.raises(ValueError):
+            load_memory_file(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "frame.mem"
+        MemoryImage(8, 2, name="x").save(path)
+        assert load_memory_file(path).name == "frame"
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                    min_size=1, max_size=64))
+    def test_roundtrip_property(self, words):
+        import tempfile
+        from pathlib import Path
+
+        mem = MemoryImage(16, len(words), words=words)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.mem"
+            save_memory_file(mem, path)
+            assert load_memory_file(path) == mem
+
+
+class TestCompare:
+    def test_equal_images(self):
+        a = MemoryImage(8, 4, words=[1, 2, 3, 4])
+        assert compare_images(a, a.copy()) == []
+
+    def test_reports_mismatches(self):
+        a = MemoryImage(8, 4, words=[1, 2, 3, 4])
+        b = MemoryImage(8, 4, words=[1, 9, 3, 8])
+        diffs = compare_images(a, b)
+        assert diffs == [MemoryMismatch(1, 2, 9), MemoryMismatch(3, 4, 8)]
+
+    def test_limit(self):
+        a = MemoryImage(8, 4)
+        b = MemoryImage(8, 4, words=[1, 1, 1, 1])
+        assert len(compare_images(a, b, limit=2)) == 2
+
+    def test_shape_mismatch_is_error(self):
+        with pytest.raises(ValueError):
+            compare_images(MemoryImage(8, 4), MemoryImage(8, 5))
+        with pytest.raises(ValueError):
+            compare_images(MemoryImage(8, 4), MemoryImage(16, 4))
+
+    def test_describe(self):
+        diff = MemoryMismatch(3, 0x0A, 0x0B)
+        text = diff.describe(8)
+        assert "@0003" in text and "0x0a" in text and "0x0b" in text

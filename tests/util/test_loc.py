@@ -1,0 +1,30 @@
+"""Tests for line counting (Table I's lo* columns)."""
+
+from repro.util.loc import count_code_lines, count_lines, count_source_lines
+
+
+def test_count_lines_skips_blanks():
+    assert count_lines("a\n\n  \nb\n") == 2
+
+
+def test_count_lines_empty():
+    assert count_lines("") == 0
+
+
+def test_count_code_lines_skips_comments():
+    text = "# comment\nx = 1\n  # indented comment\n<!-- xml -->\ny = 2\n"
+    assert count_code_lines(text) == 2
+
+
+def test_count_code_lines_keeps_trailing_comment_lines():
+    assert count_code_lines("x = 1  # ok\n") == 1
+
+
+def test_count_source_lines():
+    def sample():
+        a = 1
+
+        return a
+
+    # def line + two statements (blank line skipped)
+    assert count_source_lines(sample) == 3
