@@ -2,46 +2,141 @@
 
 The paper's purpose statement: after every compiler change, re-verify
 the whole benchmark suite automatically.  This bench runs the full
-standard suite (all seven registered algorithms, FDCTs at the Table I
-image scaled down to keep the default run snappy) and reports wall
-time, which must stay interactive-scale.
+standard suite (all eight registered algorithms, FDCT/IDCT at a 64x64
+image) under the event-driven kernel and under the compiled kernel
+(serial and jobs=4), and records per-case simulation seconds plus the
+three suite wall times in ``BENCH_suite.json``.
+
+``REPRO_BENCH_QUICK=1`` shrinks the sizes to a CI smoke run: the same
+code paths execute, but the speedup floors are not asserted (at toy
+sizes the per-case program build dominates the simulation itself).
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.apps import standard_suite
 
-SIZES = {
-    "fdct1": {"pixels": 1024},
-    "fdct2": {"pixels": 1024},
-    "hamming": {"n_words": 256},
-    "fir": {"n_out": 128, "taps": 8},
-    "matmul": {"n": 8},
-    "threshold": {"n_pixels": 512},
-    "popcount": {"n_words": 128},
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: full-size run: big enough that simulation dominates elaboration and
+#: per-design code generation (~tens of ms), so speedups are honest
+SIZES_FULL = {
+    "fdct1": {"pixels": 8192},
+    "fdct2": {"pixels": 8192},
+    "idct": {"pixels": 8192},
+    "hamming": {"n_words": 8192},
+    "fir": {"n_out": 4096, "taps": 8},
+    "matmul": {"n": 20},
+    "threshold": {"n_pixels": 16384},
+    "popcount": {"n_words": 8192},
 }
+
+SIZES_QUICK = {
+    "fdct1": {"pixels": 256},
+    "fdct2": {"pixels": 256},
+    "idct": {"pixels": 256},
+    "hamming": {"n_words": 64},
+    "fir": {"n_out": 64, "taps": 4},
+    "matmul": {"n": 4},
+    "threshold": {"n_pixels": 128},
+    "popcount": {"n_words": 64},
+}
+
+SIZES = SIZES_QUICK if QUICK else SIZES_FULL
+
+ROOT_JSON = Path(__file__).parent.parent / "BENCH_suite.json"
+OUT_JSON = Path(__file__).parent / "out" / "BENCH_suite.json"
+
+
+#: best-of-N repeats per configuration: a single-core CI host shows
+#: large scheduling noise, and the minimum is the honest capability
+REPEATS = 1 if QUICK else 2
+
+
+def _run(backend, jobs=1):
+    best = None
+    for _ in range(REPEATS):
+        suite = standard_suite(sizes=SIZES)
+        start = time.perf_counter()
+        report = suite.run(seed=0, backend=backend, jobs=jobs)
+        wall = time.perf_counter() - start
+        assert report.passed, report.summary()
+        if best is None or wall < best[0]:
+            sims = {result.case: result.verification.simulation_seconds
+                    for result in report.results}
+            best = (wall, sims, report)
+    return best
 
 
 @pytest.mark.benchmark(group="suite")
-def test_whole_suite_feasible(benchmark, report_writer):
-    suite = standard_suite(sizes=SIZES)
+def test_whole_suite_feasible(report_writer):
+    event_wall, event_sims, event_report = _run("event")
+    compiled_wall, compiled_sims, _ = _run("compiled")
+    jobs4_wall, _, _ = _run("compiled", jobs=4)
 
-    def run_suite():
-        return suite.run(seed=0)
-
-    report = benchmark.pedantic(run_suite, rounds=1, iterations=1)
-    assert report.passed, report.summary()
     # the paper's feasibility claim, generously bounded for slow hosts
-    assert report.wall_seconds < 300
+    assert event_wall < 300
 
+    cases = {
+        name: {
+            "event_sim_seconds": round(event_sims[name], 4),
+            "compiled_sim_seconds": round(compiled_sims[name], 4),
+            "speedup": round(event_sims[name]
+                             / max(compiled_sims[name], 1e-9), 2),
+        }
+        for name in event_sims
+    }
+    data = {
+        "quick": QUICK,
+        "sizes": SIZES,
+        "cases": cases,
+        "suite": {
+            "event_serial_wall_seconds": round(event_wall, 3),
+            "compiled_serial_wall_seconds": round(compiled_wall, 3),
+            "compiled_jobs4_wall_seconds": round(jobs4_wall, 3),
+            "speedup_compiled_serial": round(event_wall
+                                             / max(compiled_wall, 1e-9), 2),
+            "speedup_compiled_jobs4": round(event_wall
+                                            / max(jobs4_wall, 1e-9), 2),
+        },
+    }
+
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(json.dumps(data, indent=2) + "\n")
+    if not QUICK:
+        ROOT_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+    header = (f"{'case':10s} {'event sim':>10s} {'compiled sim':>13s} "
+              f"{'speedup':>8s}")
+    rows = [f"{name:10s} {info['event_sim_seconds']:9.3f}s "
+            f"{info['compiled_sim_seconds']:12.3f}s "
+            f"{info['speedup']:7.1f}x"
+            for name, info in cases.items()]
     lines = [
         "E4 -- complete regression suite in one command "
         "(the paper's purpose)",
         "",
-        report.summary(),
+        f"mode: {'quick smoke' if QUICK else 'full'}",
         "",
-        report.metrics_table(),
+        header,
+        *rows,
+        "",
+        f"suite wall  event serial    {event_wall:6.2f}s",
+        f"suite wall  compiled serial {compiled_wall:6.2f}s "
+        f"({data['suite']['speedup_compiled_serial']}x)",
+        f"suite wall  compiled jobs=4 {jobs4_wall:6.2f}s "
+        f"({data['suite']['speedup_compiled_jobs4']}x)",
+        "",
+        event_report.metrics_table(),
     ]
     report_writer("suite", "\n".join(lines) + "\n")
-    benchmark.extra_info["cases"] = len(report.results)
-    benchmark.extra_info["wall_seconds"] = round(report.wall_seconds, 3)
+
+    if not QUICK:
+        # the acceptance floors for the compiled kernel
+        assert cases["fdct1"]["speedup"] >= 2.0, cases["fdct1"]
+        assert data["suite"]["speedup_compiled_jobs4"] >= 3.0, data["suite"]

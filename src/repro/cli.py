@@ -36,6 +36,13 @@ SUITE_SIZES = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--case", action="append", dest="cases",
                        metavar="NAME",
                        help="run only the named case(s); repeatable")
+    suite.add_argument("--backend",
+                       choices=("event", "oblivious", "compiled"),
+                       default="event",
+                       help="simulation kernel (default: event; "
+                            "'compiled' is fastest, see docs/performance.md)")
+    suite.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="run cases over N worker processes "
+                            "(default 1: serial)")
+    suite.add_argument("--cache", metavar="DIR", nargs="?",
+                       const=".repro-cache", default=None,
+                       help="artifact cache directory; skip unchanged "
+                            "passing cases (default dir: .repro-cache)")
 
     table1 = sub.add_parser(
         "table1", help="print the Table I metrics for every benchmark")
@@ -120,7 +139,13 @@ def _cmd_suite(args) -> int:
     suite = TestSuite("cli")
     for name in names:
         suite.add(suite_case(name, **SUITE_SIZES.get(name, {})))
-    report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode)
+    try:
+        report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode,
+                           backend=args.backend, jobs=args.jobs,
+                           cache=args.cache)
+    except NotADirectoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.summary())
     print()
     print(report.metrics_table())

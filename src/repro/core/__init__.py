@@ -7,6 +7,7 @@
 * :class:`TestInfrastructure`, the one-object façade
 """
 
+from .cache import ArtifactCache
 from .faults import (CampaignResult, Fault, FaultVerdict, enumerate_faults,
                      inject_fault, run_campaign)
 from .flow import Flow, FlowReport, FlowStage, StageResult, standard_flow
@@ -23,6 +24,7 @@ __all__ = [
     "TestInfrastructure",
     "verify_design", "VerificationResult", "MemoryCheck", "prepare_images",
     "TestSuite", "SuiteCase", "SuiteReport", "CaseResult",
+    "ArtifactCache",
     "Flow", "FlowStage", "FlowReport", "StageResult", "standard_flow",
     "collect_metrics", "format_table", "DesignMetrics",
     "ConfigurationMetrics",

@@ -1,0 +1,186 @@
+"""Content-hash artifact cache for suite verification results.
+
+The paper's scenario is re-running the whole benchmark suite after every
+compiler change.  Most changes affect only some designs; the rest would
+recompile and re-simulate to the exact same verdict.  The cache keys a
+case by everything that determines its outcome — the algorithm's source
+text, the memory specifications, the compile options, the stimulus seed
+and the execution options — so an unchanged case is answered from disk
+and only affected designs are re-run.
+
+Only *passing* results are cached: failures must re-execute every time so
+their diagnostics (mismatch triples, error messages) stay live, and so a
+fixed compiler immediately re-verifies them.
+
+Entries are single JSON files named by the SHA-256 of the key material,
+safe for concurrent writers (atomic rename) and trivially inspectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from .report import ConfigurationMetrics, DesignMetrics
+from .verification import MemoryCheck, VerificationResult
+
+__all__ = ["ArtifactCache"]
+
+#: bump when the cached payload layout or run semantics change
+_CACHE_VERSION = 1
+
+
+def _function_fingerprint(func) -> str:
+    """Source text of *func* — the compiler input the cache key guards."""
+    try:
+        return inspect.getsource(func)
+    except (OSError, TypeError):
+        # no retrievable source (REPL lambdas, builtins): fall back to
+        # identity, which under-caches but never falsely hits
+        return f"{getattr(func, '__module__', '?')}." \
+               f"{getattr(func, '__qualname__', repr(func))}"
+
+
+class ArtifactCache:
+    """Directory-backed result cache keyed by case content."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(
+                f"cache path {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+    def key_for(self, case, *, seed: int, fsm_mode: str,
+                backend: str) -> str:
+        """SHA-256 over everything that determines the case outcome."""
+        material = {
+            "version": _CACHE_VERSION,
+            "name": case.name,
+            "source": _function_fingerprint(case.func),
+            "arrays": {
+                name: [spec.width, spec.depth, spec.signed, spec.role]
+                for name, spec in sorted(case.arrays.items())
+            },
+            "params": {str(k): int(v)
+                       for k, v in sorted(case.params.items())},
+            "n_partitions": case.n_partitions,
+            "word_width": case.word_width,
+            "opt_level": case.opt_level,
+            "max_cycles": case.max_cycles,
+            "seed": seed,
+            "fsm_mode": fsm_mode,
+            "backend": backend,
+        }
+        blob = json.dumps(material, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- load / store ---------------------------------------------------
+    def load(self, key: str):
+        """The cached :class:`CaseResult` for *key*, or ``None``."""
+        from .testsuite import CaseResult
+
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("version") != _CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        v = payload["verification"]
+        verification = VerificationResult(
+            design=v["design"],
+            checks=[MemoryCheck(c["memory"], c["role"], c["words"])
+                    for c in v["checks"]],
+            cycles=v["cycles"],
+            reconfigurations=v["reconfigurations"],
+            golden_seconds=v["golden_seconds"],
+            simulation_seconds=v["simulation_seconds"],
+            evaluations=v["evaluations"],
+            backend=v["backend"],
+        )
+        m = payload["metrics"]
+        metrics = DesignMetrics(
+            name=m["name"],
+            lo_source=m["lo_source"],
+            configurations=[ConfigurationMetrics(**c)
+                            for c in m["configurations"]],
+            simulation_seconds=m["simulation_seconds"],
+            cycles=m["cycles"],
+        )
+        return CaseResult(
+            case=payload["case"],
+            verification=verification,
+            metrics=metrics,
+            compile_seconds=payload["compile_seconds"],
+            cached=True,
+        )
+
+    def store(self, key: str, result) -> bool:
+        """Persist *result* if it is a cacheable pass; returns stored?"""
+        if not result.passed or result.verification is None \
+                or result.metrics is None:
+            return False
+        v = result.verification
+        m = result.metrics
+        payload = {
+            "version": _CACHE_VERSION,
+            "case": result.case,
+            "compile_seconds": result.compile_seconds,
+            "verification": {
+                "design": v.design,
+                "checks": [{"memory": c.memory, "role": c.role,
+                            "words": c.words} for c in v.checks],
+                "cycles": v.cycles,
+                "reconfigurations": v.reconfigurations,
+                "golden_seconds": v.golden_seconds,
+                "simulation_seconds": v.simulation_seconds,
+                "evaluations": v.evaluations,
+                "backend": v.backend,
+            },
+            "metrics": {
+                "name": m.name,
+                "lo_source": m.lo_source,
+                "configurations": [vars(c) for c in m.configurations],
+                "simulation_seconds": m.simulation_seconds,
+                "cycles": m.cycles,
+            },
+        }
+        path = self._path(key)
+        handle, staging = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(staging, path)
+        except OSError:
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -109,8 +109,13 @@ def standard_flow(func: Callable,
                   n_partitions: int = 1,
                   word_width: int = 32,
                   fsm_mode: str = "generated",
+                  backend: str = "event",
                   max_cycles: int = 50_000_000) -> Flow:
-    """The canonical end-to-end flow over one algorithm (see module doc)."""
+    """The canonical end-to-end flow over one algorithm (see module doc).
+
+    ``backend`` selects the simulation kernel used by the simulate stage
+    (see :data:`repro.sim.SIMULATOR_BACKENDS`).
+    """
     workdir = Path(workdir)
 
     def stage_compile(ctx: Dict[str, Any]) -> str:
@@ -179,6 +184,7 @@ def standard_flow(func: Callable,
         context = ReconfigurationContext.from_rtg(
             rtg, initial=ctx["images"])
         executor = RtgExecutor(rtg, context, fsm_mode=fsm_mode,
+                               backend=backend,
                                max_cycles_per_configuration=max_cycles)
         result = executor.run()
         ctx["rtg_run"] = result

@@ -57,7 +57,8 @@ class TestInfrastructure:
 
     # ------------------------------------------------------------------
     def run_case(self, name: str, *, seed: int = 0,
-                 fsm_mode: str = "generated") -> FlowReport:
+                 fsm_mode: str = "generated",
+                 backend: str = "event") -> FlowReport:
         """Run one case through the full artifact-producing flow.
 
         Artifacts land in ``<workdir>/<case>/``; the report carries the
@@ -69,14 +70,26 @@ class TestInfrastructure:
             case.func, case.arrays, dict(case.params),
             workdir=self.workdir / name, inputs=inputs,
             n_partitions=case.n_partitions, word_width=case.word_width,
-            fsm_mode=fsm_mode, max_cycles=case.max_cycles,
+            fsm_mode=fsm_mode, backend=backend, max_cycles=case.max_cycles,
         )
         return flow.run()
 
     def run_all(self, *, seed: int = 0,
-                fsm_mode: str = "generated") -> SuiteReport:
-        """Verify every registered case (the regression-suite command)."""
-        return self.suite.run(seed=seed, fsm_mode=fsm_mode)
+                fsm_mode: str = "generated",
+                backend: str = "event", jobs: int = 1,
+                cache: Union[bool, str, Path, None] = None) -> SuiteReport:
+        """Verify every registered case (the regression-suite command).
+
+        ``backend``/``jobs`` select the simulation kernel and the number
+        of worker processes; ``cache=True`` keeps an artifact cache
+        under ``<workdir>/.repro-cache`` (or pass an explicit directory).
+        """
+        if cache is True:
+            cache = self.workdir / ".repro-cache"
+        elif cache is False:
+            cache = None
+        return self.suite.run(seed=seed, fsm_mode=fsm_mode,
+                              backend=backend, jobs=jobs, cache=cache)
 
     # ------------------------------------------------------------------
     def metrics(self, name: str) -> DesignMetrics:

@@ -10,13 +10,17 @@ metrics.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional
+from pathlib import Path
+from typing import Callable, List, Mapping, Optional, Union
 
 from ..compiler.pipeline import Design, compile_function
 from ..compiler.spec import MemorySpec
 from ..util.files import MemoryImage
+from .cache import ArtifactCache
 from .report import DesignMetrics, collect_metrics, format_table
 from .verification import VerificationResult, verify_design
 
@@ -55,6 +59,8 @@ class CaseResult:
     metrics: Optional[DesignMetrics]
     compile_seconds: float
     error: Optional[str] = None
+    #: result answered from the artifact cache, not executed this run
+    cached: bool = False
 
     @property
     def passed(self) -> bool:
@@ -66,6 +72,9 @@ class CaseResult:
 class SuiteReport:
     results: List[CaseResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    backend: str = "event"
+    jobs: int = 1
+    cache_hits: int = 0
 
     @property
     def passed(self) -> bool:
@@ -81,22 +90,65 @@ class SuiteReport:
         return format_table(rows)
 
     def summary(self) -> str:
-        lines = [
-            f"suite: {len(self.results)} case(s), "
-            f"{len(self.failures)} failure(s), "
-            f"wall {self.wall_seconds:.2f}s",
-        ]
+        head = (f"suite: {len(self.results)} case(s), "
+                f"{len(self.failures)} failure(s), "
+                f"wall {self.wall_seconds:.2f}s "
+                f"(backend={self.backend}, jobs={self.jobs}")
+        if self.cache_hits:
+            head += f", {self.cache_hits} cached"
+        lines = [head + ")"]
         for result in self.results:
             if result.error is not None:
                 lines.append(f"  [ERROR] {result.case}: {result.error}")
             else:
                 verdict = "PASS" if result.passed else "FAIL"
                 v = result.verification
-                lines.append(
+                line = (
                     f"  [{verdict}] {result.case}: {v.cycles} cycles, "
-                    f"sim {v.simulation_seconds:.3f}s"
+                    f"{v.evaluations} evaluations, "
+                    f"sim {v.simulation_seconds:.3f}s, "
+                    f"compile {result.compile_seconds:.3f}s"
                 )
+                if result.cached:
+                    line += " (cached)"
+                lines.append(line)
         return "\n".join(lines)
+
+
+def _run_case(case: SuiteCase, *, seed: int, fsm_mode: str,
+              backend: str) -> CaseResult:
+    """Compile + verify one case; never raises (errors become results)."""
+    started = time.perf_counter()
+    try:
+        design = case.compile()
+        compile_seconds = time.perf_counter() - started
+        inputs = case.inputs(seed) if case.inputs else None
+        verification = verify_design(
+            design, case.func, inputs, fsm_mode=fsm_mode, backend=backend,
+            max_cycles=case.max_cycles,
+        )
+        metrics = collect_metrics(
+            design,
+            simulation_seconds=verification.simulation_seconds,
+            cycles=verification.cycles,
+        )
+        return CaseResult(case.name, verification, metrics, compile_seconds)
+    except Exception as exc:  # noqa: BLE001 - suite must report
+        return CaseResult(case.name, None, None,
+                          time.perf_counter() - started, error=str(exc))
+
+
+# Worker-side handle for the parallel runner.  SuiteCase carries a
+# stimulus-factory closure, which does not pickle; with the fork start
+# method the child inherits this module global instead, and the parent
+# only ships a case *index* per task.
+_ACTIVE_SUITE: Optional["TestSuite"] = None
+
+
+def _pool_run(args) -> CaseResult:
+    index, seed, fsm_mode, backend = args
+    return _run_case(_ACTIVE_SUITE.cases[index], seed=seed,
+                     fsm_mode=fsm_mode, backend=backend)
 
 
 class TestSuite:
@@ -115,33 +167,78 @@ class TestSuite:
         return case
 
     def run(self, *, seed: int = 0, fsm_mode: str = "generated",
+            backend: str = "event", jobs: int = 1,
+            cache: Optional[Union[ArtifactCache, str, Path]] = None,
             stop_on_failure: bool = False) -> SuiteReport:
-        report = SuiteReport()
+        """Verify every case; one report.
+
+        ``backend`` selects the simulation kernel for all cases.
+        ``jobs`` > 1 fans independent cases out over a process pool
+        (requires the ``fork`` start method; falls back to serial
+        elsewhere, and ``stop_on_failure`` always runs serially so the
+        early-exit semantics hold).  ``cache`` (an
+        :class:`~repro.core.cache.ArtifactCache` or a directory path)
+        answers unchanged passing cases from disk.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if isinstance(cache, (str, Path)):
+            cache = ArtifactCache(cache)
+        report = SuiteReport(backend=backend, jobs=jobs)
         suite_started = time.perf_counter()
-        for case in self.cases:
-            started = time.perf_counter()
+
+        keys: List[Optional[str]] = [None] * len(self.cases)
+        slots: List[Optional[CaseResult]] = [None] * len(self.cases)
+        pending: List[int] = []
+        for index, case in enumerate(self.cases):
+            if cache is not None:
+                key = cache.key_for(case, seed=seed, fsm_mode=fsm_mode,
+                                    backend=backend)
+                keys[index] = key
+                hit = cache.load(key)
+                if hit is not None:
+                    slots[index] = hit
+                    report.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        parallel = (
+            jobs > 1 and len(pending) > 1 and not stop_on_failure
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if parallel:
+            global _ACTIVE_SUITE
+            _ACTIVE_SUITE = self
             try:
-                design = case.compile()
-                compile_seconds = time.perf_counter() - started
-                inputs = case.inputs(seed) if case.inputs else None
-                verification = verify_design(
-                    design, case.func, inputs, fsm_mode=fsm_mode,
-                    max_cycles=case.max_cycles,
-                )
-                metrics = collect_metrics(
-                    design,
-                    simulation_seconds=verification.simulation_seconds,
-                    cycles=verification.cycles,
-                )
-                report.results.append(CaseResult(
-                    case.name, verification, metrics, compile_seconds,
-                ))
-            except Exception as exc:  # noqa: BLE001 - suite must report
-                report.results.append(CaseResult(
-                    case.name, None, None,
-                    time.perf_counter() - started, error=str(exc),
-                ))
-            if stop_on_failure and not report.results[-1].passed:
+                context = multiprocessing.get_context("fork")
+                workers = min(jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=context) as pool:
+                    tasks = [(index, seed, fsm_mode, backend)
+                             for index in pending]
+                    for index, result in zip(pending,
+                                             pool.map(_pool_run, tasks)):
+                        slots[index] = result
+            finally:
+                _ACTIVE_SUITE = None
+        else:
+            for index in pending:
+                slots[index] = _run_case(self.cases[index], seed=seed,
+                                         fsm_mode=fsm_mode, backend=backend)
+                if stop_on_failure and not slots[index].passed:
+                    break
+
+        if cache is not None:
+            for index in pending:
+                if slots[index] is not None:
+                    cache.store(keys[index], slots[index])
+
+        # preserve case order; under stop_on_failure, truncate at the
+        # first case that never ran (matching the historical serial
+        # semantics of "cases after the failure are absent")
+        for result in slots:
+            if result is None:
                 break
+            report.results.append(result)
         report.wall_seconds = time.perf_counter() - suite_started
         return report

@@ -49,6 +49,8 @@ class VerificationResult:
     golden_seconds: float
     simulation_seconds: float
     rtg_result: Optional[RtgRunResult] = None
+    evaluations: int = 0
+    backend: str = "event"
 
     @property
     def passed(self) -> bool:
@@ -121,6 +123,7 @@ def verify_design(design: Design, func: Callable,
                   compare: str = "all",
                   fsm_mode: str = "generated",
                   control_mode: str = "generated",
+                  backend: str = "event",
                   max_cycles: int = 50_000_000,
                   mismatch_limit: int = 32,
                   trace_dir=None) -> VerificationResult:
@@ -129,7 +132,9 @@ def verify_design(design: Design, func: Callable,
     ``compare`` selects which memories are checked: ``"all"`` (every
     array except the spill memory) or ``"outputs"`` (only
     ``role="output"`` arrays).  ``trace_dir`` dumps one VCD waveform
-    per executed configuration.
+    per executed configuration.  ``backend`` picks the simulation kernel
+    (see :data:`repro.sim.SIMULATOR_BACKENDS`); every backend produces
+    identical verdicts, they differ only in speed.
     """
     if compare not in ("all", "outputs"):
         raise ValueError(f"compare must be 'all' or 'outputs', got {compare!r}")
@@ -148,7 +153,7 @@ def verify_design(design: Design, func: Callable,
     context = ReconfigurationContext.from_rtg(design.rtg,
                                               initial=base_images)
     executor = RtgExecutor(design.rtg, context, fsm_mode=fsm_mode,
-                           control_mode=control_mode,
+                           control_mode=control_mode, backend=backend,
                            max_cycles_per_configuration=max_cycles,
                            trace_dir=trace_dir)
     started = time.perf_counter()
@@ -173,4 +178,6 @@ def verify_design(design: Design, func: Callable,
         golden_seconds=golden_seconds,
         simulation_seconds=simulation_seconds,
         rtg_result=rtg_result,
+        evaluations=rtg_result.total_evaluations,
+        backend=backend,
     )

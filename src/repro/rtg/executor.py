@@ -46,6 +46,10 @@ class RtgRunResult:
         return sum(run.cycles for run in self.runs)
 
     @property
+    def total_evaluations(self) -> int:
+        return sum(run.evaluations for run in self.runs)
+
+    @property
     def trace(self) -> List[str]:
         return [run.configuration for run in self.runs]
 
@@ -59,6 +63,7 @@ class RtgExecutor:
                  base_dir: Optional[Union[str, Path]] = None,
                  fsm_mode: str = "generated",
                  control_mode: str = "generated",
+                 backend: str = "event",
                  max_cycles_per_configuration: int = 50_000_000,
                  max_reconfigurations: int = 10_000,
                  trace_dir: Optional[Union[str, Path]] = None) -> None:
@@ -67,6 +72,7 @@ class RtgExecutor:
         self.context = context or ReconfigurationContext.from_rtg(rtg)
         self.base_dir = Path(base_dir) if base_dir is not None else None
         self.fsm_mode = fsm_mode
+        self.backend = backend
         self.max_cycles = max_cycles_per_configuration
         self.max_reconfigurations = max_reconfigurations
         #: when set, each configuration run dumps a VCD waveform
@@ -104,7 +110,7 @@ class RtgExecutor:
         ref = self.rtg.configurations[name]
         datapath, fsm = self._resolve(ref)
         return build_simulation(datapath, fsm, memories=self.context.memories,
-                                fsm_mode=self.fsm_mode)
+                                fsm_mode=self.fsm_mode, backend=self.backend)
 
     def run(self) -> RtgRunResult:
         """Execute from the start configuration until a final one ends."""

@@ -4,6 +4,8 @@ Public surface:
 
 * :class:`Simulator` — the hybrid event/cycle kernel
 * :class:`ObliviousSimulator` — evaluate-everything reference kernel
+* :class:`CompiledSimulator` — levelized, per-state-specialized kernel
+* :data:`SIMULATOR_BACKENDS` / :func:`create_simulator` — select by name
 * :class:`Signal`, :class:`Combinational`, :class:`Sequential`,
   :class:`ClockDomain` — the structural model
 * :class:`Probe`, :class:`Assertion`, :class:`StopCondition`,
@@ -15,14 +17,23 @@ from .component import Combinational, Component, Sequential
 from .errors import (CombinationalLoopError, DriveConflictError,
                      ElaborationError, SimulationError, SimulationTimeout)
 from .kernel import SimulationStats, Simulator
+from .levelize import levelize
 from .oblivious import ObliviousSimulator
 from .probe import Assertion, Probe, StopCondition
 from .signal import Signal
 from .vcd import VcdWriter
+# compiled imports repro.operators (for its code emitters), which in turn
+# imports sim submodules — keep this import last so those are complete
+from .compiled import CompiledSimulator
+from .backends import SIMULATOR_BACKENDS, create_simulator
 
 __all__ = [
     "Simulator",
     "ObliviousSimulator",
+    "CompiledSimulator",
+    "SIMULATOR_BACKENDS",
+    "create_simulator",
+    "levelize",
     "SimulationStats",
     "Signal",
     "Component",

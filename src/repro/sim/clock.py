@@ -58,7 +58,25 @@ class ClockDomain:
             else:
                 armed.pop(component, None)
 
+        # the compiled backend bypasses per-change notification while its
+        # specialized loop runs; tagging lets it distinguish this internal
+        # bookkeeping from foreign observers (probes, VCD) that genuinely
+        # need to see every transition
+        on_enable_change._arming = True  # type: ignore[attr-defined]
         return on_enable_change
+
+    def rearm(self) -> None:
+        """Rebuild the armed set from current enable values.
+
+        The compiled backend updates enable signals without firing
+        watchers; calling this afterwards restores the invariant the
+        arming watchers normally maintain.
+        """
+        self._armed.clear()
+        for component in self.members:
+            enable = component.clock_enable
+            if enable is None or enable.value:
+                self._armed[component] = None
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,878 @@
+"""The compiled (levelized, specialized) simulation backend.
+
+Instead of dispatching events through a worklist, this backend turns an
+elaborated design into one generated Python function per elaboration —
+the approach of compiled-code simulators such as Verilator, transplanted
+to the paper's language-level setting:
+
+* the combinational network is **levelized** once
+  (:mod:`repro.sim.levelize`), so a settle wave is straight-line code
+  with producers ahead of consumers — no worklist, no dict dispatch;
+* the generated code is **specialized per FSM state**: control lines are
+  Moore outputs, i.e. compile-time constants within a state, so muxes
+  with constant selects collapse to aliases, disabled registers and
+  write ports vanish, and dead code elimination keeps only the cone
+  that the state's enabled sinks and the status lines actually read;
+* signal values live in Python **locals** inside the generated loop
+  (the cheapest storage CPython offers), synced with the
+  :class:`~repro.sim.signal.Signal` objects at entry and exit.
+
+The backend is *conservative*: any construct outside the supported
+subset — a foreign signal watcher (probe, VCD), a start/done handshake,
+multiple clock domains, an operator type without a registered emitter —
+falls back to the inherited event-driven kernel, so
+:class:`CompiledSimulator` is always safe to select.  The fallback
+reason is recorded on the simulator for inspection.
+
+Semantics match the event kernel exactly: per cycle the sequential
+elements sample pre-edge values (two-phase), SRAM writes are strict,
+the controller samples pre-edge statuses, and the post-edge
+combinational wave settles before the next cycle.  On leaving the fast
+path every signal is written back and a full event-driven settle runs,
+so external observers cannot distinguish the kernels.  Aggregate
+:class:`~repro.sim.kernel.SimulationStats` counters are maintained from
+per-state static work counts times visit counts (per-wave accounting
+rather than per-event, as the counters' consumers expect).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .clock import ClockDomain
+from .component import Sequential
+from .errors import (CombinationalLoopError, SimulationError,
+                     SimulationTimeout)
+from .kernel import Simulator
+from .levelize import levelize
+from .signal import Signal
+
+__all__ = ["CompiledSimulator"]
+
+
+class _Unsupported(Exception):
+    """The design is outside the compiled subset; fall back."""
+
+
+# ----------------------------------------------------------------------
+# Transition classification
+# ----------------------------------------------------------------------
+class _ProbeEnv(dict):
+    """An env that records whether a transition function reads it."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.touched = False
+
+    def __getitem__(self, key):
+        self.touched = True
+        return 0
+
+    def __missing__(self, key):
+        self.touched = True
+        return 0
+
+    def get(self, key, default=None):
+        self.touched = True
+        return 0
+
+    def __contains__(self, key) -> bool:
+        self.touched = True
+        return True
+
+
+def _classify_transition(fn: Callable) -> Optional[str]:
+    """The static target state if *fn* ignores its env, else ``None``.
+
+    Transition functions are pure over their env (generated from the FSM
+    guards), so a call that reads nothing from the env always returns
+    the same state.
+    """
+    probe = _ProbeEnv()
+    try:
+        target = fn(probe)
+    except Exception:
+        return None
+    if probe.touched or not isinstance(target, str):
+        return None
+    return target
+
+
+# ----------------------------------------------------------------------
+# Expression emitters (one per exact operator type)
+# ----------------------------------------------------------------------
+# Each emitter returns a list of (relative_indent, line) statements that
+# recompute the operator's output local from its input expressions.
+# ``val(sig)`` renders a signal as either its local name or, for FSM
+# control lines, the state's constant value as a literal.
+
+def _signed(expr: str, width: int) -> str:
+    half = 1 << (width - 1)
+    full = 1 << width
+    return f"(({expr}) - {full} if ({expr}) & {half} else ({expr}))"
+
+
+def _e_add(op, val, gen):
+    return [(0, f"{val(op.y)} = ({val(op.a)} + {val(op.b)}) & {op.y.mask}")]
+
+
+def _e_sub(op, val, gen):
+    return [(0, f"{val(op.y)} = ({val(op.a)} - {val(op.b)}) & {op.y.mask}")]
+
+
+def _e_mul(op, val, gen):
+    return [(0, f"{val(op.y)} = ({val(op.a)} * {val(op.b)}) & {op.y.mask}")]
+
+
+def _e_mulfull(op, val, gen):
+    a = _signed(val(op.a), op.width)
+    b = _signed(val(op.b), op.width)
+    return [(0, f"{val(op.y)} = ({a} * {b}) & {op.y.mask}")]
+
+
+def _e_div(op, val, gen):
+    # the div/rem family keeps its exact semantics (truncate/floor,
+    # strict or counted zero divisors) by calling a bound helper that
+    # wraps the component's own compute()
+    helper = gen.helper(_make_div_helper(op))
+    return [(0, f"{val(op.y)} = {helper}({val(op.a)}, {val(op.b)})")]
+
+
+def _make_div_helper(op):
+    compute = op.compute
+    mask = op.y.mask
+
+    def div_helper(a: int, b: int) -> int:
+        return compute(a, b) & mask
+
+    return div_helper
+
+
+def _e_neg(op, val, gen):
+    return [(0, f"{val(op.y)} = (-{val(op.a)}) & {op.y.mask}")]
+
+
+def _e_abs(op, val, gen):
+    half = 1 << (op.width - 1)
+    full = 1 << op.width
+    return [(0, f"{val(op.y)} = ({full} - {val(op.a)}) & {op.y.mask} "
+                f"if {val(op.a)} & {half} else {val(op.a)}")]
+
+
+def _e_min(op, val, gen):
+    half = 1 << (op.width - 1)
+    return [(0, f"{val(op.y)} = {val(op.a)} if ({val(op.a)} ^ {half}) <= "
+                f"({val(op.b)} ^ {half}) else {val(op.b)}")]
+
+
+def _e_max(op, val, gen):
+    half = 1 << (op.width - 1)
+    return [(0, f"{val(op.y)} = {val(op.a)} if ({val(op.a)} ^ {half}) >= "
+                f"({val(op.b)} ^ {half}) else {val(op.b)}")]
+
+
+def _e_and(op, val, gen):
+    return [(0, f"{val(op.y)} = {val(op.a)} & {val(op.b)}")]
+
+
+def _e_or(op, val, gen):
+    return [(0, f"{val(op.y)} = {val(op.a)} | {val(op.b)}")]
+
+
+def _e_xor(op, val, gen):
+    return [(0, f"{val(op.y)} = {val(op.a)} ^ {val(op.b)}")]
+
+
+def _e_not(op, val, gen):
+    return [(0, f"{val(op.y)} = {val(op.a)} ^ {op.y.mask}")]
+
+
+def _e_shl(op, val, gen):
+    return [(0, f"{val(op.y)} = (({val(op.a)} << {val(op.b)}) & {op.y.mask}) "
+                f"if {val(op.b)} < {op.width} else 0")]
+
+
+def _e_lshr(op, val, gen):
+    return [(0, f"{val(op.y)} = ({val(op.a)} >> {val(op.b)}) "
+                f"if {val(op.b)} < {op.width} else 0")]
+
+
+def _e_ashr(op, val, gen):
+    half = 1 << (op.width - 1)
+    sa = _signed(val(op.a), op.width)
+    return [
+        (0, f"if {val(op.b)} < {op.width}:"),
+        (1, f"{val(op.y)} = ({sa} >> {val(op.b)}) & {op.y.mask}"),
+        (0, "else:"),
+        (1, f"{val(op.y)} = {op.y.mask} if {val(op.a)} & {half} else 0"),
+    ]
+
+
+_CMP = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+def _e_cmp(op, val, gen):
+    symbol = _CMP[op.op]
+    a, b = val(op.a), val(op.b)
+    if op.signed_mode and op.op not in ("eq", "ne"):
+        half = 1 << (op.width - 1)
+        a, b = f"({a} ^ {half})", f"({b} ^ {half})"
+    return [(0, f"{val(op.y)} = 1 if {a} {symbol} {b} else 0")]
+
+
+def _e_zext(op, val, gen):
+    return [(0, f"{val(op.y)} = {val(op.a)}")]
+
+
+def _e_sext(op, val, gen):
+    ext = op.y.mask ^ op.a.mask
+    half = 1 << (op.a.width - 1)
+    return [(0, f"{val(op.y)} = ({val(op.a)} | {ext}) "
+                f"if {val(op.a)} & {half} else {val(op.a)}")]
+
+
+def _e_trunc(op, val, gen):
+    return [(0, f"{val(op.y)} = {val(op.a)} & {op.y.mask}")]
+
+
+def _e_slice(op, val, gen):
+    return [(0, f"{val(op.y)} = ({val(op.a)} >> {op.low}) & {op.y.mask}")]
+
+
+def _e_concat(op, val, gen):
+    expr = val(op.inputs[0])
+    for sig in op.inputs[1:]:
+        expr = f"(({expr} << {sig.width}) | {val(sig)})"
+    return [(0, f"{val(op.y)} = {expr}")]
+
+
+def _e_mux(op, val, gen):
+    sel = val(op.sel)
+    if not sel.lstrip("-").isdigit():
+        # dynamic select: guard chain, out-of-range falls back to input 0
+        expr = val(op.inputs[0])
+        for index in range(len(op.inputs) - 1, 0, -1):
+            expr = f"{val(op.inputs[index])} if {sel} == {index} else {expr}"
+        return [(0, f"{val(op.y)} = {expr}")]
+    index = int(sel)
+    if index >= len(op.inputs):
+        index = 0
+    return [(0, f"{val(op.y)} = {val(op.inputs[index])}")]
+
+
+def _e_sram_read(op, val, gen):
+    words = gen.mem(op.image)
+    comp = gen.comp(op)
+    return [
+        (0, f"if {val(op.addr)} < {op.image.depth}:"),
+        (1, f"{val(op.dout)} = {words}[{val(op.addr)}]"),
+        (0, "else:"),
+        (1, f"{val(op.dout)} = 0"),
+        (1, f"{comp}.oob_reads += 1"),
+    ]
+
+
+def _e_rom_read(op, val, gen):
+    words = gen.mem(op.image)
+    comp = gen.comp(op)
+    return [(0, f"{val(op.dout)} = {words}[{val(op.addr)}] "
+                f"if {val(op.addr)} < {op.image.depth} "
+                f"else {comp}.image.read({val(op.addr)})")]
+
+
+# The emitter tables are built lazily: this module is imported from the
+# ``repro.sim`` package __init__, which the operator modules themselves
+# import (for Combinational/Sequential/Signal), so importing operators
+# at module scope here would be circular.
+_EMITTERS: Dict[type, Callable] = {}
+_T: Dict[str, type] = {}
+
+
+def _ensure_tables() -> None:
+    if _EMITTERS:
+        return
+    from ..operators.arithmetic import (
+        AbsValue, Adder, Constant, DividerFloor, DividerSigned,
+        DividerUnsigned, MaxSigned, MinSigned, Multiplier, MultiplierFull,
+        Negate, RemainderFloor, RemainderSigned, RemainderUnsigned,
+        Subtractor)
+    from ..operators.comparison import Comparator
+    from ..operators.conversion import (Concat, SignExtend, Slice, Truncate,
+                                        ZeroExtend)
+    from ..operators.logic import (BitwiseAnd, BitwiseNot, BitwiseOr,
+                                   BitwiseXor, ShiftLeft, ShiftRightArith,
+                                   ShiftRightLogical)
+    from ..operators.memory import Rom, Sram
+    from ..operators.mux import Mux
+    from ..operators.registers import Register
+
+    _EMITTERS.update({
+        Adder: _e_add, Subtractor: _e_sub, Multiplier: _e_mul,
+        MultiplierFull: _e_mulfull,
+        DividerSigned: _e_div, RemainderSigned: _e_div,
+        DividerFloor: _e_div, RemainderFloor: _e_div,
+        DividerUnsigned: _e_div, RemainderUnsigned: _e_div,
+        Negate: _e_neg, AbsValue: _e_abs,
+        MinSigned: _e_min, MaxSigned: _e_max,
+        BitwiseAnd: _e_and, BitwiseOr: _e_or, BitwiseXor: _e_xor,
+        BitwiseNot: _e_not,
+        ShiftLeft: _e_shl, ShiftRightLogical: _e_lshr,
+        ShiftRightArith: _e_ashr,
+        Comparator: _e_cmp,
+        ZeroExtend: _e_zext, SignExtend: _e_sext, Truncate: _e_trunc,
+        Slice: _e_slice, Concat: _e_concat,
+        Mux: _e_mux,
+        Sram: _e_sram_read, Rom: _e_rom_read,
+    })
+    _T.update({
+        "Register": Register, "Sram": Sram, "Rom": Rom,
+        "Constant": Constant, "Mux": Mux, "Concat": Concat,
+    })
+    _T["unary"] = (Negate, AbsValue, BitwiseNot, ZeroExtend, SignExtend,
+                   Truncate, Slice)  # type: ignore[assignment]
+
+
+def _op_inputs(op, const_of) -> List[Signal]:
+    """The input signals whose values the emitted code for *op* reads."""
+    kind = type(op)
+    if kind is _T["Mux"]:
+        value = const_of(op.sel)
+        if value is None:
+            return [op.sel, *op.inputs]
+        index = value if value < len(op.inputs) else 0
+        return [op.inputs[index]]
+    if kind is _T["Sram"] or kind is _T["Rom"]:
+        return [op.addr]
+    if kind is _T["Concat"]:
+        return list(op.inputs)
+    if kind in _T["unary"]:
+        return [op.a]
+    return [op.a, op.b]
+
+
+def _op_output(op) -> Signal:
+    kind = type(op)
+    if kind is _T["Sram"] or kind is _T["Rom"]:
+        return op.dout
+    return op.y
+
+
+# ----------------------------------------------------------------------
+# Program construction
+# ----------------------------------------------------------------------
+class _Codegen:
+    """Name registry for objects the generated module binds from ctx."""
+
+    def __init__(self) -> None:
+        self.mems: List[list] = []
+        self._mem_index: Dict[int, str] = {}
+        self.comps: List[object] = []
+        self._comp_index: Dict[int, str] = {}
+        self.helpers: List[Callable] = []
+
+    def mem(self, image) -> str:
+        name = self._mem_index.get(id(image))
+        if name is None:
+            name = f"_m{len(self.mems)}"
+            self._mem_index[id(image)] = name
+            self.mems.append(image._words)
+        return name
+
+    def comp(self, component) -> str:
+        name = self._comp_index.get(id(component))
+        if name is None:
+            name = f"_c{len(self.comps)}"
+            self._comp_index[id(component)] = name
+            self.comps.append(component)
+        return name
+
+    def helper(self, fn: Callable) -> str:
+        self.helpers.append(fn)
+        return f"_f{len(self.helpers) - 1}"
+
+
+class CompiledProgram:
+    """Everything one compiled elaboration needs at run time."""
+
+    def __init__(self) -> None:
+        self.runner: Callable = None  # type: ignore[assignment]
+        self.controller = None
+        self.domain: Optional[ClockDomain] = None
+        self.names: List[str] = []
+        self.sid: Dict[str, int] = {}
+        self.n_states = 0
+        self.control_sync: List[Tuple[Signal, List[int]]] = []
+        self.control_names: Dict[int, str] = {}  # id(signal) -> output name
+        self.eval_static: List[int] = []
+        self.edge_static: List[int] = []
+        self.comb_components: List[object] = []
+        self.images: List[object] = []
+        self.component_ids: set = set()
+        self.source = ""
+        self.empty_stop: frozenset = frozenset()
+        self._stop_cache: Dict[int, Optional[frozenset]] = {}
+        self._vectors: Dict[str, Dict[str, int]] = {}
+
+    def stop_states(self, signal: Signal) -> Optional[frozenset]:
+        """States in which *signal* is high, or None if not a Moore line."""
+        cached = self._stop_cache.get(id(signal))
+        if cached is not None or id(signal) in self._stop_cache:
+            return cached
+        name = self.control_names.get(id(signal))
+        if name is None:
+            self._stop_cache[id(signal)] = None
+            return None
+        stop = frozenset(
+            index for index, state in enumerate(self.names)
+            if self._vectors[state][name]
+        )
+        self._stop_cache[id(signal)] = stop
+        return stop
+
+
+def _is_controller(component) -> bool:
+    """Duck-typed FsmController check (sim must not import translate)."""
+    return (isinstance(component, Sequential)
+            and hasattr(component, "behavior")
+            and hasattr(component, "status_signals")
+            and hasattr(component, "output_signals")
+            and hasattr(component, "state"))
+
+
+def _build_program(sim: Simulator) -> CompiledProgram:
+    _ensure_tables()
+    components = list(sim._components.values())
+    controllers = [c for c in components if _is_controller(c)]
+    if len(controllers) != 1:
+        raise _Unsupported(f"{len(controllers)} FSM controllers (need 1)")
+    controller = controllers[0]
+    if controller.start_signal is not None:
+        raise _Unsupported("start/done handshake in use")
+    if len(sim._domains) > 1:
+        raise _Unsupported("multiple clock domains")
+    domain = sim._default_domain or sim.default_domain
+
+    behavior = controller.behavior
+    names = list(behavior.output_vectors)
+    sid = {name: index for index, name in enumerate(names)}
+    if behavior.reset_state not in sid:
+        raise _Unsupported("reset state missing from output vectors")
+    vectors = {name: dict(behavior.output_vectors[name]) for name in names}
+
+    # classify components ------------------------------------------------
+    control_signals: Dict[int, str] = {}
+    for output, signal in controller.output_signals.items():
+        if signal.driver is not None:
+            raise _Unsupported(f"control line {output!r} has a driver")
+        control_signals[id(signal)] = output
+
+    registers: List[object] = []
+    srams: List[object] = []
+    roms: List[object] = []
+    comb_ops: List[object] = []
+    for component in components:
+        if component is controller:
+            continue
+        kind = type(component)
+        if kind is _T["Register"]:
+            registers.append(component)
+        elif kind is _T["Sram"]:
+            srams.append(component)
+            comb_ops.append(component)  # combinational read path
+        elif kind is _T["Rom"]:
+            roms.append(component)
+            comb_ops.append(component)
+        elif kind is _T["Constant"]:
+            continue  # outputs never change after elaboration
+        elif kind in _EMITTERS:
+            comb_ops.append(component)
+        else:
+            raise _Unsupported(f"no emitter for {kind.__name__} "
+                               f"({component.name!r})")
+        if isinstance(component, Sequential) \
+                and component not in domain.members:
+            raise _Unsupported(
+                f"{component.name!r} outside the default clock domain")
+
+    try:
+        topo = levelize(comb_ops)
+    except CombinationalLoopError as exc:
+        raise _Unsupported(f"not levelizable: {exc}") from exc
+
+    # transitions --------------------------------------------------------
+    dispatch = getattr(behavior, "transitions", None)
+
+    def transition_fn(state: str) -> Callable:
+        if dispatch is not None:
+            return dispatch[state]
+        return lambda env, _s=state: behavior.next_state(_s, env)
+
+    static_target: Dict[str, Optional[str]] = {}
+    dynamic_fns: Dict[int, Callable] = {}
+    for name in names:
+        fn = transition_fn(name)
+        target = _classify_transition(fn)
+        if target is not None and target not in sid:
+            target = None
+        static_target[name] = target
+        if target is None:
+            dynamic_fns[sid[name]] = fn
+
+    # signal locals ------------------------------------------------------
+    tracked: List[Signal] = [sig for sig in sim._signals.values()
+                             if id(sig) not in control_signals]
+    local: Dict[int, str] = {id(sig): f"v{index}"
+                             for index, sig in enumerate(tracked)}
+
+    gen = _Codegen()
+    status_items = list(controller.status_signals.items())
+
+    def make_val(vector: Dict[str, int]):
+        def val(sig: Signal) -> str:
+            name = control_signals.get(id(sig))
+            if name is not None:
+                return str(vector[name])
+            return local[id(sig)]
+        return val
+
+    def make_const_of(vector: Dict[str, int]):
+        def const_of(sig: Signal) -> Optional[int]:
+            name = control_signals.get(id(sig))
+            return None if name is None else vector[name]
+        return const_of
+
+    # per-state analysis -------------------------------------------------
+    n_states = len(names)
+    eval_static = [0] * n_states
+    edge_static = [0] * n_states
+    settle_blocks: List[List[Tuple[int, str]]] = []
+    edge_blocks: List[List[Tuple[int, str]]] = []
+    always_armed = 1 + len(roms)  # controller + no-op ROM members
+
+    for index, state in enumerate(names):
+        vector = vectors[state]
+        val = make_val(vector)
+        const_of = make_const_of(vector)
+        dynamic = static_target[state] is None
+
+        # --- edge phase (state's constants, pre-edge values) ----------
+        lines: List[Tuple[int, str]] = []
+        commits: List[Tuple[int, str]] = []
+        roots: List[Signal] = []
+        armed = always_armed
+        temp = 0
+        for register in registers:
+            enable = register.en
+            mode = None if enable is None else const_of(enable)
+            if enable is not None and mode == 0:
+                continue
+            d, q = val(register.d), local[id(register.q)]
+            roots.append(register.d)
+            if enable is None or mode == 1:
+                armed += 1
+                if d == q:
+                    continue
+                lines.append((0, f"_q{temp} = {d}"))
+            else:  # dynamic enable
+                armed += 1  # estimate: counted as armed
+                roots.append(enable)
+                lines.append((0, f"_q{temp} = {d} if {val(enable)} else {q}"))
+            commits.append((0, f"{q} = _q{temp}"))
+            temp += 1
+        for sram in srams:
+            mode = const_of(sram.we)
+            if mode == 0:
+                continue
+            roots.extend((sram.addr, sram.din))
+            words = gen.mem(sram.image)
+            comp = gen.comp(sram)
+            block = [
+                (0, f"if {val(sram.addr)} < {sram.image.depth}:"),
+                (1, f"{words}[{val(sram.addr)}] = {val(sram.din)}"),
+                (1, f"{comp}.writes += 1"),
+                (0, "else:"),
+                (1, f"_wo({comp}, {val(sram.addr)})"),
+            ]
+            if mode == 1:
+                armed += 1
+                lines.extend(block)
+            else:  # dynamic write enable
+                roots.append(sram.we)
+                lines.append((0, f"if {val(sram.we)}:"))
+                lines.extend((ind + 1, text) for ind, text in block)
+        # controller transition (pre-edge statuses)
+        if dynamic:
+            roots.extend(sig for _, sig in status_items)
+            env = "{" + ", ".join(f"{name!r}: {val(sig)}"
+                                  for name, sig in status_items) + "}"
+            lines.append((0, f"_e = _t{index}({env})"))
+            lines.append((0, f"if _e != {state!r}:"))
+            lines.append((1, "_nt += 1"))
+            lines.append((0, "s = _sid[_e]"))
+        else:
+            target = static_target[state]
+            if target != state:
+                lines.append((0, f"s = {sid[target]}"))
+                lines.append((0, "_nt += 1"))
+        lines.extend(commits)
+        edge_blocks.append(lines)
+        edge_static[index] = armed
+
+        # --- settle phase: live cone under this state's constants -----
+        live = {id(sig) for sig in roots}
+        live_ops: set = set()
+        for op in reversed(topo):
+            if id(_op_output(op)) in live:
+                live_ops.add(id(op))
+                for sig in _op_inputs(op, const_of):
+                    live.add(id(sig))
+        block: List[Tuple[int, str]] = []
+        for op in topo:
+            if id(op) in live_ops:
+                block.extend(_EMITTERS[type(op)](op, val, gen))
+        settle_blocks.append(block)
+        eval_static[index] = len(live_ops)
+
+    # --- assemble the module -------------------------------------------
+    out: List[str] = []
+
+    def emit(indent: int, text: str) -> None:
+        out.append("    " * indent + text)
+
+    def emit_tree(indent: int, ids: List[int],
+                  blocks: List[List[Tuple[int, str]]]) -> None:
+        if len(ids) == 1:
+            body = blocks[ids[0]]
+            if not body:
+                emit(indent, "pass")
+            else:
+                for rel, text in body:
+                    emit(indent + rel, text)
+            return
+        mid = len(ids) // 2
+        emit(indent, f"if s < {ids[mid]}:")
+        emit_tree(indent + 1, ids[:mid], blocks)
+        emit(indent, "else:")
+        emit_tree(indent + 1, ids[mid:], blocks)
+
+    emit(0, "def _make(ctx):")
+    emit(1, '_sid = ctx["sid"]')
+    emit(1, '_S = ctx["signals"]')
+    emit(1, '_wo = ctx["write_oob"]')
+    for position in range(len(gen.mems)):
+        emit(1, f'_m{position} = ctx["mems"][{position}]')
+    for position in range(len(gen.comps)):
+        emit(1, f'_c{position} = ctx["comps"][{position}]')
+    for position in range(len(gen.helpers)):
+        emit(1, f'_f{position} = ctx["helpers"][{position}]')
+    for state_id in sorted(dynamic_fns):
+        emit(1, f'_t{state_id} = ctx["transitions"][{state_id}]')
+    emit(1, "def _run(s, max_cycles, stop, counts, box):")
+    for index, sig in enumerate(tracked):
+        emit(2, f"v{index} = _S[{index}].value")
+    emit(2, "n = 0")
+    emit(2, "_nt = 0")
+    emit(2, "try:")
+    emit(3, "while n < max_cycles:")
+    emit(4, "if s in stop:")
+    emit(5, "break")
+    emit(4, "counts[s] += 1")
+    emit(4, "n += 1")
+    state_ids = list(range(n_states))
+    emit_tree(4, state_ids, edge_blocks)
+    emit_tree(4, state_ids, settle_blocks)
+    emit(2, "finally:")
+    emit(3, "box[0] = s")
+    emit(3, "box[1] = n")
+    emit(3, "box[2] = _nt")
+    for index in range(len(tracked)):
+        emit(3, f"_S[{index}].value = v{index}")
+    emit(1, "return _run")
+    source = "\n".join(out) + "\n"
+
+    def write_oob(comp, address):
+        raise SimulationError(
+            f"{comp.name!r}: write address {address} exceeds depth "
+            f"{comp.image.depth}"
+        )
+
+    namespace: Dict[str, object] = {}
+    code = compile(source, f"<compiled-sim:{sim.name}>", "exec")
+    exec(code, namespace)
+    ctx = {
+        "sid": sid,
+        "signals": tracked,
+        "mems": gen.mems,
+        "comps": gen.comps,
+        "helpers": gen.helpers,
+        "transitions": dynamic_fns,
+        "write_oob": write_oob,
+    }
+
+    program = CompiledProgram()
+    program.runner = namespace["_make"](ctx)
+    program.controller = controller
+    program.domain = domain
+    program.names = names
+    program.sid = sid
+    program.n_states = n_states
+    program.control_sync = [
+        (signal, [vectors[state][output] & signal.mask for state in names])
+        for output, signal in controller.output_signals.items()
+    ]
+    program.control_names = control_signals
+    program.eval_static = eval_static
+    program.edge_static = edge_static
+    program.comb_components = [c for c in components if hasattr(c, "evaluate")]
+    program.images = list({id(m.image): m.image
+                           for m in (*srams, *roms)}.values())
+    program.component_ids = {id(c) for c in components}
+    program.source = source
+    program._vectors = vectors
+    return program
+
+
+# ----------------------------------------------------------------------
+# The simulator
+# ----------------------------------------------------------------------
+class CompiledSimulator(Simulator):
+    """Drop-in :class:`Simulator` with a compiled specialized fast path.
+
+    ``run_until_high`` (when the target is a Moore control line, e.g. a
+    design's ``done``) and ``run_cycles`` execute through the generated
+    per-design function; everything else — and any unsupported design —
+    uses the inherited event-driven kernel.  ``fallback_reason`` records
+    why compilation was declined, if it was.
+    """
+
+    def __init__(self, name: str = "compiled-sim", **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self._program: Optional[CompiledProgram] = None
+        self.fallback_reason: Optional[str] = None
+
+    # -- program lifecycle ---------------------------------------------
+    def signal(self, name: str, width: int, init: int = 0) -> Signal:
+        self._invalidate_program()
+        return super().signal(name, width, init)
+
+    def _register(self, component):
+        self._invalidate_program()
+        return super()._register(component)
+
+    def clock_domain(self, name: str = "clk", period: int = 10) -> ClockDomain:
+        if name not in self._domains:
+            self._invalidate_program()
+        return super().clock_domain(name, period)
+
+    def _invalidate_program(self) -> None:
+        self._program = None
+        self.fallback_reason = None
+
+    def _ensure_program(self) -> Optional[CompiledProgram]:
+        if self._program is None and self.fallback_reason is None:
+            try:
+                self._program = _build_program(self)
+            except _Unsupported as exc:
+                self.fallback_reason = str(exc)
+        return self._program
+
+    # -- per-call safety checks ----------------------------------------
+    def _fastpath_blocked(self, program: CompiledProgram) -> Optional[str]:
+        if len(self._domains) > 1 or self._default_domain is not program.domain:
+            return "clock domain changed"
+        for sig in self._signals.values():
+            for watcher in sig.watchers:
+                if not getattr(watcher, "_arming", False):
+                    return f"foreign watcher on signal {sig.name!r}"
+        for image in program.images:
+            for watcher in image._watchers:
+                owner = getattr(watcher, "__self__", None)
+                if id(owner) not in program.component_ids:
+                    return f"foreign watcher on memory {image.name!r}"
+        return None
+
+    # -- fast-path entry points ----------------------------------------
+    def run_until_high(self, signal: Signal, *,
+                       max_cycles: int = 1_000_000,
+                       domain: Optional[ClockDomain] = None) -> int:
+        program = self._ensure_program()
+        if program is None or \
+                (domain is not None and domain is not program.domain) or \
+                self._fastpath_blocked(program) is not None:
+            return super().run_until_high(signal, max_cycles=max_cycles,
+                                          domain=domain)
+        stop = program.stop_states(signal)
+        start = program.sid.get(program.controller.state)
+        if stop is None or start is None:
+            return super().run_until_high(signal, max_cycles=max_cycles,
+                                          domain=domain)
+        self.settle()
+        cycles, final = self._execute(program, start, stop, max_cycles)
+        if final not in stop:
+            raise SimulationTimeout(
+                f"condition not met within {max_cycles} cycles", max_cycles
+            )
+        return cycles
+
+    def run_cycles(self, cycles: int,
+                   domain: Optional[ClockDomain] = None) -> None:
+        program = self._ensure_program()
+        if program is None or cycles <= 0 or \
+                (domain is not None and domain is not program.domain) or \
+                self._fastpath_blocked(program) is not None:
+            return super().run_cycles(cycles, domain)
+        start = program.sid.get(program.controller.state)
+        if start is None:
+            return super().run_cycles(cycles, domain)
+        self.settle()
+        self._execute(program, start, program.empty_stop, cycles)
+
+    # -- execution ------------------------------------------------------
+    def _execute(self, program: CompiledProgram, start: int,
+                 stop: frozenset, max_cycles: int) -> Tuple[int, int]:
+        counts = [0] * program.n_states
+        box = [start, 0, 0]
+        try:
+            program.runner(start, max_cycles, stop, counts, box)
+        except BaseException:
+            self._post_run(program, box, counts, best_effort=True)
+            raise
+        self._post_run(program, box, counts, best_effort=False)
+        return box[1], box[0]
+
+    def _post_run(self, program: CompiledProgram, box: List[int],
+                  counts: List[int], *, best_effort: bool) -> None:
+        final, cycles, transitions = box
+        controller = program.controller
+        controller.state = program.names[final]
+        controller.transitions += transitions
+        for signal, per_state in program.control_sync:
+            signal.value = per_state[final]
+        evaluations = 0
+        dispatches = 0
+        for index, visits in enumerate(counts):
+            if visits:
+                evaluations += visits * program.eval_static[index]
+                dispatches += visits * program.edge_static[index]
+        stats = self.stats
+        stats.cycles += cycles
+        stats.evaluations += evaluations
+        stats.edge_dispatches += dispatches
+        stats.signal_updates += evaluations
+        domain = program.domain
+        domain.cycles += cycles
+        self.now += domain.period * cycles
+        # restore the event-kernel invariants: arming reflects enables,
+        # and one full settle leaves every signal exactly as the event
+        # kernel would (also firing any lagging watchers)
+        for each in self._domains.values():
+            each.rearm()
+        self._worklist.clear()
+        self._worklist.extend(program.comb_components)
+        if best_effort:
+            try:
+                self.settle()
+            except Exception:  # noqa: BLE001 - already propagating an error
+                pass
+        else:
+            self.settle()

@@ -1,0 +1,87 @@
+"""Topological levelization of the combinational network.
+
+The compiled backend (:mod:`repro.sim.compiled`) evaluates the
+combinational network as straight-line code, which is only sound when
+the components are ordered so every producer runs before its consumers —
+a *levelized* order, as in compiled-code simulators (Verilator et al.).
+
+:func:`levelize` computes that order with Kahn's algorithm over the
+producer→consumer edges implied by the signal graph (``signal.driver``
+on the producing side, ``signal.sinks`` on the consuming side).  A
+combinational cycle leaves nodes with unresolved predecessors, which is
+reported as :class:`CombinationalLoopError` — the same condition the
+event-driven kernel detects dynamically when its settle budget runs out.
+
+:func:`combinational_components` is the shared definition of "has
+combinational behaviour" used by the oblivious sweep kernel and the
+compiled backend: anything exposing ``evaluate``, not just
+:class:`Combinational` subclasses (an SRAM is :class:`Sequential` for
+its write port but still has a combinational read path).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List
+
+from .component import Component
+from .errors import CombinationalLoopError
+
+__all__ = ["combinational_components", "levelize"]
+
+
+def combinational_components(components: Iterable[Component]) -> List[Component]:
+    """Every component with a combinational evaluation path."""
+    return [c for c in components if hasattr(c, "evaluate")]
+
+
+def _driven_signals(component: Component):
+    """The signals *component* drives combinationally."""
+    return [sig for sig in component.signals()
+            if getattr(sig, "driver", None) is component]
+
+
+def levelize(components: Iterable[Component]) -> List[Component]:
+    """Order *components* so producers precede consumers.
+
+    Only the components given participate; edges to or from components
+    outside the set (sequential elements, the control unit) are ignored —
+    their outputs are level-0 inputs of the combinational network.
+
+    Raises :class:`CombinationalLoopError` when the network contains a
+    combinational cycle, naming one component on it.
+    """
+    comb = combinational_components(components)
+    member = set(map(id, comb))
+    successors: Dict[int, List[Component]] = {id(c): [] for c in comb}
+    indegree: Dict[int, int] = {id(c): 0 for c in comb}
+
+    for component in comb:
+        for signal in _driven_signals(component):
+            for sink in signal.sinks:
+                if id(sink) in member and sink is not component:
+                    successors[id(component)].append(sink)
+                    indegree[id(sink)] += 1
+                elif sink is component:
+                    raise CombinationalLoopError(
+                        f"component {component.name!r} listens to its own "
+                        f"output {signal.name!r}"
+                    )
+
+    ready = deque(c for c in comb if indegree[id(c)] == 0)
+    ordered: List[Component] = []
+    while ready:
+        component = ready.popleft()
+        ordered.append(component)
+        for sink in successors[id(component)]:
+            indegree[id(sink)] -= 1
+            if indegree[id(sink)] == 0:
+                ready.append(sink)
+
+    if len(ordered) != len(comb):
+        stuck = next(c for c in comb if indegree[id(c)] > 0)
+        raise CombinationalLoopError(
+            f"combinational cycle detected near {stuck.name!r} "
+            f"({len(comb) - len(ordered)} component(s) unresolved)"
+        )
+    return ordered

@@ -20,6 +20,7 @@ from .clock import ClockDomain
 from .component import Combinational
 from .errors import CombinationalLoopError
 from .kernel import Simulator
+from .levelize import combinational_components
 
 __all__ = ["ObliviousSimulator"]
 
@@ -36,8 +37,7 @@ class ObliviousSimulator(Simulator):
         # anything with combinational behaviour, not just Combinational
         # subclasses: an SRAM is Sequential (write port) but also has an
         # evaluate() read path that every sweep must refresh
-        return [c for c in self._components.values()
-                if hasattr(c, "evaluate")]
+        return combinational_components(self._components.values())
 
     def settle(self) -> int:
         """Sweep all combinational components until no signal changes."""

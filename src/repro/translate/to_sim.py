@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..hdl.model.datapath import Datapath
 from ..hdl.model.fsm import DONE_OUTPUT, Fsm
 from ..operators.catalog import BuildContext, build_operator
+from ..sim.backends import create_simulator
 from ..sim.component import Sequential
 from ..sim.errors import ElaborationError, SimulationTimeout
 from ..sim.kernel import Simulator
@@ -179,6 +180,13 @@ class SimDesign:
     def run_to_done(self, max_cycles: int = 10_000_000) -> int:
         """Run until the design asserts ``done``; returns cycles used."""
         try:
+            done = self.done_signal
+            if done is not None:
+                # signal-based form: identical semantics to the generic
+                # predicate, but backends that compile the design (the
+                # CompiledSimulator) can recognise a Moore control line
+                # and run their specialized loop
+                return self.sim.run_until_high(done, max_cycles=max_cycles)
             return self.sim.run_until(lambda: self.done,
                                       max_cycles=max_cycles)
         except SimulationTimeout:
@@ -258,6 +266,7 @@ def build_simulation(datapath: Datapath, fsm: Fsm,
                      *,
                      sim: Optional[Simulator] = None,
                      fsm_mode: str = "generated",
+                     backend: str = "event",
                      clock_period: int = 10,
                      init_dir: Optional[Union[str, Path]] = None,
                      start_signal: Optional[Signal] = None) -> SimDesign:
@@ -266,6 +275,10 @@ def build_simulation(datapath: Datapath, fsm: Fsm,
     ``fsm_mode`` selects the control-unit execution strategy:
     ``"generated"`` (XML → Python source → compiled, the paper's approach)
     or ``"interpreted"`` (object-model walk, the ablation baseline).
+
+    ``backend`` selects the simulation kernel by name (see
+    :data:`repro.sim.SIMULATOR_BACKENDS`); ignored when an explicit
+    *sim* instance is passed.
 
     ``start_signal`` (a 1-bit signal in *sim*) enables the start/done
     handshake used when coupling the accelerator to a host processor
@@ -277,7 +290,7 @@ def build_simulation(datapath: Datapath, fsm: Fsm,
     check_interface(datapath, fsm)
 
     if sim is None:
-        sim = Simulator(name=datapath.name)
+        sim = create_simulator(backend, name=datapath.name)
     sim.clock_domain("clk", period=clock_period)
 
     bound_memories = _resolve_memories(datapath, memories, init_dir)

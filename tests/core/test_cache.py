@@ -1,0 +1,85 @@
+"""The artifact cache: keying, hit/miss behaviour, pass-only storage."""
+
+from repro.apps import suite_case
+from repro.core import ArtifactCache, CaseResult
+from repro.core.testsuite import _run_case
+
+
+def _case(**sizes):
+    return suite_case("popcount", **(sizes or {"n_words": 16}))
+
+
+class TestKeying:
+    def test_key_is_deterministic(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        case = _case()
+        key1 = cache.key_for(case, seed=0, fsm_mode="generated",
+                             backend="event")
+        key2 = cache.key_for(_case(), seed=0, fsm_mode="generated",
+                             backend="event")
+        assert key1 == key2
+
+    def test_key_depends_on_run_options(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        case = _case()
+        base = cache.key_for(case, seed=0, fsm_mode="generated",
+                             backend="event")
+        assert base != cache.key_for(case, seed=1, fsm_mode="generated",
+                                     backend="event")
+        assert base != cache.key_for(case, seed=0, fsm_mode="interpreted",
+                                     backend="event")
+        assert base != cache.key_for(case, seed=0, fsm_mode="generated",
+                                     backend="compiled")
+
+    def test_key_depends_on_case_content(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        small = _case(n_words=16)
+        large = _case(n_words=32)
+        assert cache.key_for(small, seed=0, fsm_mode="generated",
+                             backend="event") != \
+            cache.key_for(large, seed=0, fsm_mode="generated",
+                          backend="event")
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        case = _case()
+        result = _run_case(case, seed=0, fsm_mode="generated",
+                           backend="event")
+        assert result.passed
+        key = cache.key_for(case, seed=0, fsm_mode="generated",
+                            backend="event")
+        assert cache.store(key, result)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.cached
+        assert loaded.passed
+        assert loaded.case == result.case
+        assert loaded.verification.cycles == result.verification.cycles
+        assert loaded.verification.evaluations == \
+            result.verification.evaluations
+        assert loaded.metrics.total_operators() == \
+            result.metrics.total_operators()
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.load("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_failures_are_never_cached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        failed = CaseResult("broken", None, None, 0.1, error="boom")
+        assert not cache.store("f" * 64, failed)
+        assert cache.load("f" * 64) is None
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        case = _case()
+        result = _run_case(case, seed=0, fsm_mode="generated",
+                           backend="event")
+        key = cache.key_for(case, seed=0, fsm_mode="generated",
+                            backend="event")
+        cache.store(key, result)
+        assert cache.clear() == 1
+        assert cache.load(key) is None

@@ -15,6 +15,25 @@ class TestParser:
         assert args.seed == 0
         assert args.fsm_mode == "generated"
         assert args.cases is None
+        assert args.backend == "event"
+        assert args.jobs == 1
+        assert args.cache is None
+
+    def test_suite_backend_and_jobs(self):
+        args = build_parser().parse_args(
+            ["suite", "--backend", "compiled", "--jobs", "4"])
+        assert args.backend == "compiled"
+        assert args.jobs == 4
+
+    def test_suite_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--backend", "verilator"])
+
+    def test_suite_cache_flag(self):
+        assert build_parser().parse_args(
+            ["suite", "--cache"]).cache == ".repro-cache"
+        assert build_parser().parse_args(
+            ["suite", "--cache", "/tmp/c"]).cache == "/tmp/c"
 
     def test_translate_requires_target(self):
         with pytest.raises(SystemExit):
@@ -38,6 +57,16 @@ class TestSuiteCommand:
     def test_interpreted_mode(self, capsys):
         assert main(["suite", "--case", "threshold",
                      "--fsm-mode", "interpreted"]) == 0
+
+    def test_compiled_backend_with_jobs_and_cache(self, tmp_path, capsys):
+        argv = ["suite", "--case", "threshold", "--case", "popcount",
+                "--backend", "compiled", "--jobs", "2",
+                "--cache", str(tmp_path)]
+        assert main(argv) == 0
+        assert "backend=compiled" in capsys.readouterr().out
+        # second run is served from the cache
+        assert main(argv) == 0
+        assert "2 cached" in capsys.readouterr().out
 
 
 class TestTable1Command:

@@ -160,3 +160,52 @@ class TestInfrastructureFacade:
         infra = TestInfrastructure(tmp_path)
         with pytest.raises(KeyError):
             infra.run_case("ghost")
+
+
+class TestSuiteParallelAndCache:
+    def _suite(self):
+        from repro.apps import suite_case
+
+        suite = TestSuite("par")
+        suite.add(suite_case("threshold", n_pixels=32))
+        suite.add(suite_case("popcount", n_words=16))
+        suite.add(suite_case("hamming", n_words=16))
+        return suite
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            self._suite().run(jobs=0)
+
+    def test_parallel_matches_serial(self):
+        serial = self._suite().run(seed=3)
+        parallel = self._suite().run(seed=3, jobs=2)
+        assert parallel.passed
+        assert parallel.jobs == 2
+        for one, two in zip(serial.results, parallel.results):
+            assert one.case == two.case
+            assert one.passed and two.passed
+            assert one.verification.cycles == two.verification.cycles
+            assert one.metrics.total_operators() == \
+                two.metrics.total_operators()
+
+    def test_cache_skips_second_run(self, tmp_path):
+        first = self._suite().run(seed=3, cache=tmp_path)
+        assert first.passed and first.cache_hits == 0
+        second = self._suite().run(seed=3, cache=tmp_path)
+        assert second.passed
+        assert second.cache_hits == len(second.results)
+        assert all(result.cached for result in second.results)
+        assert "cached" in second.summary()
+        # a different seed must miss
+        third = self._suite().run(seed=4, cache=tmp_path)
+        assert third.cache_hits == 0
+
+    def test_backend_recorded_in_report(self):
+        suite = TestSuite("one")
+        from repro.apps import suite_case
+
+        suite.add(suite_case("threshold", n_pixels=32))
+        report = suite.run(backend="compiled")
+        assert report.passed
+        assert report.backend == "compiled"
+        assert "backend=compiled" in report.summary()

@@ -1,0 +1,79 @@
+"""Levelization: producers before consumers, loops rejected."""
+
+import pytest
+
+from repro.operators import Adder, Constant
+from repro.sim import CombinationalLoopError, Simulator, levelize
+from repro.sim.levelize import combinational_components
+
+
+def test_chain_is_ordered_producer_first():
+    sim = Simulator()
+    a = sim.signal("a", 8)
+    b = sim.signal("b", 8)
+    c = sim.signal("c", 8)
+    d = sim.signal("d", 8)
+    # register out of dependency order on purpose
+    add2 = Adder("add2", c, a, d)
+    add1 = Adder("add1", a, b, c)
+    order = levelize([add2, add1])
+    assert order.index(add1) < order.index(add2)
+
+
+def test_diamond_orders_all_levels():
+    sim = Simulator()
+    a = sim.signal("a", 8)
+    left = sim.signal("left", 8)
+    right = sim.signal("right", 8)
+    out = sim.signal("out", 8)
+    one = sim.signal("one", 8)
+    top_l = Adder("top_l", a, one, left)
+    top_r = Adder("top_r", a, a, right)
+    join = Adder("join", left, right, out)
+    order = levelize([join, top_r, top_l])
+    assert order.index(top_l) < order.index(join)
+    assert order.index(top_r) < order.index(join)
+
+
+def test_cycle_raises():
+    sim = Simulator()
+    x = sim.signal("x", 8)
+    y = sim.signal("y", 8)
+    z = sim.signal("z", 8)
+    w = sim.signal("w", 8)
+    loop_a = Adder("loop_a", x, w, y)   # y = x + w
+    loop_b = Adder("loop_b", y, w, x)   # x = y + w  -> cycle
+    with pytest.raises(CombinationalLoopError):
+        levelize([loop_a, loop_b])
+
+
+def test_self_loop_raises():
+    sim = Simulator()
+    x = sim.signal("x", 8)
+    y = sim.signal("y", 8)
+    selfloop = Adder("selfloop", y, x, y)
+    with pytest.raises(CombinationalLoopError) as excinfo:
+        levelize([selfloop])
+    assert "selfloop" in str(excinfo.value)
+
+
+def test_combinational_components_includes_memories():
+    """SRAM is Sequential (write port) but must appear: it has a
+    combinational read path."""
+    from repro.operators import Sram
+    from repro.util.files import MemoryImage
+
+    sim = Simulator()
+    addr = sim.signal("addr", 4)
+    din = sim.signal("din", 8)
+    dout = sim.signal("dout", 8)
+    we = sim.signal("we", 1)
+    image = MemoryImage(8, 16, name="m")
+    sram = Sram("m", addr, din, dout, we, image)
+    sim.add(sram)
+    one = sim.signal("one", 8)
+    const = Constant("one_c", one, 1)
+    sim.add_async(const)
+    comb = combinational_components(sim.components.values())
+    assert sram in comb
+    assert const in comb
