@@ -1,0 +1,15 @@
+# repro-fuzz: 1
+# kind: mismatch
+# backend: compiled
+# seed: 1002947
+# input-seed: 0
+# n-partitions: 1
+# word-width: 32
+# array: aux width=8 depth=15 signed=0 role=data
+# xfail: out-of-contract shift accumulator; wrap divergence is by design
+# detail: memory 'aux': @0008: expected 0x00, got 0x01
+def fuzz_1002947(aux):
+    t11 = (61 * 1500)
+    for i12 in range(1, 7, 2):
+        aux[(t11 % 15)] = 1
+        t11 = (t11 << 10)

@@ -1,0 +1,15 @@
+# repro-fuzz: 1
+# kind: mismatch
+# backend: compiled
+# seed: 1003612
+# input-seed: 0
+# n-partitions: 1
+# word-width: 32
+# array: dst width=16 depth=15 signed=1 role=output
+# xfail: out-of-contract shift accumulator; wrap divergence is by design
+# detail: memory 'dst': @0000: expected 0x0000, got 0x0001; @0001: expected 0x0001, got 0x0000
+def fuzz_1003612(dst):
+    t1 = 1
+    for i2 in range(1, 6):
+        t1 = (t1 << 8)
+    dst[(t1 % 15)] = 1

@@ -1,0 +1,15 @@
+# repro-fuzz: 1
+# kind: mismatch
+# backend: compiled
+# seed: 1004249
+# input-seed: 0
+# n-partitions: 1
+# word-width: 32
+# array: src width=24 depth=13 signed=0 role=input
+# xfail: out-of-contract loop-carried product; wrap divergence is by design
+# detail: memory 'src': @0004: expected 0x784235, got 0x000000; @0009: expected 0x000000, got 0xbcccf3; @000a: expected 0x000000, got 0x977365
+def fuzz_1004249(src):
+    t3 = 0
+    for i4 in range(1, 6):
+        src[((t3 * src[i4]) % 13)] = 0
+        t3 = src[i4]

@@ -1,0 +1,25 @@
+# repro-fuzz: 1
+# kind: pass
+# seed: 1
+# input-seed: 0
+# n-partitions: 1
+# word-width: 32
+# array: src width=32 depth=18 signed=1 role=input
+# array: dst width=8 depth=13 signed=1 role=output
+# param: k1 = 7
+# detail: regression lock: while program, all backends agree
+def fuzz_1(src, dst, k1):
+    dst[((dst[(k1 % 13)] >> 5) % 13)] = 2149
+    src[(((-2116) >> 5) % 18)] = max(((~k1) >> 4), (~(dst[((dst[((-dst[((-k1) % 13)]) % 13)] >> 5) % 13)] | dst[(abs(dst[((-13) % 13)]) % 13)])))
+    if ((((-31) % 2) << 7) == ((src[13] | dst[((src[(min(k1, (-3565)) % 18)] ^ (-3)) % 13)]) ^ (k1 % 3))):
+        src[(k1 % 18)] = (((34 - k1) << 1) % 7)
+    if (((k1 + dst[((dst[10] & dst[(src[(k1 % 18)] % 13)]) % 13)]) >> 4) == 12):
+        t2 = 5
+        w3 = 0
+        while w3 < 5:
+            t2 = (t2 >> 1)
+            src[(min(src[(src[w3] % 18)], dst[w3]) % 18)] = 3842
+            w3 = w3 + 1
+    else:
+        t4 = k1
+    src[((dst[(746 % 13)] - 3) % 18)] = ((((-1) ^ src[7]) ^ src[13]) % 8)

@@ -1,0 +1,32 @@
+# repro-fuzz: 1
+# kind: pass
+# seed: 2
+# input-seed: 0
+# n-partitions: 2
+# word-width: 32
+# array: src width=8 depth=19 signed=1 role=input
+# array: dst width=12 depth=16 signed=0 role=output
+# param: k1 = 0
+# detail: regression lock: partitioned program, all backends agree
+def fuzz_2(src, dst, k1):
+    for i2 in range(0, 5):
+        src[16] &= (i2 & 55)
+        t3 = (k1 // 4)
+        t4 = (min((~src[((-src[i2]) % 19)]), src[(k1 % 19)]) << 8)
+    if ((~(~src[(max(src[(abs(k1) % 19)], src[(abs(src[((8 << 11) % 19)]) % 19)]) % 19)])) <= (-2355)):
+        dst[1] = max(((k1 * (-3)) + (src[(max(k1, dst[(24 % 16)]) % 19)] + src[((-38) % 19)])), (((-2007) << 9) - (dst[10] & k1)))
+        for i5 in range(3, 9):
+            dst[(i5 % 16)] = dst[((~(-1)) % 16)]
+            t6 = k1
+            t7 = ((src[i5] + (-4)) % 5)
+    else:
+        if ((k1 >> 6) == ((~dst[15]) ^ (648 | src[(((-14) - 2) % 19)]))):
+            t8 = 1
+            src[((dst[(dst[((dst[(src[9] % 16)] << 6) % 16)] % 16)] << 3) % 19)] += src[(src[8] % 19)]
+            t9 = (max((~(-40)), t8) % 3)
+        for i10 in range(0, 2):
+            src[i10] = dst[i10]
+            src[i10] = max(dst[i10], ((dst[i10] * k1) >> 11))
+            src[i10] = (~(-max(i10, src[0])))
+        src[((k1 & 2) % 19)] = (((k1 // (-2)) | (47 * k1)) - (-3850))
+    src[((24 + k1) % 19)] = src[9]

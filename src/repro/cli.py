@@ -5,6 +5,7 @@ re-verifies with a single automated invocation (their ANT build).  This
 module is that invocation::
 
     python -m repro suite                     # verify every benchmark
+    python -m repro fuzz -n 200 --jobs 2      # differential compiler fuzzing
     python -m repro table1                    # print the Table I metrics
     python -m repro flow fdct1 --workdir out  # full Figure 1 flow, artifacts on disk
     python -m repro translate dp.xml --to dot # one translation backend
@@ -93,6 +94,35 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("dot", "python", "vhdl", "verilog"))
     translate.add_argument("--output", "-o", help="write here instead of "
                                                   "stdout")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing: random programs through "
+                     "golden + every simulation backend")
+    fuzz.add_argument("--iterations", "-n", type=_positive_int, default=100,
+                      help="number of random programs (default 100)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; case i uses generator seed "
+                           "seed+i (default 0)")
+    fuzz.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                      help="fuzz over N worker processes (default 1)")
+    fuzz.add_argument("--corpus", metavar="DIR", default="fuzz/corpus",
+                      help="directory for minimized reproducers "
+                           "(default: fuzz/corpus)")
+    fuzz.add_argument("--max-cycles", type=_positive_int, default=None,
+                      help="per-configuration cycle budget before a "
+                           "program is classified as a timeout")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop the campaign after this many seconds "
+                           "(used by the nightly CI job)")
+    fuzz.add_argument("--input-seed", type=int, default=0,
+                      help="stimulus seed for input memories (default 0)")
+    fuzz.add_argument("--no-reduce", action="store_true",
+                      help="write failures unminimized (faster triage "
+                           "of a long campaign)")
+    fuzz.add_argument("--replay", action="append", metavar="FILE",
+                      help="replay corpus reproducer(s) instead of "
+                           "fuzzing; exit 1 while any still fails")
 
     faults = sub.add_parser(
         "faults", help="fault-injection campaign: verify the "
@@ -206,6 +236,58 @@ def _cmd_translate(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import (CorpusEntry, DEFAULT_MAX_CYCLES, load_entry,
+                       reduce_program, run_campaign, run_program, save_entry)
+
+    max_cycles = args.max_cycles or DEFAULT_MAX_CYCLES
+
+    if args.replay:
+        status = 0
+        for path in args.replay:
+            entry = load_entry(path)
+            outcome = run_program(entry.program, max_cycles=max_cycles,
+                                  input_seed=entry.input_seed)
+            if entry.xfail:
+                # known-open divergence: healthy iff it still fails
+                # exactly as recorded (see docs/fuzzing.md)
+                ok = entry.outcome.matches(outcome)
+                recorded = f"recorded: {entry.kind}, xfail"
+            else:
+                ok = not outcome.failed
+                recorded = f"recorded: {entry.kind}"
+            marker = "PASS" if ok else "FAIL"
+            print(f"[{marker}] {path}: {outcome.describe()} ({recorded})")
+            if not ok:
+                status = 1
+        return status
+
+    report = run_campaign(
+        args.iterations, seed=args.seed, jobs=args.jobs,
+        max_cycles=max_cycles, input_seed=args.input_seed,
+        time_budget=args.time_budget,
+    )
+    for failure in report.failures:
+        if failure.program is None:
+            continue  # harness error: no program to reduce
+        outcome = failure.outcome
+        if not args.no_reduce:
+            reduction = reduce_program(failure.program, outcome,
+                                       max_cycles=max_cycles,
+                                       input_seed=args.input_seed)
+            program, outcome = reduction.program, reduction.outcome
+        else:
+            program = failure.program
+        entry = CorpusEntry(program=program, kind=outcome.kind,
+                            backend=outcome.backend,
+                            exc_type=outcome.exc_type,
+                            input_seed=args.input_seed,
+                            detail=outcome.detail)
+        report.written.append(str(save_entry(entry, args.corpus)))
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def _cmd_faults(args) -> int:
     from .apps import CASE_BUILDERS, suite_case
     from .core.faults import run_campaign
@@ -241,6 +323,7 @@ def _cmd_version(args) -> int:
 
 _COMMANDS = {
     "suite": _cmd_suite,
+    "fuzz": _cmd_fuzz,
     "faults": _cmd_faults,
     "table1": _cmd_table1,
     "flow": _cmd_flow,

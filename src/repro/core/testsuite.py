@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Mapping, Optional, Union
@@ -59,6 +61,9 @@ class CaseResult:
     metrics: Optional[DesignMetrics]
     compile_seconds: float
     error: Optional[str] = None
+    #: full traceback text of the error, preserved across the process
+    #: pool boundary so a worker failure is debuggable from the parent
+    traceback: Optional[str] = None
     #: result answered from the artifact cache, not executed this run
     cached: bool = False
 
@@ -135,7 +140,8 @@ def _run_case(case: SuiteCase, *, seed: int, fsm_mode: str,
         return CaseResult(case.name, verification, metrics, compile_seconds)
     except Exception as exc:  # noqa: BLE001 - suite must report
         return CaseResult(case.name, None, None,
-                          time.perf_counter() - started, error=str(exc))
+                          time.perf_counter() - started, error=str(exc),
+                          traceback=traceback.format_exc())
 
 
 # Worker-side handle for the parallel runner.  SuiteCase carries a
@@ -146,9 +152,27 @@ _ACTIVE_SUITE: Optional["TestSuite"] = None
 
 
 def _pool_run(args) -> CaseResult:
+    """Worker entry point; must never raise.
+
+    An exception escaping here would surface in the parent as an opaque
+    pickling/``BrokenProcessPool`` failure with the worker's traceback
+    lost, so every error — including harness-level ones such as a
+    missing ``_ACTIVE_SUITE`` — is folded into an error
+    :class:`CaseResult` carrying the original traceback text.
+    """
     index, seed, fsm_mode, backend = args
-    return _run_case(_ACTIVE_SUITE.cases[index], seed=seed,
-                     fsm_mode=fsm_mode, backend=backend)
+    try:
+        return _run_case(_ACTIVE_SUITE.cases[index], seed=seed,
+                         fsm_mode=fsm_mode, backend=backend)
+    except BaseException as exc:  # noqa: BLE001 - worker boundary
+        name = f"case[{index}]"
+        try:
+            name = _ACTIVE_SUITE.cases[index].name
+        except Exception:  # noqa: BLE001 - _ACTIVE_SUITE may be unusable
+            pass
+        return CaseResult(name, None, None, 0.0,
+                          error=f"{type(exc).__name__}: {exc}",
+                          traceback=traceback.format_exc())
 
 
 class TestSuite:
@@ -216,9 +240,22 @@ class TestSuite:
                                          mp_context=context) as pool:
                     tasks = [(index, seed, fsm_mode, backend)
                              for index in pending]
-                    for index, result in zip(pending,
-                                             pool.map(_pool_run, tasks)):
-                        slots[index] = result
+                    try:
+                        for index, result in zip(pending,
+                                                 pool.map(_pool_run, tasks)):
+                            slots[index] = result
+                    except BrokenProcessPool as exc:
+                        # a worker died without returning (hard crash,
+                        # os._exit, OOM kill); name the cases still in
+                        # flight instead of surfacing the bare pool error
+                        unfinished = [self.cases[index].name
+                                      for index in pending
+                                      if slots[index] is None]
+                        raise RuntimeError(
+                            f"suite worker process died while running "
+                            f"case(s) {unfinished}; rerun with jobs=1 to "
+                            f"reproduce in-process"
+                        ) from exc
             finally:
                 _ACTIVE_SUITE = None
         else:

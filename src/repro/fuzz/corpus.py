@@ -1,0 +1,190 @@
+"""Corpus files: minimized reproducers as self-describing Python files.
+
+Every failure the fuzzer finds (and every regression lock worth keeping)
+is stored as one ``.py`` file in ``fuzz/corpus/``: a structured comment
+header carrying the metadata the harness needs — memory specs, scalar
+parameters, compile options, the recorded classification — followed by
+the program source itself.  The files are deliberately human-readable:
+triaging a CI fuzz failure starts with reading the reproducer.
+
+Header grammar (one directive per line, ``# key: value``)::
+
+    # repro-fuzz: 1                     format version
+    # kind: mismatch                    recorded classification
+    # backend: compiled                 (optional) backend that diverged
+    # exc-type: CompileError            (optional) crash exception type
+    # seed: 12345                       generator seed (provenance)
+    # input-seed: 0                     stimulus seed
+    # n-partitions: 1
+    # word-width: 32
+    # array: src width=16 depth=8 signed=1 role=input
+    # param: k1 = 3
+    # xfail: tracking note              (optional) known-open divergence
+    # detail: first mismatch line       free text, informational
+
+The regression suite replays every corpus file through all backends:
+entries without ``xfail`` must pass (the bug they locked is fixed);
+``xfail`` entries are expected to still fail with their recorded kind.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..compiler.spec import MemorySpec
+from .harness import Outcome
+from .ir import FuzzProgram
+
+__all__ = ["CorpusEntry", "save_entry", "load_entry", "load_corpus",
+           "entry_filename"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One reproducer: the program plus its recorded classification."""
+
+    program: FuzzProgram
+    kind: str
+    backend: Optional[str] = None
+    exc_type: Optional[str] = None
+    input_seed: int = 0
+    detail: str = ""
+    xfail: Optional[str] = None
+    path: Optional[Path] = None
+
+    @property
+    def outcome(self) -> Outcome:
+        return Outcome(self.kind, backend=self.backend, detail=self.detail,
+                       exc_type=self.exc_type)
+
+
+def entry_filename(entry: CorpusEntry) -> str:
+    seed = entry.program.seed if entry.program.seed is not None else 0
+    return f"{entry.kind.replace('-', '_')}_s{seed}.py"
+
+
+def save_entry(entry: CorpusEntry,
+               directory: Union[str, Path]) -> Path:
+    """Write *entry* into *directory*; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    program = entry.program
+    lines: List[str] = [
+        f"# repro-fuzz: {_FORMAT_VERSION}",
+        f"# kind: {entry.kind}",
+    ]
+    if entry.backend:
+        lines.append(f"# backend: {entry.backend}")
+    if entry.exc_type:
+        lines.append(f"# exc-type: {entry.exc_type}")
+    if program.seed is not None:
+        lines.append(f"# seed: {program.seed}")
+    lines.append(f"# input-seed: {entry.input_seed}")
+    lines.append(f"# n-partitions: {program.n_partitions}")
+    lines.append(f"# word-width: {program.word_width}")
+    for name, spec in program.arrays.items():
+        lines.append(
+            f"# array: {name} width={spec.width} depth={spec.depth} "
+            f"signed={int(spec.signed)} role={spec.role}"
+        )
+    for name, value in program.params.items():
+        lines.append(f"# param: {name} = {value}")
+    if entry.xfail:
+        lines.append(f"# xfail: {entry.xfail}")
+    if entry.detail:
+        first = entry.detail.strip().splitlines()[0]
+        lines.append(f"# detail: {first}")
+    text = "\n".join(lines) + "\n" + program.source.rstrip() + "\n"
+    path = directory / entry_filename(entry)
+    path.write_text(text)
+    return path
+
+
+_ARRAY_RE = re.compile(
+    r"(?P<name>\w+)\s+width=(?P<width>\d+)\s+depth=(?P<depth>\d+)\s+"
+    r"signed=(?P<signed>[01])\s+role=(?P<role>\w+)"
+)
+_PARAM_RE = re.compile(r"(?P<name>\w+)\s*=\s*(?P<value>-?\d+)")
+
+
+class CorpusFormatError(ValueError):
+    """A corpus file's header could not be parsed."""
+
+
+def load_entry(path: Union[str, Path]) -> CorpusEntry:
+    """Parse one corpus file back into a :class:`CorpusEntry`."""
+    path = Path(path)
+    header: Dict[str, str] = {}
+    arrays: Dict[str, MemorySpec] = {}
+    params: Dict[str, int] = {}
+    source_lines: List[str] = []
+    for line in path.read_text().splitlines():
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if ":" not in body:
+                continue
+            key, _, value = body.partition(":")
+            key = key.strip()
+            value = value.strip()
+            if key == "array":
+                match = _ARRAY_RE.fullmatch(value)
+                if not match:
+                    raise CorpusFormatError(
+                        f"{path}: bad array directive {value!r}")
+                arrays[match["name"]] = MemorySpec(
+                    width=int(match["width"]), depth=int(match["depth"]),
+                    signed=bool(int(match["signed"])), role=match["role"],
+                )
+            elif key == "param":
+                match = _PARAM_RE.fullmatch(value)
+                if not match:
+                    raise CorpusFormatError(
+                        f"{path}: bad param directive {value!r}")
+                params[match["name"]] = int(match["value"])
+            else:
+                header[key] = value
+        elif line.strip() or source_lines:
+            source_lines.append(line)
+    if "repro-fuzz" not in header:
+        raise CorpusFormatError(f"{path}: missing 'repro-fuzz' header")
+    if "kind" not in header:
+        raise CorpusFormatError(f"{path}: missing 'kind' header")
+    if not arrays:
+        raise CorpusFormatError(f"{path}: no array directives")
+    source = "\n".join(source_lines).rstrip() + "\n"
+    name_match = re.search(r"^def\s+(\w+)\s*\(", source, re.MULTILINE)
+    if not name_match:
+        raise CorpusFormatError(f"{path}: no function definition found")
+    program = FuzzProgram(
+        name=name_match.group(1),
+        arrays=arrays,
+        params=params,
+        body=None,
+        seed=int(header["seed"]) if "seed" in header else None,
+        n_partitions=int(header.get("n-partitions", "1")),
+        word_width=int(header.get("word-width", "32")),
+        raw_source=source,
+    )
+    return CorpusEntry(
+        program=program,
+        kind=header["kind"],
+        backend=header.get("backend") or None,
+        exc_type=header.get("exc-type") or None,
+        input_seed=int(header.get("input-seed", "0")),
+        detail=header.get("detail", ""),
+        xfail=header.get("xfail") or None,
+        path=path,
+    )
+
+
+def load_corpus(directory: Union[str, Path]) -> List[CorpusEntry]:
+    """All corpus entries under *directory*, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_entry(path) for path in sorted(directory.glob("*.py"))]

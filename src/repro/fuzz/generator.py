@@ -1,0 +1,529 @@
+"""Seeded random generator of restricted-Python programs.
+
+The generator's contract is the foundation of the differential oracle:
+every emitted program must be (a) accepted by the compiler frontend,
+(b) terminating, and (c) free of golden/hardware semantic gaps that are
+*not* compiler bugs.  The last point is the subtle one — the golden run
+computes in unbounded Python integers while the datapath wraps modulo
+``2**word_width`` — so generation is typed with a conservative interval
+analysis: an operator application is only emitted when the result's
+interval provably fits the signed machine word.  Array round-trips
+(store masks, load sign-/zero-extends) re-anchor intervals, which is how
+generated programs stay interesting without overflowing.
+
+Safety rules encoded here:
+
+* array indices are loop variables proven in range, small constants, or
+  ``expr % depth`` (Python floor-mod of an in-range value is in
+  ``[0, depth)`` and the hardware remainder unit implements the same
+  semantics);
+* ``//`` and ``%`` only get non-zero constant divisors;
+* shift amounts are constants below the word width (the barrel shifter
+  and Python agree there; at/above width they legitimately diverge);
+* loop bounds are compile-time constants (``for``) or counted idioms
+  (``while``), so every program halts;
+* a variable is only referenced inside the scope that assigned it;
+* accumulators — the one construct whose runtime value depends on the
+  iteration number — are *pre-committed* when a loop is entered: the
+  update's widened interval (the transfer function iterated over the
+  full remaining trip count) is installed in the loop scope before any
+  body statement is generated, so a use textually before the update
+  still accounts for the value carried in from the previous iteration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.spec import MemorySpec
+from ..util.files import MemoryImage
+from .ir import (Assign, AugStore, Bin, BoolC, Cmp, Cond, Const, Expr, For,
+                 FuzzProgram, If, Load, NotC, Store, Stmt, Un, Var, While,
+                 referenced_arrays)
+
+__all__ = ["GeneratorConfig", "ProgramGenerator", "generate", "make_images"]
+
+Interval = Tuple[int, int]
+
+
+@dataclass
+class GeneratorConfig:
+    """Size/shape knobs for one generation run."""
+
+    max_top_statements: int = 5
+    min_top_statements: int = 2
+    max_block_statements: int = 3
+    max_expr_depth: int = 3
+    max_nesting: int = 2
+    max_trip: int = 6
+    min_arrays: int = 2
+    max_arrays: int = 3
+    min_depth: int = 6
+    max_depth: int = 20
+    widths: Sequence[int] = (8, 12, 16, 24, 32)
+    max_params: int = 2
+    word_width: int = 32
+    #: probability of asking the compiler for two temporal partitions
+    partition_probability: float = 0.2
+
+    @property
+    def safe(self) -> Interval:
+        half = 1 << (self.word_width - 1)
+        return (-half, half - 1)
+
+
+# ----------------------------------------------------------------------
+# Interval arithmetic (conservative, matching the operator semantics)
+# ----------------------------------------------------------------------
+def _bits_for(lo: int, hi: int) -> int:
+    k = 1
+    while lo < -(1 << (k - 1)) or hi > (1 << (k - 1)) - 1:
+        k += 1
+    return k
+
+
+def _hull(*ivs: Interval) -> Interval:
+    return (min(iv[0] for iv in ivs), max(iv[1] for iv in ivs))
+
+
+def _iv_bin(op: str, a: Interval, b: Interval) -> Optional[Interval]:
+    """Result interval of ``a op b``; None when not statically safe."""
+    if op == "+":
+        return (a[0] + b[0], a[1] + b[1])
+    if op == "-":
+        return (a[0] - b[1], a[1] - b[0])
+    if op == "*":
+        corners = [x * y for x in a for y in b]
+        return (min(corners), max(corners))
+    if op == "//":
+        if b[0] == b[1] and b[0] != 0:
+            corners = [a[0] // b[0], a[1] // b[0]]
+            return (min(corners), max(corners))
+        return None
+    if op == "%":
+        if b[0] == b[1] and b[0] > 0:
+            return (0, b[0] - 1)
+        return None
+    if op == "<<":
+        if b[0] == b[1] and b[0] >= 0:
+            scale = 1 << b[0]
+            return (a[0] * scale, a[1] * scale)
+        return None
+    if op == ">>":
+        if b[0] == b[1] and b[0] >= 0:
+            return (a[0] >> b[0], a[1] >> b[0])
+        return None
+    if op in ("&", "|", "^"):
+        k = _bits_for(*_hull(a, b))
+        return (-(1 << (k - 1)), (1 << (k - 1)) - 1)
+    if op == "min":
+        return (min(a[0], b[0]), min(a[1], b[1]))
+    if op == "max":
+        return (max(a[0], b[0]), max(a[1], b[1]))
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def _iv_un(op: str, a: Interval) -> Interval:
+    if op == "-":
+        return (-a[1], -a[0])
+    if op == "~":
+        return (-a[1] - 1, -a[0] - 1)
+    if op == "abs":
+        lo = 0 if a[0] <= 0 <= a[1] else min(abs(a[0]), abs(a[1]))
+        return (lo, max(abs(a[0]), abs(a[1])))
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def _array_interval(spec: MemorySpec) -> Interval:
+    if spec.signed:
+        half = 1 << (spec.width - 1)
+        return (-half, half - 1)
+    return (0, (1 << spec.width) - 1)
+
+
+def _iterate_interval(op: str, old: Interval, e: Interval,
+                      trips: int) -> Optional[Interval]:
+    """Union of ``v``'s interval over up to *trips* updates ``v = v op e``.
+
+    Iterating the transfer function is sound for every operator —
+    including ``*`` and ``<<``, where scaling ``old`` by a linear factor
+    of *trips* (the classic additive-accumulator shortcut) would
+    under-approximate the true exponential growth.
+    """
+    hull = old
+    current = old
+    for _ in range(trips):
+        current = _iv_bin(op, current, e)
+        if current is None:
+            return None
+        hull = _hull(hull, current)
+        if hull[0] < -(1 << 63) or hull[1] > (1 << 63):
+            return None  # diverging; stop before the ints get huge
+    return hull
+
+
+# ----------------------------------------------------------------------
+# Generation environment
+# ----------------------------------------------------------------------
+@dataclass
+class _VarInfo:
+    interval: Interval
+    #: product of enclosing loop trip counts when the variable was
+    #: defined — accumulator widening iterates current_trip/def_trip
+    #: update steps
+    def_trip: int
+    kind: str  # "local" | "loop" | "param"
+
+
+@dataclass
+class _Scope:
+    vars: Dict[str, _VarInfo] = field(default_factory=dict)
+
+    def child(self) -> "_Scope":
+        # shallow copy on purpose: child scopes share _VarInfo objects,
+        # so widening an accumulator in place (see _plan_accums) is
+        # visible to every scope that can still reference the variable
+        return _Scope(dict(self.vars))
+
+
+_BIN_OPS = ("+", "-", "*", "//", "%", "<<", ">>", "&", "|", "^",
+            "min", "max")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_ACCUM_OPS = ("+", "+", "-", "*", "<<", ">>", "min", "max", "&", "|", "^")
+
+
+class ProgramGenerator:
+    """One seeded generation run; ``generate()`` is the entry point."""
+
+    def __init__(self, seed: int, config: Optional[GeneratorConfig] = None):
+        self.seed = seed
+        self.config = config or GeneratorConfig()
+        self.rng = random.Random(seed)
+        self._counter = 0
+
+    # -- naming --------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # -- program skeleton ----------------------------------------------
+    def generate(self) -> FuzzProgram:
+        cfg = self.config
+        rng = self.rng
+
+        arrays: Dict[str, MemorySpec] = {}
+        n_arrays = rng.randint(cfg.min_arrays, cfg.max_arrays)
+        names = ["src", "dst", "aux"][:n_arrays]
+        for name in names:
+            role = {"src": "input", "dst": "output"}.get(name, "data")
+            width = rng.choice(list(cfg.widths))
+            # a full-word unsigned load would exceed the signed machine
+            # word the golden/hardware contract is defined over
+            signed = rng.random() < 0.7 or width >= cfg.word_width
+            arrays[name] = MemorySpec(
+                width=width,
+                depth=rng.randint(cfg.min_depth, cfg.max_depth),
+                signed=signed,
+                role=role,
+            )
+        self.arrays = arrays
+
+        params: Dict[str, int] = {}
+        for _ in range(rng.randint(0, cfg.max_params)):
+            params[self._fresh("k")] = rng.randint(-8, 20)
+        self.params = params
+
+        scope = _Scope()
+        for name, value in params.items():
+            scope.vars[name] = _VarInfo((value, value), 1, "param")
+
+        n_top = rng.randint(cfg.min_top_statements, cfg.max_top_statements)
+        body = self._gen_block(scope, n_top, nesting=0, trip=1)
+
+        if "dst" in arrays and "dst" not in referenced_arrays(body):
+            body.append(Store("dst", self._gen_index(scope, "dst", 1),
+                              self._gen_expr(scope, 1, 1)[0]))
+
+        n_partitions = 1
+        if len(body) >= 2 and rng.random() < cfg.partition_probability:
+            n_partitions = 2
+
+        return FuzzProgram(
+            name=f"fuzz_{self.seed}",
+            arrays=arrays,
+            params=params,
+            body=body,
+            seed=self.seed,
+            n_partitions=n_partitions,
+            word_width=cfg.word_width,
+        )
+
+    # -- expressions ---------------------------------------------------
+    def _leaf(self, scope: _Scope, trip: int) -> Tuple[Expr, Interval]:
+        rng = self.rng
+        choices = ["const", "const"]
+        if scope.vars:
+            choices += ["var"] * 3
+        if self.arrays:
+            choices += ["load"] * 3
+        kind = rng.choice(choices)
+        if kind == "var":
+            name = rng.choice(sorted(scope.vars))
+            return Var(name), scope.vars[name].interval
+        if kind == "load":
+            array = rng.choice(sorted(self.arrays))
+            index = self._gen_index(scope, array, trip)
+            return (Load(array, index),
+                    _array_interval(self.arrays[array]))
+        value = rng.choice((
+            rng.randint(-4, 8), rng.randint(-64, 64),
+            rng.randint(-(1 << 12), 1 << 12),
+        ))
+        return Const(value), (value, value)
+
+    def _gen_expr(self, scope: _Scope, depth: int,
+                  trip: int) -> Tuple[Expr, Interval]:
+        rng = self.rng
+        safe = self.config.safe
+        if depth <= 0 or rng.random() < 0.3:
+            return self._leaf(scope, trip)
+        for _ in range(8):
+            op = rng.choice(_BIN_OPS + ("neg", "abs", "inv"))
+            if op in ("neg", "abs", "inv"):
+                a, iva = self._gen_expr(scope, depth - 1, trip)
+                uop = {"neg": "-", "abs": "abs", "inv": "~"}[op]
+                result = _iv_un(uop, iva)
+                if safe[0] <= result[0] and result[1] <= safe[1]:
+                    return Un(uop, a), result
+                continue
+            a, iva = self._gen_expr(scope, depth - 1, trip)
+            if op in ("//", "%"):
+                divisor = rng.choice((2, 3, 4, 5, 7, 8, 16, -2, -3))
+                if op == "%" and divisor < 0:
+                    divisor = -divisor
+                b, ivb = Const(divisor), (divisor, divisor)
+            elif op in ("<<", ">>"):
+                amount = rng.randint(0, 12)
+                b, ivb = Const(amount), (amount, amount)
+            else:
+                b, ivb = self._gen_expr(scope, depth - 1, trip)
+            result = _iv_bin(op, iva, ivb)
+            if result is not None and safe[0] <= result[0] \
+                    and result[1] <= safe[1]:
+                return Bin(op, a, b), result
+        return self._leaf(scope, trip)
+
+    def _gen_index(self, scope: _Scope, array: str, trip: int) -> Expr:
+        """An index provably in ``[0, depth)`` for golden and hardware."""
+        rng = self.rng
+        depth = self.arrays[array].depth
+        usable = [n for n, i in scope.vars.items()
+                  if i.kind == "loop" and 0 <= i.interval[0]
+                  and i.interval[1] < depth]
+        roll = rng.random()
+        if usable and roll < 0.5:
+            return Var(rng.choice(sorted(usable)))
+        if roll < 0.8:
+            e, _ = self._gen_expr(scope, 1, trip)
+            return Bin("%", e, Const(depth))
+        return Const(rng.randrange(depth))
+
+    def _gen_cond(self, scope: _Scope, depth: int, trip: int) -> Cond:
+        rng = self.rng
+        roll = rng.random()
+        if depth > 0 and roll < 0.2:
+            parts = [self._gen_cond(scope, depth - 1, trip)
+                     for _ in range(rng.randint(2, 3))]
+            return BoolC(rng.choice(("and", "or")), parts)
+        if depth > 0 and roll < 0.3:
+            return NotC(self._gen_cond(scope, depth - 1, trip))
+        a, _ = self._gen_expr(scope, min(depth, 2), trip)
+        b, _ = self._gen_expr(scope, min(depth, 2), trip)
+        return Cmp(rng.choice(_CMP_OPS), a, b)
+
+    # -- statements ----------------------------------------------------
+    def _gen_block(self, scope: _Scope, n: int, nesting: int,
+                   trip: int) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        for _ in range(n):
+            stmts.append(self._gen_stmt(scope, nesting, trip))
+        return stmts
+
+    def _gen_stmt(self, scope: _Scope, nesting: int, trip: int) -> Stmt:
+        cfg = self.config
+        rng = self.rng
+        choices = ["assign"] * 3 + ["store"] * 3 + ["augstore"]
+        if nesting < cfg.max_nesting:
+            choices += ["if"] * 2 + ["for"] * 2 + ["while"]
+        kind = rng.choice(choices)
+
+        if kind == "assign":
+            expr, interval = self._gen_expr(scope, cfg.max_expr_depth, trip)
+            name = self._fresh("t")
+            scope.vars[name] = _VarInfo(interval, trip, "local")
+            return Assign(name, expr)
+
+        if kind == "store":
+            array = rng.choice(sorted(self.arrays))
+            return Store(array, self._gen_index(scope, array, trip),
+                         self._gen_expr(scope, cfg.max_expr_depth, trip)[0])
+
+        if kind == "augstore":
+            array = rng.choice(sorted(self.arrays))
+            spec = self.arrays[array]
+            # loaded element op value must stay safe; keep value small
+            value, iv = self._gen_expr(scope, 1, trip)
+            op = rng.choice(("+", "-", "^", "&", "|"))
+            loaded = _array_interval(spec)
+            result = _iv_bin(op, loaded, iv)
+            safe = cfg.safe
+            if result is None or result[0] < safe[0] or result[1] > safe[1]:
+                value, op = Const(1), "^"
+            return AugStore(array, self._gen_index(scope, array, trip),
+                            op, value)
+
+        if kind == "if":
+            cond = self._gen_cond(scope, 2, trip)
+            then = self._gen_block(scope.child(),
+                                   rng.randint(1, cfg.max_block_statements),
+                                   nesting + 1, trip)
+            orelse = []
+            if rng.random() < 0.5:
+                orelse = self._gen_block(
+                    scope.child(), rng.randint(1, cfg.max_block_statements),
+                    nesting + 1, trip)
+            return If(cond, then, orelse)
+
+        if kind == "for":
+            var = self._fresh("i")
+            start = rng.randint(0, 3)
+            trips = rng.randint(1, cfg.max_trip)
+            step = rng.choice((1, 1, 1, 2))
+            stop = start + trips * step
+            stop_param = None
+            if step == 1 and start == 0 and rng.random() < 0.25:
+                fits = [k for k, v in self.params.items()
+                        if 1 <= v <= cfg.max_trip]
+                if fits:
+                    stop_param = rng.choice(fits)
+                    stop = self.params[stop_param]
+                    trips = stop
+            child = scope.child()
+            last = start + (trips - 1) * step
+            child.vars[var] = _VarInfo((start, last), trip * trips, "loop")
+            accums = self._plan_accums(child, trip, trips)
+            body = self._gen_block(child,
+                                   rng.randint(1, cfg.max_block_statements),
+                                   nesting + 1, trip * trips)
+            self._weave(body, accums)
+            return For(var, start, stop, step, body, stop_param)
+
+        # while (counted)
+        var = self._fresh("w")
+        limit = rng.randint(1, cfg.max_trip)
+        child = scope.child()
+        child.vars[var] = _VarInfo((0, limit), trip * limit, "loop")
+        accums = self._plan_accums(child, trip, limit)
+        body = self._gen_block(child,
+                               rng.randint(1, cfg.max_block_statements),
+                               nesting + 1, trip * limit)
+        self._weave(body, accums)
+        return While(var, limit, body)
+
+    def _plan_accums(self, scope: _Scope, trip: int,
+                     trips: int) -> List[Stmt]:
+        """Pre-commit accumulator updates for the loop body about to be
+        generated.
+
+        An accumulator's runtime value depends on the iteration number,
+        so its widened interval must be in *scope* before any body
+        statement exists: a use textually before the update still sees
+        the value accumulated by the previous iteration.  Two rules keep
+        this sound against uses the generator has *already* emitted:
+
+        * only variables defined at the trip level of the block that
+          contains this loop (``def_trip == trip``) are eligible — their
+          definition re-executes, and so re-anchors the interval, on
+          every iteration of any enclosing loop, so no earlier-emitted
+          use can observe an accumulated value;
+        * the :class:`_VarInfo` is widened in place, so every scope
+          sharing the variable (including blocks generated after this
+          loop) sees the widened interval.
+
+        Widening iterates the transfer function once per trip of this
+        loop, which is exact for constant trip counts and — unlike a
+        linear ``old * trips`` factor — sound for ``*`` and ``<<``.
+        """
+        rng = self.rng
+        safe = self.config.safe
+        targets = sorted(n for n, i in scope.vars.items()
+                         if i.kind == "local" and i.def_trip == trip)
+        if not targets or trips < 2 or rng.random() < 0.4:
+            return []
+        sampled = rng.sample(targets,
+                             min(len(targets), rng.choice((1, 1, 2))))
+        # update operands may not read any accumulator of this loop: the
+        # operand's interval must hold at every iteration, and a not-yet-
+        # widened sibling target would poison the fixpoint
+        outer = _Scope({n: v for n, v in scope.vars.items()
+                        if n not in sampled})
+        planned: List[Stmt] = []
+        for name in sampled:
+            info = scope.vars[name]
+            chosen = None
+            for _ in range(8):
+                op = rng.choice(_ACCUM_OPS)
+                if op in ("<<", ">>"):
+                    amount = rng.randint(1, 3)
+                    e, ive = Const(amount), (amount, amount)
+                else:
+                    e, ive = self._gen_expr(outer, 2, trip * trips)
+                widened = _iterate_interval(op, info.interval, ive, trips)
+                if widened is not None and safe[0] <= widened[0] \
+                        and widened[1] <= safe[1]:
+                    chosen = (op, e, widened)
+                    break
+            if chosen is None:
+                chosen = ("^", Const(1),
+                          _iterate_interval("^", info.interval, (1, 1),
+                                            trips))
+            op, e, widened = chosen
+            info.interval = widened
+            planned.append(Assign(name, Bin(op, Var(name), e)))
+        return planned
+
+    def _weave(self, body: List[Stmt], accums: List[Stmt]) -> None:
+        """Insert the planned updates at random positions; the widened
+        interval covers the carried value at every point in the body, so
+        any placement is sound."""
+        for stmt in accums:
+            body.insert(self.rng.randrange(len(body) + 1), stmt)
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences
+# ----------------------------------------------------------------------
+def generate(seed: int,
+             config: Optional[GeneratorConfig] = None) -> FuzzProgram:
+    """Generate the program for *seed* (deterministic per seed+config)."""
+    return ProgramGenerator(seed, config).generate()
+
+
+def make_images(program: FuzzProgram,
+                input_seed: int = 0) -> Dict[str, MemoryImage]:
+    """Deterministic initial memory contents for every program array.
+
+    Input-role arrays get seeded random words; everything else starts
+    zeroed, exactly like the platform RAMs before a run.
+    """
+    images: Dict[str, MemoryImage] = {}
+    for name, spec in program.arrays.items():
+        image = MemoryImage(spec.width, spec.depth, name=name)
+        if spec.role == "input":
+            rng = random.Random(f"{input_seed}:{name}")
+            for address in range(spec.depth):
+                image.write(address, rng.randrange(1 << spec.width))
+        images[name] = image
+    return images

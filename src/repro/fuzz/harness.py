@@ -1,0 +1,295 @@
+"""Differential execution harness: one program, four executions.
+
+For every generated program the harness compiles it, runs the golden
+Python execution, then drives the design through each registered
+simulation backend and cross-checks everything the infrastructure can
+observe: final memory contents (against golden) and cycle counts
+(across backends).  The outcome is a single classification:
+
+``pass``
+    every backend matches golden bit-for-bit and all cycle counts agree
+``compile-crash``
+    the compiler raised (including frontend rejections — the generator
+    guarantees validity, so any rejection is a bug in one of the two)
+``golden-crash``
+    the plain-Python run itself raised; by construction this means a
+    generator bug, never a compiler bug
+``sim-crash``
+    a simulation backend raised something other than a timeout
+``timeout``
+    a backend exceeded the cycle budget
+``mismatch``
+    a backend produced different memory contents than golden, or the
+    backends disagree on the cycle count
+
+Campaigns fan iterations out over a fork-based process pool (the same
+machinery as :meth:`repro.core.TestSuite.run`), minimize every failure
+with :mod:`repro.fuzz.reduce`, and write reproducers into the corpus
+directory for the regression suite to replay.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.partitioning import SPILL_MEMORY
+from ..compiler.pipeline import compile_function
+from ..golden.runner import run_golden
+from ..rtg.context import ReconfigurationContext
+from ..rtg.executor import RtgExecutor
+from ..sim import SIMULATOR_BACKENDS
+from ..sim.errors import SimulationTimeout
+from ..util.files import compare_images
+from .generator import GeneratorConfig, generate, make_images
+from .ir import FuzzProgram
+
+__all__ = ["Outcome", "FuzzCaseResult", "CampaignReport", "run_program",
+           "run_campaign", "DEFAULT_BACKENDS", "DEFAULT_MAX_CYCLES"]
+
+DEFAULT_BACKENDS: Tuple[str, ...] = tuple(sorted(SIMULATOR_BACKENDS))
+DEFAULT_MAX_CYCLES = 250_000
+
+FAILURE_KINDS = ("compile-crash", "golden-crash", "sim-crash", "mismatch",
+                 "timeout")
+
+
+@dataclass
+class Outcome:
+    """Classification of one differential run."""
+
+    kind: str
+    backend: Optional[str] = None
+    detail: str = ""
+    exc_type: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.kind != "pass"
+
+    def matches(self, other: "Outcome") -> bool:
+        """Reduction predicate: same failure class (and, for crashes,
+        the same exception type — so the minimizer cannot wander from
+        one bug to a different one)."""
+        if self.kind != other.kind:
+            return False
+        if self.exc_type and other.exc_type:
+            return self.exc_type == other.exc_type
+        return True
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.backend:
+            parts.append(f"backend={self.backend}")
+        if self.exc_type:
+            parts.append(self.exc_type)
+        text = " ".join(parts)
+        if self.detail:
+            first = self.detail.strip().splitlines()[0]
+            text += f": {first}"
+        return text
+
+
+@dataclass
+class FuzzCaseResult:
+    seed: int
+    outcome: Outcome
+    seconds: float
+    #: the offending program; shipped back to the parent only on failure
+    program: Optional[FuzzProgram] = None
+
+
+@dataclass
+class CampaignReport:
+    iterations: int = 0
+    seed: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzCaseResult] = field(default_factory=list)
+    #: corpus files written for minimized reproducers
+    written: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        per_kind = ", ".join(f"{kind}={self.counts[kind]}"
+                             for kind in sorted(self.counts))
+        lines = [
+            f"fuzz: {self.iterations} program(s), "
+            f"{len(self.failures)} failure(s), "
+            f"wall {self.wall_seconds:.2f}s "
+            f"(seed={self.seed}, jobs={self.jobs}) [{per_kind}]"
+        ]
+        for failure in self.failures:
+            lines.append(f"  [FAIL] seed {failure.seed}: "
+                         f"{failure.outcome.describe()}")
+        for path in self.written:
+            lines.append(f"  reproducer: {path}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Single-program differential run
+# ----------------------------------------------------------------------
+def run_program(program: FuzzProgram, *,
+                backends: Sequence[str] = DEFAULT_BACKENDS,
+                max_cycles: int = DEFAULT_MAX_CYCLES,
+                input_seed: int = 0) -> Outcome:
+    """Compile, golden-run and simulate *program*; classify the outcome."""
+    try:
+        design = compile_function(
+            program.source, program.arrays, dict(program.params),
+            name=program.name, word_width=program.word_width,
+            n_partitions=program.n_partitions,
+        )
+    except Exception as exc:  # noqa: BLE001 - classification boundary
+        return Outcome("compile-crash", detail=_crash_detail(exc),
+                       exc_type=type(exc).__name__)
+
+    inputs = make_images(program, input_seed)
+    golden_images = {name: image.copy() for name, image in inputs.items()}
+    try:
+        run_golden(program.func(), program.arrays, golden_images,
+                   dict(program.params))
+    except Exception as exc:  # noqa: BLE001 - classification boundary
+        return Outcome("golden-crash", detail=_crash_detail(exc),
+                       exc_type=type(exc).__name__)
+
+    cycles: Dict[str, int] = {}
+    for backend in backends:
+        images = {name: image.copy() for name, image in inputs.items()}
+        context = ReconfigurationContext.from_rtg(design.rtg, initial=images)
+        executor = RtgExecutor(design.rtg, context, backend=backend,
+                               max_cycles_per_configuration=max_cycles)
+        try:
+            result = executor.run()
+        except SimulationTimeout as exc:
+            return Outcome("timeout", backend=backend, detail=str(exc),
+                           exc_type=type(exc).__name__)
+        except Exception as exc:  # noqa: BLE001 - classification boundary
+            return Outcome("sim-crash", backend=backend,
+                           detail=_crash_detail(exc),
+                           exc_type=type(exc).__name__)
+        cycles[backend] = result.total_cycles
+
+        for name in program.arrays:
+            if name == SPILL_MEMORY:
+                continue
+            mismatches = compare_images(golden_images[name],
+                                        context.memory(name), limit=4)
+            if mismatches:
+                width = program.arrays[name].width
+                shown = "; ".join(m.describe(width) for m in mismatches)
+                return Outcome(
+                    "mismatch", backend=backend,
+                    detail=f"memory {name!r}: {shown}",
+                )
+
+    if len(set(cycles.values())) > 1:
+        detail = ", ".join(f"{b}={c}" for b, c in sorted(cycles.items()))
+        return Outcome("mismatch", detail=f"cycle divergence: {detail}")
+
+    return Outcome("pass")
+
+
+def _crash_detail(exc: Exception) -> str:
+    return "".join(traceback.format_exception_only(type(exc), exc)).strip()
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+# Worker-side state for the fork-based pool: GeneratorConfig carries no
+# closures, but shipping it once via a module global keeps the per-task
+# payload to a single integer seed (same pattern as core.testsuite).
+_WORKER_STATE: Optional[Tuple[GeneratorConfig, Tuple[str, ...], int, int]] \
+    = None
+
+
+def _run_one_seed(case_seed: int) -> FuzzCaseResult:
+    config, backends, max_cycles, input_seed = _WORKER_STATE
+    started = time.perf_counter()
+    try:
+        program = generate(case_seed, config)
+        outcome = run_program(program, backends=backends,
+                              max_cycles=max_cycles, input_seed=input_seed)
+    except Exception as exc:  # noqa: BLE001 - harness bug, not a finding
+        outcome = Outcome("harness-error", detail=traceback.format_exc(),
+                          exc_type=type(exc).__name__)
+        program = None
+    seconds = time.perf_counter() - started
+    return FuzzCaseResult(case_seed, outcome, seconds,
+                          program=program if outcome.failed else None)
+
+
+def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
+                 config: Optional[GeneratorConfig] = None,
+                 backends: Sequence[str] = DEFAULT_BACKENDS,
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 input_seed: int = 0,
+                 time_budget: Optional[float] = None,
+                 on_progress=None) -> CampaignReport:
+    """Run *iterations* differential tests; deterministic per *seed*.
+
+    Case ``i`` always fuzzes generator seed ``seed + i`` regardless of
+    ``jobs``, so any failure reproduces serially.  ``time_budget``
+    (seconds) stops the campaign early once exceeded — used by the
+    nightly CI job.  Failures are returned unminimized; the caller
+    decides whether to reduce (see :func:`repro.fuzz.reduce_failure`).
+    """
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    config = config or GeneratorConfig()
+    report = CampaignReport(seed=seed, jobs=jobs)
+    started = time.perf_counter()
+
+    global _WORKER_STATE
+    _WORKER_STATE = (config, tuple(backends), max_cycles, input_seed)
+    parallel = (jobs > 1 and iterations > 1
+                and "fork" in multiprocessing.get_all_start_methods())
+    try:
+        if parallel:
+            context = multiprocessing.get_context("fork")
+            wave = max(jobs * 8, 16)
+            with ProcessPoolExecutor(max_workers=jobs,
+                                     mp_context=context) as pool:
+                for base in range(0, iterations, wave):
+                    seeds = [seed + i for i in
+                             range(base, min(base + wave, iterations))]
+                    for result in pool.map(_run_one_seed, seeds):
+                        _absorb(report, result, on_progress)
+                    report.wall_seconds = time.perf_counter() - started
+                    if time_budget is not None \
+                            and report.wall_seconds >= time_budget:
+                        break
+        else:
+            for i in range(iterations):
+                _absorb(report, _run_one_seed(seed + i), on_progress)
+                report.wall_seconds = time.perf_counter() - started
+                if time_budget is not None \
+                        and report.wall_seconds >= time_budget:
+                    break
+    finally:
+        _WORKER_STATE = None
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def _absorb(report: CampaignReport, result: FuzzCaseResult,
+            on_progress) -> None:
+    report.iterations += 1
+    kind = result.outcome.kind
+    report.counts[kind] = report.counts.get(kind, 0) + 1
+    if result.outcome.failed:
+        report.failures.append(result)
+    if on_progress is not None:
+        on_progress(result)

@@ -1,0 +1,329 @@
+"""Delta-debugging minimizer for failing fuzz programs.
+
+Given a program and its failure :class:`~repro.fuzz.harness.Outcome`,
+:func:`reduce_program` greedily applies tree-level reductions — drop a
+statement, unwrap a loop or branch, shrink a trip count, replace an
+expression by one of its operands or a constant, drop unused arrays and
+parameters — keeping an edit only when the reduced program still fails
+with the *same* classification (and, for crashes, the same exception
+type, so reduction cannot drift from one bug to another).  The loop runs
+to a fixpoint under an evaluation budget, which is the classic ddmin
+trade: minimality is approximate, termination is guaranteed.
+
+Every candidate is a complete, renderable program, so the minimizer can
+never present a syntactically broken reproducer.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from .harness import (DEFAULT_BACKENDS, DEFAULT_MAX_CYCLES, Outcome,
+                      run_program)
+from .ir import (Assign, AugStore, Bin, BoolC, Cmp, Cond, Const, Expr, For,
+                 FuzzProgram, If, Load, NotC, Store, Stmt, Un, Var, While,
+                 referenced_arrays, referenced_names, subst_var)
+
+__all__ = ["ReductionResult", "reduce_program"]
+
+
+@dataclass
+class ReductionResult:
+    program: FuzzProgram
+    outcome: Outcome
+    evaluations: int
+    rounds: int
+
+
+def reduce_program(program: FuzzProgram, outcome: Outcome, *,
+                   backends: Sequence[str] = DEFAULT_BACKENDS,
+                   max_cycles: int = DEFAULT_MAX_CYCLES,
+                   input_seed: int = 0,
+                   max_evaluations: int = 400) -> ReductionResult:
+    """Shrink *program* while it keeps failing like *outcome*."""
+    if program.body is None:
+        # corpus-loaded text programs have no tree to reduce
+        return ReductionResult(program, outcome, 0, 0)
+
+    evaluations = 0
+    rounds = 0
+    current = program.clone()
+    current_outcome = outcome
+    # the validity gate preserves an invariant the input already has;
+    # a hand-written reproducer that is itself ill-formed (e.g. a
+    # use-before-assign crash trigger) must still be reducible
+    gate_validity = _well_formed(program)
+
+    def check(candidate: FuzzProgram) -> Optional[Outcome]:
+        nonlocal evaluations
+        evaluations += 1
+        result = run_program(candidate, backends=backends,
+                             max_cycles=max_cycles, input_seed=input_seed)
+        return result if outcome.matches(result) else None
+
+    progress = True
+    while progress and evaluations < max_evaluations:
+        progress = False
+        rounds += 1
+        for candidate in _candidates(current):
+            if evaluations >= max_evaluations:
+                break
+            if gate_validity and not _well_formed(candidate):
+                continue  # an edit broke def-before-use; not a real bug
+            verdict = check(candidate)
+            if verdict is not None:
+                current = candidate
+                current_outcome = verdict
+                progress = True
+                break  # restart enumeration from the smaller program
+    return ReductionResult(current, current_outcome, evaluations, rounds)
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration: each yields a complete cloned program
+# ----------------------------------------------------------------------
+def _candidates(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    for body in _block_variants(program.body):
+        yield _with_body(program, body)
+    yield from _drop_partitioning(program)
+    yield from _drop_unused_arrays(program)
+    yield from _inline_params(program)
+
+
+def _with_body(program: FuzzProgram, body: List[Stmt]) -> FuzzProgram:
+    clone = program.clone()
+    clone.body = body
+    return clone
+
+
+def _drop_partitioning(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    if program.n_partitions > 1:
+        clone = program.clone()
+        clone.n_partitions = 1
+        yield clone
+
+
+def _drop_unused_arrays(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    used = referenced_arrays(program.body)
+    for name in list(program.arrays):
+        if name not in used and len(program.arrays) > 1:
+            clone = program.clone()
+            del clone.arrays[name]
+            yield clone
+
+
+def _inline_params(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    for name, value in list(program.params.items()):
+        clone = program.clone()
+        del clone.params[name]
+        clone.body = [subst_var(s, name, Const(value))
+                      for s in clone.body]
+        for stmt in _walk(clone.body):
+            if isinstance(stmt, For) and stmt.stop_param == name:
+                stmt.stop_param = None
+        yield clone
+
+
+def _walk(body: List[Stmt]) -> Iterator[Stmt]:
+    for s in body:
+        yield s
+        if isinstance(s, If):
+            yield from _walk(s.then)
+            yield from _walk(s.orelse)
+        elif isinstance(s, (For, While)):
+            yield from _walk(s.body)
+
+
+def _block_variants(stmts: List[Stmt]) -> Iterator[List[Stmt]]:
+    """Smaller versions of one statement list (recursively)."""
+    # 1. drop whole statements, largest first (halves, then singles)
+    n = len(stmts)
+    if n > 1:
+        half = n // 2
+        yield stmts[half:]
+        yield stmts[:half]
+    for i in range(n):
+        if n > 1 or not isinstance(stmts[i], (If, For, While)):
+            yield stmts[:i] + stmts[i + 1:]
+    # 2. replace a compound statement by (a substituted copy of) its body
+    for i, s in enumerate(stmts):
+        for replacement in _stmt_unwraps(s):
+            yield stmts[:i] + replacement + stmts[i + 1:]
+    # 3. rewrite one statement in place (shrunk loop, simpler exprs,
+    #    recursively reduced nested blocks)
+    for i, s in enumerate(stmts):
+        for replacement in _stmt_variants(s):
+            yield stmts[:i] + [replacement] + stmts[i + 1:]
+
+
+def _stmt_unwraps(s: Stmt) -> Iterator[List[Stmt]]:
+    if isinstance(s, If):
+        if s.then:
+            yield copy.deepcopy(s.then)
+        if s.orelse:
+            yield copy.deepcopy(s.orelse)
+    elif isinstance(s, For):
+        yield [subst_var(inner, s.var, Const(s.start))
+               for inner in s.body]
+    elif isinstance(s, While):
+        yield [subst_var(inner, s.var, Const(0)) for inner in s.body]
+
+
+def _stmt_variants(s: Stmt) -> Iterator[Stmt]:
+    if isinstance(s, Assign):
+        for e in _expr_variants(s.value):
+            yield Assign(s.name, e)
+    elif isinstance(s, Store):
+        for e in _expr_variants(s.value):
+            yield Store(s.array, copy.deepcopy(s.index), e)
+        for e in _expr_variants(s.index):
+            yield Store(s.array, e, copy.deepcopy(s.value))
+    elif isinstance(s, AugStore):
+        yield Store(s.array, copy.deepcopy(s.index), copy.deepcopy(s.value))
+        for e in _expr_variants(s.value):
+            yield AugStore(s.array, copy.deepcopy(s.index), s.op, e)
+        for e in _expr_variants(s.index):
+            yield AugStore(s.array, e, s.op, copy.deepcopy(s.value))
+    elif isinstance(s, If):
+        for c in _cond_variants(s.cond):
+            yield If(c, copy.deepcopy(s.then), copy.deepcopy(s.orelse))
+        for body in _block_variants(s.then):
+            yield If(copy.deepcopy(s.cond), body, copy.deepcopy(s.orelse))
+        for body in _block_variants(s.orelse):
+            yield If(copy.deepcopy(s.cond), copy.deepcopy(s.then), body)
+        if s.orelse:
+            yield If(copy.deepcopy(s.cond), copy.deepcopy(s.then), [])
+    elif isinstance(s, For):
+        trips = max(1, (s.stop - s.start) // s.step) \
+            if s.stop_param is None else s.stop
+        if s.stop_param is not None:
+            yield For(s.var, s.start, s.stop, s.step,
+                      copy.deepcopy(s.body), None)
+        elif trips > 1:
+            yield For(s.var, s.start, s.start + s.step, s.step,
+                      copy.deepcopy(s.body), None)
+        for body in _block_variants(s.body):
+            yield For(s.var, s.start, s.stop, s.step, body, s.stop_param)
+    elif isinstance(s, While):
+        if s.limit > 1:
+            yield While(s.var, 1, copy.deepcopy(s.body))
+        for body in _block_variants(s.body):
+            yield While(s.var, s.limit, body)
+
+
+def _expr_variants(e: Expr) -> Iterator[Expr]:
+    """Strictly simpler replacements for an expression."""
+    if isinstance(e, Const):
+        for value in (0, 1):
+            if e.value != value and (abs(e.value) > 1 or e.value < 0):
+                yield Const(value)
+        return
+    if not isinstance(e, Var):
+        yield Const(0)
+        yield Const(1)
+    if isinstance(e, Bin):
+        yield copy.deepcopy(e.a)
+        yield copy.deepcopy(e.b)
+        for sub in _expr_variants(e.a):
+            yield Bin(e.op, sub, copy.deepcopy(e.b))
+        for sub in _expr_variants(e.b):
+            yield Bin(e.op, copy.deepcopy(e.a), sub)
+    elif isinstance(e, Un):
+        yield copy.deepcopy(e.a)
+        for sub in _expr_variants(e.a):
+            yield Un(e.op, sub)
+    elif isinstance(e, Load):
+        for sub in _expr_variants(e.index):
+            yield Load(e.array, sub)
+
+
+def _well_formed(program: FuzzProgram) -> bool:
+    """Cheap def-before-use / known-array check over a candidate.
+
+    Keeps the minimizer inside the generator's validity contract: a
+    candidate that references an undefined variable would *also* raise
+    ``CompileError`` and could hijack the reduction of a genuine
+    compiler crash toward a meaningless program.
+    """
+    arrays = set(program.arrays)
+
+    def ok_expr(e: Expr, defined: set) -> bool:
+        if isinstance(e, Const):
+            return True
+        if isinstance(e, Var):
+            return e.name in defined
+        if isinstance(e, Load):
+            return e.array in arrays and ok_expr(e.index, defined)
+        if isinstance(e, Bin):
+            return ok_expr(e.a, defined) and ok_expr(e.b, defined)
+        if isinstance(e, Un):
+            return ok_expr(e.a, defined)
+        return False
+
+    def ok_cond(c: Cond, defined: set) -> bool:
+        if isinstance(c, Cmp):
+            return ok_expr(c.a, defined) and ok_expr(c.b, defined)
+        if isinstance(c, BoolC):
+            return all(ok_cond(p, defined) for p in c.parts)
+        if isinstance(c, NotC):
+            return ok_cond(c.part, defined)
+        return False
+
+    def ok_block(stmts: List[Stmt], defined: set) -> bool:
+        for s in stmts:
+            if isinstance(s, Assign):
+                if not ok_expr(s.value, defined):
+                    return False
+                defined.add(s.name)
+            elif isinstance(s, (Store, AugStore)):
+                if s.array not in arrays \
+                        or not ok_expr(s.index, defined) \
+                        or not ok_expr(s.value, defined):
+                    return False
+            elif isinstance(s, If):
+                if not ok_cond(s.cond, defined):
+                    return False
+                if not ok_block(s.then, set(defined)) \
+                        or not ok_block(s.orelse, set(defined)):
+                    return False
+            elif isinstance(s, For):
+                if s.stop_param is not None \
+                        and s.stop_param not in program.params:
+                    return False
+                if not ok_block(s.body, defined | {s.var}):
+                    return False
+            elif isinstance(s, While):
+                if not ok_block(s.body, defined | {s.var}):
+                    return False
+            else:
+                return False
+        return True
+
+    return ok_block(program.body, set(program.params))
+
+
+_TRUE = Cmp("==", Const(0), Const(0))
+
+
+def _cond_variants(c: Cond) -> Iterator[Cond]:
+    if c != _TRUE:
+        yield copy.deepcopy(_TRUE)
+    if isinstance(c, Cmp):
+        for sub in _expr_variants(c.a):
+            yield Cmp(c.op, sub, copy.deepcopy(c.b))
+        for sub in _expr_variants(c.b):
+            yield Cmp(c.op, copy.deepcopy(c.a), sub)
+    elif isinstance(c, BoolC):
+        for part in c.parts:
+            yield copy.deepcopy(part)
+        for i, part in enumerate(c.parts):
+            for sub in _cond_variants(part):
+                parts = [copy.deepcopy(p) for p in c.parts]
+                parts[i] = sub
+                yield BoolC(c.op, parts)
+    elif isinstance(c, NotC):
+        yield copy.deepcopy(c.part)
+        for sub in _cond_variants(c.part):
+            yield NotC(sub)

@@ -154,3 +154,54 @@ class TestFaultsCommand:
 
         assert cli_main(["faults", "fdct2"]) == 2
         assert "multiple configurations" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.iterations == 100
+        assert args.seed == 0
+        assert args.jobs == 1
+        assert args.corpus == "fuzz/corpus"
+        assert args.max_cycles is None
+        assert args.time_budget is None
+        assert not args.no_reduce
+        assert args.replay is None
+
+    def test_parser_rejects_zero_iterations(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "-n", "0"])
+
+    def test_small_campaign_passes(self, tmp_path, capsys):
+        status = main(["fuzz", "--iterations", "3", "--seed", "1",
+                       "--corpus", str(tmp_path)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 3 program(s), 0 failure(s)" in out
+        assert not list(tmp_path.glob("*.py"))  # nothing to reproduce
+
+    def test_replay_round_trip(self, tmp_path, capsys):
+        from repro.fuzz import CorpusEntry, generate, save_entry
+
+        entry = CorpusEntry(program=generate(1), kind="pass")
+        path = save_entry(entry, tmp_path)
+
+        status = main(["fuzz", "--replay", str(path)])
+        assert status == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_replay_flags_divergent_entry(self, tmp_path, capsys):
+        # a reproducer recorded as a crash but replaying clean must
+        # fail the replay: the entry should be promoted to a pass lock
+        from repro.fuzz import CorpusEntry, generate, save_entry
+
+        entry = CorpusEntry(program=generate(1), kind="sim-crash",
+                            exc_type="SimulationError",
+                            xfail="still open")
+        path = save_entry(entry, tmp_path)
+
+        status = main(["fuzz", "--replay", str(path)])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "xfail" in out

@@ -1,0 +1,95 @@
+"""Regression tests for worker-failure reporting in the parallel suite.
+
+Before the fix, an exception escaping a pool worker surfaced in the
+parent as an opaque ``BrokenProcessPool`` with the worker's traceback
+lost.  Now every worker-side error folds into an error
+:class:`CaseResult` carrying the original traceback, and a genuinely
+dead worker (hard crash) raises a ``RuntimeError`` naming the cases
+that were in flight.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro.core.testsuite as testsuite_module
+from repro.compiler.spec import MemorySpec
+from repro.core.testsuite import CaseResult, SuiteCase, TestSuite, _pool_run
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel suite requires the fork start method")
+
+
+def _tiny(dst):
+    dst[0] = 1
+
+
+def _make_case(name, inputs=None):
+    return SuiteCase(name=name, func=_tiny,
+                     arrays={"dst": MemorySpec(width=8, depth=4,
+                                               role="output")},
+                     inputs=inputs)
+
+
+@fork_only
+def test_worker_exception_keeps_original_traceback(monkeypatch):
+    def kapow(case, *, seed, fsm_mode, backend):
+        raise ValueError("kapow from the worker")
+
+    # fork workers inherit the patched module state from the parent
+    monkeypatch.setattr(testsuite_module, "_run_case", kapow)
+    suite = TestSuite("pool")
+    suite.add(_make_case("alpha"))
+    suite.add(_make_case("beta"))
+
+    report = suite.run(jobs=2)
+
+    assert not report.passed
+    assert len(report.results) == 2
+    for result in report.results:
+        assert "kapow from the worker" in result.error
+        assert "ValueError" in result.traceback
+        assert "kapow" in result.traceback
+
+
+@fork_only
+def test_dead_worker_raises_informative_error():
+    def die(seed):
+        os._exit(42)  # kills the worker before it can return a result
+
+    suite = TestSuite("pool")
+    suite.add(_make_case("alpha", inputs=die))
+    suite.add(_make_case("beta", inputs=die))
+
+    with pytest.raises(RuntimeError) as excinfo:
+        suite.run(jobs=2)
+    message = str(excinfo.value)
+    assert "worker process died" in message
+    assert "alpha" in message or "beta" in message
+    assert "jobs=1" in message  # tells the user how to reproduce
+
+
+def test_pool_run_survives_broken_suite_state(monkeypatch):
+    # even harness-level failures (no active suite) must come back as
+    # error results, not exceptions that would poison the pool protocol
+    monkeypatch.setattr(testsuite_module, "_ACTIVE_SUITE", None)
+    result = _pool_run((3, 0, "generated", "event"))
+    assert isinstance(result, CaseResult)
+    assert result.case == "case[3]"
+    assert "AttributeError" in result.error or "NoneType" in result.error
+    assert result.traceback is not None
+
+
+def test_serial_error_also_records_traceback(monkeypatch):
+    def kapow(self):
+        raise ValueError("kapow serial")
+
+    monkeypatch.setattr(SuiteCase, "compile", kapow)
+    suite = TestSuite("serial")
+    suite.add(_make_case("alpha"))
+    report = suite.run(jobs=1)
+    assert not report.passed
+    assert "kapow serial" in report.results[0].error
+    assert "ValueError" in report.results[0].traceback

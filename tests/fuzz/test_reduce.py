@@ -1,0 +1,133 @@
+"""Minimizer tests: reductions shrink, preserve classification, and
+never emit malformed candidates."""
+
+from repro.compiler.spec import MemorySpec
+from repro.fuzz import FuzzProgram, reduce_program, run_program
+from repro.fuzz.ir import (Assign, Bin, Cmp, Const, For, If, Load, Store,
+                           Var, While, iter_stmts)
+from repro.fuzz.reduce import _well_formed
+
+
+def _arrays():
+    return {
+        "src": MemorySpec(width=16, depth=8, role="input"),
+        "dst": MemorySpec(width=16, depth=8, role="output"),
+    }
+
+
+def _count_stmts(program):
+    return sum(1 for _ in iter_stmts(program.body))
+
+
+def test_reduces_compile_crash_to_the_culprit():
+    # 'ghost' is never assigned: the frontend rejects.  The padding
+    # statements around the culprit must all be reduced away.
+    program = FuzzProgram(
+        name="crashy",
+        arrays=_arrays(),
+        params={"k1": 3},
+        body=[
+            Store("dst", Const(0), Const(5)),
+            For("i1", 0, 4, 1, [Store("dst", Var("i1"), Var("i1"))]),
+            Assign("t1", Bin("+", Var("ghost"), Const(1))),
+            If(Cmp("<", Const(0), Const(1)),
+               [Store("dst", Const(1), Load("src", Const(1)))], []),
+        ],
+    )
+    outcome = run_program(program)
+    assert outcome.kind == "compile-crash"
+
+    result = reduce_program(program, outcome)
+    assert result.outcome.kind == "compile-crash"
+    assert result.outcome.exc_type == outcome.exc_type
+    assert _count_stmts(result.program) < _count_stmts(program)
+    assert _count_stmts(result.program) <= 2
+    # the undefined reference is the one thing that must survive
+    assert "ghost" in result.program.source
+    assert result.evaluations > 0
+
+
+def test_reduces_timeout_to_the_loop():
+    program = FuzzProgram(
+        name="slow",
+        arrays=_arrays(),
+        body=[
+            Store("dst", Const(0), Const(1)),
+            Store("dst", Const(1), Load("src", Const(2))),
+            While("w1", 5000, [Store("dst", Const(2), Var("w1"))]),
+        ],
+    )
+    outcome = run_program(program, max_cycles=100)
+    assert outcome.kind == "timeout"
+
+    result = reduce_program(program, outcome, max_cycles=100)
+    assert result.outcome.kind == "timeout"
+    # both padding stores must go; the loop (still > 100 cycles) stays
+    kinds = [type(s).__name__ for s in result.program.body]
+    assert "While" in kinds
+    assert _count_stmts(result.program) < _count_stmts(program)
+
+
+def test_reduction_keeps_programs_well_formed():
+    program = FuzzProgram(
+        name="ok",
+        arrays=_arrays(),
+        body=[
+            Assign("t1", Load("src", Const(0))),
+            Store("dst", Const(0), Var("t1")),
+        ],
+    )
+    assert _well_formed(program)
+    # dropping the Assign orphans t1 — the gate must reject it
+    broken = FuzzProgram(
+        name="bad", arrays=_arrays(),
+        body=[Store("dst", Const(0), Var("t1"))],
+    )
+    assert not _well_formed(broken)
+
+
+def test_well_formed_scoping_rules():
+    # a branch-local variable must not leak past its branch
+    leaky = FuzzProgram(
+        name="leak", arrays=_arrays(),
+        body=[
+            If(Cmp("<", Const(0), Const(1)),
+               [Assign("t1", Const(2))], []),
+            Store("dst", Const(0), Var("t1")),
+        ],
+    )
+    assert not _well_formed(leaky)
+    # loop variables are visible inside their body only
+    scoped = FuzzProgram(
+        name="scoped", arrays=_arrays(),
+        body=[For("i1", 0, 3, 1, [Store("dst", Var("i1"), Var("i1"))]),
+              Store("dst", Const(0), Var("i1"))],
+    )
+    assert not _well_formed(scoped)
+
+
+def test_reducing_a_passing_program_is_a_noop_contract():
+    """The reducer's predicate is 'same classification'; reducing from a
+    pass outcome just shrinks while staying green — used nowhere in the
+    pipeline but must not corrupt anything if invoked."""
+    program = FuzzProgram(
+        name="fine", arrays=_arrays(),
+        body=[Store("dst", Const(0), Const(1)),
+              Store("dst", Const(1), Const(2))],
+    )
+    outcome = run_program(program)
+    assert outcome.kind == "pass"
+    result = reduce_program(program, outcome, max_evaluations=40)
+    assert result.outcome.kind == "pass"
+    assert run_program(result.program).kind == "pass"
+
+
+def test_reduce_skips_treeless_corpus_programs():
+    program = FuzzProgram(
+        name="raw", arrays=_arrays(),
+        raw_source="def raw(src, dst):\n    dst[0] = src[0]\n",
+    )
+    outcome = run_program(program)
+    result = reduce_program(program, outcome)
+    assert result.evaluations == 0
+    assert result.program is program
