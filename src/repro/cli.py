@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
@@ -42,6 +43,47 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_obs_flags(command: argparse.ArgumentParser) -> None:
+    """The observability flags shared by suite/flow/fuzz."""
+    command.add_argument("--trace", metavar="FILE", default=None,
+                         help="record per-phase timing spans; writes "
+                              "Chrome/Perfetto trace JSON to FILE (raw "
+                              "events land next to it as .jsonl)")
+    command.add_argument("--metrics", metavar="FILE", default=None,
+                         help="write aggregated counters as JSON to FILE")
+    command.add_argument("--coverage", action="store_true",
+                         help="collect FSM state/transition and operator "
+                              "activation coverage")
+
+
+@contextmanager
+def _tracing(trace_path: Optional[str]):
+    """Install a span recorder for the block; export Chrome JSON after.
+
+    The export runs in the ``finally`` so a failing run still leaves a
+    loadable trace (CI uploads these artifacts on failure).
+    """
+    if trace_path is None:
+        yield
+        return
+    from .obs import TraceRecorder, export_chrome_trace, install, uninstall
+
+    out = Path(trace_path)
+    events = out.with_suffix(".jsonl")
+    if events == out:
+        events = out.with_suffix(".events.jsonl")
+    recorder = TraceRecorder(events)
+    install(recorder)
+    try:
+        yield
+    finally:
+        uninstall()
+        recorder.close()
+        count = export_chrome_trace(events, out)
+        print(f"trace: {count} event(s) -> {out} "
+              f"(open at https://ui.perfetto.dev)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
                        const=".repro-cache", default=None,
                        help="artifact cache directory; skip unchanged "
                             "passing cases (default dir: .repro-cache)")
+    _add_obs_flags(suite)
+    suite.add_argument("--min-state-coverage", type=float, default=None,
+                       metavar="PCT",
+                       help="fail (exit 1) if aggregate FSM state coverage "
+                            "is below PCT percent; implies --coverage")
 
     table1 = sub.add_parser(
         "table1", help="print the Table I metrics for every benchmark")
@@ -86,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--workdir", default="repro_out",
                       help="artifact directory (default: repro_out)")
     flow.add_argument("--seed", type=int, default=0)
+    flow.add_argument("--backend",
+                      choices=("event", "oblivious", "compiled"),
+                      default="event",
+                      help="simulation kernel (default: event)")
+    _add_obs_flags(flow)
 
     translate = sub.add_parser(
         "translate", help="translate a datapath/fsm/rtg XML document")
@@ -123,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", action="append", metavar="FILE",
                       help="replay corpus reproducer(s) instead of "
                            "fuzzing; exit 1 while any still fails")
+    _add_obs_flags(fuzz)
 
     faults = sub.add_parser(
         "faults", help="fault-injection campaign: verify the "
@@ -158,7 +211,8 @@ def _load_xml(path: Path):
 
 def _cmd_suite(args) -> int:
     from .apps import CASE_BUILDERS, suite_case
-    from .core import TestSuite
+    from .core import ArtifactCache, TestSuite
+    from .obs import format_coverage, suite_metrics
 
     names = args.cases or list(CASE_BUILDERS)
     unknown = [name for name in names if name not in CASE_BUILDERS]
@@ -166,20 +220,43 @@ def _cmd_suite(args) -> int:
         print(f"error: unknown case(s) {unknown}; "
               f"known: {sorted(CASE_BUILDERS)}", file=sys.stderr)
         return 2
+    coverage = args.coverage or args.min_state_coverage is not None
     suite = TestSuite("cli")
     for name in names:
         suite.add(suite_case(name, **SUITE_SIZES.get(name, {})))
     try:
-        report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode,
-                           backend=args.backend, jobs=args.jobs,
-                           cache=args.cache)
+        cache = ArtifactCache(args.cache) if args.cache else None
+        with _tracing(args.trace):
+            report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode,
+                               backend=args.backend, jobs=args.jobs,
+                               cache=cache, coverage=coverage)
     except NotADirectoryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.summary())
     print()
     print(report.metrics_table())
-    return 0 if report.passed else 1
+    if coverage and report.coverage is not None:
+        print()
+        print(format_coverage(report.coverage))
+    if cache is not None:
+        print(cache.summary())
+    if args.metrics:
+        metrics = suite_metrics(report, cache=cache)
+        metrics.write(args.metrics)
+        print(f"metrics -> {args.metrics}")
+    if not report.passed:
+        return 1
+    if args.min_state_coverage is not None:
+        got = 100 * report.coverage.state_coverage
+        if got < args.min_state_coverage:
+            print(f"coverage gate FAILED: aggregate FSM state coverage "
+                  f"{got:.1f}% < required {args.min_state_coverage:.1f}%",
+                  file=sys.stderr)
+            return 1
+        print(f"coverage gate passed: {got:.1f}% >= "
+              f"{args.min_state_coverage:.1f}%")
+    return 0
 
 
 def _cmd_table1(args) -> int:
@@ -216,9 +293,21 @@ def _cmd_flow(args) -> int:
     inputs = case.inputs(args.seed) if case.inputs else None
     flow = standard_flow(case.func, case.arrays, dict(case.params),
                          workdir=args.workdir, inputs=inputs,
-                         n_partitions=case.n_partitions)
-    report = flow.run()
+                         n_partitions=case.n_partitions,
+                         backend=args.backend, coverage=args.coverage)
+    with _tracing(args.trace):
+        report = flow.run()
     print(report.summary())
+    if args.coverage and report.context.get("coverage") is not None:
+        from .obs import format_coverage
+
+        print()
+        print(format_coverage(report.context["coverage"]))
+    if args.metrics:
+        from .obs import flow_metrics
+
+        flow_metrics(report).write(args.metrics)
+        print(f"metrics -> {args.metrics}")
     print(f"\nartifacts in {args.workdir}/")
     return 0 if report.context.get("passed") else 1
 
@@ -262,11 +351,12 @@ def _cmd_fuzz(args) -> int:
                 status = 1
         return status
 
-    report = run_campaign(
-        args.iterations, seed=args.seed, jobs=args.jobs,
-        max_cycles=max_cycles, input_seed=args.input_seed,
-        time_budget=args.time_budget,
-    )
+    with _tracing(args.trace):
+        report = run_campaign(
+            args.iterations, seed=args.seed, jobs=args.jobs,
+            max_cycles=max_cycles, input_seed=args.input_seed,
+            time_budget=args.time_budget, coverage=args.coverage,
+        )
     for failure in report.failures:
         if failure.program is None:
             continue  # harness error: no program to reduce
@@ -285,6 +375,11 @@ def _cmd_fuzz(args) -> int:
                             detail=outcome.detail)
         report.written.append(str(save_entry(entry, args.corpus)))
     print(report.summary())
+    if args.metrics:
+        from .obs import campaign_metrics
+
+        campaign_metrics(report).write(args.metrics)
+        print(f"metrics -> {args.metrics}")
     return 0 if report.passed else 1
 
 

@@ -26,13 +26,14 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
+from ..obs.coverage import CoverageReport
 from .report import ConfigurationMetrics, DesignMetrics
 from .verification import MemoryCheck, VerificationResult
 
 __all__ = ["ArtifactCache"]
 
 #: bump when the cached payload layout or run semantics change
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 
 
 def _function_fingerprint(func) -> str:
@@ -60,10 +61,11 @@ class ArtifactCache:
 
     # -- keys -----------------------------------------------------------
     def key_for(self, case, *, seed: int, fsm_mode: str,
-                backend: str) -> str:
+                backend: str, coverage: bool = False) -> str:
         """SHA-256 over everything that determines the case outcome."""
         material = {
             "version": _CACHE_VERSION,
+            "coverage": bool(coverage),
             "name": case.name,
             "source": _function_fingerprint(case.func),
             "arrays": {
@@ -102,6 +104,7 @@ class ArtifactCache:
             return None
         self.hits += 1
         v = payload["verification"]
+        coverage = v.get("coverage")
         verification = VerificationResult(
             design=v["design"],
             checks=[MemoryCheck(c["memory"], c["role"], c["words"])
@@ -112,6 +115,8 @@ class ArtifactCache:
             simulation_seconds=v["simulation_seconds"],
             evaluations=v["evaluations"],
             backend=v["backend"],
+            coverage=(CoverageReport.from_dict(coverage)
+                      if coverage is not None else None),
         )
         m = payload["metrics"]
         metrics = DesignMetrics(
@@ -121,6 +126,8 @@ class ArtifactCache:
                             for c in m["configurations"]],
             simulation_seconds=m["simulation_seconds"],
             cycles=m["cycles"],
+            backend=m.get("backend"),
+            state_coverage=m.get("state_coverage"),
         )
         return CaseResult(
             case=payload["case"],
@@ -151,6 +158,8 @@ class ArtifactCache:
                 "simulation_seconds": v.simulation_seconds,
                 "evaluations": v.evaluations,
                 "backend": v.backend,
+                "coverage": (v.coverage.as_dict()
+                             if v.coverage is not None else None),
             },
             "metrics": {
                 "name": m.name,
@@ -158,6 +167,8 @@ class ArtifactCache:
                 "configurations": [vars(c) for c in m.configurations],
                 "simulation_seconds": m.simulation_seconds,
                 "cycles": m.cycles,
+                "backend": m.backend,
+                "state_coverage": m.state_coverage,
             },
         }
         path = self._path(key)
@@ -173,6 +184,14 @@ class ArtifactCache:
                 pass
             return False
         return True
+
+    def summary(self) -> str:
+        """One-line hit/miss account, printed when ``--cache`` is active."""
+        total = self.hits + self.misses
+        rate = f", {100 * self.hits / total:.0f}% hit rate" if total else ""
+        entries = sum(1 for _ in self.root.glob("*.json"))
+        return (f"cache: {self.hits} hit(s), {self.misses} miss(es)"
+                f"{rate}, {entries} entr(ies) in {self.root}")
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

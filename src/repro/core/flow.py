@@ -29,6 +29,8 @@ from ..compiler.pipeline import compile_function
 from ..compiler.spec import MemorySpec
 from ..golden.runner import run_golden
 from ..hdl.xmlio.rtg_xml import load_rtg_bundle
+from ..obs.coverage import CoverageCollector
+from ..obs.trace import span
 from ..rtg.context import ReconfigurationContext
 from ..rtg.executor import RtgExecutor
 from ..translate.engine import translate
@@ -91,7 +93,10 @@ class Flow:
         report = FlowReport(context=dict(context or {}))
         for stage in self.stages:
             started = time.perf_counter()
-            detail = stage.action(report.context)
+            with span(f"flow.{stage.name}", "flow") as timing:
+                detail = stage.action(report.context)
+                if detail is not None:
+                    timing.set("detail", str(detail))
             seconds = time.perf_counter() - started
             report.stages.append(StageResult(
                 stage.name, seconds,
@@ -110,11 +115,14 @@ def standard_flow(func: Callable,
                   word_width: int = 32,
                   fsm_mode: str = "generated",
                   backend: str = "event",
-                  max_cycles: int = 50_000_000) -> Flow:
+                  max_cycles: int = 50_000_000,
+                  coverage: bool = False) -> Flow:
     """The canonical end-to-end flow over one algorithm (see module doc).
 
     ``backend`` selects the simulation kernel used by the simulate stage
-    (see :data:`repro.sim.SIMULATOR_BACKENDS`).
+    (see :data:`repro.sim.SIMULATOR_BACKENDS`).  ``coverage=True`` makes
+    the simulate stage collect functional coverage into
+    ``ctx["coverage"]`` (a :class:`repro.obs.CoverageReport`).
     """
     workdir = Path(workdir)
 
@@ -183,12 +191,16 @@ def standard_flow(func: Callable,
         rtg = load_rtg_bundle(ctx["rtg_path"])
         context = ReconfigurationContext.from_rtg(
             rtg, initial=ctx["images"])
+        collector = CoverageCollector() if coverage else None
         executor = RtgExecutor(rtg, context, fsm_mode=fsm_mode,
                                backend=backend,
-                               max_cycles_per_configuration=max_cycles)
+                               max_cycles_per_configuration=max_cycles,
+                               coverage=collector)
         result = executor.run()
         ctx["rtg_run"] = result
         ctx["hw_images"] = context.memories
+        if collector is not None:
+            ctx["coverage"] = collector.report
         return (f"{result.total_cycles} cycles, "
                 f"{result.reconfigurations} reconfiguration(s)")
 

@@ -45,6 +45,10 @@ class DesignMetrics:
     configurations: List[ConfigurationMetrics] = field(default_factory=list)
     simulation_seconds: Optional[float] = None
     cycles: Optional[int] = None
+    #: which simulation kernel produced ``simulation_seconds``
+    backend: Optional[str] = None
+    #: aggregate FSM state coverage (0..1) when coverage was collected
+    state_coverage: Optional[float] = None
 
     def total_operators(self) -> int:
         return sum(c.operators for c in self.configurations)
@@ -52,13 +56,17 @@ class DesignMetrics:
 
 def collect_metrics(design: Design,
                     simulation_seconds: Optional[float] = None,
-                    cycles: Optional[int] = None) -> DesignMetrics:
+                    cycles: Optional[int] = None,
+                    backend: Optional[str] = None,
+                    state_coverage: Optional[float] = None) -> DesignMetrics:
     """Compute the Table I quantities for *design*."""
     metrics = DesignMetrics(
         name=design.name,
         lo_source=count_lines(design.source),
         simulation_seconds=simulation_seconds,
         cycles=cycles,
+        backend=backend,
+        state_coverage=state_coverage,
     )
     for config in design.configurations:
         metrics.configurations.append(ConfigurationMetrics(
@@ -74,6 +82,7 @@ def collect_metrics(design: Design,
 
 _HEADER = ("Example", "loSource", "loXML FSM", "loXML datapath",
            "loGen FSM", "Operators", "States", "Sim time (s)")
+_OPTIONAL_COLUMNS = ("Backend", "FSM cov (%)")
 
 
 def format_table(rows: Sequence[DesignMetrics]) -> str:
@@ -81,9 +90,18 @@ def format_table(rows: Sequence[DesignMetrics]) -> str:
 
     Multi-configuration designs occupy one line per configuration, with
     the design-level columns only on the first line — exactly how the
-    paper prints FDCT2.
+    paper prints FDCT2.  The measured columns the paper reports but we
+    previously dropped — which kernel produced the simulation time, and
+    FSM state coverage — appear when any row carries them.
     """
-    table: List[List[str]] = [list(_HEADER)]
+    with_backend = any(m.backend is not None for m in rows)
+    with_coverage = any(m.state_coverage is not None for m in rows)
+    header = list(_HEADER)
+    if with_backend:
+        header.append(_OPTIONAL_COLUMNS[0])
+    if with_coverage:
+        header.append(_OPTIONAL_COLUMNS[1])
+    table: List[List[str]] = [header]
     for metrics in rows:
         for index, config in enumerate(metrics.configurations):
             first = index == 0
@@ -92,7 +110,7 @@ def format_table(rows: Sequence[DesignMetrics]) -> str:
                 seconds = metrics.simulation_seconds
                 sim_time = f"{seconds:.3f}" if seconds < 10 else \
                     f"{seconds:.1f}"
-            table.append([
+            row = [
                 metrics.name if first else "",
                 str(metrics.lo_source) if first else "",
                 str(config.lo_xml_fsm),
@@ -101,9 +119,17 @@ def format_table(rows: Sequence[DesignMetrics]) -> str:
                 str(config.operators),
                 str(config.states),
                 sim_time,
-            ])
+            ]
+            if with_backend:
+                row.append(metrics.backend
+                           if first and metrics.backend is not None else "")
+            if with_coverage:
+                row.append(f"{100 * metrics.state_coverage:.1f}"
+                           if first and metrics.state_coverage is not None
+                           else "")
+            table.append(row)
     widths = [max(len(row[col]) for row in table)
-              for col in range(len(_HEADER))]
+              for col in range(len(header))]
     lines = []
     for index, row in enumerate(table):
         lines.append("  ".join(cell.ljust(width)

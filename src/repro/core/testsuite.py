@@ -21,6 +21,8 @@ from typing import Callable, List, Mapping, Optional, Union
 
 from ..compiler.pipeline import Design, compile_function
 from ..compiler.spec import MemorySpec
+from ..obs.coverage import CoverageReport
+from ..obs.trace import span
 from ..util.files import MemoryImage
 from .cache import ArtifactCache
 from .report import DesignMetrics, collect_metrics, format_table
@@ -80,6 +82,9 @@ class SuiteReport:
     backend: str = "event"
     jobs: int = 1
     cache_hits: int = 0
+    cache_misses: int = 0
+    #: merged functional coverage across all cases (``coverage=True``)
+    coverage: Optional[CoverageReport] = None
 
     @property
     def passed(self) -> bool:
@@ -117,31 +122,43 @@ class SuiteReport:
                 if result.cached:
                     line += " (cached)"
                 lines.append(line)
+        if self.coverage is not None:
+            lines.append("  " + self.coverage.summary())
         return "\n".join(lines)
 
 
 def _run_case(case: SuiteCase, *, seed: int, fsm_mode: str,
-              backend: str) -> CaseResult:
+              backend: str, coverage: bool = False) -> CaseResult:
     """Compile + verify one case; never raises (errors become results)."""
     started = time.perf_counter()
-    try:
-        design = case.compile()
-        compile_seconds = time.perf_counter() - started
-        inputs = case.inputs(seed) if case.inputs else None
-        verification = verify_design(
-            design, case.func, inputs, fsm_mode=fsm_mode, backend=backend,
-            max_cycles=case.max_cycles,
-        )
-        metrics = collect_metrics(
-            design,
-            simulation_seconds=verification.simulation_seconds,
-            cycles=verification.cycles,
-        )
-        return CaseResult(case.name, verification, metrics, compile_seconds)
-    except Exception as exc:  # noqa: BLE001 - suite must report
-        return CaseResult(case.name, None, None,
-                          time.perf_counter() - started, error=str(exc),
-                          traceback=traceback.format_exc())
+    case_span = span("suite.case", "suite", case=case.name, backend=backend)
+    with case_span:
+        try:
+            design = case.compile()
+            compile_seconds = time.perf_counter() - started
+            inputs = case.inputs(seed) if case.inputs else None
+            verification = verify_design(
+                design, case.func, inputs, fsm_mode=fsm_mode,
+                backend=backend, max_cycles=case.max_cycles,
+                coverage=coverage,
+            )
+            metrics = collect_metrics(
+                design,
+                simulation_seconds=verification.simulation_seconds,
+                cycles=verification.cycles,
+                backend=backend,
+                state_coverage=(verification.coverage.state_coverage
+                                if verification.coverage is not None
+                                else None),
+            )
+            case_span.set("passed", verification.passed)
+            return CaseResult(case.name, verification, metrics,
+                              compile_seconds)
+        except Exception as exc:  # noqa: BLE001 - suite must report
+            case_span.set("error", str(exc))
+            return CaseResult(case.name, None, None,
+                              time.perf_counter() - started, error=str(exc),
+                              traceback=traceback.format_exc())
 
 
 # Worker-side handle for the parallel runner.  SuiteCase carries a
@@ -160,10 +177,11 @@ def _pool_run(args) -> CaseResult:
     missing ``_ACTIVE_SUITE`` — is folded into an error
     :class:`CaseResult` carrying the original traceback text.
     """
-    index, seed, fsm_mode, backend = args
+    index, seed, fsm_mode, backend, coverage = args
     try:
         return _run_case(_ACTIVE_SUITE.cases[index], seed=seed,
-                         fsm_mode=fsm_mode, backend=backend)
+                         fsm_mode=fsm_mode, backend=backend,
+                         coverage=coverage)
     except BaseException as exc:  # noqa: BLE001 - worker boundary
         name = f"case[{index}]"
         try:
@@ -193,7 +211,8 @@ class TestSuite:
     def run(self, *, seed: int = 0, fsm_mode: str = "generated",
             backend: str = "event", jobs: int = 1,
             cache: Optional[Union[ArtifactCache, str, Path]] = None,
-            stop_on_failure: bool = False) -> SuiteReport:
+            stop_on_failure: bool = False,
+            coverage: bool = False) -> SuiteReport:
         """Verify every case; one report.
 
         ``backend`` selects the simulation kernel for all cases.
@@ -202,7 +221,12 @@ class TestSuite:
         elsewhere, and ``stop_on_failure`` always runs serially so the
         early-exit semantics hold).  ``cache`` (an
         :class:`~repro.core.cache.ArtifactCache` or a directory path)
-        answers unchanged passing cases from disk.
+        answers unchanged passing cases from disk.  ``coverage=True``
+        collects functional coverage per case and merges it into
+        ``report.coverage``; when a trace recorder is installed
+        (:func:`repro.obs.install`) every case — including pool
+        workers, which inherit the recorder over ``fork`` — lands in
+        one timeline.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -217,7 +241,7 @@ class TestSuite:
         for index, case in enumerate(self.cases):
             if cache is not None:
                 key = cache.key_for(case, seed=seed, fsm_mode=fsm_mode,
-                                    backend=backend)
+                                    backend=backend, coverage=coverage)
                 keys[index] = key
                 hit = cache.load(key)
                 if hit is not None:
@@ -230,45 +254,53 @@ class TestSuite:
             jobs > 1 and len(pending) > 1 and not stop_on_failure
             and "fork" in multiprocessing.get_all_start_methods()
         )
-        if parallel:
-            global _ACTIVE_SUITE
-            _ACTIVE_SUITE = self
-            try:
-                context = multiprocessing.get_context("fork")
-                workers = min(jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=context) as pool:
-                    tasks = [(index, seed, fsm_mode, backend)
-                             for index in pending]
-                    try:
-                        for index, result in zip(pending,
-                                                 pool.map(_pool_run, tasks)):
-                            slots[index] = result
-                    except BrokenProcessPool as exc:
-                        # a worker died without returning (hard crash,
-                        # os._exit, OOM kill); name the cases still in
-                        # flight instead of surfacing the bare pool error
-                        unfinished = [self.cases[index].name
-                                      for index in pending
-                                      if slots[index] is None]
-                        raise RuntimeError(
-                            f"suite worker process died while running "
-                            f"case(s) {unfinished}; rerun with jobs=1 to "
-                            f"reproduce in-process"
-                        ) from exc
-            finally:
-                _ACTIVE_SUITE = None
-        else:
-            for index in pending:
-                slots[index] = _run_case(self.cases[index], seed=seed,
-                                         fsm_mode=fsm_mode, backend=backend)
-                if stop_on_failure and not slots[index].passed:
-                    break
+        run_span = span("suite.run", "suite", suite=self.name,
+                        backend=backend, jobs=jobs, cases=len(self.cases),
+                        cached=report.cache_hits)
+        with run_span:
+            if parallel:
+                global _ACTIVE_SUITE
+                _ACTIVE_SUITE = self
+                try:
+                    context = multiprocessing.get_context("fork")
+                    workers = min(jobs, len(pending))
+                    with ProcessPoolExecutor(max_workers=workers,
+                                             mp_context=context) as pool:
+                        tasks = [(index, seed, fsm_mode, backend, coverage)
+                                 for index in pending]
+                        try:
+                            for index, result in zip(
+                                    pending, pool.map(_pool_run, tasks)):
+                                slots[index] = result
+                        except BrokenProcessPool as exc:
+                            # a worker died without returning (hard crash,
+                            # os._exit, OOM kill); name the cases still in
+                            # flight instead of surfacing the bare pool
+                            # error
+                            unfinished = [self.cases[index].name
+                                          for index in pending
+                                          if slots[index] is None]
+                            raise RuntimeError(
+                                f"suite worker process died while running "
+                                f"case(s) {unfinished}; rerun with jobs=1 "
+                                f"to reproduce in-process"
+                            ) from exc
+                finally:
+                    _ACTIVE_SUITE = None
+            else:
+                for index in pending:
+                    slots[index] = _run_case(self.cases[index], seed=seed,
+                                             fsm_mode=fsm_mode,
+                                             backend=backend,
+                                             coverage=coverage)
+                    if stop_on_failure and not slots[index].passed:
+                        break
 
         if cache is not None:
             for index in pending:
                 if slots[index] is not None:
                     cache.store(keys[index], slots[index])
+            report.cache_misses = cache.misses
 
         # preserve case order; under stop_on_failure, truncate at the
         # first case that never ran (matching the historical serial
@@ -277,5 +309,12 @@ class TestSuite:
             if result is None:
                 break
             report.results.append(result)
+        if coverage:
+            merged = CoverageReport()
+            for result in report.results:
+                if result.verification is not None \
+                        and result.verification.coverage is not None:
+                    merged.merge(result.verification.coverage)
+            report.coverage = merged
         report.wall_seconds = time.perf_counter() - suite_started
         return report

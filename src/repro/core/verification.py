@@ -10,14 +10,19 @@ up as a concrete address/expected/actual triple.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from ..compiler.partitioning import SPILL_MEMORY
 from ..compiler.pipeline import Design
 from ..golden.runner import run_golden
+from ..obs.coverage import CoverageCollector, CoverageReport
+from ..obs.trace import span
 from ..rtg.context import ReconfigurationContext
 from ..rtg.executor import RtgExecutor, RtgRunResult
+from ..sim.probe import Probe
 from ..util.files import MemoryImage, MemoryMismatch, compare_images
 
 __all__ = ["MemoryCheck", "VerificationResult", "verify_design",
@@ -51,6 +56,12 @@ class VerificationResult:
     rtg_result: Optional[RtgRunResult] = None
     evaluations: int = 0
     backend: str = "event"
+    #: functional coverage, populated when ``verify_design(coverage=True)``
+    coverage: Optional[CoverageReport] = None
+    #: per-signal ``(time, value)`` samples for ``probe_signals`` (the
+    #: paper's "access to values on certain connections")
+    probe_samples: Dict[str, List[Tuple[int, int]]] = \
+        field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -126,7 +137,9 @@ def verify_design(design: Design, func: Callable,
                   backend: str = "event",
                   max_cycles: int = 50_000_000,
                   mismatch_limit: int = 32,
-                  trace_dir=None) -> VerificationResult:
+                  trace_dir=None,
+                  coverage: bool = False,
+                  probe_signals: Sequence[str] = ()) -> VerificationResult:
     """Run golden + simulation over identical inputs and compare memories.
 
     ``compare`` selects which memories are checked: ``"all"`` (every
@@ -134,7 +147,16 @@ def verify_design(design: Design, func: Callable,
     ``role="output"`` arrays).  ``trace_dir`` dumps one VCD waveform
     per executed configuration.  ``backend`` picks the simulation kernel
     (see :data:`repro.sim.SIMULATOR_BACKENDS`); every backend produces
-    identical verdicts, they differ only in speed.
+    identical verdicts, they differ only in speed.  ``coverage=True``
+    collects FSM state/transition and operator-activation coverage into
+    ``result.coverage`` (see :mod:`repro.obs.coverage`).
+    ``probe_signals`` names signals to record: every configuration that
+    has a signal of that name gets a :class:`~repro.sim.Probe` attached
+    for its run (scoped as a context manager, so no watcher survives
+    the run) and the ``(time, value)`` samples land in
+    ``result.probe_samples``.  Note a probe is a foreign watcher to the
+    compiled kernel, which then conservatively falls back to the event
+    kernel — observation costs speed, never correctness.
     """
     if compare not in ("all", "outputs"):
         raise ValueError(f"compare must be 'all' or 'outputs', got {compare!r}")
@@ -147,28 +169,49 @@ def verify_design(design: Design, func: Callable,
                      for name, image in base_images.items()
                      if name != SPILL_MEMORY}
     started = time.perf_counter()
-    run_golden(func, array_specs, golden_images, design.params)
+    with span("verify.golden", "verify", design=design.name):
+        run_golden(func, array_specs, golden_images, design.params)
     golden_seconds = time.perf_counter() - started
 
+    collector = CoverageCollector() if coverage else None
     context = ReconfigurationContext.from_rtg(design.rtg,
                                               initial=base_images)
     executor = RtgExecutor(design.rtg, context, fsm_mode=fsm_mode,
                            control_mode=control_mode, backend=backend,
                            max_cycles_per_configuration=max_cycles,
-                           trace_dir=trace_dir)
+                           trace_dir=trace_dir, coverage=collector)
+    probe_samples: Dict[str, List[Tuple[int, int]]] = {}
     started = time.perf_counter()
-    rtg_result = executor.run()
+    with span("verify.simulate", "verify", design=design.name,
+              backend=backend), ExitStack() as probes:
+        if probe_signals:
+            attached: List[Tuple[str, Probe]] = []
+
+            def attach_probes(sim_design) -> None:
+                for name in probe_signals:
+                    signal = sim_design.sim.signals.get(name)
+                    if signal is not None:
+                        probe = probes.enter_context(
+                            Probe(sim_design.sim, signal))
+                        attached.append((name, probe))
+
+            executor.on_configure = attach_probes
+        rtg_result = executor.run()
+        if probe_signals:
+            for name, probe in attached:
+                probe_samples.setdefault(name, []).extend(probe.samples)
     simulation_seconds = time.perf_counter() - started
 
     checks: List[MemoryCheck] = []
-    for name, spec in array_specs.items():
-        if compare == "outputs" and spec.role != "output":
-            continue
-        mismatches = compare_images(golden_images[name],
-                                    context.memory(name),
-                                    limit=mismatch_limit)
-        checks.append(MemoryCheck(name, spec.role,
-                                  words=spec.depth, mismatches=mismatches))
+    with span("verify.compare", "verify", design=design.name):
+        for name, spec in array_specs.items():
+            if compare == "outputs" and spec.role != "output":
+                continue
+            mismatches = compare_images(golden_images[name],
+                                        context.memory(name),
+                                        limit=mismatch_limit)
+            checks.append(MemoryCheck(name, spec.role, words=spec.depth,
+                                      mismatches=mismatches))
 
     return VerificationResult(
         design=design.name,
@@ -180,4 +223,6 @@ def verify_design(design: Design, func: Callable,
         rtg_result=rtg_result,
         evaluations=rtg_result.total_evaluations,
         backend=backend,
+        coverage=collector.report if collector is not None else None,
+        probe_samples=probe_samples,
     )

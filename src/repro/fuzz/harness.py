@@ -40,6 +40,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..compiler.partitioning import SPILL_MEMORY
 from ..compiler.pipeline import compile_function
 from ..golden.runner import run_golden
+from ..obs.coverage import CoverageCollector
+from ..obs.trace import span
 from ..rtg.context import ReconfigurationContext
 from ..rtg.executor import RtgExecutor
 from ..sim import SIMULATOR_BACKENDS
@@ -101,6 +103,11 @@ class FuzzCaseResult:
     seconds: float
     #: the offending program; shipped back to the parent only on failure
     program: Optional[FuzzProgram] = None
+    #: coverage signature of this program's first-backend run — state and
+    #: transition labels *without* the design name, so signatures overlap
+    #: across generated programs (the FSM naming scheme ``S_{block}_{step}``
+    #: is shared) and "new coverage" is meaningful campaign-wide
+    coverage_items: Optional[Tuple[str, ...]] = None
 
 
 @dataclass
@@ -113,6 +120,11 @@ class CampaignReport:
     failures: List[FuzzCaseResult] = field(default_factory=list)
     #: corpus files written for minimized reproducers
     written: List[str] = field(default_factory=list)
+    #: union of coverage signatures over the whole campaign
+    coverage_items: set = field(default_factory=set)
+    #: seeds whose program exercised at least one item no earlier seed
+    #: had — the first step toward coverage-guided generation
+    new_coverage_seeds: List[int] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -127,6 +139,10 @@ class CampaignReport:
             f"wall {self.wall_seconds:.2f}s "
             f"(seed={self.seed}, jobs={self.jobs}) [{per_kind}]"
         ]
+        if self.coverage_items:
+            lines.append(
+                f"  coverage: {len(self.coverage_items)} item(s), "
+                f"{len(self.new_coverage_seeds)} new-coverage seed(s)")
         for failure in self.failures:
             lines.append(f"  [FAIL] seed {failure.seed}: "
                          f"{failure.outcome.describe()}")
@@ -141,8 +157,14 @@ class CampaignReport:
 def run_program(program: FuzzProgram, *,
                 backends: Sequence[str] = DEFAULT_BACKENDS,
                 max_cycles: int = DEFAULT_MAX_CYCLES,
-                input_seed: int = 0) -> Outcome:
-    """Compile, golden-run and simulate *program*; classify the outcome."""
+                input_seed: int = 0,
+                coverage: Optional[CoverageCollector] = None) -> Outcome:
+    """Compile, golden-run and simulate *program*; classify the outcome.
+
+    When a *coverage* collector is supplied it is attached to the first
+    backend's execution (one backend suffices — all backends run the
+    same control path, and the collector would otherwise triple-count).
+    """
     try:
         design = compile_function(
             program.source, program.arrays, dict(program.params),
@@ -163,11 +185,12 @@ def run_program(program: FuzzProgram, *,
                        exc_type=type(exc).__name__)
 
     cycles: Dict[str, int] = {}
-    for backend in backends:
+    for position, backend in enumerate(backends):
         images = {name: image.copy() for name, image in inputs.items()}
         context = ReconfigurationContext.from_rtg(design.rtg, initial=images)
         executor = RtgExecutor(design.rtg, context, backend=backend,
-                               max_cycles_per_configuration=max_cycles)
+                               max_cycles_per_configuration=max_cycles,
+                               coverage=coverage if position == 0 else None)
         try:
             result = executor.run()
         except SimulationTimeout as exc:
@@ -209,24 +232,34 @@ def _crash_detail(exc: Exception) -> str:
 # Worker-side state for the fork-based pool: GeneratorConfig carries no
 # closures, but shipping it once via a module global keeps the per-task
 # payload to a single integer seed (same pattern as core.testsuite).
-_WORKER_STATE: Optional[Tuple[GeneratorConfig, Tuple[str, ...], int, int]] \
-    = None
+_WORKER_STATE: Optional[
+    Tuple[GeneratorConfig, Tuple[str, ...], int, int, bool]] = None
 
 
 def _run_one_seed(case_seed: int) -> FuzzCaseResult:
-    config, backends, max_cycles, input_seed = _WORKER_STATE
+    config, backends, max_cycles, input_seed, collect = _WORKER_STATE
     started = time.perf_counter()
-    try:
-        program = generate(case_seed, config)
-        outcome = run_program(program, backends=backends,
-                              max_cycles=max_cycles, input_seed=input_seed)
-    except Exception as exc:  # noqa: BLE001 - harness bug, not a finding
-        outcome = Outcome("harness-error", detail=traceback.format_exc(),
-                          exc_type=type(exc).__name__)
-        program = None
+    collector = CoverageCollector() if collect else None
+    seed_span = span("fuzz.seed", "fuzz", seed=case_seed)
+    with seed_span:
+        try:
+            program = generate(case_seed, config)
+            outcome = run_program(program, backends=backends,
+                                  max_cycles=max_cycles,
+                                  input_seed=input_seed,
+                                  coverage=collector)
+        except Exception as exc:  # noqa: BLE001 - harness bug, not a finding
+            outcome = Outcome("harness-error",
+                              detail=traceback.format_exc(),
+                              exc_type=type(exc).__name__)
+            program = None
+        seed_span.set("outcome", outcome.kind)
     seconds = time.perf_counter() - started
+    items = (tuple(collector.report.items())
+             if collector is not None else None)
     return FuzzCaseResult(case_seed, outcome, seconds,
-                          program=program if outcome.failed else None)
+                          program=program if outcome.failed else None,
+                          coverage_items=items)
 
 
 def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
@@ -235,6 +268,7 @@ def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
                  input_seed: int = 0,
                  time_budget: Optional[float] = None,
+                 coverage: bool = False,
                  on_progress=None) -> CampaignReport:
     """Run *iterations* differential tests; deterministic per *seed*.
 
@@ -243,6 +277,9 @@ def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
     (seconds) stops the campaign early once exceeded — used by the
     nightly CI job.  Failures are returned unminimized; the caller
     decides whether to reduce (see :func:`repro.fuzz.reduce_failure`).
+    ``coverage=True`` records each program's coverage signature and
+    reports the seeds that reached items no earlier seed did
+    (``report.new_coverage_seeds``).
     """
     if iterations < 0:
         raise ValueError(f"iterations must be >= 0, got {iterations}")
@@ -253,7 +290,8 @@ def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
     started = time.perf_counter()
 
     global _WORKER_STATE
-    _WORKER_STATE = (config, tuple(backends), max_cycles, input_seed)
+    _WORKER_STATE = (config, tuple(backends), max_cycles, input_seed,
+                     coverage)
     parallel = (jobs > 1 and iterations > 1
                 and "fork" in multiprocessing.get_all_start_methods())
     try:
@@ -291,5 +329,11 @@ def _absorb(report: CampaignReport, result: FuzzCaseResult,
     report.counts[kind] = report.counts.get(kind, 0) + 1
     if result.outcome.failed:
         report.failures.append(result)
+    if result.coverage_items:
+        fresh = [item for item in result.coverage_items
+                 if item not in report.coverage_items]
+        if fresh:
+            report.coverage_items.update(fresh)
+            report.new_coverage_seeds.append(result.seed)
     if on_progress is not None:
         on_progress(result)

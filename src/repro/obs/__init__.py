@@ -1,0 +1,39 @@
+"""Observability: tracing, metrics and functional coverage.
+
+The paper's premise is that language-level simulation gives visibility a
+raw FPGA cannot — probes, assertions, stop mechanisms.  This package
+applies the same idea to the test infrastructure *itself*:
+
+* :mod:`repro.obs.trace` — hierarchical timing spans recorded to an
+  append-only JSONL file (safe across the fork-based worker pools) and
+  exported as Chrome/Perfetto ``trace_event`` JSON, so one
+  ``TestSuite.run(jobs=N)`` or fuzz campaign renders as a single
+  timeline including every worker process;
+* :mod:`repro.obs.metrics` — counters (events processed, cycles, FSM
+  transitions, cache hits/misses, fuzz outcome tallies) aggregated into
+  a machine-readable ``metrics.json``;
+* :mod:`repro.obs.coverage` — functional coverage: FSM state and
+  transition coverage plus datapath operator-activation coverage,
+  collected from all three simulation backends.
+
+Everything is pay-for-what-you-use: with no recorder installed,
+:func:`repro.obs.trace.span` returns a shared no-op object, and no
+coverage hooks or watchers exist unless a collector is attached.
+"""
+
+from .coverage import (ConfigurationCoverage, CoverageCollector,
+                       CoverageReport, FsmCoverage, OperatorCoverage,
+                       format_coverage)
+from .metrics import (Metrics, campaign_metrics, flow_metrics, suite_metrics,
+                      verification_metrics)
+from .trace import (Span, TraceRecorder, active_recorder, event,
+                    export_chrome_trace, install, recording, span, uninstall)
+
+__all__ = [
+    "Span", "TraceRecorder", "recording", "span", "event",
+    "active_recorder", "install", "uninstall", "export_chrome_trace",
+    "Metrics", "verification_metrics", "suite_metrics", "flow_metrics",
+    "campaign_metrics",
+    "CoverageCollector", "CoverageReport", "ConfigurationCoverage",
+    "FsmCoverage", "OperatorCoverage", "format_coverage",
+]

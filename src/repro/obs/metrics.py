@@ -1,0 +1,190 @@
+"""Counters and run metrics, emitted as machine-readable ``metrics.json``.
+
+A :class:`Metrics` object is a named bag of integer counters plus
+free-form info fields.  The pipeline's hot paths already maintain their
+own counters (:class:`repro.sim.SimulationStats`, cache hit/miss tallies,
+fuzz outcome counts); this module *harvests* them after the fact rather
+than instrumenting the inner loops, so metrics collection costs nothing
+while a simulation runs.
+
+The ``as_dict`` layout is stable::
+
+    {
+      "schema": 1,
+      "kind": "suite" | "flow" | "verification" | "fuzz",
+      "counters": {"cycles": ..., "evaluations": ..., ...},
+      "info": {...},
+      "coverage": {...}          # present when coverage was collected
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+__all__ = ["Metrics", "verification_metrics", "suite_metrics",
+           "flow_metrics", "campaign_metrics"]
+
+_SCHEMA = 1
+
+#: per-run kernel stats keys already counted at the result level;
+#: merging them again would double-count
+_AGGREGATED_KEYS = ("cycles", "evaluations")
+
+
+class Metrics:
+    """A named collection of integer counters and info values."""
+
+    def __init__(self, kind: str = "run") -> None:
+        self.kind = kind
+        self.counters: Dict[str, int] = {}
+        self.info: Dict[str, Any] = {}
+        self.coverage: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def set_info(self, name: str, value: Any) -> None:
+        self.info[name] = value
+
+    def merge_counts(self, counts: Mapping[str, int],
+                     prefix: str = "") -> None:
+        for name, value in counts.items():
+            self.inc(f"{prefix}{name}", value)
+
+    def merge(self, other: "Metrics") -> None:
+        self.merge_counts(other.counters)
+        for name, value in other.info.items():
+            self.info.setdefault(name, value)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "schema": _SCHEMA,
+            "kind": self.kind,
+            "counters": dict(sorted(self.counters.items())),
+            "info": self.info,
+        }
+        if self.coverage is not None:
+            payload["coverage"] = self.coverage
+        return payload
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2,
+                                   default=str) + "\n")
+        return path
+
+    def summary(self) -> str:
+        shown = ", ".join(f"{name}={value}" for name, value
+                          in sorted(self.counters.items()))
+        return f"metrics[{self.kind}]: {shown}"
+
+    def __repr__(self) -> str:
+        return f"Metrics({self.kind!r}, {len(self.counters)} counter(s))"
+
+
+# ----------------------------------------------------------------------
+# Harvesters — one per pipeline artifact (duck-typed: no core imports,
+# repro.core itself imports this package)
+# ----------------------------------------------------------------------
+def verification_metrics(result) -> Metrics:
+    """Counters for one :class:`repro.core.VerificationResult`."""
+    metrics = Metrics("verification")
+    metrics.set_info("design", result.design)
+    metrics.set_info("backend", result.backend)
+    metrics.set_info("passed", result.passed)
+    metrics.set_info("golden_seconds", round(result.golden_seconds, 6))
+    metrics.set_info("simulation_seconds",
+                     round(result.simulation_seconds, 6))
+    metrics.inc("cycles", result.cycles)
+    metrics.inc("reconfigurations", result.reconfigurations)
+    metrics.inc("evaluations", result.evaluations)
+    metrics.inc("memories_checked", len(result.checks))
+    metrics.inc("mismatches",
+                sum(len(check.mismatches) for check in result.checks))
+    rtg = result.rtg_result
+    if rtg is not None:
+        for run in rtg.runs:
+            metrics.merge_counts({name: value
+                                  for name, value in run.stats.items()
+                                  if name not in _AGGREGATED_KEYS})
+    coverage = getattr(result, "coverage", None)
+    if coverage is not None:
+        metrics.coverage = coverage.as_dict()
+    return metrics
+
+
+def suite_metrics(report, cache=None) -> Metrics:
+    """Aggregate counters for one :class:`repro.core.SuiteReport`."""
+    metrics = Metrics("suite")
+    metrics.set_info("backend", report.backend)
+    metrics.set_info("jobs", report.jobs)
+    metrics.set_info("wall_seconds", round(report.wall_seconds, 3))
+    metrics.set_info("passed", report.passed)
+    metrics.inc("cases", len(report.results))
+    metrics.inc("failures", len(report.failures))
+    metrics.inc("cache_hits", report.cache_hits)
+    for result in report.results:
+        if result.cached:
+            metrics.inc("cached_results")
+        if result.verification is not None:
+            sub = verification_metrics(result.verification)
+            metrics.merge_counts(sub.counters)
+    if cache is not None:
+        metrics.set_info("cache_dir", str(cache.root))
+        metrics.counters["cache_hits"] = cache.hits
+        metrics.inc("cache_misses", cache.misses)
+    coverage = getattr(report, "coverage", None)
+    if coverage is not None:
+        metrics.coverage = coverage.as_dict()
+    return metrics
+
+
+def flow_metrics(report) -> Metrics:
+    """Counters for one :class:`repro.core.FlowReport`."""
+    metrics = Metrics("flow")
+    metrics.set_info("total_seconds", round(report.total_seconds, 6))
+    metrics.set_info("stage_seconds", {
+        stage.name: round(stage.seconds, 6) for stage in report.stages
+    })
+    metrics.inc("stages", len(report.stages))
+    context = report.context
+    if "passed" in context:
+        metrics.set_info("passed", bool(context["passed"]))
+    rtg = context.get("rtg_run")
+    if rtg is not None:
+        metrics.inc("cycles", rtg.total_cycles)
+        metrics.inc("evaluations", rtg.total_evaluations)
+        metrics.inc("reconfigurations", rtg.reconfigurations)
+        for run in rtg.runs:
+            metrics.merge_counts({name: value
+                                  for name, value in run.stats.items()
+                                  if name not in _AGGREGATED_KEYS})
+    coverage = context.get("coverage")
+    if coverage is not None:
+        metrics.coverage = coverage.as_dict()
+    return metrics
+
+
+def campaign_metrics(report) -> Metrics:
+    """Counters for one :class:`repro.fuzz.CampaignReport`."""
+    metrics = Metrics("fuzz")
+    metrics.set_info("seed", report.seed)
+    metrics.set_info("jobs", report.jobs)
+    metrics.set_info("wall_seconds", round(report.wall_seconds, 3))
+    metrics.inc("iterations", report.iterations)
+    metrics.inc("failures", len(report.failures))
+    metrics.merge_counts(report.counts, prefix="outcome_")
+    new_seeds = getattr(report, "new_coverage_seeds", None)
+    if new_seeds is not None:
+        metrics.inc("new_coverage_seeds", len(new_seeds))
+        coverage_items = getattr(report, "coverage_items", None)
+        if coverage_items is not None:
+            metrics.inc("coverage_items", len(coverage_items))
+    return metrics

@@ -1,0 +1,253 @@
+"""Hierarchical timing spans with a multi-process JSONL recorder.
+
+A :class:`Span` measures one phase of the pipeline (a compile, a
+configuration simulation, a fuzz iteration) with monotonic timing and
+arbitrary key/value attributes.  Completed spans are appended to a JSONL
+*events file*, one JSON object per line, by whichever process finished
+them:
+
+* the events file is opened ``O_APPEND``, and each span is written with
+  a single ``write`` call, so the fork-based worker pools
+  (:meth:`repro.core.TestSuite.run`, fuzz campaigns) can share the
+  recorder they inherited from the parent — every worker's spans land in
+  the same file tagged with the worker's pid;
+* timestamps come from ``time.monotonic_ns()``, which on Linux is a
+  system-wide clock, so parent and worker spans share one timeline.
+
+:meth:`TraceRecorder.export_chrome` (or the module-level
+:func:`export_chrome_trace`) converts the events file into Chrome
+``trace_event`` JSON that chrome://tracing and https://ui.perfetto.dev
+open directly: one track per process/thread, spans nested by time.
+
+The module keeps one globally installed recorder.  When none is
+installed, :func:`span` returns a shared no-op object, so instrumented
+code pays one ``None`` check per span — nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["Span", "TraceRecorder", "recording", "span", "event",
+           "active_recorder", "install", "uninstall", "export_chrome_trace"]
+
+
+class _NullSpan:
+    """Shared do-nothing span used when no recorder is installed."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed phase: context manager around a block of work."""
+
+    __slots__ = ("name", "category", "attrs", "_recorder", "_start_ns")
+
+    def __init__(self, recorder: "TraceRecorder", name: str,
+                 category: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self._recorder = recorder
+        self._start_ns: Optional[int] = None
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach an attribute (shows up under ``args`` in the viewer)."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        self._start_ns = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.monotonic_ns()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._recorder.record(self, end_ns)
+        return False
+
+
+class TraceRecorder:
+    """Appends completed spans to a JSONL events file.
+
+    The recorder owns the file: constructing one truncates *path*.
+    Forked children inherit the open descriptor and append alongside
+    the parent.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._t0_ns = time.monotonic_ns()
+        self._fd: Optional[int] = os.open(
+            str(self.path),
+            os.O_WRONLY | os.O_CREAT | os.O_TRUNC | os.O_APPEND,
+            0o644,
+        )
+
+    # ------------------------------------------------------------------
+    def record(self, span: Span, end_ns: int) -> None:
+        """Write one completed span (called from Span.__exit__)."""
+        start_ns = span._start_ns if span._start_ns is not None else end_ns
+        self._write({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": (start_ns - self._t0_ns) / 1000.0,
+            "dur": max(end_ns - start_ns, 0) / 1000.0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0x7FFFFFFF,
+            "args": span.attrs,
+        })
+
+    def instant(self, name: str, category: str = "repro",
+                **attrs: Any) -> None:
+        """Record a zero-duration marker event."""
+        self._write({
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "p",
+            "ts": (time.monotonic_ns() - self._t0_ns) / 1000.0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0x7FFFFFFF,
+            "args": attrs,
+        })
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        if self._fd is None:
+            return
+        line = json.dumps(payload, default=str) + "\n"
+        data = line.encode("utf-8")
+        # one write() per line + O_APPEND keeps concurrent writers from
+        # interleaving partial lines (the exporter skips any stragglers)
+        with self._lock:
+            if self._fd is not None:
+                os.write(self._fd, data)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def export_chrome(self, out_path: Union[str, Path]) -> int:
+        """Convert the events file to Chrome trace JSON; returns #events."""
+        return export_chrome_trace(self.path, out_path)
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def export_chrome_trace(events_path: Union[str, Path],
+                        out_path: Union[str, Path]) -> int:
+    """Wrap a JSONL events file into ``{"traceEvents": [...]}`` JSON.
+
+    Lines that fail to parse (a torn write from a killed worker) are
+    skipped rather than poisoning the whole trace.
+    """
+    events: List[Dict[str, Any]] = []
+    try:
+        text = Path(events_path).read_text()
+    except OSError:
+        text = ""
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(parsed, dict):
+            events.append(parsed)
+    events.sort(key=lambda entry: entry.get("ts", 0.0))
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    out = Path(out_path)
+    if out.parent and not out.parent.exists():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# The globally installed recorder
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[TraceRecorder] = None
+
+
+def install(recorder: TraceRecorder) -> TraceRecorder:
+    """Make *recorder* the process-wide span sink."""
+    global _ACTIVE
+    _ACTIVE = recorder
+    return recorder
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_recorder() -> Optional[TraceRecorder]:
+    return _ACTIVE
+
+
+def span(name: str, category: str = "repro", **attrs: Any):
+    """A context-manager span, or a shared no-op when not recording."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return _NULL_SPAN
+    return Span(recorder, name, category, dict(attrs))
+
+
+def event(name: str, category: str = "repro", **attrs: Any) -> None:
+    """An instant marker, dropped silently when not recording."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.instant(name, category, **attrs)
+
+
+class recording:
+    """Record spans for the duration of a ``with`` block::
+
+        with recording("events.jsonl") as rec:
+            ...  # span() calls are live here
+        rec.export_chrome("trace.json")
+
+    Installs a fresh :class:`TraceRecorder` globally on entry; on exit
+    the recorder is uninstalled and closed (the events file remains for
+    export).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.recorder = TraceRecorder(path)
+
+    def __enter__(self) -> TraceRecorder:
+        return install(self.recorder)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if _ACTIVE is self.recorder:
+            uninstall()
+        self.recorder.close()

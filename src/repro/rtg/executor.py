@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..hdl.model.rtg import ConfigurationRef, Rtg, RtgError
 from ..hdl.xmlio.datapath_xml import load_datapath
 from ..hdl.xmlio.fsm_xml import load_fsm
+from ..obs.trace import span
 from ..translate.to_python import InterpretedRtgControl, compile_rtg
 from ..translate.to_sim import SimDesign, build_simulation
 from .context import ReconfigurationContext
@@ -32,6 +33,9 @@ class ConfigurationRun:
     cycles: int
     evaluations: int
     final_state: str
+    #: kernel counters harvested after the run (``SimulationStats``
+    #: plus the controller's transition count) — obs.metrics raw input
+    stats: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -66,7 +70,8 @@ class RtgExecutor:
                  backend: str = "event",
                  max_cycles_per_configuration: int = 50_000_000,
                  max_reconfigurations: int = 10_000,
-                 trace_dir: Optional[Union[str, Path]] = None) -> None:
+                 trace_dir: Optional[Union[str, Path]] = None,
+                 coverage=None) -> None:
         rtg.validate()
         self.rtg = rtg
         self.context = context or ReconfigurationContext.from_rtg(rtg)
@@ -89,6 +94,10 @@ class RtgExecutor:
             )
         #: observer hook: called with the live SimDesign before each run
         self.on_configure = None
+        #: optional :class:`repro.obs.CoverageCollector`; attached to
+        #: each configuration before it runs, harvested afterwards (even
+        #: after a timeout, so partial coverage survives)
+        self.coverage = coverage
 
     # ------------------------------------------------------------------
     def _resolve(self, ref: ConfigurationRef):
@@ -122,26 +131,39 @@ class RtgExecutor:
                     f"exceeded {self.max_reconfigurations} "
                     f"reconfigurations — runaway RTG?"
                 )
-            design = self._configure(current)
+            with span("rtg.configure", "rtg", configuration=current):
+                design = self._configure(current)
+            if self.coverage is not None:
+                self.coverage.attach(design)
             if self.on_configure is not None:
                 self.on_configure(design)
+            simulate = span("rtg.simulate", "rtg", configuration=current,
+                            run=len(result.runs), backend=self.backend)
             try:
-                if self.trace_dir is not None:
-                    self.trace_dir.mkdir(parents=True, exist_ok=True)
-                    trace_path = self.trace_dir / \
-                        f"{len(result.runs)}_{current}.vcd"
-                    with design.trace(trace_path):
+                with simulate:
+                    if self.trace_dir is not None:
+                        self.trace_dir.mkdir(parents=True, exist_ok=True)
+                        trace_path = self.trace_dir / \
+                            f"{len(result.runs)}_{current}.vcd"
+                        with design.trace(trace_path):
+                            cycles = design.run_to_done(
+                                max_cycles=self.max_cycles)
+                    else:
                         cycles = design.run_to_done(
                             max_cycles=self.max_cycles)
-                else:
-                    cycles = design.run_to_done(max_cycles=self.max_cycles)
+                    simulate.set("cycles", cycles)
             finally:
+                if self.coverage is not None:
+                    self.coverage.collect(design)
                 design.release()  # retire SRAM ports before reconfiguring
+            stats = design.sim.stats.as_dict()
+            stats["fsm_transitions"] = design.controller.transitions
             result.runs.append(ConfigurationRun(
                 configuration=current,
                 cycles=cycles,
                 evaluations=design.sim.stats.evaluations,
                 final_state=design.controller.state,
+                stats=stats,
             ))
             env = {name: signal.value
                    for name, signal in design.output_signals.items()}

@@ -408,6 +408,8 @@ class CompiledProgram:
         self.comb_components: List[object] = []
         self.images: List[object] = []
         self.component_ids: set = set()
+        self.instrumented = False
+        self.state_active_ops: List[frozenset] = []
         self.source = ""
         self.empty_stop: frozenset = frozenset()
         self._stop_cache: Dict[int, Optional[frozenset]] = {}
@@ -441,6 +443,7 @@ def _is_controller(component) -> bool:
 
 def _build_program(sim: Simulator) -> CompiledProgram:
     _ensure_tables()
+    instrumented = bool(getattr(sim, "coverage_enabled", False))
     components = list(sim._components.values())
     controllers = [c for c in components if _is_controller(c)]
     if len(controllers) != 1:
@@ -547,6 +550,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
     edge_static = [0] * n_states
     settle_blocks: List[List[Tuple[int, str]]] = []
     edge_blocks: List[List[Tuple[int, str]]] = []
+    state_active_ops: List[frozenset] = []
     always_armed = 1 + len(roms)  # controller + no-op ROM members
 
     for index, state in enumerate(names):
@@ -559,6 +563,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         lines: List[Tuple[int, str]] = []
         commits: List[Tuple[int, str]] = []
         roots: List[Signal] = []
+        active_names: set = set()
         armed = always_armed
         temp = 0
         for register in registers:
@@ -566,6 +571,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             mode = None if enable is None else const_of(enable)
             if enable is not None and mode == 0:
                 continue
+            active_names.add(register.name)
             d, q = val(register.d), local[id(register.q)]
             roots.append(register.d)
             if enable is None or mode == 1:
@@ -583,6 +589,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             mode = const_of(sram.we)
             if mode == 0:
                 continue
+            active_names.add(sram.name)
             roots.extend((sram.addr, sram.din))
             words = gen.mem(sram.image)
             comp = gen.comp(sram)
@@ -609,11 +616,18 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             lines.append((0, f"if _e != {state!r}:"))
             lines.append((1, "_nt += 1"))
             lines.append((0, "s = _sid[_e]"))
+            if instrumented:
+                lines.append((0, f"tc[{index * n_states} + s] += 1"))
         else:
             target = static_target[state]
             if target != state:
                 lines.append((0, f"s = {sid[target]}"))
                 lines.append((0, "_nt += 1"))
+                if instrumented:
+                    lines.append(
+                        (0, f"tc[{index * n_states + sid[target]}] += 1"))
+            elif instrumented:
+                lines.append((0, f"tc[{index * n_states + index}] += 1"))
         lines.extend(commits)
         edge_blocks.append(lines)
         edge_static[index] = armed
@@ -630,7 +644,9 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         for op in topo:
             if id(op) in live_ops:
                 block.extend(_EMITTERS[type(op)](op, val, gen))
+                active_names.add(op.name)
         settle_blocks.append(block)
+        state_active_ops.append(frozenset(active_names))
         eval_static[index] = len(live_ops)
 
     # --- assemble the module -------------------------------------------
@@ -667,7 +683,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         emit(1, f'_f{position} = ctx["helpers"][{position}]')
     for state_id in sorted(dynamic_fns):
         emit(1, f'_t{state_id} = ctx["transitions"][{state_id}]')
-    emit(1, "def _run(s, max_cycles, stop, counts, box):")
+    emit(1, "def _run(s, max_cycles, stop, counts, tc, box):")
     for index, sig in enumerate(tracked):
         emit(2, f"v{index} = _S[{index}].value")
     emit(2, "n = 0")
@@ -727,6 +743,8 @@ def _build_program(sim: Simulator) -> CompiledProgram:
     program.images = list({id(m.image): m.image
                            for m in (*srams, *roms)}.values())
     program.component_ids = {id(c) for c in components}
+    program.instrumented = instrumented
+    program.state_active_ops = state_active_ops
     program.source = source
     program._vectors = vectors
     return program
@@ -749,6 +767,45 @@ class CompiledSimulator(Simulator):
         super().__init__(name, **kwargs)
         self._program: Optional[CompiledProgram] = None
         self.fallback_reason: Optional[str] = None
+        self.coverage_enabled = False
+        self.state_visits: Dict[str, int] = {}
+        self.transition_visits: Dict[Tuple[str, str], int] = {}
+
+    # -- coverage -------------------------------------------------------
+    def enable_coverage(self) -> None:
+        """Regenerate the program with coverage tallies compiled in.
+
+        Signal watchers would force the fast path to fall back (see
+        :meth:`_fastpath_blocked`), so coverage for this backend is
+        collected from inside the generated loop instead: per-state
+        occupancy counts (maintained anyway) plus per-transition
+        tallies emitted only when this flag is on.  Resets any
+        previously accumulated visit counts.
+        """
+        if not self.coverage_enabled:
+            self.coverage_enabled = True
+            self._invalidate_program()
+        self.state_visits = {}
+        self.transition_visits = {}
+
+    def coverage_active_ops(self) -> Dict[str, int]:
+        """Operator activation weights: live-cone membership × visits.
+
+        An operator counts as active in a state when the state's
+        specialized code evaluates it (its live cone) or samples/writes
+        it (armed register, enabled SRAM port).
+        """
+        out: Dict[str, int] = {}
+        program = self._program
+        if program is None or not program.state_active_ops:
+            return out
+        for state, visits in self.state_visits.items():
+            index = program.sid.get(state)
+            if index is None or not visits:
+                continue
+            for name in program.state_active_ops[index]:
+                out[name] = out.get(name, 0) + visits
+        return out
 
     # -- program lifecycle ---------------------------------------------
     def signal(self, name: str, width: int, init: int = 0) -> Signal:
@@ -831,17 +888,20 @@ class CompiledSimulator(Simulator):
     def _execute(self, program: CompiledProgram, start: int,
                  stop: frozenset, max_cycles: int) -> Tuple[int, int]:
         counts = [0] * program.n_states
+        tcounts = ([0] * (program.n_states * program.n_states)
+                   if program.instrumented else None)
         box = [start, 0, 0]
         try:
-            program.runner(start, max_cycles, stop, counts, box)
+            program.runner(start, max_cycles, stop, counts, tcounts, box)
         except BaseException:
-            self._post_run(program, box, counts, best_effort=True)
+            self._post_run(program, box, counts, tcounts, best_effort=True)
             raise
-        self._post_run(program, box, counts, best_effort=False)
+        self._post_run(program, box, counts, tcounts, best_effort=False)
         return box[1], box[0]
 
     def _post_run(self, program: CompiledProgram, box: List[int],
-                  counts: List[int], *, best_effort: bool) -> None:
+                  counts: List[int], tcounts: Optional[List[int]],
+                  *, best_effort: bool) -> None:
         final, cycles, transitions = box
         controller = program.controller
         controller.state = program.names[final]
@@ -854,6 +914,20 @@ class CompiledSimulator(Simulator):
             if visits:
                 evaluations += visits * program.eval_static[index]
                 dispatches += visits * program.edge_static[index]
+        if program.instrumented:
+            names = program.names
+            visits_map = self.state_visits
+            for index, visits in enumerate(counts):
+                if visits:
+                    name = names[index]
+                    visits_map[name] = visits_map.get(name, 0) + visits
+            if tcounts is not None:
+                n = program.n_states
+                taken_map = self.transition_visits
+                for flat, taken in enumerate(tcounts):
+                    if taken:
+                        edge = (names[flat // n], names[flat % n])
+                        taken_map[edge] = taken_map.get(edge, 0) + taken
         stats = self.stats
         stats.cycles += cycles
         stats.evaluations += evaluations

@@ -17,7 +17,38 @@ from .signal import Signal
 __all__ = ["Probe", "Assertion", "StopCondition"]
 
 
-class Probe:
+class _Observer:
+    """Shared lifetime handling for signal observers.
+
+    Every observer registers a watcher on construction; ``detach()``
+    removes it (idempotently — repeated simulations of the same design
+    previously leaked callbacks when callers forgot, or double-freed
+    when they didn't forget).  The context-manager form scopes the
+    watcher to a block::
+
+        with Probe(sim, signal) as probe:
+            sim.run_cycles(100)
+        # watcher removed; probe.samples remain readable
+    """
+
+    signal: Signal
+
+    def detach(self) -> None:
+        """Remove the watcher from the signal; safe to call twice."""
+        try:
+            self.signal.unwatch(self._on_change)
+        except ValueError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.detach()
+        return False
+
+
+class Probe(_Observer):
     """Records every value change of a signal as ``(time, value)``."""
 
     def __init__(self, sim: Simulator, signal: Signal,
@@ -57,11 +88,8 @@ class Probe:
             )
         return result
 
-    def detach(self) -> None:
-        self.signal.unwatch(self._on_change)
 
-
-class Assertion:
+class Assertion(_Observer):
     """Checks an invariant whenever a signal changes.
 
     The predicate receives the new value; a falsy result raises
@@ -87,11 +115,8 @@ class Assertion:
                 f"at time {self._sim.now})"
             )
 
-    def detach(self) -> None:
-        self.signal.unwatch(self._on_change)
 
-
-class StopCondition:
+class StopCondition(_Observer):
     """Latches when a signal takes a given value; used as a stop mechanism.
 
     Combine with :meth:`Simulator.run_until`::
@@ -121,6 +146,3 @@ class StopCondition:
 
     def triggered_check(self) -> bool:
         return self.triggered
-
-    def detach(self) -> None:
-        self.signal.unwatch(self._on_change)

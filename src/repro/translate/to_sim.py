@@ -71,6 +71,11 @@ class FsmController(Sequential):
         self.output_signals = output_signals
         self.state = behavior.reset_state
         self.transitions = 0
+        #: optional per-edge observer called ``hook(state, next_state)``
+        #: (self-loops included) — how :class:`repro.obs.CoverageCollector`
+        #: sees transitions under the event-driven kernels; ``None`` costs
+        #: a single identity check per edge
+        self.coverage_hook = None
         #: optional start/done handshake for processor coupling: while
         #: idle the FSM holds its reset state until ``start`` rises; once
         #: finished it holds ``done`` until ``start`` falls, then returns
@@ -131,6 +136,8 @@ class FsmController(Sequential):
             next_state = self._dispatch[self.state](env)
         else:
             next_state = self.behavior.next_state(self.state, env)
+        if self.coverage_hook is not None:
+            self.coverage_hook(self.state, next_state)
         if next_state != self.state:
             key = (self.state, next_state)
             diff = self._diffs.get(key)

@@ -149,7 +149,7 @@ class TestCampaign:
         from repro.fuzz.generator import GeneratorConfig
 
         harness_module._WORKER_STATE = (GeneratorConfig(), ("event",),
-                                        10_000, 0)
+                                        10_000, 0, False)
         try:
             result = _run_one_seed(5)
         finally:

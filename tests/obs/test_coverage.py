@@ -1,0 +1,195 @@
+"""Tests for functional coverage: models, collection, backends."""
+
+import pytest
+
+from repro.apps import suite_case
+from repro.core import prepare_images, verify_design
+from repro.obs import (ConfigurationCoverage, CoverageCollector,
+                       CoverageReport, FsmCoverage, OperatorCoverage,
+                       format_coverage)
+from repro.translate import build_simulation
+
+
+def _coverage(edges):
+    states = sorted({name for edge in edges for name in edge})
+    return FsmCoverage(fsm="m", possible_states=states,
+                       possible_transitions=list(edges))
+
+
+class TestFsmCoverage:
+    def test_empty_machine_is_fully_covered(self):
+        cov = FsmCoverage(fsm="m")
+        assert cov.state_coverage == 1.0
+        assert cov.transition_coverage == 1.0
+
+    def test_visits_and_takes(self):
+        cov = _coverage([("a", "b"), ("b", "a"), ("b", "c")])
+        cov.visit("a")
+        cov.visit("b")
+        cov.take("a", "b")
+        assert cov.visited_states == ["a", "b"]
+        assert cov.missing_states() == ["c"]
+        assert cov.state_coverage == pytest.approx(2 / 3)
+        assert cov.taken_transitions == [("a", "b")]
+        assert cov.transition_coverage == pytest.approx(1 / 3)
+
+    def test_undeclared_items_do_not_count(self):
+        cov = _coverage([("a", "b")])
+        cov.visit("ghost")
+        cov.take("ghost", "a")
+        assert cov.visited_states == []
+        assert cov.taken_transitions == []
+
+    def test_merge_accumulates(self):
+        left = _coverage([("a", "b")])
+        left.visit("a", 2)
+        right = _coverage([("a", "b")])
+        right.visit("a", 3)
+        right.take("a", "b")
+        left.merge(right)
+        assert left.states["a"] == 5
+        assert left.transition_coverage == 1.0
+
+    def test_dict_round_trip(self):
+        cov = _coverage([("a", "b"), ("b", "c")])
+        cov.visit("a")
+        cov.visit("b")
+        cov.take("a", "b", 7)
+        clone = FsmCoverage.from_dict(cov.as_dict())
+        assert clone.possible_transitions == cov.possible_transitions
+        assert clone.transitions == cov.transitions
+        assert clone.state_coverage == cov.state_coverage
+
+
+class TestOperatorCoverage:
+    def test_activation_fraction(self):
+        cov = OperatorCoverage(datapath="d", possible=["x", "y"])
+        cov.activate("x")
+        cov.activate("unknown")
+        assert cov.active_operators == ["x"]
+        assert cov.operator_coverage == 0.5
+
+    def test_dict_round_trip(self):
+        cov = OperatorCoverage(datapath="d", possible=["x", "y"])
+        cov.activate("y", 4)
+        clone = OperatorCoverage.from_dict(cov.as_dict())
+        assert clone.activations == {"y": 4}
+        assert clone.operator_coverage == 0.5
+
+
+class TestCoverageReport:
+    def _config(self, name="cfg0"):
+        fsm = _coverage([("a", "b")])
+        fsm.visit("a")
+        ops = OperatorCoverage(datapath=name, possible=["x"])
+        return ConfigurationCoverage(name=name, fsm=fsm, operators=ops)
+
+    def test_add_merges_same_name(self):
+        report = CoverageReport()
+        report.add(self._config())
+        second = self._config()
+        second.fsm.visit("b")
+        second.fsm.take("a", "b")
+        report.add(second)
+        assert len(report.configurations) == 1
+        assert report.state_coverage == 1.0
+        assert report.transition_coverage == 1.0
+
+    def test_items_are_stable_labels(self):
+        report = CoverageReport()
+        config = self._config()
+        config.fsm.take("a", "b")
+        config.fsm.visit("b")
+        report.add(config)
+        assert report.items() == ["s:a", "s:b", "t:a>b"]
+
+    def test_round_trip_preserves_aggregates(self):
+        report = CoverageReport()
+        report.add(self._config("one"))
+        report.add(self._config("two"))
+        clone = CoverageReport.from_dict(report.as_dict())
+        assert clone.state_coverage == report.state_coverage
+        assert sorted(clone.configurations) == ["one", "two"]
+
+    def test_format_has_total_row_for_many_configs(self):
+        report = CoverageReport()
+        report.add(self._config("one"))
+        report.add(self._config("two"))
+        table = format_coverage(report)
+        assert "Configuration" in table
+        assert "TOTAL" in table
+        single = CoverageReport()
+        single.add(self._config("only"))
+        assert "TOTAL" not in format_coverage(single)
+
+
+def _build_design(name="threshold", backend="event", **sizes):
+    sizes = sizes or {"n_pixels": 32}
+    case = suite_case(name, **sizes)
+    design = case.compile()
+    config = design.configurations[0]
+    return case, build_simulation(config.datapath, config.fsm,
+                                  prepare_images(design, case.inputs(0)),
+                                  backend=backend)
+
+
+class TestCollectorOnLiveDesigns:
+    def test_fdct1_reaches_full_state_coverage(self):
+        case = suite_case("fdct1", pixels=128)
+        result = verify_design(case.compile(), case.func, case.inputs(0),
+                               coverage=True)
+        assert result.passed
+        assert result.coverage.state_coverage == 1.0
+        assert result.coverage.transition_coverage == 1.0
+
+    def test_truncated_run_reports_partial_coverage(self):
+        # stop long before done: the FSM cannot have reached every state
+        _, design = _build_design()
+        collector = CoverageCollector()
+        collector.attach(design)
+        design.sim.run_cycles(3)
+        coverage = collector.collect(design)
+        assert 0.0 < coverage.fsm.state_coverage < 1.0
+        assert coverage.fsm.missing_states()
+        assert collector.report.state_coverage < 1.0
+
+    @pytest.mark.parametrize("backend", ["oblivious", "compiled"])
+    def test_backends_agree_with_event_kernel(self, backend):
+        case = suite_case("threshold", n_pixels=32)
+        design = case.compile()
+        reference = verify_design(design, case.func, case.inputs(0),
+                                  coverage=True)
+        other = verify_design(design, case.func, case.inputs(0),
+                              coverage=True, backend=backend)
+        ref_cfg = next(iter(reference.coverage.configurations.values()))
+        got_cfg = next(iter(other.coverage.configurations.values()))
+        # state/transition coverage is exact under every backend
+        assert set(got_cfg.fsm.visited_states) \
+            == set(ref_cfg.fsm.visited_states)
+        assert set(got_cfg.fsm.taken_transitions) \
+            == set(ref_cfg.fsm.taken_transitions)
+        # operator activation: compiled (live cone) bounds event
+        # (output toggled) from above
+        assert set(got_cfg.operators.active_operators) \
+            >= set(ref_cfg.operators.active_operators)
+
+    def test_compiled_fast_path_survives_coverage(self):
+        _, design = _build_design(backend="compiled")
+        collector = CoverageCollector()
+        collector.attach(design)
+        design.run_to_done()
+        assert design.sim.fallback_reason is None
+        coverage = collector.collect(design)
+        assert coverage.fsm.state_coverage == 1.0
+
+    def test_collect_without_attach_is_none(self):
+        _, design = _build_design()
+        assert CoverageCollector().collect(design) is None
+
+    def test_detach_all_clears_hooks(self):
+        _, design = _build_design()
+        collector = CoverageCollector()
+        collector.attach(design)
+        collector.detach_all()
+        assert design.controller.coverage_hook is None
+        assert collector.report.configurations == {}

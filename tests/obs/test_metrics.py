@@ -1,0 +1,105 @@
+"""Tests for the metrics bag and its pipeline harvesters."""
+
+import json
+
+from repro.compiler import MemorySpec
+from repro.core import SuiteCase, TestSuite, standard_flow, verify_design
+from repro.obs import (Metrics, flow_metrics, suite_metrics,
+                       verification_metrics)
+from repro.util.files import MemoryImage
+
+ARRAYS = {
+    "src": MemorySpec(16, 8, signed=False, role="input"),
+    "dst": MemorySpec(32, 8, role="output"),
+}
+
+
+def double(src, dst, n=8):
+    for i in range(n):
+        dst[i] = src[i] * 2
+
+
+def inputs_factory(seed):
+    return {"src": MemoryImage(16, 8, words=[seed + i for i in range(8)],
+                               name="src")}
+
+
+class TestMetricsBag:
+    def test_inc_and_merge_counts(self):
+        metrics = Metrics("run")
+        metrics.inc("a")
+        metrics.inc("a", 4)
+        metrics.merge_counts({"b": 2}, prefix="p_")
+        assert metrics.counters == {"a": 5, "p_b": 2}
+
+    def test_merge_prefers_existing_info(self):
+        left = Metrics("run")
+        left.set_info("backend", "event")
+        right = Metrics("run")
+        right.set_info("backend", "compiled")
+        right.inc("cycles", 10)
+        left.merge(right)
+        assert left.info["backend"] == "event"
+        assert left.counters["cycles"] == 10
+
+    def test_as_dict_layout(self):
+        metrics = Metrics("flow")
+        metrics.inc("z")
+        metrics.inc("a")
+        payload = metrics.as_dict()
+        assert payload["schema"] == 1
+        assert payload["kind"] == "flow"
+        assert list(payload["counters"]) == ["a", "z"]
+        assert "coverage" not in payload
+        metrics.coverage = {"state_coverage": 1.0}
+        assert "coverage" in metrics.as_dict()
+
+    def test_write_creates_parents(self, tmp_path):
+        metrics = Metrics("run")
+        metrics.inc("x")
+        target = tmp_path / "deep" / "metrics.json"
+        metrics.write(target)
+        assert json.loads(target.read_text())["counters"] == {"x": 1}
+
+
+class TestHarvesters:
+    def _case(self):
+        return SuiteCase("double", double, ARRAYS, inputs=inputs_factory)
+
+    def test_verification_metrics_counts_once(self):
+        case = self._case()
+        result = verify_design(case.compile(), case.func, case.inputs(0),
+                               coverage=True)
+        metrics = verification_metrics(result)
+        # per-run kernel stats must not double the result-level counters
+        assert metrics.counters["cycles"] == result.cycles
+        assert metrics.counters["evaluations"] == result.evaluations
+        assert metrics.counters["mismatches"] == 0
+        assert metrics.info["design"] == "double"
+        assert metrics.coverage is not None
+
+    def test_flow_metrics_counts_once(self, tmp_path):
+        flow = standard_flow(double, ARRAYS, workdir=tmp_path,
+                             inputs=inputs_factory(1), coverage=True)
+        report = flow.run()
+        metrics = flow_metrics(report)
+        assert metrics.counters["cycles"] \
+            == report.context["rtg_run"].total_cycles
+        assert metrics.counters["stages"] == len(report.stages)
+        assert metrics.info["passed"] is True
+        assert set(metrics.info["stage_seconds"]) \
+            == {stage.name for stage in report.stages}
+        assert metrics.coverage is not None
+
+    def test_suite_metrics_with_cache(self, tmp_path):
+        from repro.core import ArtifactCache
+
+        suite = TestSuite("m")
+        suite.add(self._case())
+        cache = ArtifactCache(tmp_path / "cache")
+        report = suite.run(cache=cache)
+        metrics = suite_metrics(report, cache=cache)
+        assert metrics.counters["cases"] == 1
+        assert metrics.counters["cache_misses"] == 1
+        assert metrics.counters["cache_hits"] == 0
+        assert metrics.info["cache_dir"] == str(cache.root)

@@ -1,0 +1,74 @@
+"""The suite runner under a recorder: one merged timeline, all workers."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.apps import suite_case
+from repro.core import TestSuite
+from repro.obs import export_chrome_trace, recording, uninstall
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork-pool tracing needs the fork start method",
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    uninstall()
+    yield
+    uninstall()
+
+
+def _small_suite():
+    suite = TestSuite("traced")
+    suite.add(suite_case("threshold", n_pixels=32))
+    suite.add(suite_case("popcount", n_words=16))
+    suite.add(suite_case("hamming", n_words=16))
+    suite.add(suite_case("fir", n_out=16, taps=4))
+    return suite
+
+
+def test_pool_run_merges_worker_spans(tmp_path):
+    events = tmp_path / "events.jsonl"
+    with recording(events):
+        report = _small_suite().run(jobs=4, coverage=True)
+    assert report.passed, report.summary()
+
+    out = tmp_path / "trace.json"
+    count = export_chrome_trace(events, out)
+    assert count > 0
+    trace = json.loads(out.read_text())["traceEvents"]
+
+    by_name = {}
+    for entry in trace:
+        by_name.setdefault(entry["name"], []).append(entry)
+    # the parent records the suite-level span, workers the case spans
+    assert len(by_name["suite.run"]) == 1
+    cases = by_name["suite.case"]
+    assert {entry["args"]["case"] for entry in cases} \
+        == {"threshold", "popcount", "hamming", "fir"}
+    parent_pid = by_name["suite.run"][0]["pid"]
+    worker_pids = {entry["pid"] for entry in cases}
+    assert parent_pid not in worker_pids
+    assert len(worker_pids) >= 2  # genuinely parallel, one timeline
+    # verification spans from inside the workers land in the same trace
+    assert "verify.simulate" in by_name
+    # timestamps share one clock: every case starts after the suite span
+    suite_start = by_name["suite.run"][0]["ts"]
+    assert all(entry["ts"] >= suite_start for entry in cases)
+
+
+def test_serial_run_records_cases_in_process(tmp_path):
+    events = tmp_path / "events.jsonl"
+    suite = TestSuite("serial")
+    suite.add(suite_case("popcount", n_words=16))
+    with recording(events):
+        report = suite.run(coverage=True)
+    assert report.passed
+    names = [json.loads(line)["name"]
+             for line in events.read_text().splitlines() if line.strip()]
+    assert "suite.case" in names
+    assert "suite.run" in names

@@ -99,3 +99,45 @@ class TestStopCondition:
         s = sim.signal("s", 1, init=1)
         stop = StopCondition(sim, s, value=1)
         assert stop.triggered
+
+
+class TestObserverLifetime:
+    """detach() idempotence and the context-manager form (all observers)."""
+
+    def test_detach_twice_is_safe(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        probe = Probe(sim, q)
+        probe.detach()
+        probe.detach()  # second call must not raise ValueError
+
+    def test_probe_as_context_manager(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        with Probe(sim, q) as probe:
+            sim.run_cycles(2)
+        sim.run_cycles(5)  # outside the block: no longer recording
+        assert probe.change_count == 2
+        assert probe.values() == [0, 1, 2]  # samples stay readable
+
+    def test_assertion_as_context_manager(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        with Assertion(sim, q, lambda v: v < 3):
+            sim.run_cycles(2)
+        sim.run_cycles(10)  # invariant now violated, but detached
+
+    def test_stop_condition_as_context_manager(self):
+        sim = Simulator()
+        q = build_accumulator(sim, width=4)
+        with StopCondition(sim, q, value=2) as stop:
+            sim.run_cycles(2)
+        assert stop.triggered
+
+    def test_context_manager_does_not_swallow_exceptions(self):
+        sim = Simulator()
+        q = build_accumulator(sim)
+        with pytest.raises(RuntimeError):
+            with Probe(sim, q) as probe:
+                raise RuntimeError("boom")
+        probe.detach()  # already detached by __exit__; still safe
