@@ -104,10 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME",
                        help="run only the named case(s); repeatable")
     suite.add_argument("--backend",
-                       choices=("event", "oblivious", "compiled"),
+                       choices=("event", "oblivious", "compiled", "traced"),
                        default="event",
                        help="simulation kernel (default: event; "
-                            "'compiled' is fastest, see docs/performance.md)")
+                            "'traced' is fastest, see docs/performance.md)")
     suite.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                        help="run cases over N worker processes "
                             "(default 1: serial)")
@@ -134,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="artifact directory (default: repro_out)")
     flow.add_argument("--seed", type=int, default=0)
     flow.add_argument("--backend",
-                      choices=("event", "oblivious", "compiled"),
+                      choices=("event", "oblivious", "compiled", "traced"),
                       default="event",
                       help="simulation kernel (default: event)")
     _add_obs_flags(flow)
@@ -169,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "(used by the nightly CI job)")
     fuzz.add_argument("--input-seed", type=int, default=0,
                       help="stimulus seed for input memories (default 0)")
+    fuzz.add_argument("--backends", metavar="LIST", default=None,
+                      help="comma-separated simulation kernels to "
+                           "cross-check (default: all registered); the "
+                           "CI smoke matrix pairs 'event' with one "
+                           "optimized kernel per job")
     fuzz.add_argument("--no-reduce", action="store_true",
                       help="write failures unminimized (faster triage "
                            "of a long campaign)")
@@ -241,6 +246,10 @@ def _cmd_suite(args) -> int:
         print(format_coverage(report.coverage))
     if cache is not None:
         print(cache.summary())
+    if args.backend in ("compiled", "traced"):
+        from .core.kernelcache import default_cache
+
+        print(default_cache().describe())
     if args.metrics:
         metrics = suite_metrics(report, cache=cache)
         metrics.write(args.metrics)
@@ -326,10 +335,22 @@ def _cmd_translate(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from .fuzz import (CorpusEntry, DEFAULT_MAX_CYCLES, load_entry,
-                       reduce_program, run_campaign, run_program, save_entry)
+    from .fuzz import (CorpusEntry, DEFAULT_BACKENDS, DEFAULT_MAX_CYCLES,
+                       load_entry, reduce_program, run_campaign,
+                       run_program, save_entry)
+    from .sim import SIMULATOR_BACKENDS
 
     max_cycles = args.max_cycles or DEFAULT_MAX_CYCLES
+    backends = DEFAULT_BACKENDS
+    if args.backends:
+        backends = tuple(name.strip()
+                         for name in args.backends.split(",") if name.strip())
+        unknown = [name for name in backends
+                   if name not in SIMULATOR_BACKENDS]
+        if unknown:
+            print(f"error: unknown backend(s) {unknown}; "
+                  f"known: {sorted(SIMULATOR_BACKENDS)}", file=sys.stderr)
+            return 2
 
     if args.replay:
         status = 0
@@ -354,7 +375,8 @@ def _cmd_fuzz(args) -> int:
     with _tracing(args.trace):
         report = run_campaign(
             args.iterations, seed=args.seed, jobs=args.jobs,
-            max_cycles=max_cycles, input_seed=args.input_seed,
+            backends=backends, max_cycles=max_cycles,
+            input_seed=args.input_seed,
             time_budget=args.time_budget, coverage=args.coverage,
         )
     for failure in report.failures:

@@ -116,6 +116,10 @@ class Datapath:
         self.controls: Dict[str, ControlLine] = {}
         self.statuses: Dict[str, StatusLine] = {}
         self.memories: Dict[str, MemoryDecl] = {}
+        #: memoised structural digest (see repro.core.kernelcache);
+        #: cleared by every add_* mutator — code that mutates the decls
+        #: directly must clear it too, or stale kernel-cache keys result
+        self._digest_memo: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction helpers (used by the compiler and by tests)
@@ -123,6 +127,7 @@ class Datapath:
     def add_component(self, name: str, type: str,
                       width: Optional[int] = None,
                       **params: object) -> ComponentDecl:
+        self._digest_memo = None
         if name in self.components:
             raise DatapathError(f"duplicate component {name!r}")
         decl = ComponentDecl(name, type, width or self.width,
@@ -132,6 +137,7 @@ class Datapath:
 
     def add_net(self, name: str, source: str, sinks: List[str],
                 width: Optional[int] = None) -> Net:
+        self._digest_memo = None
         if name in self.nets:
             raise DatapathError(f"duplicate net {name!r}")
         net = Net(name, width or self.width, PortRef.parse(source),
@@ -141,6 +147,7 @@ class Datapath:
 
     def add_control(self, name: str, targets: List[str],
                     width: int = 1) -> ControlLine:
+        self._digest_memo = None
         if name in self.controls:
             raise DatapathError(f"duplicate control line {name!r}")
         line = ControlLine(name, width, [PortRef.parse(t) for t in targets])
@@ -148,6 +155,7 @@ class Datapath:
         return line
 
     def add_status(self, name: str, source: str) -> StatusLine:
+        self._digest_memo = None
         if name in self.statuses:
             raise DatapathError(f"duplicate status line {name!r}")
         line = StatusLine(name, PortRef.parse(source))
@@ -157,6 +165,7 @@ class Datapath:
     def add_memory(self, name: str, width: int, depth: int,
                    init: Optional[str] = None,
                    role: str = "data") -> MemoryDecl:
+        self._digest_memo = None
         if name in self.memories:
             raise DatapathError(f"duplicate memory {name!r}")
         decl = MemoryDecl(name, width, depth, init, role)

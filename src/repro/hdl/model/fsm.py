@@ -58,11 +58,17 @@ class State:
 
     def assign(self, output: str, value: int) -> "State":
         self.assigns[output] = value
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner._digest_memo = None
         return self
 
     def transition(self, target: str,
                    condition: Optional[Expr] = None) -> "State":
         self.transitions.append(Transition(condition or TRUE, target))
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner._digest_memo = None
         return self
 
 
@@ -76,17 +82,24 @@ class Fsm:
         self.states: Dict[str, State] = {}
         self.reset_state = reset_state
         self.final_states: Set[str] = set()
+        #: memoised structural digest (see repro.core.kernelcache);
+        #: cleared by the mutators here and on owned states — direct
+        #: attribute mutation must clear it too, or kernel-cache keys
+        #: go stale
+        self._digest_memo: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     def add_input(self, name: str) -> None:
+        self._digest_memo = None
         if name in self.inputs:
             raise FsmError(f"duplicate input {name!r}")
         self.inputs.append(name)
 
     def add_output(self, name: str, width: int = 1,
                    default: int = 0) -> OutputDecl:
+        self._digest_memo = None
         if name in self.outputs:
             raise FsmError(f"duplicate output {name!r}")
         decl = OutputDecl(name, width, default)
@@ -94,9 +107,11 @@ class Fsm:
         return decl
 
     def add_state(self, name: str, *, final: bool = False) -> State:
+        self._digest_memo = None
         if name in self.states:
             raise FsmError(f"duplicate state {name!r}")
         state = State(name)
+        state._owner = self  # digest invalidation on state mutation
         self.states[name] = state
         if self.reset_state is None:
             self.reset_state = name
@@ -105,6 +120,7 @@ class Fsm:
         return state
 
     def mark_final(self, name: str) -> None:
+        self._digest_memo = None
         if name not in self.states:
             raise FsmError(f"cannot mark unknown state {name!r} as final")
         self.final_states.add(name)

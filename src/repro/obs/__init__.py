@@ -14,7 +14,7 @@ applies the same idea to the test infrastructure *itself*:
   a machine-readable ``metrics.json``;
 * :mod:`repro.obs.coverage` — functional coverage: FSM state and
   transition coverage plus datapath operator-activation coverage,
-  collected from all three simulation backends.
+  collected from all four simulation backends.
 
 Everything is pay-for-what-you-use: with no recorder installed,
 :func:`repro.obs.trace.span` returns a shared no-op object, and no

@@ -5,6 +5,7 @@ Public surface:
 * :class:`Simulator` — the hybrid event/cycle kernel
 * :class:`ObliviousSimulator` — evaluate-everything reference kernel
 * :class:`CompiledSimulator` — levelized, per-state-specialized kernel
+* :class:`TracedSimulator` — compiled kernel + hot FSM-loop trace fusion
 * :data:`SIMULATOR_BACKENDS` / :func:`create_simulator` — select by name
 * :class:`Signal`, :class:`Combinational`, :class:`Sequential`,
   :class:`ClockDomain` — the structural model
@@ -25,12 +26,14 @@ from .vcd import VcdWriter
 # compiled imports repro.operators (for its code emitters), which in turn
 # imports sim submodules — keep this import last so those are complete
 from .compiled import CompiledSimulator
+from .trace import TracedSimulator
 from .backends import SIMULATOR_BACKENDS, create_simulator
 
 __all__ = [
     "Simulator",
     "ObliviousSimulator",
     "CompiledSimulator",
+    "TracedSimulator",
     "SIMULATOR_BACKENDS",
     "create_simulator",
     "levelize",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from .compiled import CompiledSimulator
 from .kernel import Simulator
 from .oblivious import ObliviousSimulator
+from .trace import TracedSimulator
 
 __all__ = ["SIMULATOR_BACKENDS", "create_simulator"]
 
@@ -19,6 +20,7 @@ SIMULATOR_BACKENDS = {
     "event": Simulator,
     "oblivious": ObliviousSimulator,
     "compiled": CompiledSimulator,
+    "traced": TracedSimulator,
 }
 
 

@@ -54,6 +54,11 @@ class _Unsupported(Exception):
     """The design is outside the compiled subset; fall back."""
 
 
+#: bump whenever generated-code semantics change; part of the
+#: persistent kernel-cache key so stale kernels can never be loaded
+_CODEGEN_VERSION = 1
+
+
 # ----------------------------------------------------------------------
 # Transition classification
 # ----------------------------------------------------------------------
@@ -134,7 +139,7 @@ def _e_div(op, val, gen):
     # the div/rem family keeps its exact semantics (truncate/floor,
     # strict or counted zero divisors) by calling a bound helper that
     # wraps the component's own compute()
-    helper = gen.helper(_make_div_helper(op))
+    helper = gen.helper(_make_div_helper(op), op.name)
     return [(0, f"{val(op.y)} = {helper}({val(op.a)}, {val(op.b)})")]
 
 
@@ -261,7 +266,7 @@ def _e_mux(op, val, gen):
 
 
 def _e_sram_read(op, val, gen):
-    words = gen.mem(op.image)
+    words = gen.mem(op.image, op.name)
     comp = gen.comp(op)
     return [
         (0, f"if {val(op.addr)} < {op.image.depth}:"),
@@ -273,7 +278,7 @@ def _e_sram_read(op, val, gen):
 
 
 def _e_rom_read(op, val, gen):
-    words = gen.mem(op.image)
+    words = gen.mem(op.image, op.name)
     comp = gen.comp(op)
     return [(0, f"{val(op.dout)} = {words}[{val(op.addr)}] "
                 f"if {val(op.addr)} < {op.image.depth} "
@@ -361,21 +366,29 @@ def _op_output(op) -> Signal:
 # Program construction
 # ----------------------------------------------------------------------
 class _Codegen:
-    """Name registry for objects the generated module binds from ctx."""
+    """Name registry for objects the generated module binds from ctx.
+
+    Each registry also records the *component name* that owns the bound
+    object, so a cached kernel can re-bind against a fresh elaboration
+    of the same design (see :func:`_program_from_cache`).
+    """
 
     def __init__(self) -> None:
         self.mems: List[list] = []
+        self.mem_owners: List[str] = []
         self._mem_index: Dict[int, str] = {}
         self.comps: List[object] = []
         self._comp_index: Dict[int, str] = {}
         self.helpers: List[Callable] = []
+        self.helper_owners: List[str] = []
 
-    def mem(self, image) -> str:
+    def mem(self, image, owner: str) -> str:
         name = self._mem_index.get(id(image))
         if name is None:
             name = f"_m{len(self.mems)}"
             self._mem_index[id(image)] = name
             self.mems.append(image._words)
+            self.mem_owners.append(owner)
         return name
 
     def comp(self, component) -> str:
@@ -386,9 +399,38 @@ class _Codegen:
             self.comps.append(component)
         return name
 
-    def helper(self, fn: Callable) -> str:
+    def helper(self, fn: Callable, owner: str) -> str:
         self.helpers.append(fn)
+        self.helper_owners.append(owner)
         return f"_f{len(self.helpers) - 1}"
+
+
+class _StateIR:
+    """Structured per-state facts, consumed by the trace fuser.
+
+    ``samples`` holds ``(reg_key, d_key, d_text, en_text, q_text,
+    q_key)`` tuples — ``en_text`` is ``None`` for unconditional samples,
+    ``d_key`` is ``None`` when the D input is a state constant.
+    ``sram_writes`` holds ``(lines, mem_key, read_tokens)``;
+    ``settle_ops`` holds ``(op_key, out_key, in_keys, lines)`` in
+    topological order, where ``in_keys`` mixes signal keys with
+    memory-image pseudo-keys.  Expression texts are single tokens
+    (a local name or a literal), which the fuser relies on when it
+    reorders commits.
+    """
+
+    __slots__ = ("index", "name", "dynamic", "env_text", "env_tokens",
+                 "samples", "sram_writes", "settle_ops")
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+        self.dynamic = False
+        self.env_text: Optional[str] = None
+        self.env_tokens: tuple = ()
+        self.samples: List[tuple] = []
+        self.sram_writes: List[tuple] = []
+        self.settle_ops: List[tuple] = []
 
 
 class CompiledProgram:
@@ -414,6 +456,11 @@ class CompiledProgram:
         self.empty_stop: frozenset = frozenset()
         self._stop_cache: Dict[int, Optional[frozenset]] = {}
         self._vectors: Dict[str, Dict[str, int]] = {}
+        #: trace-fusion summary (traced backend only)
+        self.fusion: Optional[dict] = None
+        #: set by a fresh build so the caller can persist the kernel
+        self.cache_payload: Optional[dict] = None
+        self.code = None
 
     def stop_states(self, signal: Signal) -> Optional[frozenset]:
         """States in which *signal* is high, or None if not a Moore line."""
@@ -441,26 +488,35 @@ def _is_controller(component) -> bool:
             and hasattr(component, "state"))
 
 
-def _build_program(sim: Simulator) -> CompiledProgram:
+class _DesignFacts:
+    """The cheap live-object walk shared by fresh builds and cache loads."""
+
+    __slots__ = ("components", "controller", "domain", "behavior", "names",
+                 "sid", "vectors", "control_signals", "registers", "srams",
+                 "roms", "comb_ops", "tracked", "local")
+
+
+def _analyze_design(sim: Simulator) -> _DesignFacts:
     _ensure_tables()
-    instrumented = bool(getattr(sim, "coverage_enabled", False))
-    components = list(sim._components.values())
+    facts = _DesignFacts()
+    facts.components = components = list(sim._components.values())
     controllers = [c for c in components if _is_controller(c)]
     if len(controllers) != 1:
         raise _Unsupported(f"{len(controllers)} FSM controllers (need 1)")
-    controller = controllers[0]
+    facts.controller = controller = controllers[0]
     if controller.start_signal is not None:
         raise _Unsupported("start/done handshake in use")
     if len(sim._domains) > 1:
         raise _Unsupported("multiple clock domains")
-    domain = sim._default_domain or sim.default_domain
+    facts.domain = domain = sim._default_domain or sim.default_domain
 
-    behavior = controller.behavior
-    names = list(behavior.output_vectors)
-    sid = {name: index for index, name in enumerate(names)}
-    if behavior.reset_state not in sid:
+    facts.behavior = behavior = controller.behavior
+    facts.names = names = list(behavior.output_vectors)
+    facts.sid = {name: index for index, name in enumerate(names)}
+    if behavior.reset_state not in facts.sid:
         raise _Unsupported("reset state missing from output vectors")
-    vectors = {name: dict(behavior.output_vectors[name]) for name in names}
+    facts.vectors = {name: dict(behavior.output_vectors[name])
+                     for name in names}
 
     # classify components ------------------------------------------------
     control_signals: Dict[int, str] = {}
@@ -468,11 +524,12 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         if signal.driver is not None:
             raise _Unsupported(f"control line {output!r} has a driver")
         control_signals[id(signal)] = output
+    facts.control_signals = control_signals
 
-    registers: List[object] = []
-    srams: List[object] = []
-    roms: List[object] = []
-    comb_ops: List[object] = []
+    facts.registers = registers = []
+    facts.srams = srams = []
+    facts.roms = roms = []
+    facts.comb_ops = comb_ops = []
     for component in components:
         if component is controller:
             continue
@@ -497,12 +554,16 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             raise _Unsupported(
                 f"{component.name!r} outside the default clock domain")
 
-    try:
-        topo = levelize(comb_ops)
-    except CombinationalLoopError as exc:
-        raise _Unsupported(f"not levelizable: {exc}") from exc
+    # signal locals ------------------------------------------------------
+    facts.tracked = tracked = [sig for sig in sim._signals.values()
+                               if id(sig) not in control_signals]
+    facts.local = {id(sig): f"v{index}"
+                   for index, sig in enumerate(tracked)}
+    return facts
 
-    # transitions --------------------------------------------------------
+
+def _transition_fns(behavior) -> Callable:
+    """Per-state transition-callable factory for *behavior*."""
     dispatch = getattr(behavior, "transitions", None)
 
     def transition_fn(state: str) -> Callable:
@@ -510,6 +571,33 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             return dispatch[state]
         return lambda env, _s=state: behavior.next_state(_s, env)
 
+    return transition_fn
+
+
+def _build_program(sim: Simulator) -> CompiledProgram:
+    facts = _analyze_design(sim)
+    instrumented = bool(getattr(sim, "coverage_enabled", False))
+    components = facts.components
+    controller = facts.controller
+    domain = facts.domain
+    behavior = facts.behavior
+    names = facts.names
+    sid = facts.sid
+    vectors = facts.vectors
+    control_signals = facts.control_signals
+    registers = facts.registers
+    srams = facts.srams
+    roms = facts.roms
+    tracked = facts.tracked
+    local = facts.local
+
+    try:
+        topo = levelize(facts.comb_ops)
+    except CombinationalLoopError as exc:
+        raise _Unsupported(f"not levelizable: {exc}") from exc
+
+    # transitions --------------------------------------------------------
+    transition_fn = _transition_fns(behavior)
     static_target: Dict[str, Optional[str]] = {}
     dynamic_fns: Dict[int, Callable] = {}
     for name in names:
@@ -520,12 +608,6 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         static_target[name] = target
         if target is None:
             dynamic_fns[sid[name]] = fn
-
-    # signal locals ------------------------------------------------------
-    tracked: List[Signal] = [sig for sig in sim._signals.values()
-                             if id(sig) not in control_signals]
-    local: Dict[int, str] = {id(sig): f"v{index}"
-                             for index, sig in enumerate(tracked)}
 
     gen = _Codegen()
     status_items = list(controller.status_signals.items())
@@ -551,6 +633,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
     settle_blocks: List[List[Tuple[int, str]]] = []
     edge_blocks: List[List[Tuple[int, str]]] = []
     state_active_ops: List[frozenset] = []
+    state_ir: List[_StateIR] = []
     always_armed = 1 + len(roms)  # controller + no-op ROM members
 
     for index, state in enumerate(names):
@@ -558,6 +641,8 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         val = make_val(vector)
         const_of = make_const_of(vector)
         dynamic = static_target[state] is None
+        ir = _StateIR(index, state)
+        ir.dynamic = dynamic
 
         # --- edge phase (state's constants, pre-edge values) ----------
         lines: List[Tuple[int, str]] = []
@@ -573,16 +658,22 @@ def _build_program(sim: Simulator) -> CompiledProgram:
                 continue
             active_names.add(register.name)
             d, q = val(register.d), local[id(register.q)]
+            d_key = (None if id(register.d) in control_signals
+                     else id(register.d))
             roots.append(register.d)
             if enable is None or mode == 1:
                 armed += 1
                 if d == q:
                     continue
                 lines.append((0, f"_q{temp} = {d}"))
+                ir.samples.append(
+                    (id(register), d_key, d, None, q, id(register.q)))
             else:  # dynamic enable
                 armed += 1  # estimate: counted as armed
                 roots.append(enable)
                 lines.append((0, f"_q{temp} = {d} if {val(enable)} else {q}"))
+                ir.samples.append(
+                    (id(register), d_key, d, val(enable), q, id(register.q)))
             commits.append((0, f"{q} = _q{temp}"))
             temp += 1
         for sram in srams:
@@ -591,7 +682,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
                 continue
             active_names.add(sram.name)
             roots.extend((sram.addr, sram.din))
-            words = gen.mem(sram.image)
+            words = gen.mem(sram.image, sram.name)
             comp = gen.comp(sram)
             block = [
                 (0, f"if {val(sram.addr)} < {sram.image.depth}:"),
@@ -603,15 +694,24 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             if mode == 1:
                 armed += 1
                 lines.extend(block)
+                ir.sram_writes.append(
+                    (tuple(block), words,
+                     (val(sram.addr), val(sram.din))))
             else:  # dynamic write enable
                 roots.append(sram.we)
-                lines.append((0, f"if {val(sram.we)}:"))
-                lines.extend((ind + 1, text) for ind, text in block)
+                guarded = [(0, f"if {val(sram.we)}:")]
+                guarded.extend((ind + 1, text) for ind, text in block)
+                lines.extend(guarded)
+                ir.sram_writes.append(
+                    (tuple(guarded), words,
+                     (val(sram.addr), val(sram.din), val(sram.we))))
         # controller transition (pre-edge statuses)
         if dynamic:
             roots.extend(sig for _, sig in status_items)
             env = "{" + ", ".join(f"{name!r}: {val(sig)}"
                                   for name, sig in status_items) + "}"
+            ir.env_text = env
+            ir.env_tokens = tuple(val(sig) for _, sig in status_items)
             lines.append((0, f"_e = _t{index}({env})"))
             lines.append((0, f"if _e != {state!r}:"))
             lines.append((1, "_nt += 1"))
@@ -641,13 +741,36 @@ def _build_program(sim: Simulator) -> CompiledProgram:
                 for sig in _op_inputs(op, const_of):
                     live.add(id(sig))
         block: List[Tuple[int, str]] = []
+        is_mem_read = (_T["Sram"], _T["Rom"])
         for op in topo:
             if id(op) in live_ops:
-                block.extend(_EMITTERS[type(op)](op, val, gen))
+                op_lines = _EMITTERS[type(op)](op, val, gen)
+                block.extend(op_lines)
                 active_names.add(op.name)
+                in_keys = [id(sig) for sig in _op_inputs(op, const_of)
+                           if id(sig) not in control_signals]
+                if type(op) in is_mem_read:
+                    # reads also depend on the memory contents
+                    in_keys.append(gen.mem(op.image, op.name))
+                ir.settle_ops.append((id(op), id(_op_output(op)),
+                                      tuple(in_keys), tuple(op_lines)))
         settle_blocks.append(block)
         state_active_ops.append(frozenset(active_names))
+        state_ir.append(ir)
         eval_static[index] = len(live_ops)
+
+    # --- trace fusion (traced backend only) ----------------------------
+    fusion = None
+    if getattr(sim, "_kernel_kind", "compiled") == "traced":
+        from .trace import build_fusion  # sibling module imports us back
+
+        fusion = build_fusion(
+            state_ir=state_ir, names=names, sid=sid,
+            static_target=static_target, dynamic_fns=dynamic_fns,
+            statuses=[(name, signal.width)
+                      for name, signal in status_items],
+            settle_blocks=settle_blocks, instrumented=instrumented,
+            n_states=n_states)
 
     # --- assemble the module -------------------------------------------
     out: List[str] = []
@@ -683,15 +806,24 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         emit(1, f'_f{position} = ctx["helpers"][{position}]')
     for state_id in sorted(dynamic_fns):
         emit(1, f'_t{state_id} = ctx["transitions"][{state_id}]')
+    if fusion is not None:
+        for text in fusion.prelude:
+            emit(1, text)
     emit(1, "def _run(s, max_cycles, stop, counts, tc, box):")
     for index, sig in enumerate(tracked):
         emit(2, f"v{index} = _S[{index}].value")
     emit(2, "n = 0")
     emit(2, "_nt = 0")
+    if fusion is not None:
+        for text in fusion.entry:
+            emit(2, text)
     emit(2, "try:")
     emit(3, "while n < max_cycles:")
     emit(4, "if s in stop:")
     emit(5, "break")
+    if fusion is not None:
+        for rel, text in fusion.dispatch:
+            emit(4 + rel, text)
     emit(4, "counts[s] += 1")
     emit(4, "n += 1")
     state_ids = list(range(n_states))
@@ -706,12 +838,6 @@ def _build_program(sim: Simulator) -> CompiledProgram:
     emit(1, "return _run")
     source = "\n".join(out) + "\n"
 
-    def write_oob(comp, address):
-        raise SimulationError(
-            f"{comp.name!r}: write address {address} exceeds depth "
-            f"{comp.image.depth}"
-        )
-
     namespace: Dict[str, object] = {}
     code = compile(source, f"<compiled-sim:{sim.name}>", "exec")
     exec(code, namespace)
@@ -722,7 +848,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         "comps": gen.comps,
         "helpers": gen.helpers,
         "transitions": dynamic_fns,
-        "write_oob": write_oob,
+        "write_oob": _write_oob,
     }
 
     program = CompiledProgram()
@@ -747,7 +873,99 @@ def _build_program(sim: Simulator) -> CompiledProgram:
     program.state_active_ops = state_active_ops
     program.source = source
     program._vectors = vectors
+    program.fusion = fusion.summary if fusion is not None else None
+    program.code = code
+    program.cache_payload = {
+        "kind": "kernel",
+        "names": names,
+        "n_tracked": len(tracked),
+        "mems": gen.mem_owners,
+        "comps": [c.name for c in gen.comps],
+        "helpers": gen.helper_owners,
+        "images": list({id(m.image): m.name
+                        for m in (*srams, *roms)}.values()),
+        "dynamic": sorted(dynamic_fns),
+        "eval_static": eval_static,
+        "edge_static": edge_static,
+        "active_ops": [sorted(active) for active in state_active_ops],
+        "instrumented": instrumented,
+        "fusion": program.fusion,
+        "source": source,
+    }
     return program
+
+
+def _write_oob(comp, address):
+    raise SimulationError(
+        f"{comp.name!r}: write address {address} exceeds depth "
+        f"{comp.image.depth}"
+    )
+
+
+def _program_from_cache(sim: Simulator, payload: dict,
+                        code) -> Optional[CompiledProgram]:
+    """Re-bind a cached kernel against a fresh elaboration of the same
+    design; any structural mismatch returns ``None`` (build fresh)."""
+    try:
+        facts = _analyze_design(sim)
+    except _Unsupported:
+        return None
+    try:
+        if facts.names != payload["names"]:
+            return None
+        if len(facts.tracked) != payload["n_tracked"]:
+            return None
+        if payload["instrumented"] != bool(
+                getattr(sim, "coverage_enabled", False)):
+            return None
+        by_name = sim._components
+        mems = [by_name[owner].image._words for owner in payload["mems"]]
+        comps = [by_name[owner] for owner in payload["comps"]]
+        helpers = [_make_div_helper(by_name[owner])
+                   for owner in payload["helpers"]]
+        images = [by_name[owner].image for owner in payload["images"]]
+        transition_fn = _transition_fns(facts.behavior)
+        dynamic_fns = {int(index): transition_fn(facts.names[int(index)])
+                       for index in payload["dynamic"]}
+        namespace: Dict[str, object] = {}
+        exec(code, namespace)
+        ctx = {
+            "sid": facts.sid,
+            "signals": facts.tracked,
+            "mems": mems,
+            "comps": comps,
+            "helpers": helpers,
+            "transitions": dynamic_fns,
+            "write_oob": _write_oob,
+        }
+        program = CompiledProgram()
+        program.runner = namespace["_make"](ctx)
+        program.controller = facts.controller
+        program.domain = facts.domain
+        program.names = facts.names
+        program.sid = facts.sid
+        program.n_states = len(facts.names)
+        program.control_sync = [
+            (signal, [facts.vectors[state][output] & signal.mask
+                      for state in facts.names])
+            for output, signal in facts.controller.output_signals.items()
+        ]
+        program.control_names = facts.control_signals
+        program.eval_static = list(payload["eval_static"])
+        program.edge_static = list(payload["edge_static"])
+        program.comb_components = [c for c in facts.components
+                                   if hasattr(c, "evaluate")]
+        program.images = images
+        program.component_ids = {id(c) for c in facts.components}
+        program.instrumented = payload["instrumented"]
+        program.state_active_ops = [frozenset(active)
+                                    for active in payload["active_ops"]]
+        program.source = payload["source"]
+        program._vectors = facts.vectors
+        program.fusion = payload.get("fusion")
+        return program
+    except Exception:  # noqa: BLE001 - any mismatch falls back to a build
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -763,6 +981,9 @@ class CompiledSimulator(Simulator):
     why compilation was declined, if it was.
     """
 
+    #: distinguishes kernel flavours in codegen and the kernel cache
+    _kernel_kind = "compiled"
+
     def __init__(self, name: str = "compiled-sim", **kwargs) -> None:
         super().__init__(name, **kwargs)
         self._program: Optional[CompiledProgram] = None
@@ -770,6 +991,8 @@ class CompiledSimulator(Simulator):
         self.coverage_enabled = False
         self.state_visits: Dict[str, int] = {}
         self.transition_visits: Dict[Tuple[str, str], int] = {}
+        #: structural hash set by build_simulation; keys the kernel cache
+        self.design_digest: Optional[str] = None
 
     # -- coverage -------------------------------------------------------
     def enable_coverage(self) -> None:
@@ -810,15 +1033,18 @@ class CompiledSimulator(Simulator):
     # -- program lifecycle ---------------------------------------------
     def signal(self, name: str, width: int, init: int = 0) -> Signal:
         self._invalidate_program()
+        self.design_digest = None  # structure changed after elaboration
         return super().signal(name, width, init)
 
     def _register(self, component):
         self._invalidate_program()
+        self.design_digest = None
         return super()._register(component)
 
     def clock_domain(self, name: str = "clk", period: int = 10) -> ClockDomain:
         if name not in self._domains:
             self._invalidate_program()
+            self.design_digest = None
         return super().clock_domain(name, period)
 
     def _invalidate_program(self) -> None:
@@ -828,10 +1054,38 @@ class CompiledSimulator(Simulator):
     def _ensure_program(self) -> Optional[CompiledProgram]:
         if self._program is None and self.fallback_reason is None:
             try:
-                self._program = _build_program(self)
+                self._program = self._load_or_build_program()
             except _Unsupported as exc:
                 self.fallback_reason = str(exc)
         return self._program
+
+    def _load_or_build_program(self) -> CompiledProgram:
+        """Check the persistent kernel cache before generating code.
+
+        The key covers everything codegen depends on: the structural
+        design digest, the kernel flavour, the coverage flag, the
+        codegen version and (inside the cache layer) the interpreter's
+        bytecode magic.  Designs without a digest (hand-built sims,
+        post-elaboration mutations) always build fresh.
+        """
+        from ..core.kernelcache import default_cache, digest_parts
+
+        digest = self.design_digest
+        if not digest:
+            return _build_program(self)
+        cache = default_cache()
+        key = digest_parts("kernel-v%d" % _CODEGEN_VERSION, digest,
+                           self._kernel_kind,
+                           int(bool(self.coverage_enabled)))
+        payload, code = cache.get("kernel", key)
+        if payload is not None and code is not None:
+            program = _program_from_cache(self, payload, code)
+            if program is not None:
+                return program
+        program = _build_program(self)
+        if program.cache_payload is not None and program.code is not None:
+            cache.put("kernel", key, program.cache_payload, program.code)
+        return program
 
     # -- per-call safety checks ----------------------------------------
     def _fastpath_blocked(self, program: CompiledProgram) -> Optional[str]:

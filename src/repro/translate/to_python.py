@@ -102,12 +102,17 @@ def fsm_to_python(fsm: Fsm) -> str:
 
 
 class GeneratedFsmBehavior:
-    """Wraps an exec()'d generated FSM module in the behaviour protocol."""
+    """Wraps an exec()'d generated FSM module in the behaviour protocol.
 
-    def __init__(self, source: str) -> None:
+    ``code`` lets callers supply pre-compiled bytecode for *source* (the
+    kernel cache does); when omitted the source is compiled here.
+    """
+
+    def __init__(self, source: str, code=None) -> None:
         self.source = source
         namespace: Dict[str, object] = {}
-        code = compile(source, "<generated-fsm>", "exec")
+        if code is None:
+            code = compile(source, "<generated-fsm>", "exec")
         exec(code, namespace)
         self.name: str = namespace["NAME"]  # type: ignore[assignment]
         self.reset_state: str = namespace["RESET"]  # type: ignore[assignment]
@@ -125,9 +130,36 @@ class GeneratedFsmBehavior:
         return self._next(state, env)
 
 
+#: process-level behaviour memo — GeneratedFsmBehavior instances are
+#: immutable (pure dispatch tables), so identical sources share one
+_BEHAVIOR_MEMO: Dict[str, GeneratedFsmBehavior] = {}
+
+
 def compile_fsm(fsm: Fsm) -> GeneratedFsmBehavior:
-    """Generate and load executable behaviour for *fsm*."""
-    return GeneratedFsmBehavior(fsm_to_python(fsm))
+    """Generate and load executable behaviour for *fsm*.
+
+    ``compile()`` and ``exec()`` of the generated module dominate
+    elaboration time for large FSMs, so behaviour objects are memoised
+    per process (they are stateless) and the bytecode additionally
+    persists in the kernel cache so fresh processes skip ``compile()``.
+    The memo key is the structural FSM digest — cheaper to compute than
+    regenerating the module source, which a memo hit skips entirely.
+    """
+    from ..core.kernelcache import default_cache, digest_parts, fsm_digest
+
+    key = digest_parts("fsm-module", fsm_digest(fsm))
+    behavior = _BEHAVIOR_MEMO.get(key)
+    if behavior is not None:
+        return behavior
+    source = fsm_to_python(fsm)
+    cache = default_cache()
+    _, code = cache.get("fsm", key)
+    if code is None:
+        code = compile(source, "<generated-fsm>", "exec")
+        cache.put("fsm", key, {"kind": "fsm"}, code)
+    behavior = GeneratedFsmBehavior(source, code=code)
+    _BEHAVIOR_MEMO[key] = behavior
+    return behavior
 
 
 class InterpretedFsmBehavior:

@@ -86,13 +86,10 @@ class FsmController(Sequential):
         # generated behaviours expose a per-state dispatch table; using
         # it directly saves a call per clock edge on the hot path
         self._dispatch = getattr(behavior, "transitions", None)
-        # precompute per-state drive lists
+        # per-state drive lists, built on first visit: eager construction
+        # was O(states x outputs) per elaboration, and the compiled
+        # backends only ever touch the current state's list
         self._vectors: Dict[str, List[Tuple[Signal, int]]] = {}
-        for state, vector in behavior.output_vectors.items():
-            self._vectors[state] = [
-                (output_signals[output], value)
-                for output, value in vector.items()
-            ]
         # per state-pair output *diffs*, built lazily: control lines are
         # driven only by this controller, so two consecutive Moore
         # vectors differ exactly where the signals must change — driving
@@ -101,8 +98,17 @@ class FsmController(Sequential):
         self._diffs: Dict[Tuple[str, str], List[Tuple[Signal, int]]] = {}
 
     # ------------------------------------------------------------------
+    def _vector_items(self, state: str) -> List[Tuple[Signal, int]]:
+        items = self._vectors.get(state)
+        if items is None:
+            items = [(self.output_signals[output], value)
+                     for output, value
+                     in self.behavior.output_vectors[state].items()]
+            self._vectors[state] = items
+        return items
+
     def apply_state_outputs(self, sim: Simulator) -> None:
-        for signal, value in self._vectors[self.state]:
+        for signal, value in self._vector_items(self.state):
             sim.drive(signal, value)
 
     def reset(self, sim: Simulator) -> None:
@@ -127,7 +133,7 @@ class FsmController(Sequential):
                 self._idle = True
                 self.state = self.behavior.reset_state
                 self.transitions += 1
-                for signal, value in self._vectors[self.state]:
+                for signal, value in self._vector_items(self.state):
                     sim.drive(signal, value)
                 return
         env = {name: signal.value
@@ -342,10 +348,15 @@ def build_simulation(datapath: Datapath, fsm: Fsm,
             status_signals[status.name] = existing
 
     # --- components ----------------------------------------------------
+    # group port bindings per component in one pass: the per-component
+    # filtering comprehension this replaces was O(components x ports) and
+    # dominated elaboration on large datapaths
+    ports_by_component: Dict[str, Dict[str, Signal]] = {}
+    for (component, port), signal in port_signals.items():
+        ports_by_component.setdefault(component, {})[port] = signal
     ctx = BuildContext(sim, bound_memories)
     for decl in datapath.components.values():
-        ports = {port: signal for (component, port), signal
-                 in port_signals.items() if component == decl.name}
+        ports = ports_by_component.get(decl.name, {})
         build_operator(ctx, decl.type, decl.name, ports, dict(decl.params))
 
     # --- control unit ----------------------------------------------------
@@ -363,6 +374,16 @@ def build_simulation(datapath: Datapath, fsm: Fsm,
     sim.add(controller)
     controller.apply_state_outputs(sim)
     sim.settle()
+
+    # Structural identity of what was just elaborated; the compiled and
+    # traced backends use it as the persistent kernel-cache key.  Cleared
+    # by the simulator if the design is mutated after elaboration.
+    # (Imported here: repro.core pulls in translate at import time.)
+    from ..core.kernelcache import datapath_digest, digest_parts, fsm_digest
+
+    sim.design_digest = digest_parts(
+        "design-v1", datapath_digest(datapath), fsm_digest(fsm),
+        fsm_mode, start_signal is not None)
 
     return SimDesign(sim, datapath, fsm, controller, bound_memories,
                      output_signals, status_signals)

@@ -1,4 +1,4 @@
-"""Replay every checked-in reproducer through all three backends.
+"""Replay every checked-in reproducer through all four backends.
 
 The corpus is the fuzzer's long-term memory: each file locks either a
 fixed bug (must now pass), a known-open divergence (``xfail``: must keep
@@ -41,3 +41,26 @@ def test_replay(entry):
         assert outcome.kind == "pass", (
             f"{entry.path.name} regressed: {outcome.describe()} "
             f"(recorded kind: {entry.kind})")
+
+
+def test_replay_includes_traced_backend():
+    """The default replay above must keep exercising the trace-fusing
+    kernel — dropping it from the registry would shrink the net."""
+    from repro.fuzz.harness import DEFAULT_BACKENDS
+
+    assert "traced" in DEFAULT_BACKENDS
+
+
+@pytest.mark.parametrize(
+    "entry", CORPUS,
+    ids=[entry.path.stem for entry in CORPUS])
+def test_replay_traced_only(entry):
+    """Every reproducer classifies identically when the hardware side
+    runs on the traced backend (paired with the event reference so
+    cross-backend outcome kinds stay reachable)."""
+    outcome = run_program(entry.program, input_seed=entry.input_seed,
+                          backends=("event", "traced"))
+    expected = entry.kind if entry.xfail else "pass"
+    assert outcome.kind == expected, (
+        f"{entry.path.name} classifies as {outcome.describe()} through "
+        f"the traced backend (recorded kind: {entry.kind})")

@@ -1,7 +1,8 @@
-"""Differential check: all three kernels agree on every registered app.
+"""Differential check: all four kernels agree on every registered app.
 
 The compiled backend rewrites each design into specialized straight-line
-code; the oblivious backend ignores every event-driven optimisation.
+code; the traced backend further fuses hot FSM loops into single guarded
+blocks; the oblivious backend ignores every event-driven optimisation.
 Whatever the kernel, the observable outcome — final memory contents,
 cycle counts, verification verdicts — must be bit-identical, or a kernel
 has changed the semantics it is supposed to merely accelerate.
@@ -26,6 +27,12 @@ SMALL_SIZES = {
 }
 
 BACKENDS = sorted(SIMULATOR_BACKENDS)
+
+
+def test_all_four_backends_registered():
+    """The differential net must keep covering every kernel tier; a
+    registry regression would silently shrink this whole module."""
+    assert set(BACKENDS) >= {"event", "oblivious", "compiled", "traced"}
 
 
 def _execute(design, inputs, backend):
@@ -89,3 +96,26 @@ def test_compiled_backend_actually_compiles():
         assert isinstance(sim, CompiledSimulator)
         assert sim.fallback_reason is None
         assert sim._program is not None
+
+
+def test_traced_backend_actually_fuses():
+    """Same guard for the trace-fusing tier: fdct1's MAC loop must fuse
+    (not fall back, not degenerate to the plain compiled program)."""
+    from repro.sim import TracedSimulator
+
+    case = suite_case("fdct1", **SMALL_SIZES["fdct1"])
+    design = case.compile()
+    images = prepare_images(design, case.inputs(0))
+    context = ReconfigurationContext.from_rtg(design.rtg, initial=images)
+    executor = RtgExecutor(design.rtg, context, backend="traced")
+    seen = []
+    executor.on_configure = lambda d: seen.append(d.sim)
+    executor.run()
+    assert seen, "on_configure never fired"
+    for sim in seen:
+        assert isinstance(sim, TracedSimulator)
+        assert sim.fallback_reason is None
+        report = sim.fusion_report()
+        assert report is not None and report["n_traces"] >= 1, report
+        assert any(trace["kind"] == "loop"
+                   for trace in report["traces"]), report
