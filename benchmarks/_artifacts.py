@@ -1,0 +1,48 @@
+"""One writer for the suite-bench artifact, wherever it lands.
+
+Historically ``test_bench_suite.py`` wrote the same JSON payload twice
+— ``benchmarks/out/BENCH_suite.json`` (always) and the repo-root
+``BENCH_suite.json`` (full runs only) — with two inlined ``write_text``
+calls that had already started to drift.  This module is the single
+place that knows the destinations; it also appends the payload to the
+run ledger when one is configured (``$REPRO_LEDGER`` or an explicit
+path), so bench runs build the same rolling history the regression
+sentinel (``repro obs compare``) reads.
+"""
+
+import json
+from pathlib import Path
+
+ROOT_JSON = Path(__file__).parent.parent / "BENCH_suite.json"
+OUT_JSON = Path(__file__).parent / "out" / "BENCH_suite.json"
+
+
+def write_bench_artifacts(data, *, ledger_path=None):
+    """Write the ``BENCH_suite.json`` payload everywhere it belongs.
+
+    ``benchmarks/out/`` always gets a copy; the repo-root file is only
+    refreshed by full runs (quick CI smoke numbers must never shadow
+    the committed full-size results).  Returns the list of paths
+    written.  The ledger append is best-effort provenance: an unusable
+    ledger file prints a warning instead of failing the bench.
+    """
+    text = json.dumps(data, indent=2) + "\n"
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(text)
+    written = [OUT_JSON]
+    if not data.get("quick"):
+        ROOT_JSON.write_text(text)
+        written.append(ROOT_JSON)
+
+    try:
+        from repro.obs.ledger import ledger_from_env
+
+        ledger = ledger_from_env(ledger_path)
+    except Exception as exc:  # noqa: BLE001 - provenance, never fatal
+        print(f"bench ledger unavailable: {exc}")
+        ledger = None
+    if ledger is not None:
+        with ledger:
+            ledger.record_bench(data)
+        written.append(ledger.path)
+    return written

@@ -12,14 +12,14 @@ code paths execute, but the speedup floors are not asserted (at toy
 sizes the per-case program build dominates the simulation itself).
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import pytest
 
 from repro.apps import standard_suite
+
+from _artifacts import write_bench_artifacts
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 
@@ -51,9 +51,6 @@ SIZES_QUICK = {
 }
 
 SIZES = SIZES_QUICK if QUICK else SIZES_FULL
-
-ROOT_JSON = Path(__file__).parent.parent / "BENCH_suite.json"
-OUT_JSON = Path(__file__).parent / "out" / "BENCH_suite.json"
 
 
 #: best-of-N repeats per configuration: a single-core CI host shows
@@ -143,10 +140,7 @@ def test_whole_suite_feasible(report_writer):
         },
     }
 
-    OUT_JSON.parent.mkdir(exist_ok=True)
-    OUT_JSON.write_text(json.dumps(data, indent=2) + "\n")
-    if not QUICK:
-        ROOT_JSON.write_text(json.dumps(data, indent=2) + "\n")
+    write_bench_artifacts(data)
 
     header = (f"{'case':10s} {'event sim':>10s} {'compiled sim':>13s} "
               f"{'traced sim':>11s} {'speedup':>8s} {'fusion':>7s}")

@@ -9,6 +9,7 @@ module is that invocation::
     python -m repro table1                    # print the Table I metrics
     python -m repro flow fdct1 --workdir out  # full Figure 1 flow, artifacts on disk
     python -m repro translate dp.xml --to dot # one translation backend
+    python -m repro obs compare --fail-on-regression  # regression sentinel
     python -m repro version
 
 Exit status is 0 only if everything verified/parsed cleanly, so the
@@ -18,8 +19,10 @@ command slots directly into CI for a compiler under development.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import contextmanager
+from datetime import datetime
 from pathlib import Path
 from typing import List, Optional
 
@@ -56,6 +59,10 @@ def _add_obs_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument("--coverage", action="store_true",
                          help="collect FSM state/transition and operator "
                               "activation coverage")
+    command.add_argument("--ledger", metavar="PATH", default=None,
+                         help="append this run to the SQLite run ledger "
+                              "at PATH (default: $REPRO_LEDGER when set); "
+                              "read it back with 'repro obs'")
 
 
 @contextmanager
@@ -192,6 +199,89 @@ def build_parser() -> argparse.ArgumentParser:
                         help="randomly sample this many faults")
     faults.add_argument("--limit-per-kind", type=int, default=None)
 
+    obs = sub.add_parser(
+        "obs", help="cross-run observability: query the run ledger, "
+                    "compare against baselines, render the dashboard")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _ledger_arg(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--ledger", metavar="PATH", default=None,
+                             help="ledger database (default: $REPRO_LEDGER "
+                                  "when set, else repro-ledger.sqlite)")
+
+    obs_report = obs_sub.add_parser(
+        "report", help="summarize recorded runs")
+    _ledger_arg(obs_report)
+    obs_report.add_argument("--limit", type=_positive_int, default=10,
+                            metavar="N",
+                            help="show the N most recent runs (default 10)")
+
+    obs_compare = obs_sub.add_parser(
+        "compare", help="regression sentinel: one run vs its rolling "
+                        "baseline (median + scaled-MAD noise band)")
+    _ledger_arg(obs_compare)
+    obs_compare.add_argument("--baseline", metavar="PATH", default=None,
+                             help="take baseline history from this ledger "
+                                  "instead of the run's own (e.g. the "
+                                  "committed CI baseline)")
+    obs_compare.add_argument("--run", type=int, default=None, metavar="ID",
+                             help="compare this run id (default: latest)")
+    obs_compare.add_argument("--sigma", type=float, default=3.0,
+                             help="perf noise-band width in scaled MADs "
+                                  "(default 3)")
+    obs_compare.add_argument("--min-samples", type=int, default=3,
+                             metavar="N",
+                             help="baseline points required before a key "
+                                  "is judged (default 3)")
+    obs_compare.add_argument("--min-rel", type=float, default=1.25,
+                             metavar="RATIO",
+                             help="perf findings also need current > "
+                                  "RATIO * baseline median (default 1.25)")
+    obs_compare.add_argument("--coverage-drop", type=float, default=5.0,
+                             metavar="PTS",
+                             help="flag coverage drops above PTS "
+                                  "percentage points (default 5)")
+    obs_compare.add_argument("--cache-drop", type=float, default=0.25,
+                             metavar="RATE",
+                             help="flag cache hit-rate drops above RATE "
+                                  "(default 0.25)")
+    obs_compare.add_argument("--fail-on-regression", action="store_true",
+                             help="exit 1 when any regression is flagged "
+                                  "(default: report only)")
+
+    obs_dashboard = obs_sub.add_parser(
+        "dashboard", help="render the ledger as one self-contained "
+                          "offline HTML page")
+    _ledger_arg(obs_dashboard)
+    obs_dashboard.add_argument("--output", "-o",
+                               default="repro-dashboard.html",
+                               help="output file "
+                                    "(default: repro-dashboard.html)")
+    obs_dashboard.add_argument("--history", type=_positive_int, default=30,
+                               metavar="N",
+                               help="runs per trend series (default 30)")
+    obs_dashboard.add_argument("--title", default="repro run ledger")
+
+    obs_export = obs_sub.add_parser(
+        "export", help="export ledger facts for external collectors")
+    _ledger_arg(obs_export)
+    obs_export.add_argument("--format", choices=("prom", "json"),
+                            default="prom",
+                            help="prom = Prometheus textfile collector, "
+                                 "json = recent-run dump (default: prom)")
+    obs_export.add_argument("--output", "-o", default=None,
+                            help="write here instead of stdout")
+    obs_export.add_argument("--history", type=_positive_int, default=30,
+                            metavar="N",
+                            help="runs included in the json dump "
+                                 "(default 30)")
+
+    obs_gc = obs_sub.add_parser(
+        "gc", help="drop old runs beyond a retention limit")
+    _ledger_arg(obs_gc)
+    obs_gc.add_argument("--keep", type=int, default=100, metavar="N",
+                        help="newest runs to retain (default 100)")
+
     sub.add_parser("version", help="print the library version")
     return parser
 
@@ -229,15 +319,24 @@ def _cmd_suite(args) -> int:
     suite = TestSuite("cli")
     for name in names:
         suite.add(suite_case(name, **SUITE_SIZES.get(name, {})))
+    from .obs.ledger import ledger_from_env
+
+    ledger = ledger_from_env(args.ledger)
     try:
         cache = ArtifactCache(args.cache) if args.cache else None
         with _tracing(args.trace):
             report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode,
                                backend=args.backend, jobs=args.jobs,
-                               cache=cache, coverage=coverage)
+                               cache=cache, coverage=coverage,
+                               ledger=ledger)
     except NotADirectoryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if ledger is not None:
+        print(f"ledger -> {ledger.path}")
     print(report.summary())
     print()
     print(report.metrics_table())
@@ -257,6 +356,10 @@ def _cmd_suite(args) -> int:
     if not report.passed:
         return 1
     if args.min_state_coverage is not None:
+        if report.coverage is None:
+            print("coverage gate FAILED: no coverage was collected "
+                  "(the run produced no coverage report)", file=sys.stderr)
+            return 1
         got = 100 * report.coverage.state_coverage
         if got < args.min_state_coverage:
             print(f"coverage gate FAILED: aggregate FSM state coverage "
@@ -317,6 +420,14 @@ def _cmd_flow(args) -> int:
 
         flow_metrics(report).write(args.metrics)
         print(f"metrics -> {args.metrics}")
+    from .obs.ledger import ledger_from_env
+
+    ledger = ledger_from_env(args.ledger)
+    if ledger is not None:
+        with ledger:
+            ledger.record_flow(report, app=args.case, backend=args.backend,
+                               size=case.params)
+        print(f"ledger -> {ledger.path}")
     print(f"\nartifacts in {args.workdir}/")
     return 0 if report.context.get("passed") else 1
 
@@ -372,13 +483,23 @@ def _cmd_fuzz(args) -> int:
                 status = 1
         return status
 
-    with _tracing(args.trace):
-        report = run_campaign(
-            args.iterations, seed=args.seed, jobs=args.jobs,
-            backends=backends, max_cycles=max_cycles,
-            input_seed=args.input_seed,
-            time_budget=args.time_budget, coverage=args.coverage,
-        )
+    from .obs.ledger import ledger_from_env
+
+    ledger = ledger_from_env(args.ledger)
+    try:
+        with _tracing(args.trace):
+            report = run_campaign(
+                args.iterations, seed=args.seed, jobs=args.jobs,
+                backends=backends, max_cycles=max_cycles,
+                input_seed=args.input_seed,
+                time_budget=args.time_budget, coverage=args.coverage,
+                ledger=ledger,
+            )
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if ledger is not None:
+        print(f"ledger -> {ledger.path}")
     for failure in report.failures:
         if failure.program is None:
             continue  # harness error: no program to reduce
@@ -431,6 +552,124 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _obs_report(ledger, args) -> int:
+    counts = ledger.counts()
+    if not counts:
+        print(f"ledger {ledger.path}: empty")
+        return 0
+    tally = ", ".join(f"{kind}={count}"
+                      for kind, count in sorted(counts.items()))
+    print(f"ledger {ledger.path}: {tally}")
+    for run in ledger.runs(limit=args.limit):
+        when = datetime.fromtimestamp(run.started_at) \
+            .strftime("%Y-%m-%d %H:%M:%S")
+        verdict = "PASS" if run.passed else "FAIL"
+        line = (f"  #{run.run_id} {when} [{verdict}] {run.kind} "
+                f"wall {run.wall_seconds:.2f}s")
+        if run.backend:
+            line += f" backend={run.backend}"
+        if run.jobs:
+            line += f" jobs={run.jobs}"
+        if run.git_rev:
+            line += f" rev={run.git_rev}"
+        print(line)
+    return 0
+
+
+def _obs_compare(ledger, args) -> int:
+    from .obs.ledger import Ledger
+    from .obs.regress import Thresholds, compare_run
+
+    thresholds = Thresholds(sigma=args.sigma,
+                            min_samples=args.min_samples,
+                            min_rel=args.min_rel,
+                            coverage_drop=args.coverage_drop,
+                            cache_drop=args.cache_drop)
+    baseline = None
+    if args.baseline:
+        if not Path(args.baseline).exists():
+            print(f"error: no baseline ledger at {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        baseline = Ledger(args.baseline)
+    try:
+        report = compare_run(ledger, run_id=args.run, baseline=baseline,
+                             thresholds=thresholds)
+    finally:
+        if baseline is not None:
+            baseline.close()
+    print(report.summary())
+    if report.run is None:
+        return 2
+    if report.findings and args.fail_on_regression:
+        return 1
+    return 0
+
+
+def _obs_dashboard(ledger, args) -> int:
+    from .obs.dashboard import render_dashboard
+
+    html = render_dashboard(ledger, history=args.history, title=args.title)
+    out = Path(args.output)
+    if out.parent and not out.parent.exists():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html)
+    print(f"dashboard -> {out} (self-contained; open in any browser)")
+    return 0
+
+
+def _obs_export(ledger, args) -> int:
+    from .obs.dashboard import export_json, export_prometheus
+
+    if args.format == "prom":
+        text = export_prometheus(ledger)
+    else:
+        text = export_json(ledger, history=args.history)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"export -> {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _obs_gc(ledger, args) -> int:
+    if args.keep < 0:
+        print(f"error: --keep must be >= 0, got {args.keep}",
+              file=sys.stderr)
+        return 2
+    removed = ledger.gc(keep=args.keep)
+    print(f"gc: removed {removed} run(s), kept the newest "
+          f"{args.keep} in {ledger.path}")
+    return 0
+
+
+_OBS_COMMANDS = {
+    "report": _obs_report,
+    "compare": _obs_compare,
+    "dashboard": _obs_dashboard,
+    "export": _obs_export,
+    "gc": _obs_gc,
+}
+
+
+def _cmd_obs(args) -> int:
+    from .obs.ledger import LEDGER_ENV, Ledger, LedgerError
+
+    path = args.ledger or os.environ.get(LEDGER_ENV) \
+        or "repro-ledger.sqlite"
+    if not Path(path).exists():
+        print(f"error: no ledger at {path} (record one with --ledger/"
+              f"${LEDGER_ENV} on suite/flow/fuzz runs)", file=sys.stderr)
+        return 2
+    try:
+        with Ledger(path) as ledger:
+            return _OBS_COMMANDS[args.obs_command](ledger, args)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_version(args) -> int:
     from . import __version__
 
@@ -445,6 +684,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "flow": _cmd_flow,
     "translate": _cmd_translate,
+    "obs": _cmd_obs,
     "version": _cmd_version,
 }
 

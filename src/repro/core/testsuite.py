@@ -212,7 +212,8 @@ class TestSuite:
             backend: str = "event", jobs: int = 1,
             cache: Optional[Union[ArtifactCache, str, Path]] = None,
             stop_on_failure: bool = False,
-            coverage: bool = False) -> SuiteReport:
+            coverage: bool = False,
+            ledger=None) -> SuiteReport:
         """Verify every case; one report.
 
         ``backend`` selects the simulation kernel for all cases.
@@ -226,7 +227,11 @@ class TestSuite:
         ``report.coverage``; when a trace recorder is installed
         (:func:`repro.obs.install`) every case — including pool
         workers, which inherit the recorder over ``fork`` — lands in
-        one timeline.
+        one timeline.  ``ledger`` (a :class:`repro.obs.Ledger` or a
+        path) appends one row per suite run — and one per case — after
+        the run completes; the database is only touched in the parent
+        process, after any worker pool has drained, so worker
+        concurrency never reaches SQLite.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -317,4 +322,18 @@ class TestSuite:
                     merged.merge(result.verification.coverage)
             report.coverage = merged
         report.wall_seconds = time.perf_counter() - suite_started
+
+        if ledger is not None:
+            from ..obs.ledger import Ledger
+            owns = not isinstance(ledger, Ledger)
+            sink = Ledger(ledger) if owns else ledger
+            try:
+                sink.record_suite(
+                    report, suite=self.name,
+                    sizes={case.name: dict(case.params)
+                           for case in self.cases},
+                    cache=cache)
+            finally:
+                if owns:
+                    sink.close()
         return report

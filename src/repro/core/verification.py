@@ -139,7 +139,8 @@ def verify_design(design: Design, func: Callable,
                   mismatch_limit: int = 32,
                   trace_dir=None,
                   coverage: bool = False,
-                  probe_signals: Sequence[str] = ()) -> VerificationResult:
+                  probe_signals: Sequence[str] = (),
+                  ledger=None) -> VerificationResult:
     """Run golden + simulation over identical inputs and compare memories.
 
     ``compare`` selects which memories are checked: ``"all"`` (every
@@ -156,7 +157,9 @@ def verify_design(design: Design, func: Callable,
     the run) and the ``(time, value)`` samples land in
     ``result.probe_samples``.  Note a probe is a foreign watcher to the
     compiled kernel, which then conservatively falls back to the event
-    kernel — observation costs speed, never correctness.
+    kernel — observation costs speed, never correctness.  ``ledger`` (a
+    :class:`repro.obs.Ledger` or a path) appends the result as one
+    ``verify`` row once the comparison is done.
     """
     if compare not in ("all", "outputs"):
         raise ValueError(f"compare must be 'all' or 'outputs', got {compare!r}")
@@ -213,7 +216,7 @@ def verify_design(design: Design, func: Callable,
             checks.append(MemoryCheck(name, spec.role, words=spec.depth,
                                       mismatches=mismatches))
 
-    return VerificationResult(
+    result = VerificationResult(
         design=design.name,
         checks=checks,
         cycles=rtg_result.total_cycles,
@@ -226,3 +229,13 @@ def verify_design(design: Design, func: Callable,
         coverage=collector.report if collector is not None else None,
         probe_samples=probe_samples,
     )
+    if ledger is not None:
+        from ..obs.ledger import Ledger
+        owns = not isinstance(ledger, Ledger)
+        sink = Ledger(ledger) if owns else ledger
+        try:
+            sink.record_verification(result, size=design.params)
+        finally:
+            if owns:
+                sink.close()
+    return result

@@ -287,7 +287,8 @@ def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
                  input_seed: int = 0,
                  time_budget: Optional[float] = None,
                  coverage: bool = False,
-                 on_progress=None) -> CampaignReport:
+                 on_progress=None,
+                 ledger=None) -> CampaignReport:
     """Run *iterations* differential tests; deterministic per *seed*.
 
     Case ``i`` always fuzzes generator seed ``seed + i`` regardless of
@@ -297,7 +298,10 @@ def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
     decides whether to reduce (see :func:`repro.fuzz.reduce_failure`).
     ``coverage=True`` records each program's coverage signature and
     reports the seeds that reached items no earlier seed did
-    (``report.new_coverage_seeds``).
+    (``report.new_coverage_seeds``).  ``ledger`` (a
+    :class:`repro.obs.Ledger` or a path) appends the campaign's
+    classification tallies as one ``fuzz`` row — written by the parent
+    after the pool drains, so workers never touch the database.
     """
     if iterations < 0:
         raise ValueError(f"iterations must be >= 0, got {iterations}")
@@ -350,6 +354,15 @@ def run_campaign(iterations: int, *, seed: int = 0, jobs: int = 1,
     finally:
         _WORKER_STATE = None
     report.wall_seconds = time.perf_counter() - started
+    if ledger is not None:
+        from ..obs.ledger import Ledger
+        owns = not isinstance(ledger, Ledger)
+        sink = Ledger(ledger) if owns else ledger
+        try:
+            sink.record_fuzz(report)
+        finally:
+            if owns:
+                sink.close()
     return report
 
 

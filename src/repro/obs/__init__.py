@@ -14,7 +14,13 @@ applies the same idea to the test infrastructure *itself*:
   a machine-readable ``metrics.json``;
 * :mod:`repro.obs.coverage` — functional coverage: FSM state and
   transition coverage plus datapath operator-activation coverage,
-  collected from all four simulation backends.
+  collected from all four simulation backends;
+* :mod:`repro.obs.ledger` — the cross-run half: an SQLite run ledger
+  persisting timings, coverage, cache rates and fuzz tallies per run
+  (``--ledger`` / ``$REPRO_LEDGER``), read back by
+  :mod:`repro.obs.regress` (the median+MAD regression sentinel,
+  ``repro obs compare``) and :mod:`repro.obs.dashboard` (the
+  self-contained HTML dashboard and Prometheus textfile exporter).
 
 Everything is pay-for-what-you-use: with no recorder installed,
 :func:`repro.obs.trace.span` returns a shared no-op object, and no
@@ -24,8 +30,12 @@ coverage hooks or watchers exist unless a collector is attached.
 from .coverage import (ConfigurationCoverage, CoverageCollector,
                        CoverageReport, FsmCoverage, OperatorCoverage,
                        format_coverage)
+from .dashboard import export_json, export_prometheus, render_dashboard
+from .ledger import (LEDGER_ENV, Ledger, LedgerError, SCHEMA_VERSION,
+                     ledger_from_env)
 from .metrics import (Metrics, campaign_metrics, flow_metrics, suite_metrics,
                       verification_metrics)
+from .regress import (Finding, RegressionReport, Thresholds, compare_run)
 from .trace import (Span, TraceRecorder, active_recorder, event,
                     export_chrome_trace, install, recording, span, uninstall)
 
@@ -36,4 +46,8 @@ __all__ = [
     "campaign_metrics",
     "CoverageCollector", "CoverageReport", "ConfigurationCoverage",
     "FsmCoverage", "OperatorCoverage", "format_coverage",
+    "Ledger", "LedgerError", "SCHEMA_VERSION", "LEDGER_ENV",
+    "ledger_from_env",
+    "Thresholds", "Finding", "RegressionReport", "compare_run",
+    "render_dashboard", "export_prometheus", "export_json",
 ]

@@ -34,7 +34,36 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 __all__ = ["Span", "TraceRecorder", "recording", "span", "event",
-           "active_recorder", "install", "uninstall", "export_chrome_trace"]
+           "active_recorder", "install", "uninstall", "export_chrome_trace",
+           "MAX_ATTR_CHARS"]
+
+#: per-attribute payload cap: any single span attribute whose JSON
+#: rendering exceeds this many characters is truncated before it is
+#: written, and the span gains a ``"truncated": true`` marker.  A long
+#: fuzz campaign attaches failure details (tracebacks, mismatch dumps)
+#: to its spans; uncapped, a multi-hour run can inflate the events file
+#: into a multi-hundred-MB trace no viewer will open.
+MAX_ATTR_CHARS = 1024
+
+
+def _clip_attrs(attrs: Dict[str, Any],
+                limit: int = MAX_ATTR_CHARS) -> Dict[str, Any]:
+    """Bound each attribute value's serialized size (keys are code-
+    controlled and short; values may carry arbitrary runtime data)."""
+    clipped: Optional[Dict[str, Any]] = None
+    for key, value in attrs.items():
+        try:
+            rendered = json.dumps(value, default=str)
+        except (TypeError, ValueError):
+            rendered = json.dumps(str(value))
+        if len(rendered) <= limit:
+            continue
+        if clipped is None:
+            clipped = dict(attrs)
+        text = rendered[:limit]
+        clipped[key] = f"{text}… [{len(rendered) - limit} chars dropped]"
+        clipped["truncated"] = True
+    return attrs if clipped is None else clipped
 
 
 class _NullSpan:
@@ -115,7 +144,7 @@ class TraceRecorder:
             "dur": max(end_ns - start_ns, 0) / 1000.0,
             "pid": os.getpid(),
             "tid": threading.get_ident() & 0x7FFFFFFF,
-            "args": span.attrs,
+            "args": _clip_attrs(span.attrs),
         })
 
     def instant(self, name: str, category: str = "repro",
@@ -129,7 +158,7 @@ class TraceRecorder:
             "ts": (time.monotonic_ns() - self._t0_ns) / 1000.0,
             "pid": os.getpid(),
             "tid": threading.get_ident() & 0x7FFFFFFF,
-            "args": attrs,
+            "args": _clip_attrs(attrs),
         })
 
     def _write(self, payload: Dict[str, Any]) -> None:

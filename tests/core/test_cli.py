@@ -205,3 +205,71 @@ class TestFuzzCommand:
         out = capsys.readouterr().out
         assert "[FAIL]" in out
         assert "xfail" in out
+
+
+class TestObsParser:
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["obs", "compare"])
+        assert args.ledger is None
+        assert args.baseline is None
+        assert args.run is None
+        assert args.sigma == 3.0
+        assert args.min_samples == 3
+        assert args.min_rel == 1.25
+        assert args.coverage_drop == 5.0
+        assert args.cache_drop == 0.25
+        assert not args.fail_on_regression
+
+    def test_dashboard_and_export_defaults(self):
+        args = build_parser().parse_args(["obs", "dashboard"])
+        assert args.output == "repro-dashboard.html"
+        assert args.history == 30
+        args = build_parser().parse_args(["obs", "export"])
+        assert args.format == "prom"
+        assert args.output is None
+
+    def test_export_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "export", "--format", "xml"])
+
+    def test_run_commands_take_ledger_flag(self):
+        for command in (["suite"], ["fuzz"],
+                        ["flow", "threshold"]):
+            args = build_parser().parse_args(
+                command + ["--ledger", "/tmp/l.sqlite"])
+            assert args.ledger == "/tmp/l.sqlite"
+
+
+class TestSuiteLedger:
+    def test_suite_records_a_ledger_run(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.sqlite"
+        assert main(["suite", "--case", "popcount", "--coverage",
+                     "--ledger", str(ledger)]) == 0
+        assert f"ledger -> {ledger}" in capsys.readouterr().out
+        assert main(["obs", "report", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "suite=1" in out
+
+    def test_coverage_gate_passes_with_coverage(self, capsys):
+        assert main(["suite", "--case", "popcount",
+                     "--min-state-coverage", "50"]) == 0
+        assert "coverage gate passed" in capsys.readouterr().out
+
+    def test_coverage_gate_fails_cleanly_without_coverage(
+            self, monkeypatch, capsys):
+        """A run that produced no coverage report must fail the gate
+        with a message, not crash on ``None.state_coverage``."""
+        from repro.core import testsuite as testsuite_module
+
+        def bare_run(self, **kwargs):
+            return testsuite_module.SuiteReport()  # passed, coverage=None
+
+        monkeypatch.setattr(testsuite_module.TestSuite, "run", bare_run)
+        status = main(["suite", "--case", "popcount",
+                       "--min-state-coverage", "90"])
+        assert status == 1
+        assert "no coverage" in capsys.readouterr().err

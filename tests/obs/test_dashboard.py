@@ -1,0 +1,156 @@
+"""Tests for the self-contained HTML dashboard and the exporters."""
+
+import json
+import re
+
+from repro.cli import main
+from repro.obs.dashboard import (export_json, export_prometheus,
+                                 render_dashboard)
+from repro.obs.ledger import Ledger
+
+from .test_ledger import FakeCampaignReport, FakeCoverage, FakeSuiteReport
+
+APPS = ["fdct1", "fdct2", "idct", "hamming", "fir", "matmul",
+        "threshold", "popcount"]
+
+
+def _populate(ledger, runs=3, backends=("event", "compiled")):
+    sizes = {app: {"n": 8} for app in APPS}
+    for backend in backends:
+        for index in range(runs):
+            ledger.record_suite(
+                FakeSuiteReport(APPS, backend=backend,
+                                sim=0.1 + 0.01 * index,
+                                coverage=FakeCoverage(),
+                                cache_hits=4, cache_misses=1),
+                suite="t", sizes=sizes)
+    ledger.record_fuzz(FakeCampaignReport())
+
+
+class TestDashboard:
+    def test_renders_single_offline_document(self, tmp_path):
+        """3 runs x 8 apps x 2 backends: one HTML file, no network."""
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger, runs=3)
+            html = render_dashboard(ledger)
+        assert html.lower().lstrip().startswith("<!doctype html")
+        # self-contained: styling and behavior are inline, and nothing
+        # references an external resource
+        assert "<style>" in html and "<script>" in html
+        assert not re.search(r'(?:src|href)\s*=\s*["\']\s*(?:https?:)?//',
+                             html)
+        assert "<link" not in html
+        # every app trends, both backends are listed, sparklines drawn
+        for app in APPS:
+            assert app in html
+        assert "event" in html and "compiled" in html
+        assert html.count("<svg") >= len(APPS)
+        assert "polyline" in html
+
+    def test_dashboard_has_coverage_and_fuzz_sections(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            html = render_dashboard(ledger)
+        assert "coverage" in html.lower()
+        assert "fuzz" in html.lower()
+        assert "mismatch" in html
+
+    def test_empty_ledger_still_renders(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            html = render_dashboard(ledger)
+        assert html.lower().lstrip().startswith("<!doctype html")
+
+    def test_markup_is_escaped(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_suite(
+                FakeSuiteReport(["<script>evil</script>"]),
+                suite="t", sizes={})
+            html = render_dashboard(ledger)
+        assert "<script>evil" not in html
+        assert "&lt;script&gt;evil" in html
+
+    def test_cli_writes_output_file(self, tmp_path, capsys):
+        path = tmp_path / "l.sqlite"
+        with Ledger(path) as ledger:
+            _populate(ledger)
+        out = tmp_path / "dash" / "index.html"
+        assert main(["obs", "dashboard", "--ledger", str(path),
+                     "-o", str(out)]) == 0
+        assert out.exists()
+        assert "dashboard ->" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_prometheus_format(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            text = export_prometheus(ledger)
+        assert text.endswith("\n")
+        for metric in ("repro_ledger_runs_total", "repro_run_passed",
+                       "repro_case_sim_seconds", "repro_coverage_ratio",
+                       "repro_cache_hit_rate", "repro_fuzz_outcomes_total"):
+            assert f"# TYPE {metric}" in text, metric
+        assert re.search(
+            r'repro_ledger_runs_total\{kind="suite"\} 6', text)
+        # every sample line parses as `name{labels} value`
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert re.match(r'^[a-z_]+(?:\{[^}]*\})? -?[\d.eE+-]+$', line), \
+                line
+
+    def test_json_export_parses(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            payload = json.loads(export_json(ledger))
+        assert len(payload["runs"]) == 7
+        kinds = {entry["kind"] for entry in payload["runs"]}
+        assert kinds == {"suite", "fuzz"}
+
+    def test_cli_export_to_file_and_stdout(self, tmp_path, capsys):
+        path = tmp_path / "l.sqlite"
+        with Ledger(path) as ledger:
+            _populate(ledger)
+        out = tmp_path / "metrics.prom"
+        assert main(["obs", "export", "--ledger", str(path),
+                     "-o", str(out)]) == 0
+        assert "# TYPE" in out.read_text()
+        capsys.readouterr()
+        assert main(["obs", "export", "--ledger", str(path),
+                     "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)
+
+
+class TestReportAndGcCli:
+    def test_report_lists_runs(self, tmp_path, capsys):
+        path = tmp_path / "l.sqlite"
+        with Ledger(path) as ledger:
+            _populate(ledger)
+        assert main(["obs", "report", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "suite=6" in out and "fuzz=1" in out
+        assert "[PASS]" in out
+
+    def test_gc_trims_runs(self, tmp_path, capsys):
+        path = tmp_path / "l.sqlite"
+        with Ledger(path) as ledger:
+            _populate(ledger)
+        assert main(["obs", "gc", "--ledger", str(path),
+                     "--keep", "2"]) == 0
+        assert "removed 5 run(s)" in capsys.readouterr().out
+        with Ledger(path) as ledger:
+            assert sum(ledger.counts().values()) == 2
+
+    def test_missing_ledger_exits_two(self, tmp_path, capsys):
+        assert main(["obs", "report", "--ledger",
+                     str(tmp_path / "nope.sqlite")]) == 2
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_env_variable_names_the_ledger(self, tmp_path, monkeypatch,
+                                           capsys):
+        path = tmp_path / "env.sqlite"
+        with Ledger(path) as ledger:
+            _populate(ledger, runs=1)
+        monkeypatch.setenv("REPRO_LEDGER", str(path))
+        assert main(["obs", "report"]) == 0
+        assert "suite=2" in capsys.readouterr().out

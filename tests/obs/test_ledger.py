@@ -1,0 +1,347 @@
+"""Tests for the SQLite run ledger: recording, migration, retention."""
+
+import json
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.compiler.spec import MemorySpec
+from repro.core.testsuite import SuiteCase, TestSuite
+from repro.obs.ledger import (LEDGER_ENV, Ledger, LedgerError,
+                              SCHEMA_VERSION, _size_key, ledger_from_env)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel suite requires the fork start method")
+
+
+# ----------------------------------------------------------------------
+# Synthetic report objects (the recorders are duck-typed harvesters)
+# ----------------------------------------------------------------------
+class FakeCoverage:
+    def __init__(self, state=0.9, transition=0.8, operator=0.7):
+        self.state_coverage = state
+        self.transition_coverage = transition
+        self.operator_coverage = operator
+
+
+class FakeVerification:
+    def __init__(self, sim=0.1, passed=True, coverage=None):
+        self.simulation_seconds = sim
+        self.cycles = 1234
+        self.evaluations = 9876
+        self.passed = passed
+        self.coverage = coverage
+        self.design = "fake"
+        self.backend = "event"
+        self.golden_seconds = 0.01
+        self.reconfigurations = 1
+
+
+class FakeCaseResult:
+    def __init__(self, case, sim=0.1, passed=True, cached=False):
+        self.case = case
+        self.verification = FakeVerification(sim, passed)
+        self.compile_seconds = 0.05
+        self.cached = cached
+        self.passed = passed
+
+
+class FakeSuiteReport:
+    def __init__(self, apps, backend="event", sim=0.1, coverage=None,
+                 cache_hits=0, cache_misses=0):
+        self.results = [FakeCaseResult(app, sim) for app in apps]
+        self.wall_seconds = 0.5
+        self.backend = backend
+        self.jobs = 1
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.coverage = coverage
+        self.passed = True
+        self.failures = []
+
+
+class FakeCampaignReport:
+    def __init__(self, counts=None):
+        self.iterations = 25
+        self.seed = 7
+        self.jobs = 2
+        self.wall_seconds = 3.5
+        self.counts = counts or {"pass": 24, "mismatch": 1}
+        self.passed = "mismatch" not in (counts or self.counts)
+        self.failures = [] if self.passed else [object()]
+        self.coverage_items = {"a", "b", "c"}
+        self.new_coverage_seeds = [7, 9]
+
+
+def record_suites(ledger, apps, runs=1, backend="event", sim=0.1,
+                  coverage=None):
+    sizes = {app: {"n": 8} for app in apps}
+    for _ in range(runs):
+        ledger.record_suite(FakeSuiteReport(apps, backend=backend, sim=sim,
+                                            coverage=coverage),
+                            suite="t", sizes=sizes)
+
+
+# ----------------------------------------------------------------------
+class TestRecording:
+    def test_suite_round_trip(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            record_suites(ledger, ["alpha", "beta"],
+                          coverage=FakeCoverage())
+            run = ledger.latest_run("suite")
+            assert run is not None and run.kind == "suite"
+            assert run.passed and run.python
+            assert run.extra["suite"] == "t"
+            cases = ledger.case_rows(run.run_id)
+            assert [c.app for c in cases] == ["alpha", "beta"]
+            assert all(c.sim_seconds == pytest.approx(0.1) for c in cases)
+            assert all(c.size == _size_key({"n": 8}) for c in cases)
+            cov = ledger.coverage_rows(run.run_id)
+            # per-case coverage + the merged aggregate scope
+            assert "aggregate" in {row.scope for row in cov}
+
+    def test_cache_rows_from_report_tallies(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_suite(
+                FakeSuiteReport(["a"], cache_hits=3, cache_misses=1))
+            run_id = ledger.latest_run().run_id
+            rows = {row.cache: row for row in ledger.cache_rows(run_id)}
+            assert rows["artifact"].hits == 3
+            assert rows["artifact"].hit_rate == pytest.approx(0.75)
+
+    def test_fuzz_round_trip(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_fuzz(FakeCampaignReport())
+            run = ledger.latest_run("fuzz")
+            rows = {row.kind: row.count for row in ledger.fuzz_rows(run.run_id)}
+            assert rows == {"iterations": 25, "pass": 24, "mismatch": 1}
+            assert run.extra["coverage_items"] == 3
+
+    def test_bench_round_trip(self, tmp_path):
+        data = {
+            "quick": True,
+            "sizes": {"fir": {"n_out": 64, "taps": 4}},
+            "cases": {"fir": {"event_sim_seconds": 0.2,
+                              "compiled_sim_seconds": 0.05,
+                              "traced_sim_seconds": 0.02}},
+            "suite": {"event_serial_wall_seconds": 1.5},
+        }
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_bench(data)
+            run = ledger.latest_run("bench")
+            cases = ledger.case_rows(run.run_id)
+            assert {(c.app, c.backend) for c in cases} == {
+                ("fir", "event"), ("fir", "compiled"), ("fir", "traced")}
+            assert all(c.size == _size_key({"n_out": 64, "taps": 4})
+                       for c in cases)
+
+    def test_size_key_is_order_independent(self):
+        assert _size_key({"b": 2, "a": 1}) == _size_key({"a": 1, "b": 2})
+        assert _size_key(None) == "" == _size_key({})
+
+    def test_case_history_oldest_first_and_excludes(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            for sim in (0.1, 0.2, 0.3):
+                record_suites(ledger, ["a"], sim=sim)
+            latest = ledger.latest_run().run_id
+            history = ledger.case_history("a", "event", _size_key({"n": 8}),
+                                          exclude_run=latest)
+            assert [row.sim_seconds for row in history] == \
+                [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+# ----------------------------------------------------------------------
+def _store(dst):
+    dst[0] = 1
+
+
+def _make_case(name):
+    return SuiteCase(name=name, func=_store,
+                     arrays={"dst": MemorySpec(width=8, depth=4,
+                                               role="output")})
+
+
+class TestSuiteIntegration:
+    @fork_only
+    def test_fork_pool_run_writes_one_row_per_app(self, tmp_path):
+        """jobs=4 over the fork pool: the parent harvests the merged
+        worker timings into exactly one ledger row per app."""
+        suite = TestSuite("pool")
+        apps = ["alpha", "beta", "gamma", "delta"]
+        for name in apps:
+            suite.add(_make_case(name))
+        path = tmp_path / "l.sqlite"
+        report = suite.run(jobs=4, ledger=path)
+        assert report.passed and report.jobs == 4
+        with Ledger(path) as ledger:
+            run = ledger.latest_run("suite")
+            assert run.jobs == 4
+            rows = ledger.case_rows(run.run_id)
+            assert sorted(row.app for row in rows) == sorted(apps)
+            assert len(rows) == len(apps)  # exactly one row per app
+            for row in rows:
+                assert row.passed
+                assert row.sim_seconds is not None and row.sim_seconds >= 0
+                assert row.compile_seconds is not None
+
+    def test_serial_run_accepts_open_ledger(self, tmp_path):
+        suite = TestSuite("serial")
+        suite.add(_make_case("only"))
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            suite.run(ledger=ledger)
+            suite.run(ledger=ledger)
+            assert ledger.counts() == {"suite": 2}
+
+
+# ----------------------------------------------------------------------
+_V1_DDL = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE runs (
+    run_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind         TEXT NOT NULL,
+    started_at   REAL NOT NULL,
+    wall_seconds REAL,
+    passed       INTEGER,
+    backend      TEXT,
+    jobs         INTEGER,
+    git_rev      TEXT,
+    python       TEXT,
+    hostname     TEXT,
+    extra        TEXT
+);
+CREATE TABLE case_runs (
+    id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id          INTEGER NOT NULL REFERENCES runs(run_id),
+    app             TEXT NOT NULL,
+    backend         TEXT NOT NULL,
+    size            TEXT NOT NULL DEFAULT '',
+    sim_seconds     REAL,
+    compile_seconds REAL,
+    cycles          INTEGER,
+    evaluations     INTEGER,
+    passed          INTEGER,
+    cached          INTEGER DEFAULT 0
+);
+CREATE TABLE coverage_runs (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id              INTEGER NOT NULL REFERENCES runs(run_id),
+    scope               TEXT NOT NULL,
+    state_coverage      REAL,
+    transition_coverage REAL,
+    operator_coverage   REAL
+);
+"""
+
+
+def _write_v1_ledger(path):
+    conn = sqlite3.connect(str(path))
+    conn.executescript(_V1_DDL)
+    conn.execute("INSERT INTO meta VALUES ('schema_version', '1')")
+    conn.execute(
+        "INSERT INTO runs (kind, started_at, wall_seconds, passed, backend) "
+        "VALUES ('suite', 1000.0, 2.5, 1, 'event')")
+    conn.execute(
+        "INSERT INTO case_runs (run_id, app, backend, size, sim_seconds, "
+        "passed) VALUES (1, 'fdct1', 'event', '', 0.4, 1)")
+    conn.commit()
+    conn.close()
+
+
+class TestMigration:
+    def test_v1_ledger_migrates_and_keeps_rows(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        _write_v1_ledger(path)
+        with Ledger(path) as ledger:
+            assert ledger.schema_version() == SCHEMA_VERSION
+            run = ledger.latest_run("suite")
+            assert run.wall_seconds == pytest.approx(2.5)
+            assert run.argv is None  # new column, old rows survive as NULL
+            cases = ledger.case_rows(run.run_id)
+            assert cases[0].app == "fdct1"
+            assert cases[0].sim_seconds == pytest.approx(0.4)
+            # the new v2 tables exist and accept rows
+            ledger.record_fuzz(FakeCampaignReport())
+            assert ledger.counts() == {"fuzz": 1, "suite": 1}
+
+    def test_v1_migration_is_idempotent(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        _write_v1_ledger(path)
+        Ledger(path).close()
+        with Ledger(path) as ledger:  # reopen: already at v2
+            assert ledger.schema_version() == SCHEMA_VERSION
+            assert ledger.counts() == {"suite": 1}
+
+    def test_future_schema_is_refused(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        conn.execute("INSERT INTO meta VALUES ('schema_version', '99')")
+        conn.commit()
+        conn.close()
+        with pytest.raises(LedgerError, match="newer"):
+            Ledger(path)
+
+
+# ----------------------------------------------------------------------
+class TestRetention:
+    def test_gc_keeps_newest_and_cascades(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            for _ in range(5):
+                record_suites(ledger, ["a"], coverage=FakeCoverage())
+            ledger.record_fuzz(FakeCampaignReport())
+            survivors = [run.run_id for run in ledger.runs(limit=2)]
+            assert ledger.gc(keep=2) == 4
+            remaining = [run.run_id for run in ledger.runs()]
+            assert remaining == survivors
+            # children of dropped runs are gone too
+            orphan = ledger._conn.execute(
+                "SELECT COUNT(*) FROM case_runs WHERE run_id NOT IN "
+                "(SELECT run_id FROM runs)").fetchone()[0]
+            assert orphan == 0
+
+    def test_gc_rejects_negative_keep(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            with pytest.raises(ValueError):
+                ledger.gc(keep=-1)
+
+
+class TestEnv:
+    def test_ledger_from_env_explicit_wins(self, tmp_path):
+        explicit = tmp_path / "explicit.sqlite"
+        ledger = ledger_from_env(explicit,
+                                 env={LEDGER_ENV: str(tmp_path / "env.sq")})
+        assert ledger is not None
+        assert ledger.path == explicit
+        ledger.close()
+
+    def test_ledger_from_env_reads_variable(self, tmp_path):
+        path = tmp_path / "env.sqlite"
+        ledger = ledger_from_env(env={LEDGER_ENV: str(path)})
+        assert ledger is not None and ledger.path == path
+        ledger.close()
+
+    def test_ledger_from_env_defaults_to_none(self):
+        assert ledger_from_env(env={}) is None
+
+
+class TestConcurrency:
+    def test_two_open_handles_interleave(self, tmp_path):
+        """WAL + busy_timeout: two recorders on one file both land."""
+        path = tmp_path / "l.sqlite"
+        with Ledger(path) as first, Ledger(path) as second:
+            record_suites(first, ["a"])
+            record_suites(second, ["b"])
+            record_suites(first, ["c"])
+            assert first.counts() == {"suite": 3}
+
+    def test_provenance_fields_recorded(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_suite(FakeSuiteReport(["a"]),
+                                argv=["repro", "suite", "--jobs", "2"])
+            run = ledger.latest_run()
+            assert run.argv == "repro suite --jobs 2"
+            assert run.python.count(".") == 2
+            assert json.loads(json.dumps(run.extra)) == run.extra

@@ -1,0 +1,172 @@
+"""Tests for the regression sentinel (median + MAD baselines)."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import Ledger
+from repro.obs.regress import Thresholds, compare_run, mad, median
+
+from .test_ledger import FakeCoverage, FakeSuiteReport, record_suites
+
+
+class TestStats:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad(self):
+        assert mad([1.0, 1.0, 1.0]) == 0.0
+        assert mad([1.0, 2.0, 4.0]) == 1.0
+
+
+def _seed_baseline(ledger, runs=3, sim=0.1, coverage=None,
+                   cache=(8, 2)):
+    hits, misses = cache
+    for _ in range(runs):
+        ledger.record_suite(
+            FakeSuiteReport(["alpha", "beta"], sim=sim,
+                            coverage=coverage or FakeCoverage(),
+                            cache_hits=hits, cache_misses=misses),
+            suite="t", sizes={"alpha": {"n": 8}, "beta": {"n": 8}})
+
+
+class TestCompare:
+    def test_clean_run_passes(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=4)
+            report = compare_run(ledger)
+            assert report.passed
+            assert report.checked > 0
+            assert not report.skipped
+            assert "no regressions" in report.summary()
+
+    def test_twofold_slowdown_is_flagged(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=3, sim=0.1)
+            _seed_baseline(ledger, runs=1, sim=0.2)  # 2x the median
+            report = compare_run(ledger)
+            perf = [f for f in report.findings if f.kind == "perf"]
+            assert len(perf) == 2  # both apps slowed down
+            assert all(f.ratio == pytest.approx(2.0) for f in perf)
+            assert all(f.metric == "sim_seconds" for f in perf)
+
+    def test_twenty_point_coverage_drop_is_flagged(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=3,
+                           coverage=FakeCoverage(state=0.95))
+            _seed_baseline(ledger, runs=1,
+                           coverage=FakeCoverage(state=0.75))
+            report = compare_run(ledger)
+            drops = [f for f in report.findings
+                     if f.kind == "coverage"
+                     and f.metric == "state_coverage"]
+            assert drops, report.summary()
+            assert drops[0].current == pytest.approx(0.75)
+
+    def test_cache_hit_rate_collapse_is_flagged(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=3, cache=(9, 1))     # 0.9
+            _seed_baseline(ledger, runs=1, cache=(1, 9))     # 0.1
+            report = compare_run(ledger)
+            cache = [f for f in report.findings if f.kind == "cache"]
+            assert cache and cache[0].subject == "artifact"
+
+    def test_small_jitter_stays_quiet(self, tmp_path):
+        """Within min_rel of the median: never flagged, even with a
+        degenerate (MAD=0) baseline."""
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=3, sim=0.1)
+            _seed_baseline(ledger, runs=1, sim=0.112)
+            assert compare_run(ledger).passed
+
+    def test_min_samples_floor_skips(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=2, sim=0.1)  # only 1 baseline pt
+            report = compare_run(ledger)
+            assert report.passed
+            assert "alpha/event" in report.skipped
+
+    def test_separate_baseline_ledger(self, tmp_path):
+        with Ledger(tmp_path / "base.sqlite") as base:
+            _seed_baseline(base, runs=3, sim=0.1)
+        with Ledger(tmp_path / "cur.sqlite") as current:
+            _seed_baseline(current, runs=1, sim=0.5)
+            with Ledger(tmp_path / "base.sqlite") as base:
+                report = compare_run(current, baseline=base)
+            assert not report.passed
+            assert any(f.kind == "perf" for f in report.findings)
+
+    def test_cached_rows_are_ignored(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=3, sim=0.1)
+            slow = FakeSuiteReport(["alpha"], sim=0.9)
+            slow.results[0].cached = True
+            ledger.record_suite(slow, suite="t",
+                                sizes={"alpha": {"n": 8}})
+            assert compare_run(ledger).passed
+
+    def test_empty_ledger_reports_no_run(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            report = compare_run(ledger)
+            assert report.run is None
+            assert "no runs" in report.summary()
+
+    def test_thresholds_are_respected(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=3, sim=0.1)
+            _seed_baseline(ledger, runs=1, sim=0.2)
+            lax = Thresholds(min_rel=3.0, sigma=50.0)
+            assert compare_run(ledger, thresholds=lax).passed
+
+
+class TestCompareCli:
+    def _make_regressed(self, path):
+        with Ledger(path) as ledger:
+            _seed_baseline(ledger, runs=3, sim=0.1)
+            _seed_baseline(ledger, runs=1, sim=0.25)
+
+    def test_report_only_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "l.sqlite"
+        self._make_regressed(path)
+        assert main(["obs", "compare", "--ledger", str(path)]) == 0
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_fail_on_regression_exits_one(self, tmp_path):
+        path = tmp_path / "l.sqlite"
+        self._make_regressed(path)
+        assert main(["obs", "compare", "--ledger", str(path),
+                     "--fail-on-regression"]) == 1
+
+    def test_clean_ledger_exits_zero_with_gate(self, tmp_path):
+        path = tmp_path / "l.sqlite"
+        with Ledger(path) as ledger:
+            _seed_baseline(ledger, runs=4, sim=0.1)
+        assert main(["obs", "compare", "--ledger", str(path),
+                     "--fail-on-regression"]) == 0
+
+    def test_missing_ledger_exits_two(self, tmp_path, capsys):
+        assert main(["obs", "compare", "--ledger",
+                     str(tmp_path / "absent.sqlite")]) == 2
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "l.sqlite"
+        self._make_regressed(path)
+        assert main(["obs", "compare", "--ledger", str(path),
+                     "--baseline", str(tmp_path / "absent.sqlite")]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_threshold_flags_reach_sentinel(self, tmp_path):
+        path = tmp_path / "l.sqlite"
+        self._make_regressed(path)
+        assert main(["obs", "compare", "--ledger", str(path),
+                     "--fail-on-regression",
+                     "--min-rel", "5", "--sigma", "100"]) == 0
+
+    def test_empty_ledger_exits_two(self, tmp_path):
+        with Ledger(tmp_path / "empty.sqlite"):
+            pass
+        assert main(["obs", "compare", "--ledger",
+                     str(tmp_path / "empty.sqlite")]) == 2

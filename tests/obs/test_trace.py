@@ -170,3 +170,47 @@ class TestChromeExport:
             with span("only"):
                 pass
         assert recorder.export_chrome(tmp_path / "t.json") == 1
+
+
+class TestAttrClipping:
+    def test_oversized_attr_is_truncated_and_marked(self, tmp_path):
+        from repro.obs.trace import MAX_ATTR_CHARS
+
+        path = tmp_path / "events.jsonl"
+        huge = "x" * (MAX_ATTR_CHARS * 4)
+        with recording(path):
+            with span("work", "cat", payload=huge, small="ok"):
+                pass
+        args = _lines(path)[0]["args"]
+        assert args["truncated"] is True
+        assert "chars dropped" in args["payload"]
+        assert len(args["payload"]) < MAX_ATTR_CHARS + 64
+        # neighbours are untouched
+        assert args["small"] == "ok"
+
+    def test_small_attrs_are_not_copied(self):
+        from repro.obs.trace import _clip_attrs
+
+        attrs = {"a": 1, "b": "short"}
+        assert _clip_attrs(attrs) is attrs  # copy-on-write: no clipping
+
+    def test_instant_events_are_clipped_too(self, tmp_path):
+        from repro.obs.trace import MAX_ATTR_CHARS
+
+        path = tmp_path / "events.jsonl"
+        with recording(path):
+            event("marker", blob="y" * (MAX_ATTR_CHARS * 2))
+        args = _lines(path)[0]["args"]
+        assert args["truncated"] is True
+        assert "chars dropped" in args["blob"]
+
+    def test_unserializable_value_measured_via_str(self, tmp_path):
+        from repro.obs.trace import MAX_ATTR_CHARS, _clip_attrs
+
+        class Weird:
+            def __str__(self):
+                return "w" * (MAX_ATTR_CHARS * 2)
+
+        clipped = _clip_attrs({"odd": Weird()})
+        assert clipped["truncated"] is True
+        assert "chars dropped" in clipped["odd"]

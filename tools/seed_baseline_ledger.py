@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Seed ``benchmarks/baseline_ledger.sqlite`` for the CI sentinel.
+
+The CI workflow compares each PR's quick-bench and coverage-gate runs
+against this committed ledger (``repro obs compare --baseline ...``).
+The baseline must therefore hold history for exactly the same keys
+those CI steps record:
+
+* the quick-size suite bench (``REPRO_BENCH_QUICK=1``, kind ``bench``,
+  one case row per app x event/compiled/traced backend), and
+* the CLI suite at the interactive sizes with the compiled backend and
+  coverage on (kind ``suite``, matching the coverage-gate step).
+
+Each is run ``ROUNDS`` times so the sentinel's ``min_samples`` floor
+(default 3) is met.  Timings in the committed file come from whatever
+machine ran this script — CI compensates with wide perf thresholds
+(``--sigma 8 --min-rel 25``); coverage is machine-independent and stays
+strict.
+
+Usage::
+
+    python tools/seed_baseline_ledger.py [--rounds N]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LEDGER = ROOT / "benchmarks" / "baseline_ledger.sqlite"
+
+
+def _run(cmd, env):
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, cwd=ROOT, env=env, check=True,
+                   stdout=subprocess.DEVNULL)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="runs per kind (default 3: the sentinel's "
+                             "min-sample floor)")
+    args = parser.parse_args(argv)
+
+    for stale in (LEDGER, LEDGER.with_name(LEDGER.name + "-wal"),
+                  LEDGER.with_name(LEDGER.name + "-shm")):
+        if stale.exists():
+            stale.unlink()
+
+    env = dict(os.environ)
+    env["REPRO_LEDGER"] = str(LEDGER)
+    env["REPRO_BENCH_QUICK"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+
+    for round_index in range(args.rounds):
+        print(f"--- round {round_index + 1}/{args.rounds}")
+        # the CI coverage-gate command (minus the gate itself)
+        _run([sys.executable, "-m", "repro", "suite",
+              "--backend", "compiled", "--jobs", "2", "--coverage"], env)
+        # the CI quick-bench command
+        _run([sys.executable, "-m", "pytest",
+              "benchmarks/test_bench_suite.py", "-q"], env)
+
+    subprocess.run([sys.executable, "-m", "repro", "obs", "report",
+                    "--ledger", str(LEDGER)], cwd=ROOT, env=env, check=True)
+    print(f"baseline ready: {LEDGER.relative_to(ROOT)} — commit it")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
