@@ -111,10 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME",
                        help="run only the named case(s); repeatable")
     suite.add_argument("--backend",
-                       choices=("event", "oblivious", "compiled", "traced"),
+                       choices=("event", "oblivious", "compiled", "traced",
+                                "batched"),
                        default="event",
                        help="simulation kernel (default: event; "
-                            "'traced' is fastest, see docs/performance.md)")
+                            "'traced' is fastest for one stimulus, "
+                            "'batched' amortizes over many, see "
+                            "docs/performance.md)")
+    suite.add_argument("--batch", type=_positive_int, default=1,
+                       metavar="N",
+                       help="verify N stimulus sets per case in one "
+                            "batched simulation (forces --backend "
+                            "batched; incompatible with --coverage)")
     suite.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                        help="run cases over N worker processes "
                             "(default 1: serial)")
@@ -141,7 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="artifact directory (default: repro_out)")
     flow.add_argument("--seed", type=int, default=0)
     flow.add_argument("--backend",
-                      choices=("event", "oblivious", "compiled", "traced"),
+                      choices=("event", "oblivious", "compiled", "traced",
+                               "batched"),
                       default="event",
                       help="simulation kernel (default: event)")
     _add_obs_flags(flow)
@@ -316,6 +325,12 @@ def _cmd_suite(args) -> int:
               f"known: {sorted(CASE_BUILDERS)}", file=sys.stderr)
         return 2
     coverage = args.coverage or args.min_state_coverage is not None
+    batch = args.batch if args.batch > 1 else 0
+    if batch and coverage:
+        print("error: --batch and --coverage are mutually exclusive "
+              "(batched lanes share one kernel; per-lane coverage "
+              "is not collected)", file=sys.stderr)
+        return 2
     suite = TestSuite("cli")
     for name in names:
         suite.add(suite_case(name, **SUITE_SIZES.get(name, {})))
@@ -328,7 +343,7 @@ def _cmd_suite(args) -> int:
             report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode,
                                backend=args.backend, jobs=args.jobs,
                                cache=cache, coverage=coverage,
-                               ledger=ledger)
+                               batch=batch, ledger=ledger)
     except NotADirectoryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -345,7 +360,7 @@ def _cmd_suite(args) -> int:
         print(format_coverage(report.coverage))
     if cache is not None:
         print(cache.summary())
-    if args.backend in ("compiled", "traced"):
+    if args.backend in ("compiled", "traced", "batched") or batch:
         from .core.kernelcache import default_cache
 
         print(default_cache().describe())

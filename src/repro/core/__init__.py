@@ -16,13 +16,16 @@ from .report import (ConfigurationMetrics, DesignMetrics, collect_metrics,
                      format_table)
 from .stimulus import (load_stimulus_files, ramp_image, random_words,
                        synthetic_image, write_stimulus_files)
+from .kernelcache import batch_group_key
 from .testsuite import CaseResult, SuiteCase, SuiteReport, TestSuite
-from .verification import (MemoryCheck, VerificationResult, prepare_images,
-                           verify_design)
+from .verification import (BatchVerificationResult, MemoryCheck,
+                           VerificationResult, prepare_images,
+                           verify_design, verify_design_batch)
 
 __all__ = [
     "TestInfrastructure",
     "verify_design", "VerificationResult", "MemoryCheck", "prepare_images",
+    "verify_design_batch", "BatchVerificationResult", "batch_group_key",
     "TestSuite", "SuiteCase", "SuiteReport", "CaseResult",
     "ArtifactCache",
     "Flow", "FlowStage", "FlowReport", "StageResult", "standard_flow",

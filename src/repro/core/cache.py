@@ -61,11 +61,13 @@ class ArtifactCache:
 
     # -- keys -----------------------------------------------------------
     def key_for(self, case, *, seed: int, fsm_mode: str,
-                backend: str, coverage: bool = False) -> str:
+                backend: str, coverage: bool = False,
+                batch: int = 0) -> str:
         """SHA-256 over everything that determines the case outcome."""
         material = {
             "version": _CACHE_VERSION,
             "coverage": bool(coverage),
+            "batch": int(batch),
             "name": case.name,
             "source": _function_fingerprint(case.func),
             "arrays": {

@@ -26,7 +26,8 @@ from ..obs.trace import span
 from ..util.files import MemoryImage
 from .cache import ArtifactCache
 from .report import DesignMetrics, collect_metrics, format_table
-from .verification import VerificationResult, verify_design
+from .verification import (VerificationResult, verify_design,
+                           verify_design_batch)
 
 __all__ = ["SuiteCase", "CaseResult", "SuiteReport", "TestSuite"]
 
@@ -59,6 +60,8 @@ class CaseResult:
     """Outcome of one case: verification verdict + metrics + timings."""
 
     case: str
+    #: a VerificationResult, or a BatchVerificationResult when the
+    #: suite ran in batched per-app mode (same passed/cycles surface)
     verification: Optional[VerificationResult]
     metrics: Optional[DesignMetrics]
     compile_seconds: float
@@ -119,6 +122,10 @@ class SuiteReport:
                     f"sim {v.simulation_seconds:.3f}s, "
                     f"compile {result.compile_seconds:.3f}s"
                 )
+                batch_size = getattr(v, "batch_size", None)
+                if batch_size:
+                    line += (f" (batch of {batch_size}, "
+                             f"{v.lane_seconds * 1000:.1f}ms/lane)")
                 if result.cached:
                     line += " (cached)"
                 lines.append(line)
@@ -128,7 +135,8 @@ class SuiteReport:
 
 
 def _run_case(case: SuiteCase, *, seed: int, fsm_mode: str,
-              backend: str, coverage: bool = False) -> CaseResult:
+              backend: str, coverage: bool = False,
+              batch: int = 0) -> CaseResult:
     """Compile + verify one case; never raises (errors become results)."""
     started = time.perf_counter()
     case_span = span("suite.case", "suite", case=case.name, backend=backend)
@@ -136,12 +144,26 @@ def _run_case(case: SuiteCase, *, seed: int, fsm_mode: str,
         try:
             design = case.compile()
             compile_seconds = time.perf_counter() - started
-            inputs = case.inputs(seed) if case.inputs else None
-            verification = verify_design(
-                design, case.func, inputs, fsm_mode=fsm_mode,
-                backend=backend, max_cycles=case.max_cycles,
-                coverage=coverage,
-            )
+            if batch > 1:
+                if case.inputs is None:
+                    raise ValueError(
+                        f"case {case.name!r} has no seeded stimulus "
+                        f"factory; batched mode needs one input set "
+                        f"per lane")
+                inputs_list = [case.inputs(seed + lane)
+                               for lane in range(batch)]
+                verification = verify_design_batch(
+                    design, case.func, inputs_list, fsm_mode=fsm_mode,
+                    max_cycles=case.max_cycles,
+                )
+                case_span.set("batch", batch)
+            else:
+                inputs = case.inputs(seed) if case.inputs else None
+                verification = verify_design(
+                    design, case.func, inputs, fsm_mode=fsm_mode,
+                    backend=backend, max_cycles=case.max_cycles,
+                    coverage=coverage,
+                )
             metrics = collect_metrics(
                 design,
                 simulation_seconds=verification.simulation_seconds,
@@ -177,11 +199,11 @@ def _pool_run(args) -> CaseResult:
     missing ``_ACTIVE_SUITE`` — is folded into an error
     :class:`CaseResult` carrying the original traceback text.
     """
-    index, seed, fsm_mode, backend, coverage = args
+    index, seed, fsm_mode, backend, coverage, batch = args
     try:
         return _run_case(_ACTIVE_SUITE.cases[index], seed=seed,
                          fsm_mode=fsm_mode, backend=backend,
-                         coverage=coverage)
+                         coverage=coverage, batch=batch)
     except BaseException as exc:  # noqa: BLE001 - worker boundary
         name = f"case[{index}]"
         try:
@@ -213,10 +235,17 @@ class TestSuite:
             cache: Optional[Union[ArtifactCache, str, Path]] = None,
             stop_on_failure: bool = False,
             coverage: bool = False,
+            batch: int = 0,
             ledger=None) -> SuiteReport:
         """Verify every case; one report.
 
         ``backend`` selects the simulation kernel for all cases.
+        ``batch`` > 1 verifies each case against that many stimulus
+        sets (seeds ``seed`` .. ``seed + batch - 1``) advanced in
+        lockstep through one elaboration per configuration (see
+        :func:`verify_design_batch`); a case passes only if every lane
+        passes.  Batched mode implies the batched backend and is
+        mutually exclusive with ``coverage``.
         ``jobs`` > 1 fans independent cases out over a process pool
         (requires the ``fork`` start method; falls back to serial
         elsewhere, and ``stop_on_failure`` always runs serially so the
@@ -235,6 +264,12 @@ class TestSuite:
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if batch > 1:
+            if coverage:
+                raise ValueError(
+                    "coverage collection is per-run and not supported "
+                    "in batched mode")
+            backend = "batched"
         if isinstance(cache, (str, Path)):
             cache = ArtifactCache(cache)
         report = SuiteReport(backend=backend, jobs=jobs)
@@ -246,7 +281,8 @@ class TestSuite:
         for index, case in enumerate(self.cases):
             if cache is not None:
                 key = cache.key_for(case, seed=seed, fsm_mode=fsm_mode,
-                                    backend=backend, coverage=coverage)
+                                    backend=backend, coverage=coverage,
+                                    batch=batch)
                 keys[index] = key
                 hit = cache.load(key)
                 if hit is not None:
@@ -271,7 +307,8 @@ class TestSuite:
                     workers = min(jobs, len(pending))
                     with ProcessPoolExecutor(max_workers=workers,
                                              mp_context=context) as pool:
-                        tasks = [(index, seed, fsm_mode, backend, coverage)
+                        tasks = [(index, seed, fsm_mode, backend, coverage,
+                                  batch)
                                  for index in pending]
                         try:
                             for index, result in zip(
@@ -297,7 +334,8 @@ class TestSuite:
                     slots[index] = _run_case(self.cases[index], seed=seed,
                                              fsm_mode=fsm_mode,
                                              backend=backend,
-                                             coverage=coverage)
+                                             coverage=coverage,
+                                             batch=batch)
                     if stop_on_failure and not slots[index].passed:
                         break
 

@@ -21,11 +21,13 @@ from ..golden.runner import run_golden
 from ..obs.coverage import CoverageCollector, CoverageReport
 from ..obs.trace import span
 from ..rtg.context import ReconfigurationContext
-from ..rtg.executor import RtgExecutor, RtgRunResult
+from ..rtg.executor import RtgBatchExecutor, RtgExecutor, RtgRunResult
+from ..sim.batched import BatchUnsupported
 from ..sim.probe import Probe
 from ..util.files import MemoryImage, MemoryMismatch, compare_images
 
 __all__ = ["MemoryCheck", "VerificationResult", "verify_design",
+           "BatchVerificationResult", "verify_design_batch",
            "prepare_images"]
 
 
@@ -235,6 +237,209 @@ def verify_design(design: Design, func: Callable,
         sink = Ledger(ledger) if owns else ledger
         try:
             sink.record_verification(result, size=design.params)
+        finally:
+            if owns:
+                sink.close()
+    return result
+
+
+@dataclass
+class BatchVerificationResult:
+    """One batched verification: N stimulus sets, one elaboration each
+    configuration, per-lane verdicts."""
+
+    design: str
+    backend: str
+    batch_size: int
+    #: one full :class:`VerificationResult` per stimulus set, in input
+    #: order; each lane's ``simulation_seconds`` is the amortized
+    #: per-lane share of the batch window
+    lanes: List[VerificationResult]
+    golden_seconds: float
+    #: wall-clock of the whole batch simulation, elaborations included
+    simulation_seconds: float
+    lanes_converged: float = 1.0
+    rounds: int = 0
+    elaborations: int = 0
+    #: False when the design refused the batch fast path and the lanes
+    #: ran serially (identical verdicts, no amortization)
+    batched: bool = True
+    fallback_reason: Optional[str] = None
+    #: coverage is a per-run concern; batch runs don't collect it
+    coverage: Optional[CoverageReport] = None
+
+    @property
+    def passed(self) -> bool:
+        return all(lane.passed for lane in self.lanes)
+
+    # aggregate views so recorders/metrics can treat a batch result
+    # like a plain VerificationResult
+    @property
+    def cycles(self) -> int:
+        return sum(lane.cycles for lane in self.lanes)
+
+    @property
+    def evaluations(self) -> int:
+        return sum(lane.evaluations for lane in self.lanes)
+
+    @property
+    def reconfigurations(self) -> int:
+        return sum(lane.reconfigurations for lane in self.lanes)
+
+    @property
+    def lane_seconds(self) -> float:
+        """Amortized simulation seconds per stimulus set."""
+        if not self.batch_size:
+            return 0.0
+        return self.simulation_seconds / self.batch_size
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        mode = "batched" if self.batched else \
+            f"serial fallback ({self.fallback_reason})"
+        lines = [
+            f"[{status}] {self.design}: batch of {self.batch_size} "
+            f"({mode}), sim {self.simulation_seconds:.3f}s "
+            f"({self.lane_seconds * 1000:.1f}ms/lane), "
+            f"golden {self.golden_seconds:.3f}s, "
+            f"converged {self.lanes_converged:.0%}"
+        ]
+        for index, lane in enumerate(self.lanes):
+            if not lane.passed:
+                failed = lane.failed_checks()
+                lines.append(
+                    f"  lane {index}: {len(failed)} failed check(s), "
+                    f"first: {failed[0].mismatches[0].describe(16)}")
+        return "\n".join(lines)
+
+
+def verify_design_batch(design: Design, func: Callable,
+                        inputs_list: Sequence[Mapping[str,
+                                                      Union[MemoryImage,
+                                                            Sequence[int]]]],
+                        *,
+                        compare: str = "all",
+                        fsm_mode: str = "generated",
+                        control_mode: str = "generated",
+                        max_cycles: int = 50_000_000,
+                        mismatch_limit: int = 32,
+                        ledger=None) -> BatchVerificationResult:
+    """Verify *design* against N stimulus sets with one elaboration.
+
+    Semantically equivalent to calling :func:`verify_design` once per
+    entry of *inputs_list* with ``backend="batched"`` — same golden
+    runs, same word-by-word comparisons, same verdicts — but the
+    simulation advances all sets in lockstep through a single
+    elaborated kernel (see :mod:`repro.sim.batched`), so the per-run
+    fixed costs (elaboration, codegen binding, settle, RTG dispatch)
+    are paid once per configuration instead of once per stimulus set.
+
+    Designs that cannot take the batch fast path (no Moore ``done``
+    line, foreign watchers, codegen fallback) are detected before any
+    lane runs and fall back to serial execution; the result then has
+    ``batched=False`` and carries the reason.
+    """
+    if compare not in ("all", "outputs"):
+        raise ValueError(f"compare must be 'all' or 'outputs', got {compare!r}")
+
+    array_specs = {name: spec for name, spec in design.arrays.items()
+                   if name != SPILL_MEMORY}
+    backend = "batched"
+
+    lane_base: List[Dict[str, MemoryImage]] = []
+    lane_golden: List[Dict[str, MemoryImage]] = []
+    golden_started = time.perf_counter()
+    with span("verify.golden", "verify", design=design.name,
+              batch=len(inputs_list)):
+        for inputs in inputs_list:
+            base_images = prepare_images(design, inputs)
+            golden_images = {name: image.copy()
+                             for name, image in base_images.items()
+                             if name != SPILL_MEMORY}
+            run_golden(func, array_specs, golden_images, design.params)
+            lane_base.append(base_images)
+            lane_golden.append(golden_images)
+    golden_seconds = time.perf_counter() - golden_started
+
+    contexts = [ReconfigurationContext.from_rtg(design.rtg, initial=base)
+                for base in lane_base]
+    batched = True
+    fallback_reason = None
+    started = time.perf_counter()
+    with span("verify.simulate", "verify", design=design.name,
+              backend=backend, batch=len(inputs_list)):
+        executor = RtgBatchExecutor(design.rtg, contexts,
+                                    fsm_mode=fsm_mode,
+                                    control_mode=control_mode,
+                                    max_cycles_per_configuration=max_cycles)
+        try:
+            batch_result = executor.run()
+            lane_rtg = batch_result.lanes
+            lanes_converged = batch_result.lanes_converged
+            rounds = batch_result.rounds
+            elaborations = batch_result.elaborations
+        except BatchUnsupported as exc:
+            # serial fallback: same backend class, one lane at a time
+            batched = False
+            fallback_reason = str(exc)
+            lane_rtg = []
+            for context in contexts:
+                serial = RtgExecutor(design.rtg, context,
+                                     fsm_mode=fsm_mode,
+                                     control_mode=control_mode,
+                                     backend=backend,
+                                     max_cycles_per_configuration=max_cycles)
+                lane_rtg.append(serial.run())
+            lanes_converged = 1.0
+            rounds = 0
+            elaborations = sum(len(result.runs) for result in lane_rtg)
+    simulation_seconds = time.perf_counter() - started
+    amortized = simulation_seconds / max(len(inputs_list), 1)
+
+    lanes: List[VerificationResult] = []
+    with span("verify.compare", "verify", design=design.name,
+              batch=len(inputs_list)):
+        for lane, context in enumerate(contexts):
+            checks: List[MemoryCheck] = []
+            for name, spec in array_specs.items():
+                if compare == "outputs" and spec.role != "output":
+                    continue
+                mismatches = compare_images(lane_golden[lane][name],
+                                            context.memory(name),
+                                            limit=mismatch_limit)
+                checks.append(MemoryCheck(name, spec.role, words=spec.depth,
+                                          mismatches=mismatches))
+            lanes.append(VerificationResult(
+                design=design.name,
+                checks=checks,
+                cycles=lane_rtg[lane].total_cycles,
+                reconfigurations=lane_rtg[lane].reconfigurations,
+                golden_seconds=golden_seconds / max(len(inputs_list), 1),
+                simulation_seconds=amortized,
+                rtg_result=lane_rtg[lane],
+                evaluations=lane_rtg[lane].total_evaluations,
+                backend=backend,
+            ))
+
+    result = BatchVerificationResult(
+        design=design.name,
+        backend=backend,
+        batch_size=len(inputs_list),
+        lanes=lanes,
+        golden_seconds=golden_seconds,
+        simulation_seconds=simulation_seconds,
+        lanes_converged=lanes_converged,
+        rounds=rounds,
+        elaborations=elaborations,
+        batched=batched,
+        fallback_reason=fallback_reason,
+    )
+    if ledger is not None:
+        from ..obs.ledger import Ledger
+        owns = not isinstance(ledger, Ledger)
+        sink = Ledger(ledger) if owns else ledger
+        try:
+            sink.record_batch_verification(result, size=design.params)
         finally:
             if owns:
                 sink.close()

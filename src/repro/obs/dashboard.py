@@ -41,6 +41,7 @@ _BACKEND_HUES = {
     "compiled": "#eb6834",   # orange
     "oblivious": "#eda100",  # yellow
     "traced": "#1baf7a",     # aqua
+    "batched": "#c2418f",    # magenta
 }
 _FALLBACK_HUE = "#4a3aa7"
 
@@ -252,6 +253,34 @@ def _trend_section(ledger: Ledger, history: int) -> str:
     return _legend(backends) + f'<div class="grid">{"".join(cards)}</div>'
 
 
+def _amortized_section(ledger: Ledger, history: int) -> str:
+    """Per-stimulus amortized cost of batched runs: sparklines over
+    ``lane_seconds`` (one card per app × size with batch history)."""
+    hue = _BACKEND_HUES["batched"]
+    cards = []
+    for app in ledger.apps():
+        size = ledger.latest_size(app, "batched")
+        if size is None:
+            continue
+        rows = [row for row in
+                ledger.case_history(app, "batched", size, limit=history)
+                if row.lane_seconds is not None and not row.cached]
+        if not rows:
+            continue
+        points = [(row.run_id, row.lane_seconds) for row in rows]
+        latest = rows[-1]
+        batch = latest.batch_size or 1
+        cards.append(
+            f'<div class="spark"><div class="name">'
+            f'<span><b>{_esc(app)}</b> · batch {batch}</span>'
+            f'<span>{_fmt_seconds(latest.lane_seconds)}/stim</span></div>'
+            f'{_sparkline(points, hue)}</div>')
+    if not cards:
+        return ('<p class="mut">no batched runs recorded yet '
+                '(<code>repro suite --batch N</code>)</p>')
+    return f'<div class="grid">{"".join(cards)}</div>'
+
+
 def _heatmap_section(ledger: Ledger, history: int) -> str:
     scopes = [scope for scope in ledger.coverage_scopes()
               if scope != "aggregate"]
@@ -401,6 +430,9 @@ def render_dashboard(ledger: Ledger, *, history: int = 30,
 <h2>Simulation-time trends <span class="sub">(per app × backend, at its
 latest size; hover points for values)</span></h2>
 {_trend_section(ledger, history)}
+<h2>Amortized per-stimulus cost <span class="sub">(batched runs:
+simulation seconds ÷ batch size)</span></h2>
+{_amortized_section(ledger, history)}
 <h2>Coverage heatmap <span class="sub">(FSM state coverage per scope,
 per run)</span></h2>
 {_heatmap_section(ledger, history)}
@@ -466,6 +498,7 @@ def export_prometheus(ledger: Ledger) -> str:
 
     case_samples: List[str] = []
     cycle_samples: List[str] = []
+    lane_samples: List[str] = []
     seen: set = set()
     for run in ledger.runs():
         for row in ledger.case_rows(run.run_id):
@@ -479,10 +512,16 @@ def export_prometheus(ledger: Ledger) -> str:
             if row.cycles is not None:
                 cycle_samples.append(_prom_line(
                     "repro_case_cycles", labels, row.cycles))
+            if row.lane_seconds is not None:
+                lane_samples.append(_prom_line(
+                    "repro_case_lane_seconds", labels, row.lane_seconds))
     metric("repro_case_sim_seconds", "gauge",
            "Latest simulation seconds per app and backend.", case_samples)
     metric("repro_case_cycles", "gauge",
            "Latest simulated cycles per app and backend.", cycle_samples)
+    metric("repro_case_lane_seconds", "gauge",
+           "Latest amortized per-stimulus seconds of batched runs.",
+           lane_samples)
 
     coverage_samples: List[str] = []
     for scope in ledger.coverage_scopes():

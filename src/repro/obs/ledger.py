@@ -48,7 +48,7 @@ __all__ = ["SCHEMA_VERSION", "LedgerError", "Ledger", "RunRow", "CaseRow",
            "LEDGER_ENV"]
 
 #: current on-disk schema generation (see ``_MIGRATIONS`` for history)
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: environment variable naming the ledger file recorders should append to
 LEDGER_ENV = "REPRO_LEDGER"
@@ -93,6 +93,10 @@ class CaseRow:
     evaluations: Optional[int]
     passed: bool
     cached: bool
+    #: stimulus sets advanced in lockstep (None/1 = plain serial run)
+    batch_size: Optional[int] = None
+    #: amortized simulation seconds per stimulus set in a batched run
+    lane_seconds: Optional[float] = None
 
 
 @dataclass
@@ -135,7 +139,8 @@ class FuzzRow:
 # ----------------------------------------------------------------------
 # v1 (historical): meta, runs (without argv), case_runs, coverage_runs.
 # v2: + runs.argv column, + cache_runs, + fuzz_runs.
-_SCHEMA_V2 = """
+# v3: + case_runs.batch_size, case_runs.lane_seconds (batched execution).
+_SCHEMA_V3 = """
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
@@ -165,7 +170,9 @@ CREATE TABLE IF NOT EXISTS case_runs (
     cycles          INTEGER,
     evaluations     INTEGER,
     passed          INTEGER,
-    cached          INTEGER DEFAULT 0
+    cached          INTEGER DEFAULT 0,
+    batch_size      INTEGER,
+    lane_seconds    REAL
 );
 CREATE TABLE IF NOT EXISTS coverage_runs (
     id                  INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -219,10 +226,21 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     """)
 
 
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """v2 ledgers predate batched execution's per-case batch columns."""
+    columns = {row[1]
+               for row in conn.execute("PRAGMA table_info(case_runs)")}
+    if "batch_size" not in columns:
+        conn.execute("ALTER TABLE case_runs ADD COLUMN batch_size INTEGER")
+    if "lane_seconds" not in columns:
+        conn.execute("ALTER TABLE case_runs ADD COLUMN lane_seconds REAL")
+
+
 #: migration hooks: ``_MIGRATIONS[v]`` upgrades a ledger from schema v
 #: to v+1; applied in sequence until :data:`SCHEMA_VERSION` is reached
 _MIGRATIONS = {
     1: _migrate_1_to_2,
+    2: _migrate_2_to_3,
 }
 
 
@@ -314,7 +332,7 @@ class Ledger:
             tables = {row[0] for row in conn.execute(
                 "SELECT name FROM sqlite_master WHERE type='table'")}
             if "meta" not in tables:
-                conn.executescript(_SCHEMA_V2)
+                conn.executescript(_SCHEMA_V3)
                 conn.execute(
                     "INSERT OR REPLACE INTO meta (key, value) "
                     "VALUES ('schema_version', ?)", (str(SCHEMA_VERSION),))
@@ -374,13 +392,17 @@ class Ledger:
                      compile_seconds: Optional[float] = None,
                      cycles: Optional[int] = None,
                      evaluations: Optional[int] = None,
-                     passed: bool = True, cached: bool = False) -> None:
+                     passed: bool = True, cached: bool = False,
+                     batch_size: Optional[int] = None,
+                     lane_seconds: Optional[float] = None) -> None:
         conn.execute(
             "INSERT INTO case_runs (run_id, app, backend, size, "
             "sim_seconds, compile_seconds, cycles, evaluations, passed, "
-            "cached) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "cached, batch_size, lane_seconds) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (run_id, app, backend, size, sim_seconds, compile_seconds,
-             cycles, evaluations, int(bool(passed)), int(bool(cached))))
+             cycles, evaluations, int(bool(passed)), int(bool(cached)),
+             batch_size, lane_seconds))
 
     def _insert_coverage(self, conn: sqlite3.Connection, run_id: int,
                          scope: str, coverage) -> None:
@@ -432,6 +454,9 @@ class Ledger:
                        "failures": len(report.failures)})
             for result in report.results:
                 verification = result.verification
+                # batched suite cases carry a BatchVerificationResult,
+                # which quacks like VerificationResult plus batch stats
+                batch_size = getattr(verification, "batch_size", None)
                 self._insert_case(
                     conn, run_id, result.case, report.backend,
                     _size_key(sizes.get(result.case)),
@@ -442,7 +467,10 @@ class Ledger:
                             if verification is not None else None),
                     evaluations=(verification.evaluations
                                  if verification is not None else None),
-                    passed=result.passed, cached=result.cached)
+                    passed=result.passed, cached=result.cached,
+                    batch_size=batch_size,
+                    lane_seconds=(verification.lane_seconds
+                                  if batch_size else None))
                 if verification is not None \
                         and verification.coverage is not None:
                     self._insert_coverage(conn, run_id, result.case,
@@ -482,6 +510,39 @@ class Ledger:
                 evaluations=result.evaluations, passed=result.passed)
             if result.coverage is not None:
                 self._insert_coverage(conn, run_id, app, result.coverage)
+            return run_id
+
+    def record_batch_verification(self, result, *,
+                                  app: Optional[str] = None,
+                                  size: Optional[Mapping[str, Any]] = None,
+                                  compile_seconds: Optional[float] = None,
+                                  argv: Optional[Sequence[str]] = None
+                                  ) -> int:
+        """Record one :class:`BatchVerificationResult` as a single case
+        row carrying the batch columns (total seconds in
+        ``sim_seconds``, amortized per-lane seconds in
+        ``lane_seconds``)."""
+        app = app or result.design
+        with self._conn as conn:
+            run_id = self._insert_run(
+                conn, "verify",
+                wall_seconds=result.golden_seconds
+                + result.simulation_seconds,
+                passed=result.passed, backend=result.backend, argv=argv,
+                extra={"design": result.design,
+                       "batch_size": result.batch_size,
+                       "batched": result.batched,
+                       "lanes_converged": result.lanes_converged,
+                       "elaborations": result.elaborations})
+            self._insert_case(
+                conn, run_id, app, result.backend, _size_key(size),
+                sim_seconds=result.simulation_seconds,
+                compile_seconds=compile_seconds,
+                cycles=sum(lane.cycles for lane in result.lanes),
+                evaluations=sum(lane.evaluations for lane in result.lanes),
+                passed=result.passed,
+                batch_size=result.batch_size,
+                lane_seconds=result.lane_seconds)
             return run_id
 
     def record_flow(self, report, *, app: str, backend: str = "event",
@@ -553,9 +614,19 @@ class Ledger:
                 extra={"quick": bool(data.get("quick")), "suite": suite})
             for app, case in data.get("cases", {}).items():
                 size = _size_key(sizes.get(app))
-                for backend in ("event", "compiled", "traced"):
+                for backend in ("event", "compiled", "traced", "batched"):
                     seconds = case.get(f"{backend}_sim_seconds")
-                    if seconds is not None:
+                    if seconds is None:
+                        continue
+                    if backend == "batched":
+                        # bench batched seconds are already amortized
+                        # per stimulus set
+                        self._insert_case(
+                            conn, run_id, app, backend, size,
+                            sim_seconds=float(seconds),
+                            batch_size=case.get("batch_size"),
+                            lane_seconds=float(seconds))
+                    else:
                         self._insert_case(conn, run_id, app, backend, size,
                                           sim_seconds=float(seconds))
             return run_id
@@ -634,7 +705,9 @@ class Ledger:
                        compile_seconds=row["compile_seconds"],
                        cycles=row["cycles"], evaluations=row["evaluations"],
                        passed=bool(row["passed"]),
-                       cached=bool(row["cached"]))
+                       cached=bool(row["cached"]),
+                       batch_size=row["batch_size"],
+                       lane_seconds=row["lane_seconds"])
 
     def coverage_rows(self, run_id: int) -> List[CoverageRow]:
         return [CoverageRow(run_id=row["run_id"], scope=row["scope"],

@@ -94,7 +94,9 @@ class Metrics:
 # repro.core itself imports this package)
 # ----------------------------------------------------------------------
 def verification_metrics(result) -> Metrics:
-    """Counters for one :class:`repro.core.VerificationResult`."""
+    """Counters for one :class:`repro.core.VerificationResult` (or a
+    :class:`~repro.core.BatchVerificationResult`, which additionally
+    reports batch size, convergence and amortized per-lane cost)."""
     metrics = Metrics("verification")
     metrics.set_info("design", result.design)
     metrics.set_info("backend", result.backend)
@@ -105,6 +107,22 @@ def verification_metrics(result) -> Metrics:
     metrics.inc("cycles", result.cycles)
     metrics.inc("reconfigurations", result.reconfigurations)
     metrics.inc("evaluations", result.evaluations)
+    batch_size = getattr(result, "batch_size", None)
+    if batch_size is not None:
+        metrics.set_info("batch_size", batch_size)
+        metrics.set_info("lanes_converged",
+                         round(result.lanes_converged, 4))
+        metrics.set_info("lane_seconds", round(result.lane_seconds, 6))
+        metrics.set_info("batched", result.batched)
+        metrics.inc("batch_lanes", batch_size)
+        metrics.inc("elaborations", result.elaborations)
+        metrics.inc("memories_checked",
+                    sum(len(lane.checks) for lane in result.lanes))
+        metrics.inc("mismatches",
+                    sum(len(check.mismatches)
+                        for lane in result.lanes
+                        for check in lane.checks))
+        return metrics
     metrics.inc("memories_checked", len(result.checks))
     metrics.inc("mismatches",
                 sum(len(check.mismatches) for check in result.checks))

@@ -1,7 +1,8 @@
 """Reconfiguration runtime: execute designs through their RTG."""
 
 from .context import ReconfigurationContext
-from .executor import ConfigurationRun, RtgExecutor, RtgRunResult
+from .executor import (ConfigurationRun, RtgBatchExecutor,
+                       RtgBatchRunResult, RtgExecutor, RtgRunResult)
 
 __all__ = ["ReconfigurationContext", "RtgExecutor", "RtgRunResult",
-           "ConfigurationRun"]
+           "ConfigurationRun", "RtgBatchExecutor", "RtgBatchRunResult"]

@@ -12,17 +12,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..hdl.model.rtg import ConfigurationRef, Rtg, RtgError
 from ..hdl.xmlio.datapath_xml import load_datapath
 from ..hdl.xmlio.fsm_xml import load_fsm
 from ..obs.trace import span
+from ..sim.batched import DEFAULT_QUANTUM, BatchUnsupported, LaneBatch
+from ..sim.errors import SimulationTimeout
 from ..translate.to_python import InterpretedRtgControl, compile_rtg
 from ..translate.to_sim import SimDesign, build_simulation
+from ..util.files import MemoryImage
 from .context import ReconfigurationContext
 
-__all__ = ["ConfigurationRun", "RtgRunResult", "RtgExecutor"]
+__all__ = ["ConfigurationRun", "RtgRunResult", "RtgExecutor",
+           "RtgBatchRunResult", "RtgBatchExecutor"]
 
 
 @dataclass
@@ -171,4 +175,168 @@ class RtgExecutor:
             if next_configuration is not None:
                 result.reconfigurations += 1
             current = next_configuration
+        return result
+
+
+@dataclass
+class RtgBatchRunResult:
+    """Per-lane RTG results plus batch scheduling statistics."""
+
+    lanes: List[RtgRunResult] = field(default_factory=list)
+    #: LaneBatch scheduling rounds summed over every configuration group
+    rounds: int = 0
+    converged_rounds: int = 0
+    #: elaborations performed (vs ``batch_size * runs`` for serial)
+    elaborations: int = 0
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def lanes_converged(self) -> float:
+        if not self.rounds:
+            return 1.0
+        return self.converged_rounds / self.rounds
+
+
+class RtgBatchExecutor:
+    """Executes one RTG over N reconfiguration contexts in lockstep.
+
+    Each context is an independent *lane*: its own stimulus memories,
+    its own RTG trajectory.  Lanes whose next configuration matches are
+    grouped, the configuration is elaborated **once** on scratch
+    memories, and a :class:`~repro.sim.LaneBatch` advances the whole
+    group through that one design — amortizing elaboration, codegen
+    binding and settle across the group.  Lanes whose RTG guards pick
+    different successors simply land in different groups next round, so
+    control-flow divergence costs extra elaborations, never
+    correctness.
+
+    Raises :class:`BatchUnsupported` before any lane state changes if
+    the design cannot take the batch fast path; callers fall back to
+    serial :class:`RtgExecutor` runs with identical semantics.
+    """
+
+    def __init__(self, rtg: Rtg,
+                 contexts: Sequence[ReconfigurationContext],
+                 *,
+                 base_dir: Optional[Union[str, Path]] = None,
+                 fsm_mode: str = "generated",
+                 control_mode: str = "generated",
+                 max_cycles_per_configuration: int = 50_000_000,
+                 max_reconfigurations: int = 10_000,
+                 quantum: int = DEFAULT_QUANTUM) -> None:
+        rtg.validate()
+        self.rtg = rtg
+        self.contexts = list(contexts)
+        self.base_dir = Path(base_dir) if base_dir is not None else None
+        self.fsm_mode = fsm_mode
+        self.backend = "batched"
+        self.max_cycles = max_cycles_per_configuration
+        self.max_reconfigurations = max_reconfigurations
+        self.quantum = quantum
+        if control_mode == "generated":
+            self.control = compile_rtg(rtg)
+        elif control_mode == "interpreted":
+            self.control = InterpretedRtgControl(rtg)
+        else:
+            raise ValueError(
+                f"control_mode must be 'generated' or 'interpreted', "
+                f"got {control_mode!r}"
+            )
+        #: observer hook: called with each group's live SimDesign
+        self.on_configure = None
+
+    def _resolve(self, ref: ConfigurationRef):
+        datapath = ref.datapath
+        fsm = ref.fsm
+        if datapath is None or fsm is None:
+            if self.base_dir is None:
+                raise RtgError(
+                    f"configuration {ref.name!r} has no attached design "
+                    f"and no base_dir to load XML from"
+                )
+            datapath = datapath or load_datapath(
+                self.base_dir / ref.datapath_file)
+            fsm = fsm or load_fsm(self.base_dir / ref.fsm_file)
+        return datapath, fsm
+
+    def run(self) -> RtgBatchRunResult:
+        result = RtgBatchRunResult(
+            lanes=[RtgRunResult() for _ in self.contexts])
+        current: List[Optional[str]] = [self.control.start] * len(
+            self.contexts)
+        while True:
+            groups: Dict[str, List[int]] = {}
+            for lane, name in enumerate(current):
+                if name is not None:
+                    groups.setdefault(name, []).append(lane)
+            if not groups:
+                break
+            for name in sorted(groups):
+                lanes = groups[name]
+                for lane in lanes:
+                    if len(result.lanes[lane].runs) > \
+                            self.max_reconfigurations:
+                        raise RtgError(
+                            f"lane {lane} exceeded "
+                            f"{self.max_reconfigurations} "
+                            f"reconfigurations — runaway RTG?"
+                        )
+                ref = self.rtg.configurations[name]
+                datapath, fsm = self._resolve(ref)
+                # scratch images: LaneBatch swaps each lane's words in
+                # and out of these, so the contexts keep ownership
+                scratch = {mem_name: MemoryImage(decl.width, decl.depth,
+                                                 name=mem_name)
+                           for mem_name, decl in self.rtg.memories.items()}
+                with span("rtg.configure", "rtg", configuration=name,
+                          batch=len(lanes)):
+                    design = build_simulation(
+                        datapath, fsm, memories=scratch,
+                        fsm_mode=self.fsm_mode, backend=self.backend)
+                result.elaborations += 1
+                if self.on_configure is not None:
+                    self.on_configure(design)
+                done = design.done_signal
+                if done is None:
+                    raise BatchUnsupported(
+                        f"configuration {name!r} has no done output")
+                batch = LaneBatch(
+                    design.sim, done, design.memories,
+                    [self.contexts[lane].memories for lane in lanes],
+                    sample_signals=design.output_signals,
+                    quantum=self.quantum)
+                simulate = span("rtg.simulate", "rtg", configuration=name,
+                                backend=self.backend, batch=len(lanes))
+                try:
+                    with simulate:
+                        report = batch.run(max_cycles=self.max_cycles)
+                        simulate.set("cycles", sum(report.cycles))
+                finally:
+                    design.release()
+                result.rounds += report.rounds
+                result.converged_rounds += report.converged_rounds
+                for slot, lane in enumerate(lanes):
+                    if report.timed_out[slot]:
+                        raise SimulationTimeout(
+                            f"lane {lane} did not assert done within "
+                            f"{self.max_cycles} cycles in configuration "
+                            f"{name!r}")
+                    stats = {"evaluations": report.evaluations[slot],
+                             "fsm_transitions": report.transitions[slot]}
+                    result.lanes[lane].runs.append(ConfigurationRun(
+                        configuration=name,
+                        cycles=report.cycles[slot],
+                        evaluations=report.evaluations[slot],
+                        final_state=report.final_states[slot],
+                        stats=stats,
+                    ))
+                    env = report.samples[slot]
+                    next_configuration = self.control.next_configuration(
+                        name, env)
+                    if next_configuration is not None:
+                        result.lanes[lane].reconfigurations += 1
+                    current[lane] = next_configuration
         return result

@@ -6,6 +6,8 @@ Public surface:
 * :class:`ObliviousSimulator` — evaluate-everything reference kernel
 * :class:`CompiledSimulator` — levelized, per-state-specialized kernel
 * :class:`TracedSimulator` — compiled kernel + hot FSM-loop trace fusion
+* :class:`BatchedSimulator` / :class:`LaneBatch` — N stimulus sets in
+  lockstep through one fused kernel (struct-of-arrays lane state)
 * :data:`SIMULATOR_BACKENDS` / :func:`create_simulator` — select by name
 * :class:`Signal`, :class:`Combinational`, :class:`Sequential`,
   :class:`ClockDomain` — the structural model
@@ -27,6 +29,8 @@ from .vcd import VcdWriter
 # imports sim submodules — keep this import last so those are complete
 from .compiled import CompiledSimulator
 from .trace import TracedSimulator
+from .batched import (BatchedSimulator, BatchReport, BatchUnsupported,
+                      LaneBatch)
 from .backends import SIMULATOR_BACKENDS, create_simulator
 
 __all__ = [
@@ -34,6 +38,10 @@ __all__ = [
     "ObliviousSimulator",
     "CompiledSimulator",
     "TracedSimulator",
+    "BatchedSimulator",
+    "BatchReport",
+    "BatchUnsupported",
+    "LaneBatch",
     "SIMULATOR_BACKENDS",
     "create_simulator",
     "levelize",

@@ -759,9 +759,9 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         state_ir.append(ir)
         eval_static[index] = len(live_ops)
 
-    # --- trace fusion (traced backend only) ----------------------------
+    # --- trace fusion (traced and batched backends) --------------------
     fusion = None
-    if getattr(sim, "_kernel_kind", "compiled") == "traced":
+    if getattr(sim, "_kernel_kind", "compiled") in ("traced", "batched"):
         from .trace import build_fusion  # sibling module imports us back
 
         fusion = build_fusion(

@@ -35,7 +35,8 @@ def _make_case(name, inputs=None):
 
 @fork_only
 def test_worker_exception_keeps_original_traceback(monkeypatch):
-    def kapow(case, *, seed, fsm_mode, backend, coverage=False):
+    def kapow(case, *, seed, fsm_mode, backend, coverage=False,
+              batch=0):
         raise ValueError("kapow from the worker")
 
     # fork workers inherit the patched module state from the parent
@@ -75,7 +76,7 @@ def test_pool_run_survives_broken_suite_state(monkeypatch):
     # even harness-level failures (no active suite) must come back as
     # error results, not exceptions that would poison the pool protocol
     monkeypatch.setattr(testsuite_module, "_ACTIVE_SUITE", None)
-    result = _pool_run((3, 0, "generated", "event", False))
+    result = _pool_run((3, 0, "generated", "event", False, 0))
     assert isinstance(result, CaseResult)
     assert result.case == "case[3]"
     assert "AttributeError" in result.error or "NoneType" in result.error

@@ -1,8 +1,10 @@
-"""Differential check: all four kernels agree on every registered app.
+"""Differential check: every kernel agrees on every registered app.
 
 The compiled backend rewrites each design into specialized straight-line
 code; the traced backend further fuses hot FSM loops into single guarded
-blocks; the oblivious backend ignores every event-driven optimisation.
+blocks; the batched backend reuses those fused kernels to advance many
+stimulus sets in lockstep (here it runs single-stimulus, as one lane);
+the oblivious backend ignores every event-driven optimisation.
 Whatever the kernel, the observable outcome — final memory contents,
 cycle counts, verification verdicts — must be bit-identical, or a kernel
 has changed the semantics it is supposed to merely accelerate.
@@ -29,10 +31,11 @@ SMALL_SIZES = {
 BACKENDS = sorted(SIMULATOR_BACKENDS)
 
 
-def test_all_four_backends_registered():
+def test_all_backends_registered():
     """The differential net must keep covering every kernel tier; a
     registry regression would silently shrink this whole module."""
-    assert set(BACKENDS) >= {"event", "oblivious", "compiled", "traced"}
+    assert set(BACKENDS) >= {"event", "oblivious", "compiled", "traced",
+                             "batched"}
 
 
 def _execute(design, inputs, backend):

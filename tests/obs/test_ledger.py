@@ -249,6 +249,40 @@ def _write_v1_ledger(path):
     conn.close()
 
 
+_V2_EXTRA_DDL = """
+ALTER TABLE runs ADD COLUMN argv TEXT;
+CREATE TABLE cache_runs (
+    id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    cache  TEXT NOT NULL,
+    hits   INTEGER NOT NULL,
+    misses INTEGER NOT NULL
+);
+CREATE TABLE fuzz_runs (
+    id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id INTEGER NOT NULL REFERENCES runs(run_id),
+    kind   TEXT NOT NULL,
+    count  INTEGER NOT NULL
+);
+"""
+
+
+def _write_v2_ledger(path):
+    """A ledger exactly as a v2 build would leave it: v1 tables plus
+    the v2 additions, no batch columns."""
+    conn = sqlite3.connect(str(path))
+    conn.executescript(_V1_DDL + _V2_EXTRA_DDL)
+    conn.execute("INSERT INTO meta VALUES ('schema_version', '2')")
+    conn.execute(
+        "INSERT INTO runs (kind, started_at, wall_seconds, passed, backend) "
+        "VALUES ('suite', 2000.0, 1.5, 1, 'traced')")
+    conn.execute(
+        "INSERT INTO case_runs (run_id, app, backend, size, sim_seconds, "
+        "passed) VALUES (1, 'fir', 'traced', '', 0.2, 1)")
+    conn.commit()
+    conn.close()
+
+
 class TestMigration:
     def test_v1_ledger_migrates_and_keeps_rows(self, tmp_path):
         path = tmp_path / "old.sqlite"
@@ -270,6 +304,37 @@ class TestMigration:
         _write_v1_ledger(path)
         Ledger(path).close()
         with Ledger(path) as ledger:  # reopen: already at v2
+            assert ledger.schema_version() == SCHEMA_VERSION
+            assert ledger.counts() == {"suite": 1}
+
+    def test_v2_ledger_migrates_and_keeps_rows(self, tmp_path):
+        path = tmp_path / "v2.sqlite"
+        _write_v2_ledger(path)
+        with Ledger(path) as ledger:
+            assert ledger.schema_version() == SCHEMA_VERSION
+            run = ledger.latest_run("suite")
+            assert run.wall_seconds == pytest.approx(1.5)
+            cases = ledger.case_rows(run.run_id)
+            assert cases[0].app == "fir"
+            assert cases[0].sim_seconds == pytest.approx(0.2)
+            # pre-batch rows surface the new columns as NULL
+            assert cases[0].batch_size is None
+            assert cases[0].lane_seconds is None
+            # and the upgraded table accepts batched rows
+            ledger._conn.execute(
+                "INSERT INTO case_runs (run_id, app, backend, size, "
+                "sim_seconds, passed, batch_size, lane_seconds) "
+                "VALUES (1, 'fdct1', 'batched', '', 0.8, 1, 64, 0.0125)")
+            ledger._conn.commit()
+            rows = {row.app: row for row in ledger.case_rows(run.run_id)}
+            assert rows["fdct1"].batch_size == 64
+            assert rows["fdct1"].lane_seconds == pytest.approx(0.0125)
+
+    def test_v2_migration_is_idempotent(self, tmp_path):
+        path = tmp_path / "v2.sqlite"
+        _write_v2_ledger(path)
+        Ledger(path).close()
+        with Ledger(path) as ledger:  # reopen: already at v3
             assert ledger.schema_version() == SCHEMA_VERSION
             assert ledger.counts() == {"suite": 1}
 
