@@ -6,6 +6,8 @@ module is that invocation::
 
     python -m repro suite                     # verify every benchmark
     python -m repro fuzz -n 200 --jobs 2      # differential compiler fuzzing
+    python -m repro campaign fdct1 -n 1000 --jobs 4  # hardware fault injection
+    python -m repro inject fdct1 --replay hang.json  # replay one fault
     python -m repro table1                    # print the Table I metrics
     python -m repro flow fdct1 --workdir out  # full Figure 1 flow, artifacts on disk
     python -m repro translate dp.xml --to dot # one translation backend
@@ -207,6 +209,76 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--sample", type=int,
                         help="randomly sample this many faults")
     faults.add_argument("--limit-per-kind", type=int, default=None)
+
+    inject = sub.add_parser(
+        "inject", help="arm one hardware fault (bit-flip, stuck-at, "
+                       "memory upset) and classify the run against "
+                       "golden")
+    inject.add_argument("case", help="benchmark name (single-"
+                                     "configuration cases only)")
+    inject.add_argument("--replay", metavar="FILE", default=None,
+                        help="replay fault descriptor(s) from a "
+                             "faultload JSON file (e.g. a hang "
+                             "reproducer uploaded by CI) instead of "
+                             "drawing one")
+    inject.add_argument("--kind", choices=("stuck", "reg_flip", "mem_flip"),
+                        default="stuck",
+                        help="fault kind to draw (default: stuck)")
+    inject.add_argument("--seed", type=int, default=0,
+                        help="faultload + stimulus seed (default 0)")
+    inject.add_argument("--backend",
+                        choices=("event", "compiled", "traced"),
+                        default="compiled",
+                        help="simulation kernel (default: compiled)")
+    inject.add_argument("--max-cycles", type=_positive_int,
+                        default=2_000_000,
+                        help="hang budget in cycles (default 2000000)")
+    inject.add_argument("--save", metavar="FILE", default=None,
+                        help="also write the descriptor(s) as a "
+                             "replayable faultload JSON file")
+
+    campaign = sub.add_parser(
+        "campaign", help="fault-injection campaign: fan a seeded "
+                         "faultload out, tally masked/sdc/hang/crash")
+    campaign.add_argument("case", help="benchmark name (single-"
+                                       "configuration cases only)")
+    campaign.add_argument("--faults", "-n", type=_positive_int, default=200,
+                          help="faultload size (default 200)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="faultload + stimulus seed (default 0)")
+    campaign.add_argument("--jobs", type=_positive_int, default=1,
+                          metavar="N",
+                          help="fan injections over N worker processes "
+                               "(default 1: serial)")
+    campaign.add_argument("--backend",
+                          choices=("event", "compiled", "traced",
+                                   "batched"),
+                          default="compiled",
+                          help="simulation kernel (default: compiled; "
+                               "'batched' groups mem_flip faults into "
+                               "lockstep lanes)")
+    campaign.add_argument("--kinds", metavar="LIST", default=None,
+                          help="comma-separated fault kinds to draw "
+                               "(default: stuck,reg_flip,mem_flip)")
+    campaign.add_argument("--hang-factor", type=_positive_int, default=4,
+                          help="hang budget = baseline cycles x this "
+                               "(default 4)")
+    campaign.add_argument("--time-budget", type=float, default=None,
+                          metavar="SECONDS",
+                          help="stop scheduling injections after this "
+                               "many seconds (the nightly CI job)")
+    campaign.add_argument("--faultload", metavar="FILE", default=None,
+                          help="replay this saved faultload instead of "
+                               "generating one")
+    campaign.add_argument("--save-faultload", metavar="FILE", default=None,
+                          help="write the generated faultload here")
+    campaign.add_argument("--save-hangs", metavar="FILE", default=None,
+                          help="write hang reproducer descriptors here "
+                               "(only when hangs occurred)")
+    campaign.add_argument("--ledger", metavar="PATH", default=None,
+                          help="append this campaign to the SQLite run "
+                               "ledger at PATH (default: $REPRO_LEDGER "
+                               "when set)")
 
     obs = sub.add_parser(
         "obs", help="cross-run observability: query the run ledger, "
@@ -567,6 +639,134 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _compile_injectable(case_name: str, seed: int):
+    """Shared by inject/campaign: (case, design, inputs) or an error."""
+    from .apps import CASE_BUILDERS, suite_case
+
+    if case_name not in CASE_BUILDERS:
+        print(f"error: unknown case {case_name!r}; "
+              f"known: {sorted(CASE_BUILDERS)}", file=sys.stderr)
+        return None
+    case = suite_case(case_name, **SUITE_SIZES.get(case_name, {}))
+    design = case.compile()
+    if design.multi_configuration:
+        print(f"error: {case_name} compiles to multiple configurations; "
+              f"fault injection needs a single one", file=sys.stderr)
+        return None
+    return case, design, case.inputs(seed) if case.inputs else None
+
+
+def _cmd_inject(args) -> int:
+    from .inject import (FaultloadGenerator, load_faultload, run_injection,
+                         save_faultload)
+
+    compiled = _compile_injectable(args.case, args.seed)
+    if compiled is None:
+        return 2
+    case, design, inputs = compiled
+
+    if args.replay:
+        if not Path(args.replay).exists():
+            print(f"error: no faultload at {args.replay}", file=sys.stderr)
+            return 2
+        faults = load_faultload(args.replay)
+    else:
+        # size the upset window from the fault-free run, so transient
+        # flips land while the design is live
+        baseline = run_injection(design, case.func, None, inputs,
+                                 backend=args.backend,
+                                 max_cycles=args.max_cycles)
+        if baseline.verdict != "masked":
+            print(f"error: fault-free baseline classifies as "
+                  f"{baseline.verdict!r} ({baseline.note})",
+                  file=sys.stderr)
+            return 1
+        generator = FaultloadGenerator(design, seed=args.seed,
+                                       max_cycle=baseline.cycles)
+        faults = generator.generate(1, kinds=(args.kind,))
+
+    for fault in faults:
+        result = run_injection(design, case.func, fault, inputs,
+                               backend=args.backend,
+                               max_cycles=args.max_cycles)
+        line = (f"[{result.verdict.upper()}] {fault.describe()} "
+                f"(mechanism {result.mechanism}, {result.cycles} cycles, "
+                f"{result.seconds:.3f}s)")
+        if result.note:
+            line += f"\n  {result.note}"
+        print(line)
+    if args.save:
+        path = save_faultload(faults, args.save)
+        print(f"faultload -> {path}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .inject import (FaultloadGenerator, load_faultload, run_campaign,
+                         run_injection, save_faultload)
+    from .inject.faultload import FAULT_KINDS
+    from .obs.ledger import ledger_from_env
+
+    compiled = _compile_injectable(args.case, args.seed)
+    if compiled is None:
+        return 2
+    case, design, inputs = compiled
+
+    if args.faultload:
+        if not Path(args.faultload).exists():
+            print(f"error: no faultload at {args.faultload}",
+                  file=sys.stderr)
+            return 2
+        faults = load_faultload(args.faultload)
+    else:
+        kinds = FAULT_KINDS
+        if args.kinds:
+            kinds = tuple(name.strip() for name in args.kinds.split(",")
+                          if name.strip())
+            unknown = [name for name in kinds if name not in FAULT_KINDS]
+            if unknown:
+                print(f"error: unknown fault kind(s) {unknown}; "
+                      f"known: {list(FAULT_KINDS)}", file=sys.stderr)
+                return 2
+        probe = run_injection(design, case.func, None, inputs,
+                              backend=args.backend
+                              if args.backend != "batched" else "compiled")
+        if probe.verdict != "masked":
+            print(f"error: fault-free baseline classifies as "
+                  f"{probe.verdict!r} ({probe.note})", file=sys.stderr)
+            return 1
+        generator = FaultloadGenerator(design, seed=args.seed,
+                                       max_cycle=probe.cycles)
+        faults = generator.generate(args.faults, kinds=kinds)
+
+    ledger = ledger_from_env(args.ledger)
+    try:
+        report = run_campaign(design, case.func, faults, inputs,
+                              app=args.case, backend=args.backend,
+                              jobs=args.jobs, seed=args.seed,
+                              hang_factor=args.hang_factor,
+                              time_budget=args.time_budget,
+                              ledger=ledger)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if ledger is not None:
+        print(f"ledger -> {ledger.path}")
+    print(report.summary())
+    if args.save_faultload:
+        path = save_faultload(faults, args.save_faultload)
+        print(f"faultload -> {path}")
+    hangs = report.hang_reproducers
+    if args.save_hangs and hangs:
+        path = save_faultload(hangs, args.save_hangs)
+        print(f"{len(hangs)} hang reproducer(s) -> {path} "
+              f"(replay with 'repro inject {args.case} --replay {path}')")
+    return 0
+
+
 def _obs_report(ledger, args) -> int:
     counts = ledger.counts()
     if not counts:
@@ -696,6 +896,8 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "fuzz": _cmd_fuzz,
     "faults": _cmd_faults,
+    "inject": _cmd_inject,
+    "campaign": _cmd_campaign,
     "table1": _cmd_table1,
     "flow": _cmd_flow,
     "translate": _cmd_translate,

@@ -1,0 +1,37 @@
+"""Simulation-based fault injection (SBFI) over compiled designs.
+
+Where :mod:`repro.core.faults` qualifies the *infrastructure* by
+injecting compiler-bug-shaped mutations into the design description,
+this package injects *hardware-fault-shaped* upsets into the running
+simulation — bit-flips in registers and memory words, stuck-at lines,
+transient upsets pinned to an FSM state — and classifies each run
+against the golden software execution as ``masked``, ``sdc`` (silent
+data corruption), ``hang`` (cycle-budget timeout) or ``crash``.
+
+The three layers:
+
+* :mod:`~repro.inject.faultload` — seeded, reproducible fault
+  descriptors enumerated from a compiled design, serialisable to JSON
+  for replay;
+* :mod:`~repro.inject.hooks` — how a descriptor takes effect in a
+  simulator: compiled/traced kernels regenerate with forcing/flip
+  lines (mirroring coverage instrumentation), the event kernel uses
+  signal watchers and post-settle cycle hooks;
+* :mod:`~repro.inject.campaign` — fans a faultload across the fork
+  pool, tallies verdicts, and records per-fault rows into the run
+  ledger (schema v4) and the dashboard.
+"""
+
+from .campaign import (CampaignReport, InjectionResult, run_campaign,
+                       run_injection)
+from .faultload import (FaultDescriptor, FaultloadGenerator,
+                        load_faultload, output_adjacent_nets,
+                        save_faultload)
+from .hooks import attach_fault, kernel_spec
+
+__all__ = [
+    "FaultDescriptor", "FaultloadGenerator", "load_faultload",
+    "save_faultload", "output_adjacent_nets",
+    "attach_fault", "kernel_spec",
+    "InjectionResult", "CampaignReport", "run_injection", "run_campaign",
+]

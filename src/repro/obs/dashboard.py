@@ -12,7 +12,9 @@ machine, or ``file://``.  Sections:
   a quick-smoke point into a full-size series would be a lie);
 * a coverage heatmap (scopes × runs, single-hue sequential ramp);
 * the backend speedup table of the latest bench run;
-* fuzz campaign history.
+* fuzz campaign history;
+* fault-injection campaigns: verdict tallies per campaign plus the
+  fault-coverage table (fault kind × verdict) of the latest one.
 
 ``export_prometheus`` writes the same latest-run facts in the
 Prometheus *textfile collector* format, so an external scraper can
@@ -193,7 +195,7 @@ def _tiles(ledger: Ledger) -> str:
     total = sum(counts.values())
     tiles = [f'<div class="tile"><div class="v">{total}</div>'
              f'<div class="k">runs recorded</div></div>']
-    for kind in ("suite", "bench", "fuzz", "flow", "verify"):
+    for kind in ("suite", "bench", "fuzz", "inject", "flow", "verify"):
         if counts.get(kind):
             tiles.append(
                 f'<div class="tile"><div class="v">{counts[kind]}</div>'
@@ -384,6 +386,65 @@ def _fuzz_section(ledger: Ledger, history: int) -> str:
             f'<tbody>{"".join(body)}</tbody></table>')
 
 
+#: verdict display order and hues for fault-injection campaigns
+_VERDICTS = ("masked", "sdc", "hang", "crash")
+
+
+def _inject_section(ledger: Ledger, history: int) -> str:
+    runs = ledger.runs(kind="inject", limit=history)
+    if not runs:
+        return ('<p class="mut">no fault-injection campaigns recorded '
+                'yet (<code>repro campaign</code>)</p>')
+    body = []
+    for run in runs:
+        verdicts = run.extra.get("verdicts", {})
+        if not verdicts:  # recorded by an older CLI: tally the rows
+            verdicts = {}
+            for row in ledger.fault_rows(run.run_id):
+                if row.kind != "none":
+                    verdicts[row.verdict] = \
+                        verdicts.get(row.verdict, 0) + 1
+        cells = "".join(f"<td>{verdicts.get(verdict, 0)}</td>"
+                        for verdict in _VERDICTS)
+        body.append(
+            f"<tr><td>#{run.run_id} "
+            f'<span class="mut">{_fmt_when(run.started_at)}</span></td>'
+            f"<td>{_esc(run.extra.get('app', '—'))}</td>"
+            f"<td>{_esc(run.backend or '—')}</td>"
+            f"<td>{run.extra.get('faults', 0)}</td>{cells}"
+            f"<td>{_fmt_seconds(run.wall_seconds)}</td></tr>")
+    header = "".join(f"<th>{_esc(verdict)}</th>" for verdict in _VERDICTS)
+    table = (f'<table><thead><tr><th>campaign</th><th>app</th>'
+             f'<th>backend</th><th>faults</th>{header}<th>wall</th>'
+             f'</tr></thead><tbody>{"".join(body)}</tbody></table>')
+
+    # fault-coverage table (kind × verdict) of the latest campaign
+    latest = runs[0]
+    coverage: Dict[str, Dict[str, int]] = {}
+    for row in ledger.fault_rows(latest.run_id):
+        if row.kind == "none":
+            continue
+        cell = coverage.setdefault(row.kind, {})
+        cell[row.verdict] = cell.get(row.verdict, 0) + 1
+    if coverage:
+        body = []
+        for kind in sorted(coverage):
+            cells = "".join(f"<td>{coverage[kind].get(verdict, 0)}</td>"
+                            for verdict in _VERDICTS)
+            total = sum(coverage[kind].values())
+            body.append(f"<tr><td>{_esc(kind)}</td>{cells}"
+                        f"<td>{total}</td></tr>")
+        table += (
+            f'<p class="sub">fault coverage of campaign '
+            f'#{latest.run_id} '
+            f'({_esc(latest.extra.get("app", "?"))}, budget '
+            f'{latest.extra.get("cycle_budget", "?")} cycles)</p>'
+            f'<table><thead><tr><th>fault kind</th>{header}'
+            f'<th>total</th></tr></thead>'
+            f'<tbody>{"".join(body)}</tbody></table>')
+    return table
+
+
 def _runs_table(ledger: Ledger, history: int) -> str:
     rows = []
     for run in ledger.runs(limit=history):
@@ -440,6 +501,9 @@ per run)</span></h2>
 {_speedup_section(ledger)}
 <h2>Fuzz campaigns</h2>
 {_fuzz_section(ledger, history)}
+<h2>Fault-injection campaigns <span class="sub">(verdicts per campaign;
+fault coverage of the latest)</span></h2>
+{_inject_section(ledger, history)}
 <h2>All runs</h2>
 {_runs_table(ledger, history)}
 <footer>generated by <code>python -m repro obs dashboard</code> —
@@ -559,6 +623,18 @@ def export_prometheus(ledger: Ledger) -> str:
                            {"kind": row.kind}, row.count)
                 for row in ledger.fuzz_rows(fuzz.run_id)])
 
+    inject = ledger.latest_run("inject")
+    if inject is not None:
+        tallies: Dict[str, int] = {verdict: 0 for verdict in _VERDICTS}
+        for row in ledger.fault_rows(inject.run_id):
+            if row.kind != "none":
+                tallies[row.verdict] = tallies.get(row.verdict, 0) + 1
+        metric("repro_inject_verdicts_total", "gauge",
+               "Verdict tallies of the latest fault-injection campaign.",
+               [_prom_line("repro_inject_verdicts_total",
+                           {"verdict": verdict}, count)
+                for verdict, count in tallies.items()])
+
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -581,6 +657,8 @@ def export_json(ledger: Ledger, *, history: int = 30) -> str:
             "caches": [{**vars(row), "hit_rate": row.hit_rate}
                        for row in ledger.cache_rows(run.run_id)],
             "fuzz": [vars(row) for row in ledger.fuzz_rows(run.run_id)],
+            "faults": [vars(row)
+                       for row in ledger.fault_rows(run.run_id)],
         })
     return json.dumps({"schema": 1, "runs": payload}, indent=2,
                       default=str) + "\n"

@@ -44,11 +44,11 @@ from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple,
                     Union)
 
 __all__ = ["SCHEMA_VERSION", "LedgerError", "Ledger", "RunRow", "CaseRow",
-           "CoverageRow", "CacheRow", "FuzzRow", "ledger_from_env",
-           "LEDGER_ENV"]
+           "CoverageRow", "CacheRow", "FuzzRow", "FaultRow",
+           "ledger_from_env", "LEDGER_ENV"]
 
 #: current on-disk schema generation (see ``_MIGRATIONS`` for history)
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: environment variable naming the ledger file recorders should append to
 LEDGER_ENV = "REPRO_LEDGER"
@@ -134,13 +134,35 @@ class FuzzRow:
     count: int
 
 
+@dataclass
+class FaultRow:
+    """One classified fault-injection run of a campaign.
+
+    ``descriptor`` is the full replayable fault descriptor (the
+    JSON-decoded :meth:`FaultDescriptor.to_dict` form), so a hang row
+    pulled out of the ledger reproduces with ``repro inject --replay``.
+    """
+
+    run_id: int
+    fault_id: str
+    kind: str       # stuck | reg_flip | mem_flip | none (baseline)
+    target: str
+    verdict: str    # masked | sdc | hang | crash
+    mechanism: Optional[str]
+    cycles: Optional[int]
+    seconds: Optional[float]
+    note: Optional[str]
+    descriptor: Optional[Dict[str, Any]]
+
+
 # ----------------------------------------------------------------------
 # Schema + migrations
 # ----------------------------------------------------------------------
 # v1 (historical): meta, runs (without argv), case_runs, coverage_runs.
 # v2: + runs.argv column, + cache_runs, + fuzz_runs.
 # v3: + case_runs.batch_size, case_runs.lane_seconds (batched execution).
-_SCHEMA_V3 = """
+# v4: + fault_runs (per-fault verdicts of injection campaigns).
+_SCHEMA_V4 = """
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
@@ -195,9 +217,24 @@ CREATE TABLE IF NOT EXISTS fuzz_runs (
     kind   TEXT NOT NULL,
     count  INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS fault_runs (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id     INTEGER NOT NULL REFERENCES runs(run_id),
+    fault_id   TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    target     TEXT NOT NULL,
+    verdict    TEXT NOT NULL,
+    mechanism  TEXT,
+    cycles     INTEGER,
+    seconds    REAL,
+    note       TEXT,
+    descriptor TEXT
+);
 CREATE INDEX IF NOT EXISTS idx_case_runs_key
     ON case_runs (app, backend, size, run_id);
 CREATE INDEX IF NOT EXISTS idx_runs_kind ON runs (kind, run_id);
+CREATE INDEX IF NOT EXISTS idx_fault_runs_run
+    ON fault_runs (run_id, verdict);
 """
 
 
@@ -236,11 +273,33 @@ def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
         conn.execute("ALTER TABLE case_runs ADD COLUMN lane_seconds REAL")
 
 
+def _migrate_3_to_4(conn: sqlite3.Connection) -> None:
+    """v3 ledgers predate fault-injection campaigns (fault_runs)."""
+    conn.executescript("""
+        CREATE TABLE IF NOT EXISTS fault_runs (
+            id         INTEGER PRIMARY KEY AUTOINCREMENT,
+            run_id     INTEGER NOT NULL REFERENCES runs(run_id),
+            fault_id   TEXT NOT NULL,
+            kind       TEXT NOT NULL,
+            target     TEXT NOT NULL,
+            verdict    TEXT NOT NULL,
+            mechanism  TEXT,
+            cycles     INTEGER,
+            seconds    REAL,
+            note       TEXT,
+            descriptor TEXT
+        );
+        CREATE INDEX IF NOT EXISTS idx_fault_runs_run
+            ON fault_runs (run_id, verdict);
+    """)
+
+
 #: migration hooks: ``_MIGRATIONS[v]`` upgrades a ledger from schema v
 #: to v+1; applied in sequence until :data:`SCHEMA_VERSION` is reached
 _MIGRATIONS = {
     1: _migrate_1_to_2,
     2: _migrate_2_to_3,
+    3: _migrate_3_to_4,
 }
 
 
@@ -332,7 +391,7 @@ class Ledger:
             tables = {row[0] for row in conn.execute(
                 "SELECT name FROM sqlite_master WHERE type='table'")}
             if "meta" not in tables:
-                conn.executescript(_SCHEMA_V3)
+                conn.executescript(_SCHEMA_V4)
                 conn.execute(
                     "INSERT OR REPLACE INTO meta (key, value) "
                     "VALUES ('schema_version', ?)", (str(SCHEMA_VERSION),))
@@ -631,6 +690,60 @@ class Ledger:
                                           sim_seconds=float(seconds))
             return run_id
 
+    def record_injection_campaign(self, report, *,
+                                  size: Optional[Mapping[str, Any]] = None,
+                                  argv: Optional[Sequence[str]] = None
+                                  ) -> int:
+        """Record one :class:`repro.inject.CampaignReport` (duck-typed).
+
+        One ``inject`` run row carries the verdict tallies; every
+        classified injection (plus the fault-free baseline) lands as a
+        ``fault_runs`` row with its full replayable descriptor.  The
+        baseline timing is also written as a case row so the campaign
+        appears in per-app views — the regression sentinel excludes
+        ``inject``-kind rows from its perf baselines.
+        """
+        tally = report.tally()
+        baseline = report.baseline
+        extra: Dict[str, Any] = {
+            "app": report.app, "seed": report.seed,
+            "cycle_budget": report.cycle_budget,
+            "faults": len(report.results), "verdicts": tally,
+        }
+        if baseline is not None:
+            extra["baseline_cycles"] = baseline.cycles
+        with self._conn as conn:
+            run_id = self._insert_run(
+                conn, "inject", wall_seconds=report.wall_seconds,
+                passed=True, backend=report.backend, jobs=report.jobs,
+                argv=argv, extra=extra)
+            if baseline is not None:
+                self._insert_case(
+                    conn, run_id, report.app, report.backend,
+                    _size_key(size), sim_seconds=baseline.seconds,
+                    cycles=baseline.cycles, passed=True)
+                self._insert_fault(conn, run_id, baseline)
+            for result in report.results:
+                self._insert_fault(conn, run_id, result)
+            return run_id
+
+    @staticmethod
+    def _insert_fault(conn: sqlite3.Connection, run_id: int,
+                      result) -> None:
+        """*result* quacks like :class:`repro.inject.InjectionResult`."""
+        fault = result.fault
+        conn.execute(
+            "INSERT INTO fault_runs (run_id, fault_id, kind, target, "
+            "verdict, mechanism, cycles, seconds, note, descriptor) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (run_id,
+             fault.fault_id if fault is not None else "baseline",
+             fault.kind if fault is not None else "none",
+             fault.target if fault is not None else "",
+             result.verdict, result.mechanism, result.cycles,
+             result.seconds, result.note or None,
+             json.dumps(fault.to_dict()) if fault is not None else None))
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -680,14 +793,25 @@ class Ledger:
 
     def case_history(self, app: str, backend: str, size: str = "", *,
                      exclude_run: Optional[int] = None,
+                     exclude_kinds: Sequence[str] = (),
                      limit: Optional[int] = None) -> List[CaseRow]:
-        """Rows for one (app, backend, size) key, oldest first."""
+        """Rows for one (app, backend, size) key, oldest first.
+
+        *exclude_kinds* drops rows belonging to runs of those kinds —
+        the sentinel uses it to keep fault-campaign baselines out of
+        its perf history.
+        """
         sql = ("SELECT * FROM case_runs WHERE app = ? AND backend = ? "
                "AND size = ?")
         params: List[Any] = [app, backend, size]
         if exclude_run is not None:
             sql += " AND run_id != ?"
             params.append(exclude_run)
+        if exclude_kinds:
+            marks = ", ".join("?" for _ in exclude_kinds)
+            sql += (f" AND run_id NOT IN (SELECT run_id FROM runs "
+                    f"WHERE kind IN ({marks}))")
+            params.extend(exclude_kinds)
         sql += " ORDER BY run_id DESC"
         if limit is not None:
             sql += " LIMIT ?"
@@ -770,6 +894,24 @@ class Ledger:
                     "SELECT * FROM fuzz_runs WHERE run_id = ? ORDER BY id",
                     (run_id,))]
 
+    def fault_rows(self, run_id: int) -> List[FaultRow]:
+        rows = []
+        for row in self._conn.execute(
+                "SELECT * FROM fault_runs WHERE run_id = ? ORDER BY id",
+                (run_id,)):
+            descriptor = row["descriptor"]
+            try:
+                descriptor = json.loads(descriptor) if descriptor else None
+            except ValueError:
+                descriptor = None
+            rows.append(FaultRow(
+                run_id=row["run_id"], fault_id=row["fault_id"],
+                kind=row["kind"], target=row["target"],
+                verdict=row["verdict"], mechanism=row["mechanism"],
+                cycles=row["cycles"], seconds=row["seconds"],
+                note=row["note"], descriptor=descriptor))
+        return rows
+
     def apps(self) -> List[str]:
         return [row[0] for row in self._conn.execute(
             "SELECT DISTINCT app FROM case_runs ORDER BY app")]
@@ -810,7 +952,7 @@ class Ledger:
                 "LIMIT -1 OFFSET ?", (keep,))]
             for run_id in stale:
                 for table in ("case_runs", "coverage_runs", "cache_runs",
-                              "fuzz_runs"):
+                              "fuzz_runs", "fault_runs"):
                     conn.execute(
                         f"DELETE FROM {table} WHERE run_id = ?",  # noqa: S608
                         (run_id,))

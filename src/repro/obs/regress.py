@@ -22,6 +22,12 @@ Keys with fewer than ``min_samples`` baseline points are *skipped*,
 never guessed at — a brand-new app or backend produces no findings
 until its history exists.
 
+Fault-injection campaigns (``inject``-kind runs, see
+:mod:`repro.inject`) are invisible to the perf gate in both directions:
+their case rows never enter a baseline history (a campaign's fault-free
+baseline timing is measured under campaign load, not bench conditions)
+and an inject run under comparison is never itself perf-gated.
+
 Exposed as ``python -m repro obs compare [--fail-on-regression]``; the
 CI workflow diffs each PR's quick-bench run against the committed
 ``benchmarks/baseline_ledger.sqlite``.
@@ -170,13 +176,17 @@ def compare_run(ledger: Ledger, *, run_id: Optional[int] = None,
     exclude = None if baseline is not None else run.run_id
 
     # -- perf: per-(app, backend, size) simulation seconds -------------
-    for case in ledger.case_rows(run.run_id):
+    # fault campaigns are not perf runs: never gate them, never let
+    # their rows into a baseline
+    cases = [] if run.kind == "inject" else ledger.case_rows(run.run_id)
+    for case in cases:
         if case.sim_seconds is None or case.cached:
             continue
         subject = f"{case.app}/{case.backend}"
         history = [row.sim_seconds for row in source.case_history(
                        case.app, case.backend, case.size,
-                       exclude_run=exclude, limit=thresholds.history)
+                       exclude_run=exclude, exclude_kinds=("inject",),
+                       limit=thresholds.history)
                    if row.sim_seconds is not None and not row.cached]
         if len(history) < thresholds.min_samples:
             report.skipped.append(subject)

@@ -562,6 +562,30 @@ def _analyze_design(sim: Simulator) -> _DesignFacts:
     return facts
 
 
+def _fault_token(spec) -> str:
+    """The compile-time shape of a fault spec (part of the cache key).
+
+    Only what codegen specializes on — kind, target signal, pinned
+    state — is in the token; runtime parameters (masks, cycle window,
+    one-shot latch) are bound from ``ctx`` at load time, so all faults
+    sharing a shape share one cached kernel.
+    """
+    if spec is None:
+        return ""
+    return "%s:%s:%s" % (spec.kind, spec.signal,
+                         getattr(spec, "state", None) or "")
+
+
+def _fault_runtime(spec) -> Optional[dict]:
+    """The ctx entry carrying a fault spec's runtime parameters."""
+    if spec is None:
+        return None
+    if spec.kind == "stuck":
+        return {"and_mask": spec.and_mask, "or_mask": spec.or_mask}
+    return {"xor_mask": spec.xor_mask, "lo": spec.lo, "hi": spec.hi,
+            "latch": spec.latch}
+
+
 def _transition_fns(behavior) -> Callable:
     """Per-state transition-callable factory for *behavior*."""
     dispatch = getattr(behavior, "transitions", None)
@@ -590,6 +614,35 @@ def _build_program(sim: Simulator) -> CompiledProgram:
     roms = facts.roms
     tracked = facts.tracked
     local = facts.local
+
+    # --- fault instrumentation (see repro.inject) -----------------------
+    # A stuck-at fault re-forces the target local after every write
+    # site (entry sync, register commits, settle ops); a transient flip
+    # XORs the target once, at the end of the pinned state's edge block
+    # (after commits, so a flipped register output survives the edge),
+    # gated by a cycle window and a one-shot latch.  Runtime parameters
+    # live in ctx["fault"], so the generated source depends only on the
+    # fault's shape (see :func:`_fault_token`).
+    fault = getattr(sim, "fault_spec", None)
+    fault_sig = None
+    stuck_line = None
+    if fault is not None:
+        if getattr(sim, "_kernel_kind", "compiled") == "batched":
+            raise _Unsupported("fault injection on batched kernels")
+        fault_sig = sim._signals.get(fault.signal)
+        if fault_sig is None or id(fault_sig) not in local:
+            raise _Unsupported(
+                f"fault target {fault.signal!r} is not a tracked signal")
+        fault_local = local[id(fault_sig)]
+        if fault.kind == "stuck":
+            stuck_line = f"{fault_local} = ({fault_local} & _fa) | _fo"
+        elif fault.kind == "flip":
+            if getattr(fault, "state", None) not in sid:
+                raise _Unsupported(
+                    f"fault state {getattr(fault, 'state', None)!r} "
+                    f"not an FSM state")
+        else:
+            raise _Unsupported(f"unknown fault kind {fault.kind!r}")
 
     try:
         topo = levelize(facts.comb_ops)
@@ -729,6 +782,14 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             elif instrumented:
                 lines.append((0, f"tc[{index * n_states + index}] += 1"))
         lines.extend(commits)
+        if stuck_line is not None:
+            lines.append((0, stuck_line))
+        if fault is not None and fault.kind == "flip" \
+                and sid[fault.state] == index:
+            lines.append((0, "if _fb[0] == 0 and _fc0 <= n <= _fc1:"))
+            lines.append((1, "_fb[0] = 1"))
+            lines.append((1, f"{fault_local} = "
+                             f"({fault_local} ^ _fx) & {fault_sig.mask}"))
         edge_blocks.append(lines)
         edge_static[index] = armed
 
@@ -745,6 +806,9 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         for op in topo:
             if id(op) in live_ops:
                 op_lines = _EMITTERS[type(op)](op, val, gen)
+                if stuck_line is not None \
+                        and _op_output(op) is fault_sig:
+                    op_lines = list(op_lines) + [(0, stuck_line)]
                 block.extend(op_lines)
                 active_names.add(op.name)
                 in_keys = [id(sig) for sig in _op_inputs(op, const_of)
@@ -760,8 +824,12 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         eval_static[index] = len(live_ops)
 
     # --- trace fusion (traced and batched backends) --------------------
+    # fused trace bodies are built from the structured _StateIR, which
+    # cannot see raw injected fault lines — so fusion is disabled while
+    # a fault spec is active (traced degrades to plain compiled)
     fusion = None
-    if getattr(sim, "_kernel_kind", "compiled") in ("traced", "batched"):
+    if fault is None and \
+            getattr(sim, "_kernel_kind", "compiled") in ("traced", "batched"):
         from .trace import build_fusion  # sibling module imports us back
 
         fusion = build_fusion(
@@ -806,12 +874,24 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         emit(1, f'_f{position} = ctx["helpers"][{position}]')
     for state_id in sorted(dynamic_fns):
         emit(1, f'_t{state_id} = ctx["transitions"][{state_id}]')
+    if fault is not None:
+        emit(1, '_flt = ctx["fault"]')
+        if fault.kind == "stuck":
+            emit(1, '_fa = _flt["and_mask"]')
+            emit(1, '_fo = _flt["or_mask"]')
+        else:
+            emit(1, '_fx = _flt["xor_mask"]')
+            emit(1, '_fc0 = _flt["lo"]')
+            emit(1, '_fc1 = _flt["hi"]')
+            emit(1, '_fb = _flt["latch"]')
     if fusion is not None:
         for text in fusion.prelude:
             emit(1, text)
     emit(1, "def _run(s, max_cycles, stop, counts, tc, box):")
     for index, sig in enumerate(tracked):
         emit(2, f"v{index} = _S[{index}].value")
+    if stuck_line is not None:
+        emit(2, stuck_line)
     emit(2, "n = 0")
     emit(2, "_nt = 0")
     if fusion is not None:
@@ -849,6 +929,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         "helpers": gen.helpers,
         "transitions": dynamic_fns,
         "write_oob": _write_oob,
+        "fault": _fault_runtime(fault),
     }
 
     program = CompiledProgram()
@@ -889,6 +970,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         "edge_static": edge_static,
         "active_ops": [sorted(active) for active in state_active_ops],
         "instrumented": instrumented,
+        "fault_token": _fault_token(fault),
         "fusion": program.fusion,
         "source": source,
     }
@@ -918,6 +1000,9 @@ def _program_from_cache(sim: Simulator, payload: dict,
         if payload["instrumented"] != bool(
                 getattr(sim, "coverage_enabled", False)):
             return None
+        if payload.get("fault_token", "") != _fault_token(
+                getattr(sim, "fault_spec", None)):
+            return None
         by_name = sim._components
         mems = [by_name[owner].image._words for owner in payload["mems"]]
         comps = [by_name[owner] for owner in payload["comps"]]
@@ -937,6 +1022,7 @@ def _program_from_cache(sim: Simulator, payload: dict,
             "helpers": helpers,
             "transitions": dynamic_fns,
             "write_oob": _write_oob,
+            "fault": _fault_runtime(getattr(sim, "fault_spec", None)),
         }
         program = CompiledProgram()
         program.runner = namespace["_make"](ctx)
@@ -989,6 +1075,9 @@ class CompiledSimulator(Simulator):
         self._program: Optional[CompiledProgram] = None
         self.fallback_reason: Optional[str] = None
         self.coverage_enabled = False
+        #: active fault-injection spec (see repro.inject.hooks); faults
+        #: are compiled into the generated kernel, like coverage
+        self.fault_spec = None
         self.state_visits: Dict[str, int] = {}
         self.transition_visits: Dict[Tuple[str, str], int] = {}
         #: structural hash set by build_simulation; keys the kernel cache
@@ -1029,6 +1118,22 @@ class CompiledSimulator(Simulator):
             for name in program.state_active_ops[index]:
                 out[name] = out.get(name, 0) + visits
         return out
+
+    # -- fault injection ------------------------------------------------
+    def set_fault_spec(self, spec) -> None:
+        """Install (or clear, with ``None``) a kernel fault spec.
+
+        The program is regenerated with the fault's forcing/flip lines
+        compiled in — the same mechanism as coverage instrumentation.
+        A spec outside the compiled subset (e.g. targeting a Moore
+        control line) makes compilation fall back to the event kernel;
+        callers that need the fault to take effect must then install
+        event-kernel hooks instead (see
+        :func:`repro.inject.hooks.attach_fault`).
+        """
+        if spec is not self.fault_spec:
+            self.fault_spec = spec
+            self._invalidate_program()
 
     # -- program lifecycle ---------------------------------------------
     def signal(self, name: str, width: int, init: int = 0) -> Signal:
@@ -1076,7 +1181,8 @@ class CompiledSimulator(Simulator):
         cache = default_cache()
         key = digest_parts("kernel-v%d" % _CODEGEN_VERSION, digest,
                            self._kernel_kind,
-                           int(bool(self.coverage_enabled)))
+                           int(bool(self.coverage_enabled)),
+                           _fault_token(self.fault_spec))
         payload, code = cache.get("kernel", key)
         if payload is not None and code is not None:
             program = _program_from_cache(self, payload, code)
@@ -1091,6 +1197,8 @@ class CompiledSimulator(Simulator):
     def _fastpath_blocked(self, program: CompiledProgram) -> Optional[str]:
         if len(self._domains) > 1 or self._default_domain is not program.domain:
             return "clock domain changed"
+        if self._cycle_hooks:
+            return "cycle hooks installed"
         for sig in self._signals.values():
             for watcher in sig.watchers:
                 if not getattr(watcher, "_arming", False):

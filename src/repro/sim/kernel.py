@@ -79,6 +79,11 @@ class Simulator:
         # timed events: (time, seq, callback)
         self._timed: List[Tuple[int, int, Callable[[], None]]] = []
         self._timed_seq = 0
+        #: callbacks run after each cycle settles (fault injectors,
+        #: cycle-accurate monitors); each receives the simulator.  The
+        #: compiled fast path cannot honour these, so it falls back to
+        #: this kernel whenever any are installed.
+        self._cycle_hooks: List[Callable[["Simulator"], None]] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -222,6 +227,10 @@ class Simulator:
             self._apply(signal, value)
         # 3. settle phase
         self.settle()
+        if self._cycle_hooks:
+            for hook in self._cycle_hooks:
+                hook(self)
+            self.settle()  # propagate anything the hooks disturbed
         self.now += domain.period
         self.stats.cycles += 1
 

@@ -73,5 +73,9 @@ class ObliviousSimulator(Simulator):
         for signal, value in staged:
             self._apply(signal, value)
         self.settle()
+        if self._cycle_hooks:
+            for hook in self._cycle_hooks:
+                hook(self)
+            self.settle()
         self.now += domain.period
         self.stats.cycles += 1

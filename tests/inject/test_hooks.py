@@ -1,0 +1,143 @@
+"""Tests for fault attachment: kernel specs, watchers, cycle hooks."""
+
+import pytest
+
+from repro.apps import suite_case
+from repro.core import prepare_images
+from repro.inject import (FaultDescriptor, FaultloadGenerator, attach_fault,
+                          kernel_spec, output_adjacent_nets, run_injection)
+from repro.rtg import ReconfigurationContext, RtgExecutor
+
+
+@pytest.fixture(scope="module")
+def case():
+    return suite_case("threshold", n_pixels=32)
+
+
+@pytest.fixture(scope="module")
+def design(case):
+    return case.compile()
+
+
+def _elaborate(design, backend):
+    """Run the design once under *backend*, returning the live
+    SimDesign captured at configure time (still attachable after)."""
+    images = prepare_images(design)
+    context = ReconfigurationContext.from_rtg(design.rtg, initial=images)
+    executor = RtgExecutor(design.rtg, context, backend=backend)
+    seen = []
+    executor.on_configure = lambda d: seen.append(d)
+    executor.run()
+    assert seen
+    return seen[0]
+
+
+class TestValidation:
+    def test_unknown_signal_rejected(self, design):
+        sim_design = _elaborate(design, "event")
+        fault = FaultDescriptor(fault_id="x", kind="stuck",
+                                target="no_such_net")
+        with pytest.raises(ValueError, match="no signal"):
+            attach_fault(sim_design, fault)
+
+    def test_bit_out_of_range_rejected(self, design):
+        sim_design = _elaborate(design, "event")
+        name, signal = next(iter(sim_design.sim._signals.items()))
+        fault = FaultDescriptor(fault_id="x", kind="stuck", target=name,
+                                bit=signal.width)
+        with pytest.raises(ValueError, match="out of range"):
+            attach_fault(sim_design, fault)
+
+    def test_unknown_fsm_state_rejected(self, design):
+        sim_design = _elaborate(design, "event")
+        name = next(iter(sim_design.sim._signals))
+        fault = FaultDescriptor(fault_id="x", kind="reg_flip", target=name,
+                                state="NO_SUCH_STATE")
+        with pytest.raises(ValueError, match="no FSM state"):
+            attach_fault(sim_design, fault)
+
+    def test_mem_flip_rejected_by_attach(self, design):
+        sim_design = _elaborate(design, "event")
+        fault = FaultDescriptor(fault_id="x", kind="mem_flip", target="img")
+        with pytest.raises(ValueError, match="mem_flip"):
+            attach_fault(sim_design, fault)
+
+    def test_kernel_spec_rejects_mem_flip(self, design):
+        sim_design = _elaborate(design, "event")
+        signal = next(iter(sim_design.sim._signals.values()))
+        fault = FaultDescriptor(fault_id="x", kind="mem_flip",
+                                target=signal.name)
+        with pytest.raises(ValueError, match="not signal faults"):
+            kernel_spec(fault, signal)
+
+    def test_attach_error_classifies_as_crash(self, design, case):
+        # through the campaign path an unattachable descriptor is a
+        # crash verdict, not an unhandled exception
+        fault = FaultDescriptor(fault_id="x", kind="stuck",
+                                target="no_such_net")
+        result = run_injection(design, case.func, fault,
+                               backend="event", max_cycles=10_000)
+        assert result.verdict == "crash"
+        assert "no signal" in result.note
+
+
+class TestMechanisms:
+    def test_compiled_backend_uses_the_kernel(self, design, case):
+        target = output_adjacent_nets(design)[0]
+        fault = FaultDescriptor(fault_id="k", kind="stuck", target=target,
+                                bit=0, stuck_value=0)
+        result = run_injection(design, case.func, fault,
+                               backend="compiled", max_cycles=100_000)
+        assert result.mechanism == "kernel"
+
+    def test_event_backend_uses_a_watcher(self, design, case):
+        target = output_adjacent_nets(design)[0]
+        fault = FaultDescriptor(fault_id="w", kind="stuck", target=target,
+                                bit=0, stuck_value=0)
+        result = run_injection(design, case.func, fault,
+                               backend="event", max_cycles=100_000)
+        assert result.mechanism == "watcher"
+
+    def test_detach_removes_the_watcher(self, design):
+        sim_design = _elaborate(design, "event")
+        name, signal = next(iter(sim_design.sim._signals.items()))
+        fault = FaultDescriptor(fault_id="d", kind="stuck", target=name,
+                                bit=0, stuck_value=1)
+        before = list(signal.watchers)
+        handle = attach_fault(sim_design, fault)
+        assert handle.mechanism == "watcher"
+        assert len(signal.watchers) == len(before) + 1
+        handle.detach()
+        assert signal.watchers == before
+
+    def test_detach_removes_the_cycle_hook(self, design):
+        sim_design = _elaborate(design, "event")
+        name = next(iter(sim_design.sim._signals))
+        state = next(iter(sim_design.fsm.states))
+        fault = FaultDescriptor(fault_id="d", kind="reg_flip", target=name,
+                                bit=0, state=state, cycle_lo=1, cycle_hi=4)
+        before = len(sim_design.sim._cycle_hooks)
+        with attach_fault(sim_design, fault) as handle:
+            assert handle.mechanism == "cycle-hook"
+            assert len(sim_design.sim._cycle_hooks) == before + 1
+        assert len(sim_design.sim._cycle_hooks) == before
+
+
+class TestEquivalence:
+    def test_event_and_compiled_agree_on_signal_faults(self, design, case):
+        """The two mechanisms must be observationally identical: same
+        fault, same stimulus => same verdict and same cycle count."""
+        baseline = run_injection(design, case.func, None,
+                                 backend="compiled")
+        faults = FaultloadGenerator(design, seed=11,
+                                    max_cycle=baseline.cycles) \
+            .generate(6, kinds=("stuck", "reg_flip"))
+        budget = max(baseline.cycles * 4, 1000)
+        for fault in faults:
+            compiled = run_injection(design, case.func, fault,
+                                     backend="compiled", max_cycles=budget)
+            event = run_injection(design, case.func, fault,
+                                  backend="event", max_cycles=budget)
+            assert compiled.verdict == event.verdict, fault.describe()
+            if compiled.verdict in ("masked", "sdc"):
+                assert compiled.cycles == event.cycles, fault.describe()

@@ -8,7 +8,8 @@ from repro.obs.dashboard import (export_json, export_prometheus,
                                  render_dashboard)
 from repro.obs.ledger import Ledger
 
-from .test_ledger import FakeCampaignReport, FakeCoverage, FakeSuiteReport
+from .test_ledger import (FakeCampaignReport, FakeCoverage,
+                          FakeInjectionReport, FakeSuiteReport)
 
 APPS = ["fdct1", "fdct2", "idct", "hamming", "fir", "matmul",
         "threshold", "popcount"]
@@ -78,6 +79,52 @@ class TestDashboard:
                      "-o", str(out)]) == 0
         assert out.exists()
         assert "dashboard ->" in capsys.readouterr().out
+
+
+class TestInjectSection:
+    def test_campaign_and_coverage_tables_render(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            ledger.record_injection_campaign(
+                FakeInjectionReport(verdicts=("masked", "sdc", "hang")),
+                size={"pixels": 64})
+            html = render_dashboard(ledger)
+        assert "Fault-injection campaigns" in html
+        assert "fault coverage" in html
+        # the verdict taxonomy appears as table columns
+        for verdict in ("masked", "sdc", "hang", "crash"):
+            assert verdict in html
+
+    def test_placeholder_without_campaigns(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            html = render_dashboard(ledger)
+        assert "no fault-injection campaigns recorded" in html
+        assert "fault coverage of campaign" not in html
+
+    def test_prometheus_exports_verdict_tallies(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            ledger.record_injection_campaign(
+                FakeInjectionReport(verdicts=("masked", "sdc", "sdc")))
+            text = export_prometheus(ledger)
+        assert "# TYPE repro_inject_verdicts_total" in text
+        assert re.search(
+            r'repro_inject_verdicts_total\{verdict="sdc"\} 2', text)
+
+    def test_json_export_carries_fault_rows(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            ledger.record_injection_campaign(FakeInjectionReport())
+            payload = json.loads(export_json(ledger))
+        inject = [entry for entry in payload["runs"]
+                  if entry["kind"] == "inject"]
+        assert len(inject) == 1
+        faults = inject[0]["faults"]
+        assert len(faults) == 4  # 3 injections + baseline
+        assert {fault["verdict"] for fault in faults} \
+            <= {"masked", "sdc", "hang", "crash"}
+        assert any(fault["descriptor"] for fault in faults)
 
 
 class TestExport:

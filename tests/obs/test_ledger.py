@@ -75,6 +75,50 @@ class FakeCampaignReport:
         self.new_coverage_seeds = [7, 9]
 
 
+class FakeFault:
+    def __init__(self, fault_id="f00001", kind="stuck", target="n_y"):
+        self.fault_id = fault_id
+        self.kind = kind
+        self.target = target
+
+    def to_dict(self):
+        return {"fault_id": self.fault_id, "kind": self.kind,
+                "target": self.target, "bit": 0}
+
+
+class FakeInjectionResult:
+    def __init__(self, fault, verdict="masked", mechanism="kernel",
+                 cycles=500, note=""):
+        self.fault = fault
+        self.verdict = verdict
+        self.mechanism = mechanism
+        self.cycles = cycles
+        self.seconds = 0.02
+        self.note = note
+
+
+class FakeInjectionReport:
+    """Quacks like repro.inject.CampaignReport for the recorder."""
+
+    def __init__(self, verdicts=("masked", "sdc", "hang")):
+        self.app = "fdct1"
+        self.backend = "compiled"
+        self.results = [
+            FakeInjectionResult(FakeFault(f"f{i:05d}"), verdict)
+            for i, verdict in enumerate(verdicts)]
+        self.baseline = FakeInjectionResult(None, "masked", "none", 480)
+        self.wall_seconds = 1.25
+        self.jobs = 2
+        self.seed = 3
+        self.cycle_budget = 1920
+
+    def tally(self):
+        counts = {v: 0 for v in ("masked", "sdc", "hang", "crash")}
+        for result in self.results:
+            counts[result.verdict] += 1
+        return counts
+
+
 def record_suites(ledger, apps, runs=1, backend="event", sim=0.1,
                   coverage=None):
     sizes = {app: {"n": 8} for app in apps}
@@ -150,6 +194,47 @@ class TestRecording:
                                           exclude_run=latest)
             assert [row.sim_seconds for row in history] == \
                 [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_case_history_excludes_kinds(self, tmp_path):
+        """Campaign baseline case rows are invisible to callers that
+        opt out of inject-kind runs (the regression sentinel)."""
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            report = FakeInjectionReport()
+            ledger.record_injection_campaign(report, size={"n": 8})
+            plain = ledger.case_history(report.app, report.backend,
+                                        _size_key({"n": 8}))
+            assert len(plain) == 1  # the baseline case row is there...
+            filtered = ledger.case_history(report.app, report.backend,
+                                           _size_key({"n": 8}),
+                                           exclude_kinds=("inject",))
+            assert filtered == []  # ...but filtered out on request
+
+    def test_injection_campaign_round_trip(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            report = FakeInjectionReport(
+                verdicts=("masked", "sdc", "sdc", "hang", "crash"))
+            run_id = ledger.record_injection_campaign(
+                report, size={"pixels": 64}, argv=["repro", "campaign"])
+            run = ledger.latest_run("inject")
+            assert run.run_id == run_id
+            assert run.passed
+            assert run.extra["verdicts"] == report.tally()
+            assert run.extra["baseline_cycles"] == 480
+            rows = ledger.fault_rows(run_id)
+            assert len(rows) == 6  # 5 injections + the baseline
+            assert rows[0].fault_id == "baseline"
+            assert rows[0].kind == "none"
+            assert rows[0].descriptor is None
+            by_id = {row.fault_id: row for row in rows[1:]}
+            for result in report.results:
+                row = by_id[result.fault.fault_id]
+                assert row.verdict == result.verdict
+                assert row.mechanism == result.mechanism
+                assert row.descriptor == result.fault.to_dict()
+            # the baseline timing doubles as a case row
+            cases = ledger.case_rows(run_id)
+            assert [case.app for case in cases] == [report.app]
+            assert cases[0].cycles == 480
 
 
 # ----------------------------------------------------------------------
@@ -283,6 +368,28 @@ def _write_v2_ledger(path):
     conn.close()
 
 
+_V3_EXTRA_DDL = """
+ALTER TABLE case_runs ADD COLUMN batch_size INTEGER;
+ALTER TABLE case_runs ADD COLUMN lane_seconds REAL;
+"""
+
+
+def _write_v3_ledger(path):
+    """A ledger exactly as a v3 build would leave it: batch columns
+    present, no fault_runs table."""
+    conn = sqlite3.connect(str(path))
+    conn.executescript(_V1_DDL + _V2_EXTRA_DDL + _V3_EXTRA_DDL)
+    conn.execute("INSERT INTO meta VALUES ('schema_version', '3')")
+    conn.execute(
+        "INSERT INTO runs (kind, started_at, wall_seconds, passed, backend) "
+        "VALUES ('suite', 3000.0, 0.9, 1, 'batched')")
+    conn.execute(
+        "INSERT INTO case_runs (run_id, app, backend, size, sim_seconds, "
+        "passed, batch_size) VALUES (1, 'matmul', 'batched', '', 0.3, 1, 16)")
+    conn.commit()
+    conn.close()
+
+
 class TestMigration:
     def test_v1_ledger_migrates_and_keeps_rows(self, tmp_path):
         path = tmp_path / "old.sqlite"
@@ -338,6 +445,32 @@ class TestMigration:
             assert ledger.schema_version() == SCHEMA_VERSION
             assert ledger.counts() == {"suite": 1}
 
+    def test_v3_ledger_migrates_and_keeps_rows(self, tmp_path):
+        path = tmp_path / "v3.sqlite"
+        _write_v3_ledger(path)
+        with Ledger(path) as ledger:
+            assert ledger.schema_version() == SCHEMA_VERSION
+            run = ledger.latest_run("suite")
+            assert run.wall_seconds == pytest.approx(0.9)
+            cases = ledger.case_rows(run.run_id)
+            assert cases[0].app == "matmul"
+            assert cases[0].batch_size == 16
+            # the new fault_runs table exists, starts empty, and the
+            # injection recorder works against the migrated file
+            assert ledger.fault_rows(run.run_id) == []
+            run_id = ledger.record_injection_campaign(
+                FakeInjectionReport())
+            assert len(ledger.fault_rows(run_id)) == 4  # 3 + baseline
+            assert ledger.counts() == {"inject": 1, "suite": 1}
+
+    def test_v3_migration_is_idempotent(self, tmp_path):
+        path = tmp_path / "v3.sqlite"
+        _write_v3_ledger(path)
+        Ledger(path).close()
+        with Ledger(path) as ledger:  # reopen: already at v4
+            assert ledger.schema_version() == SCHEMA_VERSION
+            assert ledger.counts() == {"suite": 1}
+
     def test_future_schema_is_refused(self, tmp_path):
         path = tmp_path / "future.sqlite"
         conn = sqlite3.connect(str(path))
@@ -357,15 +490,17 @@ class TestRetention:
             for _ in range(5):
                 record_suites(ledger, ["a"], coverage=FakeCoverage())
             ledger.record_fuzz(FakeCampaignReport())
+            ledger.record_injection_campaign(FakeInjectionReport())
             survivors = [run.run_id for run in ledger.runs(limit=2)]
-            assert ledger.gc(keep=2) == 4
+            assert ledger.gc(keep=2) == 5
             remaining = [run.run_id for run in ledger.runs()]
             assert remaining == survivors
             # children of dropped runs are gone too
-            orphan = ledger._conn.execute(
-                "SELECT COUNT(*) FROM case_runs WHERE run_id NOT IN "
-                "(SELECT run_id FROM runs)").fetchone()[0]
-            assert orphan == 0
+            for table in ("case_runs", "fault_runs"):
+                orphan = ledger._conn.execute(
+                    f"SELECT COUNT(*) FROM {table} WHERE run_id NOT IN "
+                    "(SELECT run_id FROM runs)").fetchone()[0]
+                assert orphan == 0, table
 
     def test_gc_rejects_negative_keep(self, tmp_path):
         with Ledger(tmp_path / "l.sqlite") as ledger:

@@ -6,7 +6,8 @@ from repro.cli import main
 from repro.obs.ledger import Ledger
 from repro.obs.regress import Thresholds, compare_run, mad, median
 
-from .test_ledger import FakeCoverage, FakeSuiteReport, record_suites
+from .test_ledger import (FakeCoverage, FakeInjectionReport,
+                          FakeSuiteReport, record_suites)
 
 
 class TestStats:
@@ -119,6 +120,45 @@ class TestCompare:
             _seed_baseline(ledger, runs=1, sim=0.2)
             lax = Thresholds(min_rel=3.0, sigma=50.0)
             assert compare_run(ledger, thresholds=lax).passed
+
+
+def _record_campaign(ledger, app="alpha", backend="event", seconds=5.0):
+    """An inject run whose baseline case row collides with the suite
+    perf key (app, backend, size) — the sentinel must ignore it."""
+    report = FakeInjectionReport()
+    report.app = app
+    report.backend = backend
+    report.baseline.seconds = seconds
+    ledger.record_injection_campaign(report, size={"n": 8})
+
+
+class TestInjectInvisibility:
+    def test_latest_inject_run_yields_no_perf_findings(self, tmp_path):
+        """Campaign wall time has nothing to do with suite perf: when
+        the newest run is a campaign, the perf section is a no-op even
+        though its baseline case row is 50x slower than history."""
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _seed_baseline(ledger, runs=3, sim=0.1)
+            _record_campaign(ledger, seconds=5.0)
+            report = compare_run(ledger)
+            assert report.run.kind == "inject"
+            assert report.passed
+            assert not [f for f in report.findings if f.kind == "perf"]
+
+    def test_inject_rows_stay_out_of_perf_baselines(self, tmp_path):
+        """Slow campaign baselines must not inflate the perf median: a
+        2x suite slowdown is still flagged even after three campaigns
+        recorded 50x-slower case rows under the same key."""
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            for _ in range(3):
+                _record_campaign(ledger, seconds=5.0)
+            _seed_baseline(ledger, runs=3, sim=0.1)
+            _seed_baseline(ledger, runs=1, sim=0.2)
+            report = compare_run(ledger)
+            perf = [f for f in report.findings if f.kind == "perf"
+                    and f.subject.startswith("alpha")]
+            assert perf, report.summary()
+            assert perf[0].ratio == pytest.approx(2.0)
 
 
 class TestCompareCli:
