@@ -8,6 +8,7 @@ module is that invocation::
     python -m repro fuzz -n 200 --jobs 2      # differential compiler fuzzing
     python -m repro campaign fdct1 -n 1000 --jobs 4  # hardware fault injection
     python -m repro inject fdct1 --replay hang.json  # replay one fault
+    python -m repro triage fdct1 --fault sdc.json    # first-divergence triage
     python -m repro table1                    # print the Table I metrics
     python -m repro flow fdct1 --workdir out  # full Figure 1 flow, artifacts on disk
     python -m repro translate dp.xml --to dot # one translation backend
@@ -198,6 +199,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", action="append", metavar="FILE",
                       help="replay corpus reproducer(s) instead of "
                            "fuzzing; exit 1 while any still fails")
+    fuzz.add_argument("--no-triage", action="store_true",
+                      help="skip the automatic divergence triage of "
+                           "mismatch reproducers")
+    fuzz.add_argument("--triage-out", metavar="DIR", default="triage",
+                      help="artifact directory for auto-triage reports "
+                           "(default: triage)")
     _add_obs_flags(fuzz)
 
     faults = sub.add_parser(
@@ -279,6 +286,65 @@ def build_parser() -> argparse.ArgumentParser:
                           help="append this campaign to the SQLite run "
                                "ledger at PATH (default: $REPRO_LEDGER "
                                "when set)")
+    campaign.add_argument("--triage-sdc", type=int, default=2,
+                          metavar="N",
+                          help="divergence-triage a seeded sample of N "
+                               "sdc verdicts after the campaign "
+                               "(default 2; 0 disables)")
+    campaign.add_argument("--triage-out", metavar="DIR", default="triage",
+                          help="artifact directory for those triage "
+                               "reports (default: triage)")
+
+    triage = sub.add_parser(
+        "triage", help="divergence triage: bisect a failing pair to its "
+                       "first divergent cycle/net, capture a waveform "
+                       "window, rank cone-of-influence suspects")
+    triage.add_argument("target",
+                        help="benchmark case name, or a fuzz-corpus "
+                             "reproducer (.py) written by 'repro fuzz'")
+    triage.add_argument("--fault", metavar="FILE[:ID]", default=None,
+                        help="replay one descriptor from a faultload "
+                             "JSON file (fault-free vs faulted "
+                             "lockstep); ':ID' picks a fault id, "
+                             "default: first entry")
+    triage.add_argument("--run", type=int, default=None, metavar="ID",
+                        help="replay the first sdc fault recorded under "
+                             "this ledger run id (an inject/campaign "
+                             "row) instead of a faultload file")
+    triage.add_argument("--against", default=None,
+                        choices=("event", "compiled", "traced"),
+                        help="triage a backend disagreement: this "
+                             "reference kernel vs --backend")
+    triage.add_argument("--backend",
+                        choices=("event", "compiled", "traced"),
+                        default="compiled",
+                        help="subject simulation kernel "
+                             "(default: compiled)")
+    triage.add_argument("--seed", type=int, default=0,
+                        help="stimulus seed (default 0)")
+    triage.add_argument("--window", type=_positive_int, default=64,
+                        metavar="N",
+                        help="waveform ring-buffer size in cycles "
+                             "(default 64); older cycles are dropped "
+                             "and the report carries a truncation "
+                             "marker")
+    triage.add_argument("--stride", type=_positive_int, default=None,
+                        metavar="N",
+                        help="coarse checkpoint stride in cycles "
+                             "(default: the window size)")
+    triage.add_argument("--max-cycles", type=_positive_int,
+                        default=1_000_000,
+                        help="bisection budget in cycles "
+                             "(default 1000000)")
+    triage.add_argument("--out", metavar="DIR", default="triage",
+                        help="artifact directory for the JSON record "
+                             "and HTML report (default: triage)")
+    triage.add_argument("--no-html", action="store_true",
+                        help="write only the JSON record")
+    triage.add_argument("--ledger", metavar="PATH", default=None,
+                        help="append the triage record to the SQLite "
+                             "run ledger at PATH (default: "
+                             "$REPRO_LEDGER when set)")
 
     obs = sub.add_parser(
         "obs", help="cross-run observability: query the run ledger, "
@@ -532,6 +598,47 @@ def _cmd_translate(args) -> int:
     return 0
 
 
+def _write_triage(result, basename: str, out_dir: str, ledger, *,
+                  wall_seconds: float = 0.0, html: bool = True) -> None:
+    """Persist one triage result: artifacts on disk + a ledger row."""
+    from .obs.triage import attach_to_ledger
+
+    paths = result.write(out_dir, basename, html=html)
+    for line in result.record.describe().splitlines():
+        print(f"  triage: {line}")
+    for kind in sorted(paths):
+        print(f"  triage {kind} -> {paths[kind]}")
+    if ledger is not None:
+        run_id = attach_to_ledger(ledger, result,
+                                  wall_seconds=wall_seconds,
+                                  argv=sys.argv[1:], paths=paths)
+        print(f"  triage ledger row -> #{run_id}")
+
+
+def _triage_fuzz_mismatch(entry, basename: str, out_dir: str,
+                          ledger) -> None:
+    """Best-effort auto-triage of one fuzz mismatch reproducer.
+
+    Triage is diagnostics, not a verdict: a triage crash must never turn
+    a recorded reproducer into a CLI failure, so everything is caught.
+    """
+    import time
+
+    from .obs.triage import TriageError, triage_fuzz_entry
+
+    start = time.monotonic()
+    try:
+        result = triage_fuzz_entry(entry)
+    except TriageError as exc:
+        print(f"  triage: skipped ({exc})")
+        return
+    except Exception as exc:  # noqa: BLE001 - diagnostics stay best-effort
+        print(f"  triage: failed ({type(exc).__name__}: {exc})")
+        return
+    _write_triage(result, f"{basename}-triage", out_dir, ledger,
+                  wall_seconds=time.monotonic() - start)
+
+
 def _cmd_fuzz(args) -> int:
     from .fuzz import (CorpusEntry, DEFAULT_BACKENDS, DEFAULT_MAX_CYCLES,
                        load_entry, reduce_program, run_campaign,
@@ -582,28 +689,34 @@ def _cmd_fuzz(args) -> int:
                 time_budget=args.time_budget, coverage=args.coverage,
                 ledger=ledger,
             )
+        for failure in report.failures:
+            if failure.program is None:
+                continue  # harness error: no program to reduce
+            outcome = failure.outcome
+            if not args.no_reduce:
+                reduction = reduce_program(failure.program, outcome,
+                                           max_cycles=max_cycles,
+                                           input_seed=args.input_seed)
+                program, outcome = reduction.program, reduction.outcome
+            else:
+                program = failure.program
+            entry = CorpusEntry(program=program, kind=outcome.kind,
+                                backend=outcome.backend,
+                                exc_type=outcome.exc_type,
+                                input_seed=args.input_seed,
+                                detail=outcome.detail)
+            path = save_entry(entry, args.corpus)
+            report.written.append(str(path))
+            if outcome.kind == "mismatch" and not args.no_triage:
+                # divergence triage rides along with the minimized
+                # reproducer: first divergent cycle/net + suspect cone
+                _triage_fuzz_mismatch(entry, Path(path).stem,
+                                      args.triage_out, ledger)
     finally:
         if ledger is not None:
             ledger.close()
     if ledger is not None:
         print(f"ledger -> {ledger.path}")
-    for failure in report.failures:
-        if failure.program is None:
-            continue  # harness error: no program to reduce
-        outcome = failure.outcome
-        if not args.no_reduce:
-            reduction = reduce_program(failure.program, outcome,
-                                       max_cycles=max_cycles,
-                                       input_seed=args.input_seed)
-            program, outcome = reduction.program, reduction.outcome
-        else:
-            program = failure.program
-        entry = CorpusEntry(program=program, kind=outcome.kind,
-                            backend=outcome.backend,
-                            exc_type=outcome.exc_type,
-                            input_seed=args.input_seed,
-                            detail=outcome.detail)
-        report.written.append(str(save_entry(entry, args.corpus)))
     print(report.summary())
     if args.metrics:
         from .obs import campaign_metrics
@@ -701,6 +814,47 @@ def _cmd_inject(args) -> int:
     return 0
 
 
+def _triage_campaign_sdc(report, design, func, inputs, args,
+                         ledger) -> None:
+    """Triage a seeded sample of the campaign's sdc verdicts.
+
+    Fault-vs-fault-free lockstep names the first corrupted cycle/net
+    for each sampled silent corruption; the records feed the dashboard's
+    kind × top-suspect-net table.  Best-effort: a triage crash never
+    fails the campaign.
+    """
+    import random
+    import time
+
+    from .obs.triage import TriageError, triage_fault
+
+    sdc = report.sdc_results
+    if not sdc:
+        return
+    take = min(args.triage_sdc, len(sdc))
+    picks = random.Random(args.seed).sample(sdc, take)
+    backend = args.backend if args.backend != "batched" else "compiled"
+    print(f"triage: {take}/{len(sdc)} sdc verdict(s) sampled "
+          f"(seed {args.seed})")
+    for result in picks:
+        fault = result.fault
+        start = time.monotonic()
+        try:
+            triaged = triage_fault(design, func, fault, inputs,
+                                   backend=backend, app=args.case,
+                                   kind="campaign-sdc")
+        except TriageError as exc:
+            print(f"  triage: {fault.fault_id} skipped ({exc})")
+            continue
+        except Exception as exc:  # noqa: BLE001 - diagnostics only
+            print(f"  triage: {fault.fault_id} failed "
+                  f"({type(exc).__name__}: {exc})")
+            continue
+        _write_triage(triaged, f"{args.case}-{fault.fault_id}",
+                      args.triage_out, ledger,
+                      wall_seconds=time.monotonic() - start)
+
+
 def _cmd_campaign(args) -> int:
     from .inject import (FaultloadGenerator, load_faultload, run_campaign,
                          run_injection, save_faultload)
@@ -741,21 +895,25 @@ def _cmd_campaign(args) -> int:
 
     ledger = ledger_from_env(args.ledger)
     try:
-        report = run_campaign(design, case.func, faults, inputs,
-                              app=args.case, backend=args.backend,
-                              jobs=args.jobs, seed=args.seed,
-                              hang_factor=args.hang_factor,
-                              time_budget=args.time_budget,
-                              ledger=ledger)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        try:
+            report = run_campaign(design, case.func, faults, inputs,
+                                  app=args.case, backend=args.backend,
+                                  jobs=args.jobs, seed=args.seed,
+                                  hang_factor=args.hang_factor,
+                                  time_budget=args.time_budget,
+                                  ledger=ledger)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if ledger is not None:
+            print(f"ledger -> {ledger.path}")
+        print(report.summary())
+        if args.triage_sdc > 0:
+            _triage_campaign_sdc(report, design, case.func, inputs,
+                                 args, ledger)
     finally:
         if ledger is not None:
             ledger.close()
-    if ledger is not None:
-        print(f"ledger -> {ledger.path}")
-    print(report.summary())
     if args.save_faultload:
         path = save_faultload(faults, args.save_faultload)
         print(f"faultload -> {path}")
@@ -764,6 +922,130 @@ def _cmd_campaign(args) -> int:
         path = save_faultload(hangs, args.save_hangs)
         print(f"{len(hangs)} hang reproducer(s) -> {path} "
               f"(replay with 'repro inject {args.case} --replay {path}')")
+    return 0
+
+
+def _fault_from_file(spec: str):
+    """Resolve a ``--fault FILE[:ID]`` spec to one descriptor."""
+    from .inject import load_faultload
+
+    path, _, fault_id = spec.partition(":")
+    if not Path(path).exists():
+        print(f"error: no faultload at {path}", file=sys.stderr)
+        return None
+    faults = load_faultload(path)
+    if not faults:
+        print(f"error: faultload {path} is empty", file=sys.stderr)
+        return None
+    if not fault_id:
+        return faults[0]
+    for fault in faults:
+        if fault.fault_id == fault_id:
+            return fault
+    print(f"error: no fault {fault_id!r} in {path}; ids: "
+          f"{[fault.fault_id for fault in faults]}", file=sys.stderr)
+    return None
+
+
+def _fault_from_ledger(ledger, args):
+    """First replayable non-masked descriptor under ``--run ID``."""
+    from .inject import FaultDescriptor
+    from .obs.ledger import LEDGER_ENV, Ledger
+
+    owned = None
+    if ledger is None:
+        path = args.ledger or os.environ.get(LEDGER_ENV) \
+            or "repro-ledger.sqlite"
+        if not Path(path).exists():
+            print(f"error: --run needs a ledger; none at {path}",
+                  file=sys.stderr)
+            return None
+        ledger = owned = Ledger(path)
+    try:
+        rows = ledger.fault_rows(args.run)
+    finally:
+        if owned is not None:
+            owned.close()
+    rows = [row for row in rows if row.descriptor]
+    picks = [row for row in rows if row.verdict == "sdc"] \
+        or [row for row in rows if row.verdict != "masked"]
+    if not picks:
+        print(f"error: ledger run #{args.run} has no replayable "
+              f"non-masked fault row", file=sys.stderr)
+        return None
+    row = picks[0]
+    print(f"replaying fault {row.fault_id} (verdict {row.verdict}) "
+          f"from ledger run #{args.run}")
+    return FaultDescriptor.from_dict(row.descriptor)
+
+
+def _cmd_triage(args) -> int:
+    import time
+
+    from .obs.ledger import ledger_from_env
+    from .obs.triage import (TriageError, triage_backends, triage_fault,
+                             triage_fuzz_entry)
+
+    start = time.monotonic()
+    target = args.target
+    ledger = ledger_from_env(args.ledger)
+    try:
+        try:
+            if target.endswith(".py"):
+                if not Path(target).exists():
+                    print(f"error: no corpus reproducer at {target}",
+                          file=sys.stderr)
+                    return 2
+                from .fuzz import load_entry
+
+                entry = load_entry(target)
+                result = triage_fuzz_entry(entry, window=args.window,
+                                           stride=args.stride,
+                                           max_cycles=args.max_cycles)
+                basename = f"{Path(target).stem}-triage"
+            else:
+                compiled = _compile_injectable(target, args.seed)
+                if compiled is None:
+                    return 2
+                case, design, inputs = compiled
+                fault = None
+                if args.run is not None:
+                    fault = _fault_from_ledger(ledger, args)
+                    if fault is None:
+                        return 2
+                elif args.fault:
+                    fault = _fault_from_file(args.fault)
+                    if fault is None:
+                        return 2
+                if fault is not None:
+                    result = triage_fault(
+                        design, case.func, fault, inputs,
+                        backend=args.backend, window=args.window,
+                        stride=args.stride, max_cycles=args.max_cycles,
+                        app=target)
+                    basename = f"{target}-{fault.fault_id}"
+                elif args.against:
+                    result = triage_backends(
+                        design, inputs, backend_ref=args.against,
+                        backend_sub=args.backend, window=args.window,
+                        stride=args.stride, max_cycles=args.max_cycles,
+                        app=target)
+                    basename = f"{target}-{args.against}" \
+                               f"-vs-{args.backend}"
+                else:
+                    print("error: pick a failing pair: --fault "
+                          "FILE[:ID], --run ID, or --against BACKEND",
+                          file=sys.stderr)
+                    return 2
+        except TriageError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        _write_triage(result, basename, args.out, ledger,
+                      wall_seconds=time.monotonic() - start,
+                      html=not args.no_html)
+    finally:
+        if ledger is not None:
+            ledger.close()
     return 0
 
 
@@ -898,6 +1180,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "inject": _cmd_inject,
     "campaign": _cmd_campaign,
+    "triage": _cmd_triage,
     "table1": _cmd_table1,
     "flow": _cmd_flow,
     "translate": _cmd_translate,

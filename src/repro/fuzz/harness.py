@@ -138,6 +138,13 @@ class CampaignReport:
     def passed(self) -> bool:
         return not self.failures
 
+    @property
+    def mismatches(self) -> List[FuzzCaseResult]:
+        """Mismatch failures with a program — the divergence-triage feed."""
+        return [failure for failure in self.failures
+                if failure.outcome.kind == "mismatch"
+                and failure.program is not None]
+
     def summary(self) -> str:
         per_kind = ", ".join(f"{kind}={self.counts[kind]}"
                              for kind in sorted(self.counts))

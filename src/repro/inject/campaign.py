@@ -110,6 +110,12 @@ class CampaignReport:
         return [result.fault for result in self.results
                 if result.verdict == "hang" and result.fault is not None]
 
+    @property
+    def sdc_results(self) -> List[InjectionResult]:
+        """Silent-data-corruption verdicts — the divergence-triage feed."""
+        return [result for result in self.results
+                if result.verdict == "sdc" and result.fault is not None]
+
     def summary(self) -> str:
         counts = self.tally()
         lines = [

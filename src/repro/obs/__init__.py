@@ -38,6 +38,11 @@ from .metrics import (Metrics, campaign_metrics, flow_metrics, suite_metrics,
 from .regress import (Finding, RegressionReport, Thresholds, compare_run)
 from .trace import (Span, TraceRecorder, active_recorder, event,
                     export_chrome_trace, install, recording, span, uninstall)
+# triage pulls in sim/inject layers lazily; keep this import last
+from .triage import (Suspect, TriageError, TriageRecord, TriageResult,
+                     attach_to_ledger, locate_divergence,
+                     render_triage_html, triage_backends, triage_fault,
+                     triage_fuzz_entry)
 
 __all__ = [
     "Span", "TraceRecorder", "recording", "span", "event",
@@ -50,4 +55,7 @@ __all__ = [
     "ledger_from_env",
     "Thresholds", "Finding", "RegressionReport", "compare_run",
     "render_dashboard", "export_prometheus", "export_json",
+    "TriageError", "TriageRecord", "TriageResult", "Suspect",
+    "locate_divergence", "triage_fault", "triage_backends",
+    "triage_fuzz_entry", "render_triage_html", "attach_to_ledger",
 ]

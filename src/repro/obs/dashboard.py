@@ -14,7 +14,9 @@ machine, or ``file://``.  Sections:
 * the backend speedup table of the latest bench run;
 * fuzz campaign history;
 * fault-injection campaigns: verdict tallies per campaign plus the
-  fault-coverage table (fault kind × verdict) of the latest one.
+  fault-coverage table (fault kind × verdict) of the latest one;
+* divergence triage: first divergent cycle/net and top suspect per
+  triaged failure, plus a kind × top-suspect-net tally table.
 
 ``export_prometheus`` writes the same latest-run facts in the
 Prometheus *textfile collector* format, so an external scraper can
@@ -442,6 +444,63 @@ def _inject_section(ledger: Ledger, history: int) -> str:
             f'<table><thead><tr><th>fault kind</th>{header}'
             f'<th>total</th></tr></thead>'
             f'<tbody>{"".join(body)}</tbody></table>')
+    else:
+        table += ('<p class="mut">latest campaign recorded no '
+                  'classified faults — no fault-coverage table</p>')
+    return table
+
+
+def _triage_section(ledger: Ledger, history: int) -> str:
+    runs = ledger.runs(kind="triage", limit=history)
+    if not runs:
+        return ('<p class="mut">no triage records yet '
+                '(<code>repro triage</code>, or automatic on fuzz '
+                'mismatches and sampled campaign sdc verdicts)</p>')
+    body = []
+    # kind × suspect-net tally over the recent triage records
+    by_kind_net: Dict[str, Dict[str, int]] = {}
+    for run in runs:
+        extra = run.extra
+        kind = str(extra.get("kind", "?"))
+        suspect = extra.get("top_suspect") or "—"
+        cell = by_kind_net.setdefault(kind, {})
+        cell[str(suspect)] = cell.get(str(suspect), 0) + 1
+        cycle = extra.get("cycle")
+        body.append(
+            f"<tr><td>#{run.run_id} "
+            f'<span class="mut">{_fmt_when(run.started_at)}</span></td>'
+            f"<td>{_esc(kind)}</td>"
+            f"<td>{_esc(extra.get('app', '—'))}</td>"
+            f"<td>{_esc(extra.get('backend_ref', '—'))} vs "
+            f"{_esc(extra.get('backend_sub', '—'))}</td>"
+            f"<td>{_esc(extra.get('mode', '—'))}</td>"
+            f"<td>{cycle if cycle is not None else '—'}</td>"
+            f"<td>{_esc(extra.get('net') or '—')}</td>"
+            f"<td>{_esc(suspect)}</td></tr>")
+    table = ('<table><thead><tr><th>triage</th><th>kind</th><th>app</th>'
+             '<th>pair</th><th>mode</th><th>first cycle</th>'
+             '<th>divergent net</th><th>top suspect</th></tr></thead>'
+             f'<tbody>{"".join(body)}</tbody></table>')
+    nets: List[str] = []
+    for cell in by_kind_net.values():
+        for net in cell:
+            if net not in nets:
+                nets.append(net)
+    nets.sort()
+    if nets:
+        header = "".join(f"<th>{_esc(net)}</th>" for net in nets)
+        rows = []
+        for kind in sorted(by_kind_net):
+            cells = "".join(
+                f"<td>{by_kind_net[kind].get(net, 0) or ''}</td>"
+                for net in nets)
+            rows.append(f"<tr><td>{_esc(kind)}</td>{cells}</tr>")
+        table += (
+            '<p class="sub">triage kind × top-suspect net (recent '
+            'records) — recurring suspects point at systematic '
+            'weak spots</p>'
+            f'<table><thead><tr><th>kind</th>{header}</tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>')
     return table
 
 
@@ -504,6 +563,9 @@ per run)</span></h2>
 <h2>Fault-injection campaigns <span class="sub">(verdicts per campaign;
 fault coverage of the latest)</span></h2>
 {_inject_section(ledger, history)}
+<h2>Divergence triage <span class="sub">(first divergent cycle/net and
+top suspect per triaged failure)</span></h2>
+{_triage_section(ledger, history)}
 <h2>All runs</h2>
 {_runs_table(ledger, history)}
 <footer>generated by <code>python -m repro obs dashboard</code> —
@@ -635,6 +697,20 @@ def export_prometheus(ledger: Ledger) -> str:
                            {"verdict": verdict}, count)
                 for verdict, count in tallies.items()])
 
+    triage_runs = ledger.runs(kind="triage")
+    if triage_runs:
+        tallies: Dict[Tuple[str, str], int] = {}
+        for run in triage_runs:
+            key = (str(run.extra.get("kind", "?")),
+                   str(run.extra.get("mode", "?")))
+            tallies[key] = tallies.get(key, 0) + 1
+        metric("repro_triage_total", "gauge",
+               "Divergence-triage records in the ledger, by producer "
+               "kind and divergence mode.",
+               [_prom_line("repro_triage_total",
+                           {"kind": kind, "mode": mode}, count)
+                for (kind, mode), count in sorted(tallies.items())])
+
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -660,6 +736,9 @@ def export_json(ledger: Ledger, *, history: int = 30) -> str:
             "faults": [vars(row)
                        for row in ledger.fault_rows(run.run_id)],
         })
+        if run.kind == "triage":
+            # the full machine-readable triage record rides in extra
+            payload[-1]["triage"] = run.extra
     return json.dumps({"schema": 1, "runs": payload}, indent=2,
                       default=str) + "\n"
 

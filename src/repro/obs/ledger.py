@@ -727,6 +727,25 @@ class Ledger:
                 self._insert_fault(conn, run_id, result)
             return run_id
 
+    def record_triage(self, record: Mapping[str, Any], *,
+                      wall_seconds: float = 0.0,
+                      argv: Optional[Sequence[str]] = None) -> int:
+        """Record one divergence-triage verdict (duck-typed dict).
+
+        *record* is a :class:`repro.obs.triage.TriageRecord` dict — the
+        whole machine-readable triage record rides in the run row's
+        ``extra`` column (no schema bump needed), so dashboards and
+        ``repro obs report`` can surface first-divergent cycles and
+        suspect nets alongside the runs that produced them.
+        """
+        record = dict(record)
+        with self._conn as conn:
+            return self._insert_run(
+                conn, "triage", wall_seconds=wall_seconds,
+                passed=record.get("mode") != "none",
+                backend=record.get("backend_sub"), jobs=1,
+                argv=argv, extra=record)
+
     @staticmethod
     def _insert_fault(conn: sqlite3.Connection, run_id: int,
                       result) -> None:
@@ -778,6 +797,11 @@ class Ledger:
             extra = json.loads(extra) if extra else {}
         except ValueError:
             extra = {}
+        if not isinstance(extra, dict):
+            # a hand-written or corrupted row can hold any JSON value;
+            # every consumer expects a mapping (dashboard sections call
+            # .get on it), so coerce rather than crash them
+            extra = {"value": extra}
         return RunRow(run_id=row["run_id"], kind=row["kind"],
                       started_at=row["started_at"],
                       wall_seconds=row["wall_seconds"] or 0.0,

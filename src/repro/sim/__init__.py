@@ -24,7 +24,8 @@ from .levelize import levelize
 from .oblivious import ObliviousSimulator
 from .probe import Assertion, Probe, StopCondition
 from .signal import Signal
-from .vcd import VcdWriter
+from .vcd import VcdWriter, write_vcd_window
+from .wavecapture import WaveCapture, WaveSample
 # compiled imports repro.operators (for its code emitters), which in turn
 # imports sim submodules — keep this import last so those are complete
 from .compiled import CompiledSimulator
@@ -55,6 +56,9 @@ __all__ = [
     "Assertion",
     "StopCondition",
     "VcdWriter",
+    "write_vcd_window",
+    "WaveCapture",
+    "WaveSample",
     "SimulationError",
     "ElaborationError",
     "CombinationalLoopError",

@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from .kernel import Simulator
 from .signal import Signal
 
-__all__ = ["VcdWriter"]
+__all__ = ["VcdWriter", "write_vcd_window"]
 
 # VCD identifier characters (printable ASCII '!'..'~')
 _ID_FIRST = 33
@@ -30,6 +30,69 @@ def _identifier(index: int) -> str:
         chars.append(chr(_ID_FIRST + index % _ID_RANGE))
         index //= _ID_RANGE
     return "".join(reversed(chars))
+
+
+def _format_value(width: int, ident: str, value: int) -> str:
+    if width == 1:
+        return f"{value}{ident}\n"
+    return f"b{value:b} {ident}\n"
+
+
+def write_vcd_window(path: Union[str, Path], samples,
+                     widths: Dict[str, int], *,
+                     module: str = "design", timescale: str = "1ns",
+                     period: int = 10) -> Path:
+    """Write captured :class:`~repro.sim.wavecapture.WaveSample`\\ s as VCD.
+
+    This is the watcher-free export path: :class:`VcdWriter` streams
+    live signal changes (which forces the compiled/traced kernels back
+    onto the event kernel), while this function serialises an
+    already-captured window, so the fast backends can produce standard
+    waveforms too.  Each sample becomes one timestamp at
+    ``cycle * period``; only value changes are emitted after the
+    initial ``$dumpvars`` block.
+
+    Phase convention: a sample records the *post-settle* state of its
+    cycle, stamped at the cycle's end boundary.  The streaming
+    :class:`VcdWriter` logs the same changes at the clock-edge time one
+    period earlier, so ``window[t + period] == stream[t]`` signal for
+    signal (the equivalence test locks this).
+    """
+    path = Path(path)
+    names = list(widths)
+    ids = {name: _identifier(i) for i, name in enumerate(names)}
+    with path.open("w") as out:
+        out.write(f"$timescale {timescale} $end\n")
+        out.write(f"$scope module {module} $end\n")
+        for name in names:
+            out.write(f"$var wire {widths[name]} {ids[name]} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        previous: Dict[str, int] = {}
+        first = True
+        last_time = 0
+        for entry in samples:
+            last_time = entry.cycle * period
+            if first:
+                out.write(f"#{last_time}\n")
+                out.write("$dumpvars\n")
+                for name in names:
+                    value = entry.values.get(name, 0)
+                    out.write(_format_value(widths[name], ids[name], value))
+                    previous[name] = value
+                out.write("$end\n")
+                first = False
+                continue
+            changes = [
+                (name, entry.values.get(name, 0)) for name in names
+                if entry.values.get(name, 0) != previous[name]]
+            if changes:
+                out.write(f"#{last_time}\n")
+                for name, value in changes:
+                    out.write(_format_value(widths[name], ids[name], value))
+                    previous[name] = value
+        if not first:
+            out.write(f"#{last_time + period}\n")
+    return path
 
 
 class VcdWriter:

@@ -273,3 +273,104 @@ class TestSuiteLedger:
                        "--min-state-coverage", "90"])
         assert status == 1
         assert "no coverage" in capsys.readouterr().err
+
+
+class TestTriageCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["triage", "fdct1"])
+        assert args.backend == "compiled"
+        assert args.against is None
+        assert args.fault is None
+        assert args.run is None
+        assert args.window == 64
+        assert args.stride is None
+        assert args.out == "triage"
+        assert not args.no_html
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["triage", "fdct1", "--window", "0"])
+
+    def test_needs_a_failing_pair(self, capsys):
+        assert main(["triage", "threshold"]) == 2
+        assert "failing pair" in capsys.readouterr().err
+
+    def test_unknown_case(self, capsys):
+        assert main(["triage", "nope"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
+    def test_missing_corpus_entry(self, capsys):
+        assert main(["triage", "does/not/exist.py"]) == 2
+        assert "no corpus reproducer" in capsys.readouterr().err
+
+    def test_planted_fault_replay(self, tmp_path, capsys):
+        """Faultload file -> triage names the planted net, writes both
+        artifacts, and attaches the record to the ledger."""
+        from repro.inject import FaultDescriptor, save_faultload
+        from repro.obs.ledger import Ledger
+
+        load = tmp_path / "planted.json"
+        save_faultload([FaultDescriptor(
+            fault_id="seed", kind="stuck", target="n_tr_img_out_y",
+            bit=0, stuck_value=1)], load)
+        ledger = tmp_path / "l.sqlite"
+        status = main(["triage", "fdct1", "--fault", f"{load}:seed",
+                       "--out", str(tmp_path / "art"),
+                       "--ledger", str(ledger)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "top suspect n_tr_img_out_y" in out
+        assert (tmp_path / "art" / "fdct1-seed.json").exists()
+        assert (tmp_path / "art" / "fdct1-seed.html").exists()
+        with Ledger(ledger) as db:
+            run = db.latest_run("triage")
+            assert run is not None
+            assert run.extra["net"] == "n_tr_img_out_y"
+
+    def test_backend_pair_with_no_divergence(self, tmp_path, capsys):
+        status = main(["triage", "threshold", "--against", "event",
+                       "--no-html", "--out", str(tmp_path)])
+        assert status == 0
+        assert "no divergence located" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.glob("*.html"))
+
+    def test_corpus_reproducer_triage(self, tmp_path, capsys):
+        from pathlib import Path
+
+        corpus = sorted(Path("fuzz/corpus").glob("mismatch_*.py"))
+        assert corpus, "expected shipped mismatch reproducers"
+        status = main(["triage", str(corpus[0]),
+                       "--out", str(tmp_path)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "[fuzz-mismatch]" in out
+        assert "top suspect" in out
+
+    def test_fuzz_auto_triage_helper(self, tmp_path, capsys):
+        """The hook the fuzz failure loop calls: artifacts + ledger row
+        per mismatch reproducer, and never an exception."""
+        from pathlib import Path
+
+        from repro.cli import _triage_fuzz_mismatch
+        from repro.fuzz import load_entry
+        from repro.obs.ledger import Ledger
+
+        entry = load_entry(
+            sorted(Path("fuzz/corpus").glob("mismatch_*.py"))[0])
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _triage_fuzz_mismatch(entry, "repro", str(tmp_path), ledger)
+            run = ledger.latest_run("triage")
+            assert run is not None
+            assert run.extra["kind"] == "fuzz-mismatch"
+        out = capsys.readouterr().out
+        assert "triage json ->" in out
+        assert (tmp_path / "repro-triage.json").exists()
+
+    def test_campaign_sdc_sampling_disabled_with_zero(self):
+        args = build_parser().parse_args(
+            ["campaign", "fdct1", "--triage-sdc", "0"])
+        assert args.triage_sdc == 0
+        args = build_parser().parse_args(["campaign", "fdct1"])
+        assert args.triage_sdc == 2
+        assert args.triage_out == "triage"

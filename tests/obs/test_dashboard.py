@@ -127,6 +127,82 @@ class TestInjectSection:
         assert any(fault["descriptor"] for fault in faults)
 
 
+class TestDegradedLedgers:
+    """The dashboard must render placeholders, never raise, on sparse
+    or damaged ledgers (the satellite fix for campaign-free renders)."""
+
+    def test_empty_ledger_renders_every_placeholder(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            html = render_dashboard(ledger)
+        assert "no fault-injection campaigns recorded" in html
+        assert "no triage records yet" in html
+        assert html.lower().lstrip().startswith("<!doctype html")
+
+    def test_campaign_with_zero_classified_faults(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            ledger.record_injection_campaign(
+                FakeInjectionReport(verdicts=()))
+            html = render_dashboard(ledger)
+        assert "no classified faults" in html
+        assert "Fault-injection campaigns" in html
+
+    def test_non_dict_extra_row_is_coerced_not_fatal(self, tmp_path):
+        """A runs.extra cell holding non-object JSON (a hand-edited or
+        older-schema ledger) must not crash any reader."""
+        path = tmp_path / "l.sqlite"
+        with Ledger(path) as ledger:
+            _populate(ledger)
+            ledger.record_injection_campaign(FakeInjectionReport())
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE runs SET extra = '\"oops\"'")
+        conn.commit()
+        conn.close()
+        with Ledger(path) as ledger:
+            run = ledger.runs(limit=1)[0]
+            assert run.extra == {"value": "oops"}
+            html = render_dashboard(ledger)
+            assert "<html" in html
+            assert export_prometheus(ledger)
+            assert json.loads(export_json(ledger))
+
+    def test_triage_placeholder_then_table(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            assert "no triage records yet" in render_dashboard(ledger)
+            ledger.record_triage({
+                "kind": "fault", "app": "fdct1",
+                "backend_ref": "compiled", "backend_sub": "compiled",
+                "mode": "cycle", "cycle": 14, "net": "n_tr_img_out_y",
+                "top_suspect": "n_tr_img_out_y"})
+            html = render_dashboard(ledger)
+        assert "Divergence triage" in html
+        assert "n_tr_img_out_y" in html
+        assert "top-suspect net" in html
+
+    def test_triage_prometheus_tally(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            for mode in ("cycle", "cycle", "none"):
+                ledger.record_triage({
+                    "kind": "backend", "app": "fir", "mode": mode})
+            text = export_prometheus(ledger)
+        assert re.search(
+            r'repro_triage_total\{kind="backend",mode="cycle"\} 2', text)
+        assert re.search(
+            r'repro_triage_total\{kind="backend",mode="none"\} 1', text)
+
+    def test_triage_json_export_carries_record(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_triage({"kind": "fault", "app": "fdct1",
+                                  "mode": "cycle", "net": "n_x"})
+            payload = json.loads(export_json(ledger))
+        triage = [entry for entry in payload["runs"]
+                  if entry["kind"] == "triage"]
+        assert len(triage) == 1
+        assert triage[0]["triage"]["net"] == "n_x"
+
+
 class TestExport:
     def test_prometheus_format(self, tmp_path):
         with Ledger(tmp_path / "l.sqlite") as ledger:

@@ -1,0 +1,129 @@
+"""Round-trip tests for the Chrome/Perfetto trace export.
+
+The exported artifact is only useful if a viewer can actually load it:
+these tests re-parse the exported JSON and check the structural
+invariants the viewers rely on — well-formed events, time-nested spans
+on one track, and fork-worker spans merged into the parent timeline.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.obs import (TraceRecorder, export_chrome_trace, install, span,
+                       uninstall)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork-worker merge requires the fork start method")
+
+
+def _export(events_path, out_path):
+    count = export_chrome_trace(events_path, out_path)
+    payload = json.loads(out_path.read_text())
+    return count, payload
+
+
+def test_export_reparses_as_chrome_trace(tmp_path):
+    events = tmp_path / "events.jsonl"
+    recorder = install(TraceRecorder(events))
+    try:
+        with span("compile", "flow", app="fdct1"):
+            with span("simulate", "flow", backend="compiled"):
+                pass
+    finally:
+        uninstall()
+        recorder.close()
+    count, payload = _export(events, tmp_path / "trace.json")
+    assert count == 2
+    assert payload["displayTimeUnit"] == "ms"
+    for entry in payload["traceEvents"]:
+        assert entry["ph"] == "X"
+        assert isinstance(entry["ts"], float)
+        assert isinstance(entry["dur"], float)
+        assert entry["pid"] == os.getpid()
+        assert "args" in entry
+    stamps = [entry["ts"] for entry in payload["traceEvents"]]
+    assert stamps == sorted(stamps)
+
+
+def test_span_nesting_survives_round_trip(tmp_path):
+    """A child span's exported interval nests inside its parent's on
+    the same pid/tid track — what makes the viewer draw a flame."""
+    events = tmp_path / "events.jsonl"
+    recorder = install(TraceRecorder(events))
+    try:
+        with span("parent", "t"):
+            time.sleep(0.002)
+            with span("child", "t"):
+                time.sleep(0.002)
+                with span("grandchild", "t"):
+                    time.sleep(0.001)
+    finally:
+        uninstall()
+        recorder.close()
+    _, payload = _export(events, tmp_path / "trace.json")
+    by_name = {entry["name"]: entry for entry in payload["traceEvents"]}
+    assert set(by_name) == {"parent", "child", "grandchild"}
+    order = ["parent", "child", "grandchild"]
+    for outer, inner in zip(order, order[1:]):
+        a, b = by_name[outer], by_name[inner]
+        assert (a["pid"], a["tid"]) == (b["pid"], b["tid"])
+        assert a["ts"] <= b["ts"]
+        assert b["ts"] + b["dur"] <= a["ts"] + a["dur"] + 1e-6
+
+
+@fork_only
+def test_fork_worker_spans_merge_into_one_timeline(tmp_path):
+    """Workers inherit the recorder across fork; the export merges
+    their spans with the parent's under distinct pid tracks."""
+    events = tmp_path / "events.jsonl"
+    recorder = install(TraceRecorder(events))
+    try:
+        with span("parent-work", "t"):
+            pids = []
+            for _ in range(2):
+                pid = os.fork()
+                if pid == 0:  # child: record one span, exit hard
+                    with span("worker-work", "t"):
+                        time.sleep(0.001)
+                    os._exit(0)
+                pids.append(pid)
+            for pid in pids:
+                os.waitpid(pid, 0)
+    finally:
+        uninstall()
+        recorder.close()
+    count, payload = _export(events, tmp_path / "trace.json")
+    assert count == 3
+    names = [entry["name"] for entry in payload["traceEvents"]]
+    assert names.count("worker-work") == 2
+    assert names.count("parent-work") == 1
+    by_pid = {entry["pid"] for entry in payload["traceEvents"]}
+    assert len(by_pid) == 3  # parent + two workers, one file
+    # monotonic_ns is system-wide: worker spans land inside the
+    # parent span's interval on the shared timeline
+    parent = next(entry for entry in payload["traceEvents"]
+                  if entry["name"] == "parent-work")
+    for entry in payload["traceEvents"]:
+        if entry["name"] == "worker-work":
+            assert parent["ts"] <= entry["ts"]
+            assert entry["ts"] + entry["dur"] \
+                <= parent["ts"] + parent["dur"] + 1e-6
+
+
+def test_export_is_deterministic(tmp_path):
+    events = tmp_path / "events.jsonl"
+    recorder = install(TraceRecorder(events))
+    try:
+        with span("only", "t"):
+            pass
+    finally:
+        uninstall()
+        recorder.close()
+    _, first = _export(events, tmp_path / "a.json")
+    _, second = _export(events, tmp_path / "b.json")
+    assert first == second

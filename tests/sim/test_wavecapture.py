@@ -1,0 +1,198 @@
+"""Tests for the bounded ring-buffer waveform capture.
+
+Covers the triage substrate: the ring bound + truncation marker, the
+watcher-free capture being bit-exact across all three cycle-accurate
+backends, and the VCD window export agreeing with the streaming
+:class:`VcdWriter` (the satellite acceptance for extending VCD export
+to the compiled/traced kernels).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import suite_case
+from repro.core.verification import prepare_images
+from repro.rtg.context import ReconfigurationContext
+from repro.sim import VcdWriter, WaveCapture
+from repro.translate.to_sim import build_simulation
+
+BACKENDS = ("event", "compiled", "traced")
+
+
+@pytest.fixture(scope="module")
+def fdct1():
+    case = suite_case("fdct1", pixels=64)
+    return case, case.compile(), case.inputs(0)
+
+
+def elaborate(design, inputs, backend):
+    config = design.configurations[0]
+    context = ReconfigurationContext.from_rtg(
+        design.rtg, initial=prepare_images(design, inputs))
+    return build_simulation(config.datapath, config.fsm,
+                            memories=context.memories,
+                            fsm_mode="generated", backend=backend)
+
+
+def test_window_must_be_positive(fdct1):
+    _, design, inputs = fdct1
+    sim_design = elaborate(design, inputs, "event")
+    try:
+        with pytest.raises(ValueError, match="window"):
+            WaveCapture(sim_design, window=0)
+    finally:
+        sim_design.release()
+
+
+def test_unknown_signal_rejected(fdct1):
+    _, design, inputs = fdct1
+    sim_design = elaborate(design, inputs, "event")
+    try:
+        with pytest.raises(ValueError, match="no_such_net"):
+            WaveCapture(sim_design, signals=["no_such_net"])
+    finally:
+        sim_design.release()
+
+
+def test_ring_bound_and_truncation_marker(fdct1):
+    """The ring retains exactly ``window`` samples; older cycles are
+    dropped and the marker mirrors the obs.trace clipping format."""
+    _, design, inputs = fdct1
+    sim_design = elaborate(design, inputs, "event")
+    try:
+        capture = WaveCapture(sim_design, window=8)
+        assert not capture.truncated
+        assert capture.truncation_note() == ""
+        capture.step(20)
+        assert len(capture.samples) == 8
+        assert capture.dropped == 12
+        assert capture.truncated
+        assert capture.truncation_note() == "… [12 cycles dropped]"
+        # the retained window is the *most recent* contiguous stretch
+        assert [entry.cycle for entry in capture.samples] \
+            == list(range(13, 21))
+    finally:
+        sim_design.release()
+
+
+def test_skip_fast_forwards_without_sampling(fdct1):
+    _, design, inputs = fdct1
+    sim_design = elaborate(design, inputs, "event")
+    try:
+        capture = WaveCapture(sim_design, window=16)
+        capture.skip(10)
+        assert len(capture.samples) == 0
+        capture.step(2)
+        assert [entry.cycle for entry in capture.samples] == [11, 12]
+        assert capture.state_timeline()[0][0] == 11
+    finally:
+        sim_design.release()
+
+
+def test_capture_is_bit_exact_across_backends(fdct1):
+    """run_cycles(1) + post-run resync keeps the compiled/traced
+    boundary view identical to the event kernel's, every signal, every
+    cycle, FSM state included."""
+    _, design, inputs = fdct1
+    captures = {}
+    for backend in BACKENDS:
+        sim_design = elaborate(design, inputs, backend)
+        try:
+            capture = WaveCapture(sim_design, window=40)
+            capture.step(40)
+            captures[backend] = list(capture.samples)
+        finally:
+            sim_design.release()
+    reference = captures["event"]
+    for backend in ("compiled", "traced"):
+        got = captures[backend]
+        assert len(got) == len(reference)
+        for mine, ref in zip(got, reference):
+            assert mine.cycle == ref.cycle
+            assert mine.state == ref.state, f"{backend}@{mine.cycle}"
+            assert mine.values == ref.values, f"{backend}@{mine.cycle}"
+
+
+def test_vcd_window_export_identical_across_backends(fdct1, tmp_path):
+    """Satellite: the watcher-free VCD export serves the compiled and
+    traced kernels — byte-identical output to the event kernel's."""
+    _, design, inputs = fdct1
+    texts = {}
+    for backend in BACKENDS:
+        sim_design = elaborate(design, inputs, backend)
+        try:
+            capture = WaveCapture(sim_design, window=24)
+            capture.step(24)
+            path = capture.to_vcd(tmp_path / f"{backend}.vcd")
+            texts[backend] = Path(path).read_text()
+        finally:
+            sim_design.release()
+    assert texts["compiled"] == texts["event"]
+    assert texts["traced"] == texts["event"]
+    header = texts["event"]
+    assert "$enddefinitions $end" in header
+    assert "$dumpvars" in header
+
+
+def _parse_vcd(path):
+    """Tiny VCD reader: cumulative {time: {name: value}} snapshots."""
+    names = {}
+    snapshots = {}
+    current = {}
+    time = None
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line.startswith("$var"):
+            parts = line.split()
+            names[parts[3]] = parts[4]
+        elif line.startswith("#"):
+            if time is not None:
+                snapshots[time] = dict(current)
+            time = int(line[1:])
+        elif line.startswith("b"):
+            value, ident = line[1:].split()
+            current[names[ident]] = int(value, 2)
+        elif line and line[0] in "01" and not line.startswith("$"):
+            current[names[line[1:]]] = int(line[0])
+    if time is not None:
+        snapshots[time] = dict(current)
+    return snapshots
+
+
+def test_vcd_window_equivalent_to_streaming_writer(fdct1, tmp_path):
+    """The equivalence lock for the phase convention documented on
+    :func:`write_vcd_window`: a window sample stamps the post-settle
+    state at the cycle-end boundary, the streaming writer logs the same
+    changes at the clock edge one period earlier, so
+    ``window[t + period] == stream[t]`` signal for signal."""
+    _, design, inputs = fdct1
+    cycles, period = 30, 10
+
+    streamed = elaborate(design, inputs, "event")
+    try:
+        stream_path = tmp_path / "stream.vcd"
+        with VcdWriter(streamed.sim, stream_path):
+            streamed.sim.run_cycles(cycles)
+        stream = _parse_vcd(stream_path)
+    finally:
+        streamed.release()
+
+    captured = elaborate(design, inputs, "compiled")
+    try:
+        capture = WaveCapture(captured, window=cycles + 1)
+        capture.sample()          # cycle-0 boundary
+        capture.step(cycles)
+        window = _parse_vcd(capture.to_vcd(tmp_path / "window.vcd",
+                                           period=period))
+    finally:
+        captured.release()
+
+    compared = 0
+    for cycle in range(1, cycles):
+        mine = window[cycle * period + period]
+        theirs = stream[cycle * period]
+        for name, value in theirs.items():
+            assert mine[name] == value, f"{name} at cycle {cycle}"
+            compared += 1
+    assert compared > 1000

@@ -1,0 +1,118 @@
+"""CI divergence-triage smoke: a planted fault must be localized.
+
+The triage layer's whole value is *naming the culprit*: given a failing
+pair, report the first divergent cycle and rank the faulted net as the
+top suspect.  This smoke plants a single-bit stuck-at SDC fault on an
+output-adjacent fdct1 net and requires:
+
+1. **Exact localization** — the faulted net is the #1 suspect and the
+   sole divergence origin, with the divergence mode ``cycle``.
+2. **Backend agreement** — the event, compiled and traced kernels all
+   report the *same* first divergent cycle (the lockstep capture is
+   bit-exact across kernels, so a disagreement here means a capture or
+   resync bug, not a design bug).
+3. **Artifacts** — the self-contained HTML report and the JSON record
+   are written (CI uploads the ``triage-smoke/`` directory on
+   failure), and the record attaches to the triage ledger.
+
+Exit status 0 = all gates pass.
+"""
+
+import sys
+
+from repro.apps import suite_case
+from repro.inject import FaultDescriptor, output_adjacent_nets, run_injection
+from repro.obs import attach_to_ledger, triage_fault
+
+CASE = "fdct1"
+SIZE = {"pixels": 256}
+BACKENDS = ("event", "compiled", "traced")
+OUT_DIR = "triage-smoke"
+LEDGER = "triage-smoke.sqlite"
+
+
+def plant_sdc_fault(design, case, inputs):
+    """A stuck-at on an output-adjacent net that classifies as sdc."""
+    nets = output_adjacent_nets(design)
+    if not nets:
+        print(f"[FAIL] plant: {CASE} exposes no output-adjacent nets")
+        return None
+    target = nets[0]
+    for value in (0, 1):
+        fault = FaultDescriptor(fault_id=f"smoke-sa{value}", kind="stuck",
+                                target=target, bit=0, stuck_value=value)
+        result = run_injection(design, case.func, fault, inputs,
+                               backend="compiled")
+        print(f"  stuck-at-{value} {target}[0] -> {result.verdict}")
+        if result.verdict == "sdc":
+            print(f"[ok]   plant: single-bit sdc fault on {target}")
+            return fault
+    print(f"[FAIL] plant: neither stuck polarity on {target} is sdc")
+    return None
+
+
+def localization_gate(design, case, inputs, fault):
+    results = {}
+    for backend in BACKENDS:
+        result = triage_fault(design, case.func, fault, inputs,
+                              backend=backend, app=CASE)
+        record = result.record
+        print(f"  {backend:<9} {record.describe()}")
+        if record.mode != "cycle":
+            print(f"[FAIL] localization: {backend} reported mode "
+                  f"{record.mode!r}, expected 'cycle'")
+            return None
+        if record.top_suspect != fault.target:
+            print(f"[FAIL] localization: {backend} top suspect is "
+                  f"{record.top_suspect!r}, expected {fault.target!r}")
+            return None
+        if not record.suspects[0].origin:
+            print(f"[FAIL] localization: {backend} did not mark "
+                  f"{fault.target} as a divergence origin")
+            return None
+        results[backend] = result
+    cycles = {backend: result.record.cycle
+              for backend, result in results.items()}
+    if len(set(cycles.values())) != 1:
+        print(f"[FAIL] backend agreement: first divergent cycle differs "
+              f"across kernels: {cycles}")
+        return None
+    print(f"[ok]   localization: {fault.target} is the #1 suspect at "
+          f"cycle {cycles['event']} on all of {', '.join(BACKENDS)}")
+    return results
+
+
+def artifact_gate(results):
+    result = results["compiled"]
+    fault_id = (result.record.fault or {}).get("fault_id", "planted")
+    paths = result.write(OUT_DIR, f"{CASE}-{fault_id}")
+    for kind in sorted(paths):
+        print(f"  {kind} -> {paths[kind]}")
+    html = paths["html"].read_text(encoding="utf-8")
+    if result.record.net not in html:
+        print("[FAIL] artifacts: HTML report does not name the net")
+        return False
+    run_id = attach_to_ledger(LEDGER, result, paths=paths)
+    print(f"  ledger {LEDGER} run #{run_id}")
+    print("[ok]   artifacts: JSON + HTML written, ledger row attached")
+    return True
+
+
+def main() -> int:
+    case = suite_case(CASE, **SIZE)
+    design = case.compile()
+    inputs = case.inputs(0)
+    fault = plant_sdc_fault(design, case, inputs)
+    if fault is None:
+        return 1
+    results = localization_gate(design, case, inputs, fault)
+    if results is None:
+        return 1
+    if not artifact_gate(results):
+        return 1
+    print("triage smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
