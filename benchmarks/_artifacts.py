@@ -1,24 +1,34 @@
-"""One writer for the suite-bench artifact, wherever it lands.
+"""One writer for bench artifacts, wherever they land.
 
 Historically ``test_bench_suite.py`` wrote the same JSON payload twice
 — ``benchmarks/out/BENCH_suite.json`` (always) and the repo-root
 ``BENCH_suite.json`` (full runs only) — with two inlined ``write_text``
 calls that had already started to drift.  This module is the single
-place that knows the destinations; it also appends the payload to the
-run ledger when one is configured (``$REPRO_LEDGER`` or an explicit
-path), so bench runs build the same rolling history the regression
-sentinel (``repro obs compare``) reads.
+place that knows the destinations, now parameterised by bench *name*
+(``suite`` → ``BENCH_suite.json``, ``serve`` → ``BENCH_serve.json``);
+it also appends the payload to the run ledger when one is configured
+(``$REPRO_LEDGER`` or an explicit path), so bench runs build the same
+rolling history the regression sentinel (``repro obs compare``) reads.
 """
 
 import json
 from pathlib import Path
 
-ROOT_JSON = Path(__file__).parent.parent / "BENCH_suite.json"
-OUT_JSON = Path(__file__).parent / "out" / "BENCH_suite.json"
+_ROOT_DIR = Path(__file__).parent.parent
+_OUT_DIR = Path(__file__).parent / "out"
+
+ROOT_JSON = _ROOT_DIR / "BENCH_suite.json"
+OUT_JSON = _OUT_DIR / "BENCH_suite.json"
 
 
-def write_bench_artifacts(data, *, ledger_path=None):
-    """Write the ``BENCH_suite.json`` payload everywhere it belongs.
+def bench_paths(name="suite"):
+    """(repo-root path, benchmarks/out path) for one bench artifact."""
+    return (_ROOT_DIR / f"BENCH_{name}.json",
+            _OUT_DIR / f"BENCH_{name}.json")
+
+
+def write_bench_artifacts(data, *, name="suite", ledger_path=None):
+    """Write one ``BENCH_<name>.json`` payload everywhere it belongs.
 
     ``benchmarks/out/`` always gets a copy; the repo-root file is only
     refreshed by full runs (quick CI smoke numbers must never shadow
@@ -26,13 +36,14 @@ def write_bench_artifacts(data, *, ledger_path=None):
     written.  The ledger append is best-effort provenance: an unusable
     ledger file prints a warning instead of failing the bench.
     """
+    root_json, out_json = bench_paths(name)
     text = json.dumps(data, indent=2) + "\n"
-    OUT_JSON.parent.mkdir(exist_ok=True)
-    OUT_JSON.write_text(text)
-    written = [OUT_JSON]
+    out_json.parent.mkdir(exist_ok=True)
+    out_json.write_text(text)
+    written = [out_json]
     if not data.get("quick"):
-        ROOT_JSON.write_text(text)
-        written.append(ROOT_JSON)
+        root_json.write_text(text)
+        written.append(root_json)
 
     try:
         from repro.obs.ledger import ledger_from_env

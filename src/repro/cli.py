@@ -12,6 +12,7 @@ module is that invocation::
     python -m repro table1                    # print the Table I metrics
     python -m repro flow fdct1 --workdir out  # full Figure 1 flow, artifacts on disk
     python -m repro translate dp.xml --to dot # one translation backend
+    python -m repro serve --jobs auto --cache     # verification-as-a-service daemon
     python -m repro obs compare --fail-on-regression  # regression sentinel
     python -m repro version
 
@@ -49,6 +50,26 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _jobs_arg(text: str):
+    """A worker count: a positive integer, or 'auto' for one worker
+    per available CPU."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return _positive_int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer or 'auto', got {text!r}"
+        ) from None
+
+
+def _resolve_jobs(value) -> int:
+    """Turn a ``--jobs`` value into a concrete worker count."""
+    if value == "auto":
+        return max(os.cpu_count() or 1, 1)
+    return int(value)
 
 
 def _add_obs_flags(command: argparse.ArgumentParser) -> None:
@@ -126,8 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="verify N stimulus sets per case in one "
                             "batched simulation (forces --backend "
                             "batched; incompatible with --coverage)")
-    suite.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
-                       help="run cases over N worker processes "
+    suite.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                       help="run cases over N worker processes, or "
+                            "'auto' for one per available CPU "
                             "(default 1: serial)")
     suite.add_argument("--cache", metavar="DIR", nargs="?",
                        const=".repro-cache", default=None,
@@ -253,9 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="faultload size (default 200)")
     campaign.add_argument("--seed", type=int, default=0,
                           help="faultload + stimulus seed (default 0)")
-    campaign.add_argument("--jobs", type=_positive_int, default=1,
+    campaign.add_argument("--jobs", type=_jobs_arg, default=1,
                           metavar="N",
-                          help="fan injections over N worker processes "
+                          help="fan injections over N worker processes, "
+                               "or 'auto' for one per available CPU "
                                "(default 1: serial)")
     campaign.add_argument("--backend",
                           choices=("event", "compiled", "traced",
@@ -345,6 +368,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append the triage record to the SQLite "
                              "run ledger at PATH (default: "
                              "$REPRO_LEDGER when set)")
+
+    serve = sub.add_parser(
+        "serve", help="verification as a service: a long-lived daemon "
+                      "answering compile+simulate+verify jobs over an "
+                      "NDJSON socket (see docs/serving.md)")
+    serve.add_argument("--socket", metavar="PATH",
+                       default="repro-serve.sock",
+                       help="Unix socket path to listen on "
+                            "(default: repro-serve.sock)")
+    serve.add_argument("--http", type=_positive_int, default=None,
+                       metavar="PORT",
+                       help="also serve the HTTP shim on 127.0.0.1:PORT "
+                            "(GET /healthz, GET /status, POST /jobs)")
+    serve.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                       help="worker processes, or 'auto' for one per "
+                            "available CPU (default 1)")
+    serve.add_argument("--batch-max", type=_positive_int, default=8,
+                       metavar="N",
+                       help="max same-group jobs folded into one "
+                            "batched lockstep dispatch (default 8; "
+                            "1 disables batching)")
+    serve.add_argument("--cache", metavar="DIR", nargs="?",
+                       const=".repro-cache", default=None,
+                       help="artifact cache directory; repeat jobs are "
+                            "answered from disk and new passes stored "
+                            "(default dir: .repro-cache, shared with "
+                            "'repro suite --cache')")
+    serve.add_argument("--ledger", metavar="PATH", default=None,
+                       help="harvest the session into the SQLite run "
+                            "ledger at PATH on shutdown (default: "
+                            "$REPRO_LEDGER when set)")
 
     obs = sub.add_parser(
         "obs", help="cross-run observability: query the run ledger, "
@@ -479,7 +533,8 @@ def _cmd_suite(args) -> int:
         cache = ArtifactCache(args.cache) if args.cache else None
         with _tracing(args.trace):
             report = suite.run(seed=args.seed, fsm_mode=args.fsm_mode,
-                               backend=args.backend, jobs=args.jobs,
+                               backend=args.backend,
+                               jobs=_resolve_jobs(args.jobs),
                                cache=cache, coverage=coverage,
                                batch=batch, ledger=ledger)
     except NotADirectoryError as exc:
@@ -898,7 +953,8 @@ def _cmd_campaign(args) -> int:
         try:
             report = run_campaign(design, case.func, faults, inputs,
                                   app=args.case, backend=args.backend,
-                                  jobs=args.jobs, seed=args.seed,
+                                  jobs=_resolve_jobs(args.jobs),
+                                  seed=args.seed,
                                   hang_factor=args.hang_factor,
                                   time_budget=args.time_budget,
                                   ledger=ledger)
@@ -1167,6 +1223,38 @@ def _cmd_obs(args) -> int:
         return 2
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .obs.ledger import LEDGER_ENV
+    from .serve import ServeDaemon, ServeScheduler
+
+    jobs = _resolve_jobs(args.jobs)
+    ledger_path = args.ledger or os.environ.get(LEDGER_ENV) or None
+    try:
+        scheduler = ServeScheduler(jobs=jobs, batch_max=args.batch_max,
+                                   cache=args.cache)
+    except (RuntimeError, NotADirectoryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    daemon = ServeDaemon(scheduler, socket_path=args.socket,
+                         http_port=args.http, ledger_path=ledger_path)
+    print(f"serve: {jobs} worker(s), batch_max={args.batch_max}, "
+          f"listening on {args.socket}"
+          + (f" and http://127.0.0.1:{args.http}" if args.http else ""),
+          flush=True)
+    stats = asyncio.run(daemon.run())
+    print(f"serve: {stats['submitted']} job(s) submitted, "
+          f"{stats['executed']} executed, "
+          f"{stats['coalesced']} coalesced, "
+          f"{stats['memo_hits'] + stats['artifact_hits']} cache-served, "
+          f"{stats['failed']} failed "
+          f"({stats['wall_seconds']:.1f}s)")
+    if ledger_path is not None:
+        print(f"ledger -> {ledger_path}")
+    return 0
+
+
 def _cmd_version(args) -> int:
     from . import __version__
 
@@ -1184,6 +1272,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "flow": _cmd_flow,
     "translate": _cmd_translate,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
     "version": _cmd_version,
 }

@@ -7,7 +7,8 @@
 * :class:`TestInfrastructure`, the one-object façade
 """
 
-from .cache import ArtifactCache
+from .cache import (ArtifactCache, case_key, result_from_payload,
+                    result_to_payload, structure_key)
 from .faults import (CampaignResult, Fault, FaultVerdict, enumerate_faults,
                      inject_fault, run_campaign)
 from .flow import Flow, FlowReport, FlowStage, StageResult, standard_flow
@@ -17,7 +18,8 @@ from .report import (ConfigurationMetrics, DesignMetrics, collect_metrics,
 from .stimulus import (load_stimulus_files, ramp_image, random_words,
                        synthetic_image, write_stimulus_files)
 from .kernelcache import batch_group_key
-from .testsuite import CaseResult, SuiteCase, SuiteReport, TestSuite
+from .testsuite import (CaseResult, SuiteCase, SuiteReport, TestSuite,
+                        run_case)
 from .verification import (BatchVerificationResult, MemoryCheck,
                            VerificationResult, prepare_images,
                            verify_design, verify_design_batch)
@@ -26,8 +28,9 @@ __all__ = [
     "TestInfrastructure",
     "verify_design", "VerificationResult", "MemoryCheck", "prepare_images",
     "verify_design_batch", "BatchVerificationResult", "batch_group_key",
-    "TestSuite", "SuiteCase", "SuiteReport", "CaseResult",
-    "ArtifactCache",
+    "TestSuite", "SuiteCase", "SuiteReport", "CaseResult", "run_case",
+    "ArtifactCache", "case_key", "structure_key",
+    "result_to_payload", "result_from_payload",
     "Flow", "FlowStage", "FlowReport", "StageResult", "standard_flow",
     "collect_metrics", "format_table", "DesignMetrics",
     "ConfigurationMetrics",

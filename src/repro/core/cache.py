@@ -30,7 +30,8 @@ from ..obs.coverage import CoverageReport
 from .report import ConfigurationMetrics, DesignMetrics
 from .verification import MemoryCheck, VerificationResult
 
-__all__ = ["ArtifactCache"]
+__all__ = ["ArtifactCache", "case_key", "structure_key",
+           "result_to_payload", "result_from_payload"]
 
 #: bump when the cached payload layout or run semantics change
 _CACHE_VERSION = 2
@@ -45,6 +46,168 @@ def _function_fingerprint(func) -> str:
         # identity, which under-caches but never falsely hits
         return f"{getattr(func, '__module__', '?')}." \
                f"{getattr(func, '__qualname__', repr(func))}"
+
+
+def _structure_material(case) -> dict:
+    """Everything that determines the *compiled structure* of a case —
+    the algorithm source plus the compile options, but not the stimulus
+    seed or the simulation backend."""
+    return {
+        "name": case.name,
+        "source": _function_fingerprint(case.func),
+        "arrays": {
+            name: [spec.width, spec.depth, spec.signed, spec.role]
+            for name, spec in sorted(case.arrays.items())
+        },
+        "params": {str(k): int(v)
+                   for k, v in sorted(case.params.items())},
+        "n_partitions": case.n_partitions,
+        "word_width": case.word_width,
+        "opt_level": case.opt_level,
+    }
+
+
+def case_key(case, *, seed: int, fsm_mode: str, backend: str,
+             coverage: bool = False, batch: int = 0) -> str:
+    """SHA-256 over everything that determines a case's outcome.
+
+    This is *the* content-hash artifact digest: the artifact cache
+    names its entries with it and the serve scheduler deduplicates and
+    coalesces jobs by it, so both layers agree by construction on what
+    "the same verification" means.  Any mutation of the design — a
+    changed source line, a resized array, a different compile option —
+    produces a different key, which is why dedup can never serve a
+    stale artifact.
+    """
+    material = dict(_structure_material(case))
+    material.update({
+        "version": _CACHE_VERSION,
+        "coverage": bool(coverage),
+        "batch": int(batch),
+        "max_cycles": case.max_cycles,
+        "seed": seed,
+        "fsm_mode": fsm_mode,
+        "backend": backend,
+    })
+    blob = json.dumps(material, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def structure_key(case, *, fsm_mode: str = "generated") -> str:
+    """Digest of the case's compiled structure only (no seed/backend).
+
+    Jobs that share a structure key compile to the same design and so
+    elaborate to kernels sharing the same
+    :func:`repro.core.kernelcache.batch_group_key` — the serve
+    scheduler uses this to shard same-structure jobs onto the same warm
+    worker and to group them into one batched dispatch.
+    """
+    material = dict(_structure_material(case))
+    material["fsm_mode"] = fsm_mode
+    blob = json.dumps(material, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Result <-> JSON payload codecs, shared by the artifact cache and the
+# serve wire protocol (results must survive a socket exactly as they
+# survive a cache file)
+# ----------------------------------------------------------------------
+def result_to_payload(result) -> dict:
+    """Serialize a :class:`CaseResult` to a JSON-safe dict.
+
+    Unlike cache entries — which only ever hold passes — the payload
+    carries failure diagnostics too (mismatch triples, error text), so
+    the serve protocol can stream any verdict through it.
+    """
+    v = result.verification
+    m = result.metrics
+    payload = {
+        "version": _CACHE_VERSION,
+        "case": result.case,
+        "compile_seconds": result.compile_seconds,
+        "error": result.error,
+        "traceback": result.traceback,
+        "verification": None,
+        "metrics": None,
+    }
+    if v is not None:
+        payload["verification"] = {
+            "design": v.design,
+            "checks": [{"memory": c.memory, "role": c.role,
+                        "words": c.words,
+                        "mismatches": [[mm.address, mm.expected, mm.actual]
+                                       for mm in c.mismatches]}
+                       for c in v.checks],
+            "cycles": v.cycles,
+            "reconfigurations": v.reconfigurations,
+            "golden_seconds": v.golden_seconds,
+            "simulation_seconds": v.simulation_seconds,
+            "evaluations": v.evaluations,
+            "backend": v.backend,
+            "coverage": (v.coverage.as_dict()
+                         if v.coverage is not None else None),
+        }
+    if m is not None:
+        payload["metrics"] = {
+            "name": m.name,
+            "lo_source": m.lo_source,
+            "configurations": [vars(c) for c in m.configurations],
+            "simulation_seconds": m.simulation_seconds,
+            "cycles": m.cycles,
+            "backend": m.backend,
+            "state_coverage": m.state_coverage,
+        }
+    return payload
+
+
+def result_from_payload(payload: dict, *, cached: bool = False):
+    """Rebuild a :class:`CaseResult` from :func:`result_to_payload`."""
+    from ..util.files import MemoryMismatch
+    from .testsuite import CaseResult
+
+    verification = None
+    v = payload.get("verification")
+    if v is not None:
+        coverage = v.get("coverage")
+        verification = VerificationResult(
+            design=v["design"],
+            checks=[MemoryCheck(
+                c["memory"], c["role"], c["words"],
+                mismatches=[MemoryMismatch(*mm)
+                            for mm in c.get("mismatches", [])])
+                for c in v["checks"]],
+            cycles=v["cycles"],
+            reconfigurations=v["reconfigurations"],
+            golden_seconds=v["golden_seconds"],
+            simulation_seconds=v["simulation_seconds"],
+            evaluations=v["evaluations"],
+            backend=v["backend"],
+            coverage=(CoverageReport.from_dict(coverage)
+                      if coverage is not None else None),
+        )
+    metrics = None
+    m = payload.get("metrics")
+    if m is not None:
+        metrics = DesignMetrics(
+            name=m["name"],
+            lo_source=m["lo_source"],
+            configurations=[ConfigurationMetrics(**c)
+                            for c in m["configurations"]],
+            simulation_seconds=m["simulation_seconds"],
+            cycles=m["cycles"],
+            backend=m.get("backend"),
+            state_coverage=m.get("state_coverage"),
+        )
+    return CaseResult(
+        case=payload["case"],
+        verification=verification,
+        metrics=metrics,
+        compile_seconds=payload["compile_seconds"],
+        error=payload.get("error"),
+        traceback=payload.get("traceback"),
+        cached=cached,
+    )
 
 
 class ArtifactCache:
@@ -63,29 +226,10 @@ class ArtifactCache:
     def key_for(self, case, *, seed: int, fsm_mode: str,
                 backend: str, coverage: bool = False,
                 batch: int = 0) -> str:
-        """SHA-256 over everything that determines the case outcome."""
-        material = {
-            "version": _CACHE_VERSION,
-            "coverage": bool(coverage),
-            "batch": int(batch),
-            "name": case.name,
-            "source": _function_fingerprint(case.func),
-            "arrays": {
-                name: [spec.width, spec.depth, spec.signed, spec.role]
-                for name, spec in sorted(case.arrays.items())
-            },
-            "params": {str(k): int(v)
-                       for k, v in sorted(case.params.items())},
-            "n_partitions": case.n_partitions,
-            "word_width": case.word_width,
-            "opt_level": case.opt_level,
-            "max_cycles": case.max_cycles,
-            "seed": seed,
-            "fsm_mode": fsm_mode,
-            "backend": backend,
-        }
-        blob = json.dumps(material, sort_keys=True).encode("utf-8")
-        return hashlib.sha256(blob).hexdigest()
+        """SHA-256 over everything that determines the case outcome
+        (see :func:`case_key`, which this delegates to)."""
+        return case_key(case, seed=seed, fsm_mode=fsm_mode,
+                        backend=backend, coverage=coverage, batch=batch)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -93,86 +237,26 @@ class ArtifactCache:
     # -- load / store ---------------------------------------------------
     def load(self, key: str):
         """The cached :class:`CaseResult` for *key*, or ``None``."""
-        from .testsuite import CaseResult
-
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             self.misses += 1
             return None
-        if payload.get("version") != _CACHE_VERSION:
+        if payload.get("version") != _CACHE_VERSION \
+                or payload.get("metrics") is None \
+                or payload.get("verification") is None:
             self.misses += 1
             return None
         self.hits += 1
-        v = payload["verification"]
-        coverage = v.get("coverage")
-        verification = VerificationResult(
-            design=v["design"],
-            checks=[MemoryCheck(c["memory"], c["role"], c["words"])
-                    for c in v["checks"]],
-            cycles=v["cycles"],
-            reconfigurations=v["reconfigurations"],
-            golden_seconds=v["golden_seconds"],
-            simulation_seconds=v["simulation_seconds"],
-            evaluations=v["evaluations"],
-            backend=v["backend"],
-            coverage=(CoverageReport.from_dict(coverage)
-                      if coverage is not None else None),
-        )
-        m = payload["metrics"]
-        metrics = DesignMetrics(
-            name=m["name"],
-            lo_source=m["lo_source"],
-            configurations=[ConfigurationMetrics(**c)
-                            for c in m["configurations"]],
-            simulation_seconds=m["simulation_seconds"],
-            cycles=m["cycles"],
-            backend=m.get("backend"),
-            state_coverage=m.get("state_coverage"),
-        )
-        return CaseResult(
-            case=payload["case"],
-            verification=verification,
-            metrics=metrics,
-            compile_seconds=payload["compile_seconds"],
-            cached=True,
-        )
+        return result_from_payload(payload, cached=True)
 
     def store(self, key: str, result) -> bool:
         """Persist *result* if it is a cacheable pass; returns stored?"""
         if not result.passed or result.verification is None \
                 or result.metrics is None:
             return False
-        v = result.verification
-        m = result.metrics
-        payload = {
-            "version": _CACHE_VERSION,
-            "case": result.case,
-            "compile_seconds": result.compile_seconds,
-            "verification": {
-                "design": v.design,
-                "checks": [{"memory": c.memory, "role": c.role,
-                            "words": c.words} for c in v.checks],
-                "cycles": v.cycles,
-                "reconfigurations": v.reconfigurations,
-                "golden_seconds": v.golden_seconds,
-                "simulation_seconds": v.simulation_seconds,
-                "evaluations": v.evaluations,
-                "backend": v.backend,
-                "coverage": (v.coverage.as_dict()
-                             if v.coverage is not None else None),
-            },
-            "metrics": {
-                "name": m.name,
-                "lo_source": m.lo_source,
-                "configurations": [vars(c) for c in m.configurations],
-                "simulation_seconds": m.simulation_seconds,
-                "cycles": m.cycles,
-                "backend": m.backend,
-                "state_coverage": m.state_coverage,
-            },
-        }
+        payload = result_to_payload(result)
         path = self._path(key)
         handle, staging = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:

@@ -236,15 +236,19 @@ class KernelCache:
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
-        """Drop the memory layer and every on-disk entry."""
+        """Drop the memory layer and every on-disk entry, including
+        ``*.tmp`` staging files orphaned by writers killed mid-
+        :func:`os.replace` (they are invisible to lookups but would
+        otherwise accumulate forever)."""
         self._memory.clear()
         if self.root is None or not self.root.exists():
             return
-        for path in self.root.glob("*/*.json"):
-            try:
-                path.unlink()
-            except OSError:
-                self.errors += 1
+        for pattern in ("*/*.json", "*/*.tmp", "*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    self.errors += 1
 
     def summary(self) -> Dict[str, object]:
         return {

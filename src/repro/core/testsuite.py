@@ -29,7 +29,8 @@ from .report import DesignMetrics, collect_metrics, format_table
 from .verification import (VerificationResult, verify_design,
                            verify_design_batch)
 
-__all__ = ["SuiteCase", "CaseResult", "SuiteReport", "TestSuite"]
+__all__ = ["SuiteCase", "CaseResult", "SuiteReport", "TestSuite",
+           "run_case"]
 
 
 @dataclass
@@ -134,10 +135,20 @@ class SuiteReport:
         return "\n".join(lines)
 
 
-def _run_case(case: SuiteCase, *, seed: int, fsm_mode: str,
-              backend: str, coverage: bool = False,
-              batch: int = 0) -> CaseResult:
-    """Compile + verify one case; never raises (errors become results)."""
+def run_case(case: SuiteCase, *, seed: int, fsm_mode: str = "generated",
+             backend: str = "event", coverage: bool = False,
+             batch: int = 0) -> CaseResult:
+    """Compile + verify one case; never raises (errors become results).
+
+    This is the unit of work everything schedules: the suite runner's
+    serial loop and fork pool, and the serve workers
+    (:mod:`repro.serve`) all execute jobs through this one function, so
+    a verdict is the same object no matter which entry point produced
+    it.  ``batch`` > 1 verifies that many seeded stimulus sets
+    (``seed`` .. ``seed + batch - 1``) through one batched simulation
+    and returns a result whose verification quacks like a
+    :class:`~repro.core.verification.BatchVerificationResult`.
+    """
     started = time.perf_counter()
     case_span = span("suite.case", "suite", case=case.name, backend=backend)
     with case_span:
@@ -181,6 +192,11 @@ def _run_case(case: SuiteCase, *, seed: int, fsm_mode: str,
             return CaseResult(case.name, None, None,
                               time.perf_counter() - started, error=str(exc),
                               traceback=traceback.format_exc())
+
+
+# historical private name, still the indirection point the suite's
+# serial loop and pool workers call through (tests patch it)
+_run_case = run_case
 
 
 # Worker-side handle for the parallel runner.  SuiteCase carries a

@@ -31,6 +31,7 @@ Prometheus textfile exporter), all reachable as ``python -m repro obs``.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import socket
@@ -238,12 +239,24 @@ CREATE INDEX IF NOT EXISTS idx_fault_runs_run
 """
 
 
+def _execute_script(conn: sqlite3.Connection, script: str) -> None:
+    """Run a multi-statement DDL script inside the caller's transaction.
+
+    ``Connection.executescript`` force-commits any open transaction
+    before it runs, which would tear holes in the ``BEGIN IMMEDIATE``
+    bootstrap/migration lock; our scripts are plain ``;``-separated
+    statements with no string literals, so a split is exact."""
+    for statement in script.split(";"):
+        if statement.strip():
+            conn.execute(statement)
+
+
 def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     """v1 ledgers predate provenance argv and the cache/fuzz tables."""
     columns = {row[1] for row in conn.execute("PRAGMA table_info(runs)")}
     if "argv" not in columns:
         conn.execute("ALTER TABLE runs ADD COLUMN argv TEXT")
-    conn.executescript("""
+    _execute_script(conn, """
         CREATE TABLE IF NOT EXISTS cache_runs (
             id     INTEGER PRIMARY KEY AUTOINCREMENT,
             run_id INTEGER NOT NULL REFERENCES runs(run_id),
@@ -275,7 +288,7 @@ def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
 
 def _migrate_3_to_4(conn: sqlite3.Connection) -> None:
     """v3 ledgers predate fault-injection campaigns (fault_runs)."""
-    conn.executescript("""
+    _execute_script(conn, """
         CREATE TABLE IF NOT EXISTS fault_runs (
             id         INTEGER PRIMARY KEY AUTOINCREMENT,
             run_id     INTEGER NOT NULL REFERENCES runs(run_id),
@@ -335,6 +348,32 @@ def _provenance() -> Dict[str, Optional[str]]:
     }
 
 
+def _retry_once(method):
+    """Retry a recorder exactly once when SQLite reports SQLITE_BUSY.
+
+    The ``busy_timeout`` pragma already makes SQLite wait for a lock,
+    but it gives up (a) when the holder's transaction outlives the
+    timeout or (b) on the unwaitable ``database is locked`` raised
+    mid-upgrade from a read to a write lock under contention.  Both are
+    transient for our append-only recorders — a second attempt starts a
+    fresh transaction with a fresh wait budget — so one retry converts
+    the practical concurrent-writer failure mode (two CI jobs, or a
+    serve daemon and a suite run, harvesting into one ledger) into a
+    short delay.  Anything still failing after the retry propagates.
+    """
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return method(self, *args, **kwargs)
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if "locked" not in message and "busy" not in message:
+                raise
+            time.sleep(0.05)
+            return method(self, *args, **kwargs)
+    return wrapper
+
+
 def _size_key(size: Optional[Mapping[str, Any]]) -> str:
     """Canonical text key for a sizing mapping (order-independent)."""
     if not size:
@@ -387,31 +426,45 @@ class Ledger:
     # -- schema ---------------------------------------------------------
     def _ensure_schema(self) -> None:
         conn = self._conn
-        with conn:
+        # BEGIN IMMEDIATE serialises bootstrap across processes: the
+        # exists-check, the table creation and the version-row insert
+        # happen under one write lock, so a second opener either waits
+        # (busy_timeout) or sees the schema complete — never the
+        # half-created window between them.  executescript cannot be
+        # used here: it force-commits first, reopening that window.
+        conn.execute("BEGIN IMMEDIATE")
+        try:
             tables = {row[0] for row in conn.execute(
                 "SELECT name FROM sqlite_master WHERE type='table'")}
             if "meta" not in tables:
-                conn.executescript(_SCHEMA_V4)
+                _execute_script(conn, _SCHEMA_V4)
                 conn.execute(
                     "INSERT OR REPLACE INTO meta (key, value) "
-                    "VALUES ('schema_version', ?)", (str(SCHEMA_VERSION),))
-                return
-            version = self.schema_version()
-            if version > SCHEMA_VERSION:
-                raise LedgerError(
-                    f"{self.path}: ledger schema v{version} is newer than "
-                    f"this code (v{SCHEMA_VERSION}); upgrade repro")
-            while version < SCHEMA_VERSION:
-                migrate = _MIGRATIONS.get(version)
-                if migrate is None:
+                    "VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),))
+            else:
+                version = self.schema_version()
+                if version > SCHEMA_VERSION:
                     raise LedgerError(
-                        f"{self.path}: no migration from schema "
-                        f"v{version}")
-                migrate(conn)
-                version += 1
-                conn.execute(
-                    "INSERT OR REPLACE INTO meta (key, value) "
-                    "VALUES ('schema_version', ?)", (str(version),))
+                        f"{self.path}: ledger schema v{version} is newer "
+                        f"than this code (v{SCHEMA_VERSION}); upgrade "
+                        f"repro")
+                while version < SCHEMA_VERSION:
+                    migrate = _MIGRATIONS.get(version)
+                    if migrate is None:
+                        raise LedgerError(
+                            f"{self.path}: no migration from schema "
+                            f"v{version}")
+                    migrate(conn)
+                    version += 1
+                    conn.execute(
+                        "INSERT OR REPLACE INTO meta (key, value) "
+                        "VALUES ('schema_version', ?)", (str(version),))
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
 
     def schema_version(self) -> int:
         row = self._conn.execute(
@@ -493,6 +546,7 @@ class Ledger:
         return hits, int(info.get("misses", 0))
 
     # ------------------------------------------------------------------
+    @_retry_once
     def record_suite(self, report, *, suite: str = "suite",
                      sizes: Optional[Mapping[str, Mapping[str, Any]]] = None,
                      cache=None,
@@ -548,6 +602,7 @@ class Ledger:
                 self._insert_cache(conn, run_id, "kernel", *kernel)
             return run_id
 
+    @_retry_once
     def record_verification(self, result, *, app: Optional[str] = None,
                             size: Optional[Mapping[str, Any]] = None,
                             compile_seconds: Optional[float] = None,
@@ -571,6 +626,7 @@ class Ledger:
                 self._insert_coverage(conn, run_id, app, result.coverage)
             return run_id
 
+    @_retry_once
     def record_batch_verification(self, result, *,
                                   app: Optional[str] = None,
                                   size: Optional[Mapping[str, Any]] = None,
@@ -604,6 +660,7 @@ class Ledger:
                 lane_seconds=result.lane_seconds)
             return run_id
 
+    @_retry_once
     def record_flow(self, report, *, app: str, backend: str = "event",
                     size: Optional[Mapping[str, Any]] = None,
                     argv: Optional[Sequence[str]] = None) -> int:
@@ -632,6 +689,7 @@ class Ledger:
                 self._insert_coverage(conn, run_id, app, coverage)
             return run_id
 
+    @_retry_once
     def record_fuzz(self, report,
                     argv: Optional[Sequence[str]] = None) -> int:
         """Record one :class:`repro.fuzz.CampaignReport`."""
@@ -655,6 +713,7 @@ class Ledger:
                     "VALUES (?, ?, ?)", (run_id, kind, report.counts[kind]))
             return run_id
 
+    @_retry_once
     def record_bench(self, data: Mapping[str, Any],
                      argv: Optional[Sequence[str]] = None) -> int:
         """Record one ``BENCH_suite.json`` payload (see the E4 bench).
@@ -690,6 +749,7 @@ class Ledger:
                                           sim_seconds=float(seconds))
             return run_id
 
+    @_retry_once
     def record_injection_campaign(self, report, *,
                                   size: Optional[Mapping[str, Any]] = None,
                                   argv: Optional[Sequence[str]] = None
@@ -727,6 +787,7 @@ class Ledger:
                 self._insert_fault(conn, run_id, result)
             return run_id
 
+    @_retry_once
     def record_triage(self, record: Mapping[str, Any], *,
                       wall_seconds: float = 0.0,
                       argv: Optional[Sequence[str]] = None) -> int:
@@ -745,6 +806,51 @@ class Ledger:
                 passed=record.get("mode") != "none",
                 backend=record.get("backend_sub"), jobs=1,
                 argv=argv, extra=record)
+
+    @_retry_once
+    def record_serve(self, stats: Mapping[str, Any],
+                     rows: Sequence[Mapping[str, Any]], *,
+                     argv: Optional[Sequence[str]] = None) -> int:
+        """Record one ``repro serve`` session: a ``serve`` run row plus
+        one case row per answered job.
+
+        *stats* is the scheduler's final counters dict (rides whole in
+        the run's ``extra`` column); *rows* are the scheduler's
+        accumulated per-job ledger rows.  Jobs answered without
+        execution (memo/artifact/coalesced) land with ``cached=1``, the
+        dedup tallies land as a ``serve`` cache row, and the run kind
+        keeps serve timings out of the regression sentinel's perf
+        baselines (service rows mix batch-amortized and cache-served
+        timings, which are not comparable to a suite run's).
+        """
+        rows = list(rows)
+        with self._conn as conn:
+            run_id = self._insert_run(
+                conn, "serve",
+                wall_seconds=stats.get("wall_seconds"),
+                passed=all(row.get("passed", False) for row in rows),
+                jobs=stats.get("workers"), argv=argv,
+                extra=dict(stats))
+            for row in rows:
+                batch = row.get("batch_size") or 0
+                self._insert_case(
+                    conn, run_id, str(row.get("case", "?")),
+                    row.get("backend") or "serve", "",
+                    sim_seconds=row.get("simulation_seconds"),
+                    compile_seconds=row.get("compile_seconds"),
+                    cycles=row.get("cycles"),
+                    evaluations=row.get("evaluations"),
+                    passed=row.get("passed", False),
+                    cached=row.get("cached", False),
+                    batch_size=batch if batch > 1 else None,
+                    lane_seconds=(row.get("simulation_seconds")
+                                  if batch > 1 else None))
+            served = (int(stats.get("memo_hits", 0))
+                      + int(stats.get("artifact_hits", 0))
+                      + int(stats.get("coalesced", 0)))
+            self._insert_cache(conn, run_id, "serve", served,
+                               int(stats.get("executed", 0)))
+            return run_id
 
     @staticmethod
     def _insert_fault(conn: sqlite3.Connection, run_id: int,

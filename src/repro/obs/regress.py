@@ -177,15 +177,18 @@ def compare_run(ledger: Ledger, *, run_id: Optional[int] = None,
 
     # -- perf: per-(app, backend, size) simulation seconds -------------
     # fault campaigns are not perf runs: never gate them, never let
-    # their rows into a baseline
-    cases = [] if run.kind == "inject" else ledger.case_rows(run.run_id)
+    # their rows into a baseline; serve sessions mix batch-amortized
+    # and cache-served timings, equally incomparable
+    cases = [] if run.kind in ("inject", "serve") \
+        else ledger.case_rows(run.run_id)
     for case in cases:
         if case.sim_seconds is None or case.cached:
             continue
         subject = f"{case.app}/{case.backend}"
         history = [row.sim_seconds for row in source.case_history(
                        case.app, case.backend, case.size,
-                       exclude_run=exclude, exclude_kinds=("inject",),
+                       exclude_run=exclude,
+                       exclude_kinds=("inject", "serve"),
                        limit=thresholds.history)
                    if row.sim_seconds is not None and not row.cached]
         if len(history) < thresholds.min_samples:

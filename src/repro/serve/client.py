@@ -1,0 +1,132 @@
+"""Blocking client for the serve daemon's NDJSON socket protocol.
+
+Used by the CLI, the CI smoke harness and the load-generating bench.
+One client is one connection; results stream back in completion order,
+so callers submit a batch of ids and then collect that many ``result``
+events.  Not thread-safe — one client per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["ServeClient", "wait_for_socket"]
+
+
+def wait_for_socket(path: Union[str, Path], *,
+                    timeout: float = 30.0) -> None:
+    """Block until a daemon accepts connections at *path* (it creates
+    the socket file only once it is ready to serve)."""
+    deadline = time.monotonic() + timeout
+    path = str(path)
+    while True:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as probe:
+                probe.settimeout(1.0)
+                probe.connect(path)
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no serve daemon at {path} after {timeout:.0f}s")
+            time.sleep(0.05)
+
+
+class ServeClient:
+    """One NDJSON connection to a running daemon."""
+
+    def __init__(self, socket_path: Union[str, Path],
+                 timeout: float = 300.0) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._stream = self._sock.makefile("rwb")
+        self._next_id = 0
+        #: result events read while waiting for a control reply
+        self._pending: deque = deque()
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    # -- wire -----------------------------------------------------------
+    def _send(self, obj: dict) -> None:
+        self._stream.write(json.dumps(obj).encode("utf-8") + b"\n")
+        self._stream.flush()
+
+    def _read_event(self) -> dict:
+        line = self._stream.readline()
+        if not line:
+            raise ConnectionError("serve daemon closed the connection")
+        return json.loads(line)
+
+    def _read_until(self, event: str) -> dict:
+        """Next event of the given kind; buffers result events that
+        arrive first (results stream in completion order and may
+        interleave with control replies)."""
+        while True:
+            received = self._read_event()
+            if received.get("event") == event:
+                return received
+            if received.get("event") == "result":
+                self._pending.append(received)
+            elif received.get("event") == "error":
+                raise RuntimeError(f"serve error: {received.get('error')}")
+
+    # -- operations -----------------------------------------------------
+    def submit(self, job: dict, request_id=None):
+        """Fire one job; returns its request id (auto-assigned ints
+        when not given).  The verdict arrives via :meth:`results`."""
+        if request_id is None:
+            request_id = self._next_id
+            self._next_id += 1
+        self._send({"op": "submit", "id": request_id, "job": job})
+        return request_id
+
+    def results(self, count: int) -> Iterator[dict]:
+        """Yield *count* result events as they complete (any order)."""
+        for _ in range(count):
+            if self._pending:
+                yield self._pending.popleft()
+                continue
+            yield self._read_until("result")
+
+    def collect(self, count: int) -> Dict[object, dict]:
+        """Gather *count* result events keyed by request id."""
+        return {event["id"]: event for event in self.results(count)}
+
+    def run_jobs(self, jobs: List[dict]) -> List[dict]:
+        """Submit every job, wait for every verdict, return events in
+        submit order."""
+        ids = [self.submit(job) for job in jobs]
+        by_id = self.collect(len(ids))
+        return [by_id[request_id] for request_id in ids]
+
+    def ping(self) -> bool:
+        self._send({"op": "ping"})
+        return self._read_until("pong").get("event") == "pong"
+
+    def status(self) -> dict:
+        self._send({"op": "status"})
+        return self._read_until("status")["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit; returns its final stats
+        snapshot (taken at acknowledgement time)."""
+        self._send({"op": "shutdown"})
+        return self._read_until("shutdown")["stats"]

@@ -1,0 +1,454 @@
+"""The serve scheduler: dedup, coalescing, sharding, stealing, batching.
+
+The parent process owns all scheduling state; workers are pure
+executors.  A submitted job flows through four gates, cheapest first:
+
+1. **memo** — a passing payload already produced this session is
+   answered immediately, no worker touched.
+2. **artifact cache** — the on-disk :class:`ArtifactCache` (shared with
+   ``repro suite --cache``) is probed by the identical content-hash
+   key; a hit is promoted into the memo and answered immediately.
+3. **coalesce** — a job whose key is already in flight (queued or
+   executing) attaches its future to the existing execution instead of
+   queueing a duplicate; one execution fans out to every waiter.
+4. **queue** — the job lands on the deque of the worker its *group*
+   key shards to, so same-structure jobs hit the same warm kernel
+   cache.
+
+Idle workers first drain their own deque; an empty deque *steals* from
+the tail of the longest other deque (the head is the victim's warm,
+soon-to-run work; the tail is the coldest).  When a dispatch is taken,
+the scheduler gathers up to ``batch_max - 1`` more same-group jobs from
+the same deque into one batched lockstep dispatch — unless the group
+has previously refused the batch fast path, which the scheduler learns
+from the worker's ``batch_ok`` flag and never retries (adaptive
+batching).
+
+Results are finalized in the parent: futures resolve, passing payloads
+enter the memo, singly-executed passes are written to the artifact
+cache (batched lanes are memo-only — their payloads carry batch-kernel
+timing, which must not masquerade on disk as a plain run of the
+requested backend), and one ledger row per job is accumulated for
+:meth:`repro.obs.Ledger.record_serve` at shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+from ..core.cache import ArtifactCache, result_to_payload
+from ..core.testsuite import CaseResult
+from .jobs import JobError, JobSpec, ResolvedJob, resolve_job
+from .workers import worker_main
+
+__all__ = ["ServeScheduler", "Submission"]
+
+#: memo entries kept before oldest-first eviction; passing payloads are
+#: a few KB each, so this bounds parent memory at a few tens of MB
+_MEMO_LIMIT = 4096
+
+
+class Submission:
+    """Handle returned by :meth:`ServeScheduler.submit`.
+
+    ``served`` says how the job was answered: ``queued`` (a worker will
+    execute it), ``coalesced`` (rides an in-flight execution),
+    ``memo`` / ``artifact`` (answered from cache), or ``invalid`` (the
+    request never became a job).  ``future`` resolves to the result
+    payload dict (:func:`repro.core.cache.result_to_payload` layout).
+    """
+
+    __slots__ = ("key", "served", "future")
+
+    def __init__(self, key: Optional[str], served: str,
+                 future: "asyncio.Future") -> None:
+        self.key = key
+        self.served = served
+        self.future = future
+
+
+class _Queued:
+    """One scheduled execution; carries every waiter's future."""
+
+    __slots__ = ("resolved", "futures")
+
+    def __init__(self, resolved: ResolvedJob,
+                 future: "asyncio.Future") -> None:
+        self.resolved = resolved
+        self.futures = [future]
+
+    @property
+    def spec(self) -> JobSpec:
+        return self.resolved.spec
+
+    @property
+    def key(self) -> str:
+        return self.resolved.key
+
+    @property
+    def group(self) -> str:
+        return self.resolved.group
+
+
+class _Worker:
+    __slots__ = ("index", "process", "conn", "dispatch")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: jobs currently executing on this worker (None = idle)
+        self.dispatch: Optional[List[_Queued]] = None
+
+
+class ServeScheduler:
+    """Owns the worker pool and every scheduling decision."""
+
+    def __init__(self, *, jobs: int = 1, batch_max: int = 8,
+                 cache: Optional[Union[ArtifactCache, str]] = None,
+                 max_respawns: int = 3) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "repro serve needs the 'fork' start method (workers "
+                "inherit the case registry and kernel caches)")
+        self.jobs = jobs
+        self.batch_max = batch_max
+        if isinstance(cache, str):
+            cache = ArtifactCache(cache)
+        self.cache = cache
+        self.max_respawns = max_respawns
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._workers: List[_Worker] = []
+        self._deques: List[Deque[_Queued]] = [deque()
+                                              for _ in range(jobs)]
+        self._inflight: Dict[str, _Queued] = {}
+        self._memo: Dict[str, dict] = {}
+        self._unbatchable: set = set()
+        self._dispatch_seq = 0
+        self._started: Optional[float] = None
+        self._respawns = 0
+        self._kick_scheduled = False
+        self._closed = False
+        self.ledger_rows: List[dict] = []
+        self.counters = {
+            "submitted": 0, "executed": 0, "completed": 0,
+            "coalesced": 0, "memo_hits": 0, "artifact_hits": 0,
+            "invalid": 0, "failed": 0,
+            "dispatches": 0, "batches": 0, "batched_jobs": 0,
+            "steals": 0, "stolen_jobs": 0, "respawns": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._started = time.perf_counter()
+        for index in range(self.jobs):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        context = multiprocessing.get_context("fork")
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(target=worker_main, args=(child_conn,),
+                                  daemon=True,
+                                  name=f"repro-serve-w{index}")
+        process.start()
+        child_conn.close()
+        worker = _Worker(index, process, parent_conn)
+        if index < len(self._workers):
+            self._workers[index] = worker
+        else:
+            self._workers.append(worker)
+        self._loop.add_reader(parent_conn.fileno(),
+                              self._on_readable, worker)
+
+    async def shutdown(self) -> None:
+        """Drain every in-flight job, then stop the workers."""
+        while self._inflight:
+            futures = [future for queued in self._inflight.values()
+                       for future in queued.futures]
+            await asyncio.gather(*futures, return_exceptions=True)
+        self._closed = True
+        for worker in self._workers:
+            if worker.process is None:
+                continue
+            try:
+                self._loop.remove_reader(worker.conn.fileno())
+            except (ValueError, OSError):
+                pass
+            try:
+                worker.conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=10)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            worker.process = None
+
+    # -- submission -----------------------------------------------------
+    def submit(self, spec: Union[JobSpec, dict]) -> Submission:
+        """Admit one job; returns immediately with a Submission whose
+        future resolves to the result payload.  Never raises on bad
+        requests — they resolve to an error payload with
+        ``served='invalid'``."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self.counters["submitted"] += 1
+        try:
+            if isinstance(spec, dict):
+                spec = JobSpec.from_dict(spec)
+            resolved = resolve_job(spec)
+        except JobError as exc:
+            self.counters["invalid"] += 1
+            name = spec.get("case", "?") if isinstance(spec, dict) \
+                else spec.case
+            payload = result_to_payload(
+                CaseResult(str(name), None, None, 0.0, error=str(exc)))
+            future.set_result(payload)
+            # no ledger row: a rejected request never became a job, and
+            # a client typo must not mark the serve run as failed (the
+            # ``invalid`` counter in the run's extra carries the tally)
+            return Submission(None, "invalid", future)
+
+        key = resolved.key
+        payload = self._memo.get(key)
+        if payload is not None:
+            self.counters["memo_hits"] += 1
+            future.set_result(payload)
+            self._record(payload, cached=True, batch_size=0)
+            return Submission(key, "memo", future)
+        if self.cache is not None:
+            hit = self.cache.load(key)
+            if hit is not None:
+                payload = result_to_payload(hit)
+                self._remember(key, payload)
+                self.counters["artifact_hits"] += 1
+                future.set_result(payload)
+                self._record(payload, cached=True, batch_size=0)
+                return Submission(key, "artifact", future)
+        queued = self._inflight.get(key)
+        if queued is not None:
+            self.counters["coalesced"] += 1
+            queued.futures.append(future)
+            return Submission(key, "coalesced", future)
+
+        queued = _Queued(resolved, future)
+        self._inflight[key] = queued
+        shard = resolved.shard(self.jobs)
+        self._deques[shard].append(queued)
+        self._kick()
+        return Submission(key, "queued", future)
+
+    def _kick(self) -> None:
+        """Schedule one dispatch pass per event-loop tick, so a burst
+        of submits queues fully before work is handed out — that is
+        what gives the batcher same-group jobs to gather."""
+        if self._kick_scheduled or self._closed:
+            return
+        self._kick_scheduled = True
+        self._loop.call_soon(self._dispatch_pass)
+
+    def _dispatch_pass(self) -> None:
+        self._kick_scheduled = False
+        self._dispatch_all()
+
+    # -- dispatch / stealing / batching ---------------------------------
+    def _dispatch_all(self) -> None:
+        for worker in self._workers:
+            if worker.process is None or worker.dispatch is not None:
+                continue
+            batch = self._take_work(worker.index)
+            if batch:
+                self._send(worker, batch)
+
+    def _take_work(self, index: int) -> List[_Queued]:
+        source = self._deques[index]
+        stolen = False
+        if source:
+            first = source.popleft()
+        else:
+            victim = max(
+                (i for i in range(self.jobs) if i != index),
+                key=lambda i: len(self._deques[i]), default=None)
+            if victim is None or not self._deques[victim]:
+                return []
+            source = self._deques[victim]
+            first = source.pop()
+            stolen = True
+            self.counters["steals"] += 1
+            self.counters["stolen_jobs"] += 1
+        batch = [first]
+        if (self.batch_max > 1 and source
+                and first.resolved.batchable
+                and first.group not in self._unbatchable):
+            matches = [queued for queued in source
+                       if queued.group == first.group]
+            matches = matches[:self.batch_max - 1]
+            if matches:
+                taken = {id(queued) for queued in matches}
+                keep = [queued for queued in source
+                        if id(queued) not in taken]
+                source.clear()
+                source.extend(keep)
+                batch.extend(matches)
+                if stolen:
+                    self.counters["stolen_jobs"] += len(matches)
+        return batch
+
+    def _send(self, worker: _Worker, batch: List[_Queued]) -> None:
+        worker.dispatch = batch
+        self._dispatch_seq += 1
+        specs = [queued.spec.to_dict() for queued in batch]
+        try:
+            worker.conn.send(("run", self._dispatch_seq, specs))
+        except (BrokenPipeError, OSError):
+            self._on_worker_death(worker)
+            return
+        self.counters["dispatches"] += 1
+        self.counters["executed"] += len(batch)
+        if len(batch) > 1:
+            self.counters["batches"] += 1
+            self.counters["batched_jobs"] += len(batch)
+
+    # -- results --------------------------------------------------------
+    def _on_readable(self, worker: _Worker) -> None:
+        try:
+            while worker.conn.poll():
+                message = worker.conn.recv()
+                self._handle_message(worker, message)
+        except (EOFError, OSError):
+            self._on_worker_death(worker)
+            return
+        self._dispatch_all()
+
+    def _handle_message(self, worker: _Worker, message) -> None:
+        if not isinstance(message, tuple) or not message \
+                or message[0] != "done":
+            return
+        _, _dispatch_id, entries = message
+        batch = worker.dispatch or []
+        worker.dispatch = None
+        for queued, entry in zip(batch, entries):
+            self._finalize(queued, entry)
+
+    def _finalize(self, queued: _Queued, entry: dict) -> None:
+        payload = entry["payload"]
+        self._inflight.pop(queued.key, None)
+        if not entry.get("batch_ok", True):
+            self._unbatchable.add(queued.group)
+        passed = _payload_passed(payload)
+        if passed:
+            self._remember(queued.key, payload)
+            if self.cache is not None and entry.get("batch_size", 1) == 1:
+                from ..core.cache import result_from_payload
+                self.cache.store(queued.key,
+                                 result_from_payload(payload))
+        else:
+            self.counters["failed"] += 1
+        self.counters["completed"] += 1
+        self._record(payload, cached=False,
+                     batch_size=entry.get("batch_size", 1))
+        for extra in queued.futures[1:]:
+            self._record(payload, cached=True, batch_size=0)
+        for future in queued.futures:
+            if not future.done():
+                future.set_result(payload)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        if worker.process is None:
+            return
+        try:
+            self._loop.remove_reader(worker.conn.fileno())
+        except (ValueError, OSError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=5)
+        worker.process = None
+        orphans = worker.dispatch or []
+        worker.dispatch = None
+        self._respawns += 1
+        self.counters["respawns"] += 1
+        if self._closed or self._respawns > self.max_respawns * self.jobs:
+            # give up: fail the orphans instead of looping a crash
+            for queued in orphans:
+                payload = result_to_payload(CaseResult(
+                    queued.spec.case, None, None, 0.0,
+                    error="serve worker died and respawn budget is "
+                          "exhausted"))
+                self._finalize(queued, {"payload": payload,
+                                        "batch_size": 1})
+            return
+        # put the interrupted jobs back at the front of their shard's
+        # deque (they were next in line) and bring up a replacement
+        for queued in reversed(orphans):
+            self._deques[worker.index].appendleft(queued)
+        self._spawn(worker.index)
+        self._kick()
+
+    # -- memo / accounting ----------------------------------------------
+    def _remember(self, key: str, payload: dict) -> None:
+        if key not in self._memo and len(self._memo) >= _MEMO_LIMIT:
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[key] = payload
+
+    def _record(self, payload: dict, *, cached: bool,
+                batch_size: int) -> None:
+        v = payload.get("verification") or {}
+        self.ledger_rows.append({
+            "case": payload.get("case", "?"),
+            "passed": _payload_passed(payload),
+            "cached": cached,
+            "error": payload.get("error"),
+            "backend": v.get("backend"),
+            "cycles": v.get("cycles", 0),
+            "evaluations": v.get("evaluations", 0),
+            "simulation_seconds": v.get("simulation_seconds", 0.0),
+            "golden_seconds": v.get("golden_seconds", 0.0),
+            "compile_seconds": payload.get("compile_seconds", 0.0),
+            "batch_size": batch_size,
+        })
+
+    def stats(self) -> dict:
+        counters = dict(self.counters)
+        submitted = counters["submitted"] or 1
+        served_without_execution = (counters["coalesced"]
+                                    + counters["memo_hits"]
+                                    + counters["artifact_hits"])
+        counters.update({
+            "wall_seconds": (time.perf_counter() - self._started
+                             if self._started is not None else 0.0),
+            "workers": self.jobs,
+            "batch_max": self.batch_max,
+            "queue_depths": [len(dq) for dq in self._deques],
+            "inflight": len(self._inflight),
+            "memo_entries": len(self._memo),
+            "unbatchable_groups": len(self._unbatchable),
+            "coalesce_rate": counters["coalesced"] / submitted,
+            "cache_served_rate": served_without_execution / submitted,
+        })
+        return counters
+
+
+def _payload_passed(payload: dict) -> bool:
+    """Verdict of a result payload without rebuilding the result."""
+    if payload.get("error") is not None:
+        return False
+    v = payload.get("verification")
+    if v is None:
+        return False
+    return all(not check["mismatches"] for check in v["checks"])

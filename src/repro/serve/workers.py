@@ -1,0 +1,137 @@
+"""Worker-process side of the verification service.
+
+Each worker is a long-lived ``fork`` child holding warm caches — the
+kernel codegen cache (:mod:`repro.core.kernelcache`) and every imported
+module — so repeat structures skip codegen entirely.  The parent talks
+to it over a :func:`multiprocessing.Pipe`:
+
+* parent → worker: ``("run", dispatch_id, [spec_dict, ...])``
+* worker → parent: ``("done", dispatch_id, [entry, ...])``
+* parent → worker: ``("exit",)`` (or just closing the pipe)
+
+A dispatch of one job runs :func:`repro.core.testsuite.run_case` — the
+same unit of work the suite runner schedules.  A dispatch of several
+jobs is a *batched* dispatch: the scheduler guarantees they share a
+group key (same structure, backend, fsm_mode; different seeds), so the
+worker compiles once and advances every stimulus set in lockstep
+through :func:`repro.core.verification.verify_design_batch`.  Any
+failure of the batch path degrades to per-job single execution with
+identical verdict semantics; the worker itself never raises — every
+outcome, including harness bugs, is folded into an error payload so the
+parent always gets one entry per job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+import time
+import traceback
+from typing import List, Optional
+
+from ..core.cache import result_to_payload
+from ..core.report import collect_metrics
+from ..core.testsuite import CaseResult, run_case
+from ..core.verification import verify_design_batch
+from .jobs import JobError, JobSpec, resolve_job
+
+__all__ = ["worker_main", "execute_jobs"]
+
+
+def _error_entry(name: str, error: str,
+                 trace: Optional[str] = None) -> dict:
+    result = CaseResult(name, None, None, 0.0, error=error,
+                        traceback=trace)
+    return {"payload": result_to_payload(result),
+            "batch_size": 1, "batch_ok": True}
+
+
+def _execute_single(spec_dict: dict) -> dict:
+    try:
+        spec = JobSpec.from_dict(spec_dict)
+        resolved = resolve_job(spec)
+    except JobError as exc:
+        name = spec_dict.get("case", "?") \
+            if isinstance(spec_dict, dict) else "?"
+        return _error_entry(str(name), str(exc))
+    result = run_case(resolved.case, seed=spec.seed,
+                      fsm_mode=spec.fsm_mode, backend=spec.backend)
+    return {"payload": result_to_payload(result),
+            "batch_size": 1, "batch_ok": True}
+
+
+def _execute_batch(spec_dicts: List[dict]) -> List[dict]:
+    """One compile, N lockstep lanes, one entry per job (in order)."""
+    specs = [JobSpec.from_dict(d) for d in spec_dicts]
+    resolved = [resolve_job(s) for s in specs]
+    case = resolved[0].case
+    started = time.perf_counter()
+    design = case.compile()
+    compile_share = (time.perf_counter() - started) / len(specs)
+    inputs_list = [r.case.inputs(r.spec.seed) for r in resolved]
+    batch = verify_design_batch(design, case.func, inputs_list,
+                                fsm_mode=specs[0].fsm_mode,
+                                max_cycles=case.max_cycles)
+    base = collect_metrics(design, simulation_seconds=0.0, cycles=0,
+                           backend=batch.backend)
+    entries = []
+    for lane in batch.lanes:
+        metrics = dataclasses.replace(
+            base, simulation_seconds=lane.simulation_seconds,
+            cycles=lane.cycles)
+        result = CaseResult(case.name, lane, metrics, compile_share)
+        entries.append({"payload": result_to_payload(result),
+                        "batch_size": len(specs),
+                        "batch_ok": batch.batched})
+    return entries
+
+
+def execute_jobs(spec_dicts: List[dict]) -> List[dict]:
+    """Run a dispatch; always returns one entry per job, never raises."""
+    if len(spec_dicts) > 1:
+        try:
+            return _execute_batch(spec_dicts)
+        except Exception:  # noqa: BLE001 - degrade, don't die
+            pass
+    entries = []
+    for spec_dict in spec_dicts:
+        try:
+            entries.append(_execute_single(spec_dict))
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            name = spec_dict.get("case", "?") \
+                if isinstance(spec_dict, dict) else "?"
+            entries.append(_error_entry(
+                str(name), f"{type(exc).__name__}: {exc}",
+                traceback.format_exc()))
+    return entries
+
+
+def worker_main(conn) -> None:
+    """Child-process loop: receive dispatches until exit/EOF.
+
+    SIGINT is ignored so a Ctrl-C aimed at the daemon can't kill a
+    worker mid-result; shutdown arrives as an ``exit`` message or pipe
+    close, both of which exit cleanly.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # not the main thread of the child
+        pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if not isinstance(message, tuple) or not message \
+                or message[0] != "run":
+            break
+        _, dispatch_id, spec_dicts = message
+        entries = execute_jobs(spec_dicts)
+        try:
+            conn.send(("done", dispatch_id, entries))
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -31,7 +31,7 @@ from .wavecapture import WaveCapture, WaveSample
 from .compiled import CompiledSimulator
 from .trace import TracedSimulator
 from .batched import (BatchedSimulator, BatchReport, BatchUnsupported,
-                      LaneBatch)
+                      LaneBatch, probe_fast_path)
 from .backends import SIMULATOR_BACKENDS, create_simulator
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "BatchReport",
     "BatchUnsupported",
     "LaneBatch",
+    "probe_fast_path",
     "SIMULATOR_BACKENDS",
     "create_simulator",
     "levelize",

@@ -37,7 +37,39 @@ from .signal import Signal
 from .trace import TracedSimulator
 
 __all__ = ["BatchedSimulator", "BatchUnsupported", "BatchReport",
-           "LaneBatch", "DEFAULT_QUANTUM"]
+           "LaneBatch", "DEFAULT_QUANTUM", "probe_fast_path"]
+
+
+def probe_fast_path(sim, done_signal):
+    """Check the lockstep fast-path preconditions for an elaborated
+    kernel; returns ``(program, stop_states, start_state)`` or raises
+    :class:`BatchUnsupported` before any lane state is touched.
+
+    Exposed so schedulers (the fuzz wave batcher, the serve job
+    grouper) can probe whether a design's structure batches at all and
+    adapt their grouping instead of paying a doomed batch dispatch.
+    """
+    ensure = getattr(sim, "_ensure_program", None)
+    if ensure is None:
+        raise BatchUnsupported(
+            f"backend {type(sim).__name__} has no compiled program")
+    program = ensure()
+    if program is None:
+        raise BatchUnsupported(
+            f"design not compilable ({sim.fallback_reason})")
+    blocked = sim._fastpath_blocked(program)
+    if blocked is not None:
+        raise BatchUnsupported(blocked)
+    stop = program.stop_states(done_signal)
+    start = program.sid.get(program.controller.state)
+    if stop is None:
+        raise BatchUnsupported(
+            f"{done_signal.name!r} is not a Moore control line")
+    if start is None:
+        raise BatchUnsupported(
+            f"controller parked in unknown state "
+            f"{program.controller.state!r}")
+    return program, stop, start
 
 #: cycles a lane advances per scheduling round; large enough that the
 #: save/restore of a lane costs well under a round's simulation work,
@@ -180,28 +212,7 @@ class LaneBatch:
     # ------------------------------------------------------------------
     def _prepare(self):
         """Fast-path preconditions; raises BatchUnsupported otherwise."""
-        sim = self.sim
-        ensure = getattr(sim, "_ensure_program", None)
-        if ensure is None:
-            raise BatchUnsupported(
-                f"backend {type(sim).__name__} has no compiled program")
-        program = ensure()
-        if program is None:
-            raise BatchUnsupported(
-                f"design not compilable ({sim.fallback_reason})")
-        blocked = sim._fastpath_blocked(program)
-        if blocked is not None:
-            raise BatchUnsupported(blocked)
-        stop = program.stop_states(self.done_signal)
-        start = program.sid.get(program.controller.state)
-        if stop is None:
-            raise BatchUnsupported(
-                f"{self.done_signal.name!r} is not a Moore control line")
-        if start is None:
-            raise BatchUnsupported(
-                f"controller parked in unknown state "
-                f"{program.controller.state!r}")
-        return program, stop, start
+        return probe_fast_path(self.sim, self.done_signal)
 
     def run(self, max_cycles: int = 1_000_000) -> BatchReport:
         """Run every lane to ``done`` (or its cycle budget) in lockstep

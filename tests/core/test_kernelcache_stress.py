@@ -1,0 +1,133 @@
+"""Kernel-cache concurrency: hammered writers, readers, killed writers.
+
+The disk layer is shared by every suite fork-worker and every serve
+worker on the machine.  Its contract under concurrency: writes are
+atomic (tempfile + ``os.replace``), so a reader sees either a complete
+valid entry or a miss — never a torn file — and a writer killed
+mid-store leaves only an orphaned ``*.tmp`` that lookups ignore and
+``clear()`` sweeps."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.kernelcache import KernelCache
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="stress test requires the fork start method")
+
+KEYS = [f"key{i:02d}" for i in range(8)]
+ROUNDS = 30
+
+
+def _payload_for(key):
+    return {"marker": key, "source": f"VALUE = {key!r}"}
+
+
+def _code_for(key):
+    return compile(f"VALUE = {key!r}", "<stress>", "exec")
+
+
+def _hammer(root, worker):
+    cache = KernelCache(root)
+    for round_no in range(ROUNDS):
+        for key in KEYS:
+            payload, code = cache.get("stress", key)
+            if payload is not None:
+                # whatever write won, it must be complete and valid
+                assert payload["marker"] == key, \
+                    f"worker {worker} read a torn entry for {key}"
+                assert code is not None
+            cache.put("stress", key, _payload_for(key), _code_for(key))
+        # drop the memo so later rounds really hit the disk
+        cache._memory.clear()
+
+
+@fork_only
+def test_parallel_writers_never_produce_torn_entries(tmp_path):
+    root = tmp_path / "kernels"
+    context = multiprocessing.get_context("fork")
+    writers = [context.Process(target=_hammer, args=(root, w))
+               for w in range(4)]
+    for proc in writers:
+        proc.start()
+    for proc in writers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0, "a writer observed corruption"
+    fresh = KernelCache(root)
+    for key in KEYS:
+        payload, code = fresh.get("stress", key)
+        assert payload is not None and payload["marker"] == key
+        namespace = {}
+        exec(code, namespace)
+        assert namespace["VALUE"] == key
+    # every replace() completed: no staging files left behind
+    assert list(root.glob("*/*.tmp")) == []
+    assert fresh.errors == 0
+
+
+def test_orphaned_tmp_files_are_invisible_and_swept(tmp_path):
+    root = tmp_path / "kernels"
+    cache = KernelCache(root)
+    cache.put("stress", "good", _payload_for("good"), _code_for("good"))
+    # simulate writers killed mid-store: valid-looking and garbage tmps
+    stress_dir = root / "stress"
+    (stress_dir / "half.tmp").write_text('{"marker": "ha')
+    (root / "stray.tmp").write_text("")
+    probe = KernelCache(root)
+    payload, _ = probe.get("stress", "good")
+    assert payload is not None
+    assert probe.get("stress", "half")[0] is None  # tmp is not an entry
+    probe.clear()
+    assert list(root.glob("**/*.tmp")) == []
+    assert list(root.glob("**/*.json")) == []
+    # the cache still works after the sweep
+    probe.put("stress", "again", _payload_for("again"))
+    assert KernelCache(root).get("stress", "again")[0] is not None
+
+
+def test_reader_of_a_torn_json_degrades_to_a_miss(tmp_path):
+    root = tmp_path / "kernels"
+    cache = KernelCache(root)
+    cache.put("stress", "k", _payload_for("k"), _code_for("k"))
+    path = root / "stress" / "k.json"
+    blob = path.read_text()
+    path.write_text(blob[: len(blob) // 2])  # torn mid-write
+    probe = KernelCache(root)
+    assert probe.get("stress", "k") == (None, None)
+    assert probe.errors == 1
+    # a rewrite heals it
+    probe.put("stress", "k", _payload_for("k"), _code_for("k"))
+    assert json.loads(path.read_text())["marker"] == "k"
+
+
+@fork_only
+def test_writer_killed_mid_put_leaves_no_partial_entry(tmp_path):
+    """SIGKILL a process that loops put(); any surviving file must be
+    complete — the rename either happened or it did not."""
+    root = tmp_path / "kernels"
+
+    def spin():
+        cache = KernelCache(root)
+        while True:
+            cache.put("stress", "victim", _payload_for("victim"),
+                      _code_for("victim"))
+            cache._memory.clear()
+
+    context = multiprocessing.get_context("fork")
+    proc = context.Process(target=spin)
+    proc.start()
+    deadline = 200
+    victim_path = root / "stress" / "victim.json"
+    while not victim_path.exists() and deadline > 0:
+        deadline -= 1
+        proc.join(timeout=0.05)
+    os.kill(proc.pid, 9)
+    proc.join(timeout=30)
+    assert victim_path.exists(), "writer never completed a store"
+    payload, code = KernelCache(root).get("stress", "victim")
+    assert payload is not None and payload["marker"] == "victim"
+    assert code is not None

@@ -1,0 +1,89 @@
+"""Serve-path differential: the server must never change a verdict.
+
+Every result the serve scheduler hands back — whether it ran the job
+solo, folded it into a batched dispatch, or coalesced it onto another
+waiter — must be bit-identical to a plain in-process
+``verify_design`` run of the same job: same memory contents at every
+checked address, same cycle counts, same design identity.  Timing and evaluation
+counters are explicitly *not* compared (a batched lane reports
+amortized kernel time and lockstep evaluation counts; that is the
+point of batching).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apps import CASE_BUILDERS, suite_case
+from repro.core.cache import result_to_payload
+from repro.core.testsuite import run_case
+from repro.serve import ServeScheduler
+
+SMALL_SIZES = {
+    "fdct1": {"pixels": 64},
+    "fdct2": {"pixels": 64},
+    "idct": {"pixels": 64},
+    "hamming": {"n_words": 16},
+    "fir": {"n_out": 16, "taps": 4},
+    "matmul": {"n": 4},
+    "threshold": {"n_pixels": 32},
+    "popcount": {"n_words": 16},
+}
+
+SEEDS = (0, 1)
+BACKEND = "traced"
+
+
+def functional_view(payload):
+    """Everything a verdict *is*, with the timing fields shaved off."""
+    v = payload["verification"]
+    assert v is not None, payload["error"]
+    return {
+        "case": payload["case"],
+        "error": payload["error"],
+        "design": v["design"],
+        "checks": v["checks"],
+        "cycles": v["cycles"],
+        "reconfigurations": v["reconfigurations"],
+    }
+
+
+@pytest.fixture(scope="module")
+def serve_payloads():
+    """One scheduler session runs every (app, seed) job concurrently —
+    same-structure pairs batch, so the batched path is on trial too."""
+    async def go():
+        scheduler = ServeScheduler(jobs=2, batch_max=4)
+        await scheduler.start()
+        subs = {
+            (name, seed): scheduler.submit({
+                "case": name, "size": SMALL_SIZES[name],
+                "seed": seed, "backend": BACKEND})
+            for name in sorted(CASE_BUILDERS) for seed in SEEDS
+        }
+        payloads = {
+            key: await sub.future for key, sub in subs.items()
+        }
+        stats = scheduler.stats()
+        await scheduler.shutdown()
+        return payloads, stats
+
+    payloads, stats = asyncio.run(go())
+    assert stats["executed"] == len(payloads)
+    assert stats["batched_jobs"] > 0, \
+        "no job took the batched path; the differential lost its teeth"
+    return payloads
+
+
+@pytest.mark.parametrize("name", sorted(CASE_BUILDERS))
+def test_serve_equals_serial_verify(name, serve_payloads):
+    for seed in SEEDS:
+        served = serve_payloads[(name, seed)]
+        case = suite_case(name, **SMALL_SIZES[name])
+        reference = result_to_payload(
+            run_case(case, seed=seed, backend=BACKEND))
+        assert functional_view(served) == functional_view(reference), \
+            f"{name} seed {seed}: serve verdict diverges from serial"
+        assert served["error"] is None
+        for check in served["verification"]["checks"]:
+            assert check["mismatches"] == []

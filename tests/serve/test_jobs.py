@@ -1,0 +1,98 @@
+"""Job model: wire validation and the derived identities."""
+
+import pytest
+
+from repro.apps import suite_case
+from repro.core import case_key
+from repro.serve import JobError, JobSpec, resolve_job
+
+
+class TestFromDict:
+    def test_roundtrip(self):
+        spec = JobSpec.from_dict({"case": "threshold",
+                                  "size": {"n_pixels": 64},
+                                  "seed": 3, "backend": "traced"})
+        assert spec.case == "threshold"
+        assert spec.size == {"n_pixels": 64}
+        assert spec.seed == 3
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults(self):
+        spec = JobSpec.from_dict({"case": "fir"})
+        assert spec.seed == 0
+        assert spec.backend == "traced"
+        assert spec.fsm_mode == "generated"
+
+    @pytest.mark.parametrize("bad", [
+        None, [], "threshold", 7,
+        {},                                      # no case
+        {"case": 7},                             # non-string case
+        {"case": "threshold", "seed": "x"},      # non-int seed
+        {"case": "threshold", "seed": True},     # bool is not a seed
+        {"case": "threshold", "size": [1]},      # size not a mapping
+        {"case": "threshold", "size": {"n": "big"}},
+        {"case": "threshold", "backend": "verilator"},
+        {"case": "threshold", "fsm_mode": "mealy"},
+        {"case": "threshold", "extra": 1},       # unknown field
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(JobError):
+            JobSpec.from_dict(bad)
+
+
+class TestResolve:
+    def test_unknown_case(self):
+        with pytest.raises(JobError, match="unknown case"):
+            resolve_job(JobSpec(case="nonesuch"))
+
+    def test_bad_size_option(self):
+        with pytest.raises(JobError, match="bad size options"):
+            resolve_job(JobSpec(case="threshold", size={"bogus": 1}))
+
+    def test_key_is_the_artifact_cache_digest(self):
+        spec = JobSpec(case="threshold", size={"n_pixels": 64}, seed=5)
+        resolved = resolve_job(spec)
+        case = suite_case("threshold", n_pixels=64)
+        assert resolved.key == case_key(case, seed=5,
+                                        fsm_mode="generated",
+                                        backend="traced")
+
+    def test_key_distinguishes_every_field(self):
+        base = JobSpec(case="threshold", size={"n_pixels": 64})
+        variants = [
+            JobSpec(case="popcount", size={"n_words": 16}),
+            JobSpec(case="threshold", size={"n_pixels": 128}),
+            JobSpec(case="threshold", size={"n_pixels": 64}, seed=1),
+            JobSpec(case="threshold", size={"n_pixels": 64},
+                    backend="event"),
+            JobSpec(case="threshold", size={"n_pixels": 64},
+                    fsm_mode="interpreted"),
+        ]
+        keys = {resolve_job(spec).key for spec in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_group_ignores_seed_but_not_structure(self):
+        a = resolve_job(JobSpec(case="threshold", size={"n_pixels": 64},
+                                seed=0))
+        b = resolve_job(JobSpec(case="threshold", size={"n_pixels": 64},
+                                seed=99))
+        c = resolve_job(JobSpec(case="threshold", size={"n_pixels": 128},
+                                seed=0))
+        d = resolve_job(JobSpec(case="threshold", size={"n_pixels": 64},
+                                seed=0, backend="event"))
+        assert a.group == b.group
+        assert a.key != b.key
+        assert a.group != c.group
+        assert a.group != d.group
+
+    def test_shard_is_stable_and_in_range(self):
+        resolved = resolve_job(JobSpec(case="matmul", size={"n": 4}))
+        for n in (1, 2, 4, 7):
+            shard = resolved.shard(n)
+            assert 0 <= shard < n
+            assert shard == resolved.shard(n)
+
+    def test_batchable_requires_kernel_family_backend(self):
+        assert resolve_job(JobSpec(case="fir", backend="traced")).batchable
+        assert not resolve_job(JobSpec(case="fir",
+                                       backend="event")).batchable

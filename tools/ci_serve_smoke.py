@@ -1,0 +1,112 @@
+"""CI smoke for ``repro serve``: one real daemon, one mixed batch.
+
+Boots the daemon exactly as a user would (``python -m repro serve``),
+replays a mixed batch over the NDJSON socket — a fresh job, an exact
+repeat of it, a second distinct design, and an invalid design — and
+gates on the service contract:
+
+1. every valid job verifies (no mismatches, no errors), and the repeat
+   is answered without a second execution (``coalesce + memo >= 1``);
+2. the invalid design comes back as an error *result*, not a dead
+   connection;
+3. shutdown is clean: the daemon drains, exits 0 and removes its
+   socket;
+4. the harvested ledger (uploaded as a CI artifact) holds one
+   ``serve`` run with one row per executed-or-cache-served job.
+
+Exit status 0 = all gates pass.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.ledger import Ledger
+from repro.serve import ServeClient, wait_for_socket
+
+SOCKET = Path("serve-smoke.sock")
+LEDGER = Path("serve-smoke.sqlite")
+
+FRESH = {"case": "threshold", "size": {"n_pixels": 32}}
+REPEAT = dict(FRESH)
+DISTINCT = {"case": "popcount", "size": {"n_words": 16}}
+INVALID = {"case": "no-such-design"}
+
+
+def _passed(payload):
+    v = payload.get("verification")
+    return payload.get("error") is None and v is not None \
+        and all(not c["mismatches"] for c in v["checks"])
+
+
+def main() -> int:
+    for stale in (SOCKET, LEDGER):
+        if stale.exists():
+            stale.unlink()
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", str(SOCKET), "--jobs", "2",
+         "--ledger", str(LEDGER)])
+    try:
+        wait_for_socket(SOCKET, timeout=60)
+        with ServeClient(SOCKET, timeout=120) as client:
+            events = client.run_jobs([FRESH, REPEAT, DISTINCT, INVALID])
+            stats = client.status()
+            client.shutdown()
+    except BaseException:
+        daemon.terminate()
+        raise
+    exit_code = daemon.wait(timeout=120)
+
+    failures = []
+    served = [event["served"] for event in events]
+    print(f"served: {served}")
+    for label, event in zip(("fresh", "repeat", "distinct"), events):
+        if not _passed(event["result"]):
+            failures.append(f"{label} job did not verify: "
+                            f"{event['result'].get('error')}")
+        else:
+            cycles = event["result"]["verification"]["cycles"]
+            print(f"[ok]   {label} ({event['served']}): "
+                  f"{cycles} cycles, all checks match")
+    invalid = events[3]
+    if invalid["served"] != "invalid" \
+            or "unknown case" not in (invalid["result"]["error"] or ""):
+        failures.append(f"invalid design mis-handled: {invalid}")
+    else:
+        print(f"[ok]   invalid design rejected: "
+              f"{invalid['result']['error']}")
+    dedup = stats["coalesced"] + stats["memo_hits"] \
+        + stats["artifact_hits"]
+    if dedup < 1:
+        failures.append(f"repeat was not deduplicated: {stats}")
+    else:
+        print(f"[ok]   repeat deduplicated ({dedup} served without "
+              f"execution, {stats['executed']} executed)")
+    if exit_code != 0:
+        failures.append(f"daemon exited {exit_code}")
+    elif SOCKET.exists():
+        failures.append("daemon left its socket behind")
+    else:
+        print("[ok]   clean shutdown (exit 0, socket removed)")
+
+    with Ledger(LEDGER) as ledger:
+        run = ledger.latest_run("serve")
+        rows = ledger.case_rows(run.run_id) if run else []
+    if run is None or not run.passed or len(rows) != 3:
+        failures.append(
+            f"ledger harvest wrong: run={run} rows={len(rows)}")
+    else:
+        print(f"[ok]   ledger: serve run #{run.run_id} with "
+              f"{len(rows)} case row(s) -> {LEDGER}")
+
+    if failures:
+        print("serve smoke FAILED:\n  " + "\n  ".join(failures))
+        return 1
+    print("serve smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
