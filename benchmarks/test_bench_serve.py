@@ -27,6 +27,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs.metrics import Histogram
 from repro.serve import ServeClient, ServeDaemon, ServeScheduler, \
     wait_for_socket
 
@@ -93,12 +94,6 @@ def _payload_passed(payload):
         and all(not c["mismatches"] for c in v["checks"])
 
 
-def _percentile(values, q):
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-    return ordered[index]
-
-
 # ----------------------------------------------------------------------
 # The two contenders
 # ----------------------------------------------------------------------
@@ -122,7 +117,10 @@ def _measure_oneshot(jobs):
 
 def _measure_server(tmp_path, jobs_level, workload):
     """Boot a daemon, replay the workload through one pipelined
-    client, return (stats, per-request latencies, wall seconds)."""
+    client, return (stats, client-side latency histogram, wall
+    seconds).  Latencies land in the same mergeable log-bucket
+    :class:`Histogram` the scheduler keeps server-side, so the two
+    views quote comparable quantiles."""
     socket_path = tmp_path / f"bench-{jobs_level}.sock"
     scheduler = ServeScheduler(jobs=jobs_level, batch_max=8)
     daemon = ServeDaemon(scheduler, socket_path=socket_path)
@@ -138,10 +136,10 @@ def _measure_server(tmp_path, jobs_level, workload):
             for job in workload:
                 request_id = client.submit(job)
                 submitted_at[request_id] = time.perf_counter()
-            latencies = []
+            latency = Histogram("client_latency_seconds")
             for event in client.results(len(workload)):
                 arrived = time.perf_counter()
-                latencies.append(arrived - submitted_at[event["id"]])
+                latency.observe(arrived - submitted_at[event["id"]])
                 assert _payload_passed(event["result"]), event
             wall = time.perf_counter() - start
             stats = client.status()
@@ -149,7 +147,7 @@ def _measure_server(tmp_path, jobs_level, workload):
     finally:
         thread.join(timeout=120)
         assert not thread.is_alive(), "bench daemon failed to exit"
-    return stats, latencies, wall
+    return stats, latency, wall
 
 
 def asyncio_run(daemon):
@@ -193,15 +191,20 @@ def test_bench_serve(tmp_path, report_writer):
 
     servers = {}
     for level in JOBS_LEVELS:
-        stats, latencies, wall = _measure_server(tmp_path, level,
-                                                 workload)
+        stats, latency, wall = _measure_server(tmp_path, level,
+                                               workload)
         assert stats["submitted"] == REQUESTS
         assert stats["failed"] == 0
+        server_view = stats.get("histograms", {}) \
+                           .get("job_latency_seconds")
         servers[str(level)] = {
             "jobs_per_sec": REQUESTS / wall,
             "wall_seconds": wall,
-            "p50_ms": _percentile(latencies, 0.50) * 1e3,
-            "p99_ms": _percentile(latencies, 0.99) * 1e3,
+            "p50_ms": latency.quantile(0.50) * 1e3,
+            "p99_ms": latency.quantile(0.99) * 1e3,
+            "client_latency": latency.summary(),
+            "server_latency": (Histogram.from_dict(server_view)
+                               .summary() if server_view else None),
             "executed": stats["executed"],
             "coalesced": stats["coalesced"],
             "memo_hits": stats["memo_hits"],

@@ -72,17 +72,23 @@ def _resolve_jobs(value) -> int:
     return int(value)
 
 
-def _add_obs_flags(command: argparse.ArgumentParser) -> None:
-    """The observability flags shared by suite/flow/fuzz."""
+def _add_obs_flags(command: argparse.ArgumentParser, *,
+                   coverage: bool = True) -> None:
+    """The observability flags shared by suite/flow/fuzz/serve.
+
+    ``coverage=False`` drops the ``--coverage`` flag for commands with
+    no per-design coverage concept (the serve daemon).
+    """
     command.add_argument("--trace", metavar="FILE", default=None,
                          help="record per-phase timing spans; writes "
                               "Chrome/Perfetto trace JSON to FILE (raw "
                               "events land next to it as .jsonl)")
     command.add_argument("--metrics", metavar="FILE", default=None,
                          help="write aggregated counters as JSON to FILE")
-    command.add_argument("--coverage", action="store_true",
-                         help="collect FSM state/transition and operator "
-                              "activation coverage")
+    if coverage:
+        command.add_argument("--coverage", action="store_true",
+                             help="collect FSM state/transition and "
+                                  "operator activation coverage")
     command.add_argument("--ledger", metavar="PATH", default=None,
                          help="append this run to the SQLite run ledger "
                               "at PATH (default: $REPRO_LEDGER when set); "
@@ -395,10 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "answered from disk and new passes stored "
                             "(default dir: .repro-cache, shared with "
                             "'repro suite --cache')")
-    serve.add_argument("--ledger", metavar="PATH", default=None,
-                       help="harvest the session into the SQLite run "
-                            "ledger at PATH on shutdown (default: "
-                            "$REPRO_LEDGER when set)")
+    _add_obs_flags(serve, coverage=False)
 
     obs = sub.add_parser(
         "obs", help="cross-run observability: query the run ledger, "
@@ -476,6 +479,35 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="N",
                             help="runs included in the json dump "
                                  "(default 30)")
+
+    obs_profile = obs_sub.add_parser(
+        "profile", help="kernel hot-spot profiler: run one case and "
+                        "attribute its simulated cycles and wall time "
+                        "to FSM states and fused trace segments "
+                        "(needs no ledger)")
+    obs_profile.add_argument("case", metavar="CASE",
+                             help="benchmark case to profile (see "
+                                  "'repro suite --list')")
+    obs_profile.add_argument("--backend", choices=("compiled", "traced"),
+                             default="traced",
+                             help="simulator backend (default: traced; "
+                                  "traced also attributes fused "
+                                  "loop/line segments)")
+    obs_profile.add_argument("--seed", type=int, default=0,
+                             help="stimulus seed (default 0)")
+    obs_profile.add_argument("--fsm-mode",
+                             choices=("generated", "interpreted"),
+                             default="generated",
+                             help="FSM flavour (default: generated)")
+    obs_profile.add_argument("--top", type=_positive_int, default=15,
+                             metavar="N",
+                             help="hottest frames shown (default 15)")
+    obs_profile.add_argument("--collapsed", metavar="FILE", default=None,
+                             help="write cycle-weighted collapsed "
+                                  "stacks (flamegraph.pl / speedscope "
+                                  "input)")
+    obs_profile.add_argument("--json", metavar="FILE", default=None,
+                             help="write the full report as JSON")
 
     obs_gc = obs_sub.add_parser(
         "gc", help="drop old runs beyond a retention limit")
@@ -1197,6 +1229,27 @@ def _obs_gc(ledger, args) -> int:
     return 0
 
 
+def _obs_profile(args) -> int:
+    from .obs.profile import ProfileError, profile_case
+
+    try:
+        report = profile_case(args.case, seed=args.seed,
+                              backend=args.backend,
+                              fsm_mode=args.fsm_mode)
+    except ProfileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format(top=args.top))
+    if args.collapsed:
+        path = report.write_collapsed(args.collapsed)
+        print(f"collapsed stacks -> {path} "
+              f"(feed to flamegraph.pl or speedscope)")
+    if args.json:
+        path = report.write_json(args.json)
+        print(f"profile json -> {path}")
+    return 0
+
+
 _OBS_COMMANDS = {
     "report": _obs_report,
     "compare": _obs_compare,
@@ -1208,6 +1261,11 @@ _OBS_COMMANDS = {
 
 def _cmd_obs(args) -> int:
     from .obs.ledger import LEDGER_ENV, Ledger, LedgerError
+
+    # profile runs a fresh simulation; it neither needs nor opens
+    # a ledger
+    if args.obs_command == "profile":
+        return _obs_profile(args)
 
     path = args.ledger or os.environ.get(LEDGER_ENV) \
         or "repro-ledger.sqlite"
@@ -1243,13 +1301,19 @@ def _cmd_serve(args) -> int:
           f"listening on {args.socket}"
           + (f" and http://127.0.0.1:{args.http}" if args.http else ""),
           flush=True)
-    stats = asyncio.run(daemon.run())
+    with _tracing(args.trace):
+        stats = asyncio.run(daemon.run())
     print(f"serve: {stats['submitted']} job(s) submitted, "
           f"{stats['executed']} executed, "
           f"{stats['coalesced']} coalesced, "
           f"{stats['memo_hits'] + stats['artifact_hits']} cache-served, "
           f"{stats['failed']} failed "
           f"({stats['wall_seconds']:.1f}s)")
+    if args.metrics:
+        from .obs.metrics import serve_metrics
+
+        serve_metrics(stats).write(args.metrics)
+        print(f"metrics -> {args.metrics}")
     if ledger_path is not None:
         print(f"ledger -> {ledger_path}")
     return 0

@@ -33,11 +33,15 @@ from .coverage import (ConfigurationCoverage, CoverageCollector,
 from .dashboard import export_json, export_prometheus, render_dashboard
 from .ledger import (LEDGER_ENV, Ledger, LedgerError, SCHEMA_VERSION,
                      ledger_from_env)
-from .metrics import (Metrics, campaign_metrics, flow_metrics, suite_metrics,
-                      verification_metrics)
+from .metrics import (Histogram, Metrics, campaign_metrics, flow_metrics,
+                      render_prometheus_histogram, serve_metrics,
+                      suite_metrics, verification_metrics)
+from .profile import (KernelProfiler, ProfileError, ProfileReport,
+                      profile_case)
 from .regress import (Finding, RegressionReport, Thresholds, compare_run)
-from .trace import (Span, TraceRecorder, active_recorder, event,
-                    export_chrome_trace, install, recording, span, uninstall)
+from .trace import (Span, TraceRecorder, active_recorder, current_context,
+                    event, export_chrome_trace, install, new_trace_id,
+                    recording, span, start_span, trace_context, uninstall)
 # triage pulls in sim/inject layers lazily; keep this import last
 from .triage import (Suspect, TriageError, TriageRecord, TriageResult,
                      attach_to_ledger, locate_divergence,
@@ -45,10 +49,13 @@ from .triage import (Suspect, TriageError, TriageRecord, TriageResult,
                      triage_fuzz_entry)
 
 __all__ = [
-    "Span", "TraceRecorder", "recording", "span", "event",
+    "Span", "TraceRecorder", "recording", "span", "event", "start_span",
     "active_recorder", "install", "uninstall", "export_chrome_trace",
-    "Metrics", "verification_metrics", "suite_metrics", "flow_metrics",
-    "campaign_metrics",
+    "new_trace_id", "current_context", "trace_context",
+    "Metrics", "Histogram", "render_prometheus_histogram",
+    "verification_metrics", "suite_metrics", "flow_metrics",
+    "campaign_metrics", "serve_metrics",
+    "KernelProfiler", "ProfileError", "ProfileReport", "profile_case",
     "CoverageCollector", "CoverageReport", "ConfigurationCoverage",
     "FsmCoverage", "OperatorCoverage", "format_coverage",
     "Ledger", "LedgerError", "SCHEMA_VERSION", "LEDGER_ENV",

@@ -16,7 +16,10 @@ machine, or ``file://``.  Sections:
 * fault-injection campaigns: verdict tallies per campaign plus the
   fault-coverage table (fault kind × verdict) of the latest one;
 * divergence triage: first divergent cycle/net and top suspect per
-  triaged failure, plus a kind × top-suspect-net tally table.
+  triaged failure, plus a kind × top-suspect-net tally table;
+* serve sessions: throughput, dedup rate and p99 job latency per
+  ``repro serve`` session, with cross-session trend sparklines (rows
+  recorded before the latency histograms existed degrade to ``—``).
 
 ``export_prometheus`` writes the same latest-run facts in the
 Prometheus *textfile collector* format, so an external scraper can
@@ -28,7 +31,8 @@ from __future__ import annotations
 import html
 import json
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from .ledger import CaseRow, Ledger, RunRow
 
@@ -145,8 +149,12 @@ def _fmt_when(timestamp: float) -> str:
 # Sparklines (inline SVG, native <title> tooltips — no network, no JS)
 # ----------------------------------------------------------------------
 def _sparkline(points: Sequence[Tuple[int, float]], hue: str,
-               width: int = 168, height: int = 34) -> str:
-    """Polyline over (run_id, seconds) points, newest rightmost."""
+               width: int = 168, height: int = 34,
+               fmt: Callable[[float], str] = _fmt_seconds) -> str:
+    """Polyline over (run_id, value) points, newest rightmost.
+
+    ``fmt`` renders tooltip values; the default reads them as seconds.
+    """
     if not points:
         return '<span class="mut">no data</span>'
     values = [value for _, value in points]
@@ -165,11 +173,11 @@ def _sparkline(points: Sequence[Tuple[int, float]], hue: str,
     for (x, y), (run_id, value) in zip(coords, points):
         dots.append(
             f'<circle cx="{x:.1f}" cy="{y:.1f}" r="5" fill="transparent">'
-            f'<title>run #{run_id}: {_fmt_seconds(value)}</title></circle>')
+            f'<title>run #{run_id}: {fmt(value)}</title></circle>')
     return (
         f'<svg width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}" role="img" '
-        f'aria-label="trend, latest {_fmt_seconds(values[-1])}">'
+        f'aria-label="trend, latest {fmt(values[-1])}">'
         f'<polyline points="{path}" fill="none" stroke="{hue}" '
         f'stroke-width="2" stroke-linejoin="round" '
         f'stroke-linecap="round"/>'
@@ -504,6 +512,78 @@ def _triage_section(ledger: Ledger, history: int) -> str:
     return table
 
 
+def _serve_section(ledger: Ledger, history: int) -> str:
+    runs = ledger.runs(kind="serve", limit=history)
+    if not runs:
+        return ('<p class="mut">no serve sessions recorded yet '
+                '(<code>repro serve --ledger</code>)</p>')
+    from .metrics import Histogram
+
+    def quantile(run: RunRow, q: float) -> Optional[float]:
+        payload = run.extra.get("histograms")
+        if not isinstance(payload, Mapping) \
+                or "job_latency_seconds" not in payload:
+            return None  # recorded before the latency histograms existed
+        try:
+            return Histogram.from_dict(
+                payload["job_latency_seconds"]).quantile(q)
+        except (TypeError, ValueError, KeyError):
+            return None
+
+    body = []
+    series: Dict[str, List[Tuple[int, float]]] = {
+        "throughput": [], "dedup": [], "p99": []}
+    for run in runs:
+        extra = run.extra
+        submitted = int(extra.get("submitted", 0) or 0)
+        wall = run.wall_seconds or extra.get("wall_seconds") or 0.0
+        deduped = (int(extra.get("memo_hits", 0) or 0)
+                   + int(extra.get("artifact_hits", 0) or 0)
+                   + int(extra.get("coalesced", 0) or 0))
+        throughput = submitted / wall if wall else None
+        dedup = deduped / submitted if submitted else None
+        p50 = quantile(run, 0.50)
+        p99 = quantile(run, 0.99)
+        if throughput is not None:
+            series["throughput"].append((run.run_id, throughput))
+        if dedup is not None:
+            series["dedup"].append((run.run_id, dedup))
+        if p99 is not None:
+            series["p99"].append((run.run_id, p99))
+        throughput_cell = (f"{throughput:.1f}/s"
+                           if throughput is not None else "—")
+        dedup_cell = f"{100 * dedup:.0f}%" if dedup is not None else "—"
+        body.append(
+            f"<tr><td>#{run.run_id} "
+            f'<span class="mut">{_fmt_when(run.started_at)}</span></td>'
+            f"<td>{submitted}</td>"
+            f"<td>{int(extra.get('executed', 0) or 0)}</td>"
+            f"<td>{deduped}</td>"
+            f"<td>{int(extra.get('failed', 0) or 0)}</td>"
+            f"<td>{throughput_cell}</td><td>{dedup_cell}</td>"
+            f"<td>{_fmt_seconds(p50) if p50 is not None else '—'}</td>"
+            f"<td>{_fmt_seconds(p99) if p99 is not None else '—'}</td>"
+            f"<td>{_fmt_seconds(run.wall_seconds)}</td></tr>")
+    table = ('<table><thead><tr><th>session</th><th>jobs</th>'
+             '<th>executed</th><th>dedup-served</th><th>failed</th>'
+             '<th>throughput</th><th>dedup rate</th><th>p50</th>'
+             '<th>p99</th><th>wall</th></tr></thead>'
+             f'<tbody>{"".join(body)}</tbody></table>')
+    sparks = []
+    for key, label, hue, fmt in (
+            ("throughput", "throughput", "#3987e5",
+             lambda value: f"{value:.1f} jobs/s"),
+            ("dedup", "dedup rate", "#256abf",
+             lambda value: f"{100 * value:.0f}%"),
+            ("p99", "p99 job latency", "#184f95", _fmt_seconds)):
+        points = list(reversed(series[key]))  # oldest leftmost
+        sparks.append(
+            f'<div class="tile"><div class="v">'
+            f'{_sparkline(points, hue, fmt=fmt)}</div>'
+            f'<div class="k">{_esc(label)}</div></div>')
+    return f'<div class="tiles">{"".join(sparks)}</div>{table}'
+
+
 def _runs_table(ledger: Ledger, history: int) -> str:
     rows = []
     for run in ledger.runs(limit=history):
@@ -566,6 +646,9 @@ fault coverage of the latest)</span></h2>
 <h2>Divergence triage <span class="sub">(first divergent cycle/net and
 top suspect per triaged failure)</span></h2>
 {_triage_section(ledger, history)}
+<h2>Serve sessions <span class="sub">(throughput, dedup rate and job
+latency per <code>repro serve</code> session)</span></h2>
+{_serve_section(ledger, history)}
 <h2>All runs</h2>
 {_runs_table(ledger, history)}
 <footer>generated by <code>python -m repro obs dashboard</code> —
@@ -710,6 +793,36 @@ def export_prometheus(ledger: Ledger) -> str:
                [_prom_line("repro_triage_total",
                            {"kind": kind, "mode": mode}, count)
                 for (kind, mode), count in sorted(tallies.items())])
+
+    # serve latency histograms of the latest session, under the same
+    # family names the live daemon serves on GET /metrics
+    serve = ledger.latest_run("serve")
+    if serve is not None:
+        payload = serve.extra.get("histograms")
+        if isinstance(payload, Mapping) and payload:
+            from .metrics import Histogram, render_prometheus_histogram
+
+            gate_series: List[Tuple[Dict[str, str], Any]] = []
+            plain: List[Tuple[str, Any]] = []
+            for name in sorted(payload):
+                try:
+                    hist = Histogram.from_dict(payload[name])
+                except (TypeError, ValueError, KeyError):
+                    continue
+                if name.startswith("gate_") and name.endswith("_seconds"):
+                    gate = name[len("gate_"):-len("_seconds")]
+                    gate_series.append(({"gate": gate}, hist))
+                else:
+                    plain.append((name, hist))
+            if gate_series:
+                lines.extend(render_prometheus_histogram(
+                    "repro_serve_gate_seconds", gate_series,
+                    "Admission-gate latency of the latest serve "
+                    "session, by gate."))
+            for name, hist in plain:
+                lines.extend(render_prometheus_histogram(
+                    f"repro_serve_{name}", [({}, hist)],
+                    f"Latest serve-session {name} distribution."))
 
     return "\n".join(lines) + "\n" if lines else ""
 

@@ -21,11 +21,13 @@ The ``as_dict`` layout is stable::
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-__all__ = ["Metrics", "verification_metrics", "suite_metrics",
-           "flow_metrics", "campaign_metrics"]
+__all__ = ["Metrics", "Histogram", "render_prometheus_histogram",
+           "verification_metrics", "suite_metrics",
+           "flow_metrics", "campaign_metrics", "serve_metrics"]
 
 _SCHEMA = 1
 
@@ -87,6 +89,193 @@ class Metrics:
 
     def __repr__(self) -> str:
         return f"Metrics({self.kind!r}, {len(self.counters)} counter(s))"
+
+
+# ----------------------------------------------------------------------
+# Histograms — mergeable log-bucket distributions
+# ----------------------------------------------------------------------
+#: sub-buckets per octave (power of two): bucket width grows by
+#: ``2**(1/8) ≈ 1.09``, so any quantile estimate is within ~4.5% of the
+#: true value — plenty for latency percentiles, tiny to serialize
+_HIST_GRID = 8
+
+
+class Histogram:
+    """A mergeable log-bucket histogram (latencies, sizes, durations).
+
+    Values land in exponentially sized buckets: value ``v > 0`` goes to
+    bucket ``floor(log2(v) * GRID)``, covering ``[2**(i/GRID),
+    2**((i+1)/GRID))``.  Like the :class:`Metrics` counter bags, two
+    histograms merge by addition — a fork worker can serialize its half
+    (:meth:`as_dict`), ship it over a pipe, and the parent folds it in
+    (:meth:`merge`) without losing any quantile fidelity beyond the
+    bucket width.  Quantiles are estimated at the geometric midpoint of
+    the covering bucket, clamped to the observed min/max.
+    """
+
+    __slots__ = ("name", "buckets", "zeros", "count", "total",
+                 "min", "max")
+
+    GRID = _HIST_GRID
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        #: bucket index -> observation count (sparse)
+        self.buckets: Dict[int, int] = {}
+        #: observations <= 0 (a zero-length queue wait is real data)
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.floor(math.log2(value) * self.GRID)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        for index, tally in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + tally
+        self.zeros += other.zeros
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (``0 <= q <= 1``); 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = self.zeros
+        if cumulative >= target:
+            return max(self.min or 0.0, 0.0)
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                estimate = 2.0 ** ((index + 0.5) / self.GRID)
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+        return self.max if self.max is not None else 0.0
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # ------------------------------------------------------------------
+    def bucket_edges(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_edge, count)`` pairs, Prometheus-style
+        (zeros fold into the first finite bucket; +Inf is implicit via
+        :attr:`count`)."""
+        edges: List[Tuple[float, int]] = []
+        cumulative = self.zeros
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            edges.append((2.0 ** ((index + 1) / self.GRID), cumulative))
+        return edges
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": _SCHEMA,
+            "grid": self.GRID,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "zeros": self.zeros,
+            "buckets": {str(index): tally
+                        for index, tally in sorted(self.buckets.items())},
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  name: str = "") -> "Histogram":
+        hist = cls(name)
+        if not isinstance(data, Mapping):
+            return hist
+        grid = int(data.get("grid", cls.GRID) or cls.GRID)
+        raw = data.get("buckets") or {}
+        for index, tally in raw.items():
+            index = int(index)
+            if grid != cls.GRID:  # re-grid a foreign serialization
+                index = math.floor((index / grid) * cls.GRID)
+            hist.buckets[index] = hist.buckets.get(index, 0) + int(tally)
+        hist.zeros = int(data.get("zeros", 0) or 0)
+        hist.count = int(data.get("count", 0) or 0)
+        hist.total = float(data.get("sum", 0.0) or 0.0)
+        hist.min = data.get("min")
+        hist.max = data.get("max")
+        if hist.min is not None:
+            hist.min = float(hist.min)
+        if hist.max is not None:
+            hist.max = float(hist.max)
+        return hist
+
+    def summary(self) -> Dict[str, Any]:
+        """The quantile digest persisted into ledger rows / reports."""
+        return {"count": self.count, "sum": round(self.total, 9),
+                "min": self.min, "max": self.max,
+                "p50": self.quantile(0.50), "p90": self.quantile(0.90),
+                "p99": self.quantile(0.99)}
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"p50={self.quantile(0.5):.6g})")
+
+
+def _prom_label_text(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        '%s="%s"' % (key, str(value).replace("\\", "\\\\")
+                     .replace('"', '\\"').replace("\n", "\\n"))
+        for key, value in sorted(labels.items()))
+    return "{" + rendered + "}"
+
+
+def render_prometheus_histogram(
+        name: str,
+        series: Iterable[Tuple[Mapping[str, Any], "Histogram"]],
+        help_text: str = "") -> List[str]:
+    """One Prometheus ``histogram`` family: cumulative ``_bucket`` lines
+    (ending at ``+Inf``), ``_sum`` and ``_count`` per labelled series."""
+    lines = [f"# HELP {name} {help_text or name}",
+             f"# TYPE {name} histogram"]
+    for labels, hist in series:
+        for edge, cumulative in hist.bucket_edges():
+            tags = dict(labels)
+            tags["le"] = "%.9g" % edge
+            lines.append(f"{name}_bucket{_prom_label_text(tags)} "
+                         f"{cumulative}")
+        tags = dict(labels)
+        tags["le"] = "+Inf"
+        lines.append(f"{name}_bucket{_prom_label_text(tags)} {hist.count}")
+        lines.append(f"{name}_sum{_prom_label_text(dict(labels))} "
+                     f"{hist.total:.9g}")
+        lines.append(f"{name}_count{_prom_label_text(dict(labels))} "
+                     f"{hist.count}")
+    return lines
 
 
 # ----------------------------------------------------------------------
@@ -212,4 +401,27 @@ def campaign_metrics(report) -> Metrics:
                          round(report.pool_startup_seconds, 4))
         metrics.set_info("pool_reuse_saved_seconds",
                          round(report.pool_reuse_saved_seconds, 4))
+    return metrics
+
+
+def serve_metrics(stats: Mapping[str, Any]) -> Metrics:
+    """Counters for one ``repro serve`` session (the scheduler's final
+    :meth:`~repro.serve.ServeScheduler.stats` dict): integer tallies
+    become counters, rates and wall time become info fields, and the
+    latency histograms collapse to their quantile summaries."""
+    metrics = Metrics("serve")
+    for name, value in stats.items():
+        if name == "histograms" or isinstance(value, bool):
+            continue
+        if isinstance(value, int):
+            metrics.inc(name, value)
+        elif isinstance(value, float):
+            metrics.set_info(name, round(value, 6))
+        elif isinstance(value, (list, str)):
+            metrics.set_info(name, value)
+    histograms = stats.get("histograms")
+    if isinstance(histograms, Mapping):
+        metrics.set_info("histograms", {
+            name: Histogram.from_dict(data, name).summary()
+            for name, data in sorted(histograms.items())})
     return metrics

@@ -22,20 +22,32 @@ open directly: one track per process/thread, spans nested by time.
 The module keeps one globally installed recorder.  When none is
 installed, :func:`span` returns a shared no-op object, so instrumented
 code pays one ``None`` check per span — nothing else.
+
+Spans carry identity: every recorded span has a process-unique
+``span_id``, belongs to a ``trace_id`` (inherited from the enclosing
+span, or freshly minted for a root) and names its ``parent_id``.  The
+triple rides in the event's ``args``, so a Chrome/Perfetto trace can be
+re-stitched per logical operation even when its spans landed from
+different processes.  :func:`current_context` / :class:`trace_context`
+move that identity across process boundaries: serialize the context
+dict onto a wire message, adopt it on the far side, and spans opened
+there become children of the originating span.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 __all__ = ["Span", "TraceRecorder", "recording", "span", "event",
-           "active_recorder", "install", "uninstall", "export_chrome_trace",
-           "MAX_ATTR_CHARS"]
+           "start_span", "active_recorder", "install", "uninstall",
+           "export_chrome_trace", "new_trace_id", "current_context",
+           "trace_context", "MAX_ATTR_CHARS"]
 
 #: per-attribute payload cap: any single span attribute whose JSON
 #: rendering exceeds this many characters is truncated before it is
@@ -66,13 +78,96 @@ def _clip_attrs(attrs: Dict[str, Any],
     return attrs if clipped is None else clipped
 
 
+# ----------------------------------------------------------------------
+# Trace identity: span ids, trace ids, the per-thread context stack
+# ----------------------------------------------------------------------
+_SPAN_SEQ = itertools.count(1)
+_CTX = threading.local()
+
+
+def _ctx_stack() -> list:
+    stack = getattr(_CTX, "stack", None)
+    if stack is None:
+        stack = []
+        _CTX.stack = stack
+    return stack
+
+
+def _new_span_id() -> str:
+    """Process-unique span id (pid-prefixed so forked workers never
+    collide with the parent's counter they inherited)."""
+    return f"{os.getpid():x}-{next(_SPAN_SEQ):x}"
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id (one logical operation end to end)."""
+    return os.urandom(8).hex()
+
+
+def current_context() -> Optional[Dict[str, str]]:
+    """The innermost live span as a wire-safe ``{"trace_id", "parent"}``
+    dict, or ``None`` outside any span/adopted context."""
+    stack = getattr(_CTX, "stack", None)
+    if stack:
+        trace_id, span_id = stack[-1]
+        return {"trace_id": trace_id, "parent": span_id}
+    return None
+
+
+class trace_context:
+    """Adopt a propagated context for a ``with`` block: spans opened
+    inside become children of the remote parent.  A ``None`` or
+    malformed context is a no-op, so receivers can pass whatever the
+    wire carried without checking."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, ctx: Optional[Mapping]) -> None:
+        if isinstance(ctx, Mapping) and ctx.get("trace_id"):
+            self._entry = (str(ctx["trace_id"]),
+                           str(ctx.get("parent") or ""))
+        else:
+            self._entry = None
+
+    def __enter__(self) -> "trace_context":
+        if self._entry is not None:
+            _ctx_stack().append(self._entry)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._entry is not None:
+            _remove_entry(self._entry)
+        return False
+
+
+def _remove_entry(entry) -> None:
+    """Drop one stack entry wherever it sits: long-lived spans close
+    out of LIFO order (a job span outlives the submits queued after
+    it), so a blind pop would corrupt unrelated parentage."""
+    stack = getattr(_CTX, "stack", None)
+    if not stack:
+        return
+    for position in range(len(stack) - 1, -1, -1):
+        if stack[position] is entry:
+            del stack[position]
+            return
+
+
 class _NullSpan:
     """Shared do-nothing span used when no recorder is installed."""
 
     __slots__ = ()
 
+    span_id = None
+    trace_id = None
+    parent_id = None
+    context = None
+
     def set(self, key: str, value: Any) -> "_NullSpan":
         return self
+
+    def finish(self) -> None:
+        return None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -85,32 +180,85 @@ _NULL_SPAN = _NullSpan()
 
 
 class Span:
-    """One timed phase: context manager around a block of work."""
+    """One timed phase: context manager around a block of work.
 
-    __slots__ = ("name", "category", "attrs", "_recorder", "_start_ns")
+    Two lifecycles share this class.  ``with span(...)`` is *ambient*:
+    the span joins the thread's context stack, so spans opened inside
+    the block become its children.  :func:`start_span` is *detached*:
+    the span takes its parent from the stack (or an explicit context)
+    at start but never joins it, for operations that outlive the
+    current call frame — close those with :meth:`finish`.
+    """
+
+    __slots__ = ("name", "category", "attrs", "_recorder", "_start_ns",
+                 "span_id", "trace_id", "parent_id", "_parent", "_entry")
 
     def __init__(self, recorder: "TraceRecorder", name: str,
-                 category: str, attrs: Dict[str, Any]) -> None:
+                 category: str, attrs: Dict[str, Any],
+                 parent: Optional[Mapping] = None) -> None:
         self.name = name
         self.category = category
         self.attrs = attrs
         self._recorder = recorder
         self._start_ns: Optional[int] = None
+        self.span_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self._parent = parent
+        self._entry = None
 
     def set(self, key: str, value: Any) -> "Span":
         """Attach an attribute (shows up under ``args`` in the viewer)."""
         self.attrs[key] = value
         return self
 
-    def __enter__(self) -> "Span":
-        self._start_ns = time.monotonic_ns()
-        return self
+    @property
+    def context(self) -> Dict[str, str]:
+        """Wire-safe context for children of this span (valid after the
+        span has started)."""
+        return {"trace_id": self.trace_id or "",
+                "parent": self.span_id or ""}
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    # -- lifecycle ------------------------------------------------------
+    def _begin(self) -> None:
+        self._start_ns = time.monotonic_ns()
+        ctx = self._parent
+        if not (isinstance(ctx, Mapping) and ctx.get("trace_id")):
+            ctx = current_context()
+        if ctx:
+            self.trace_id = str(ctx["trace_id"])
+            self.parent_id = str(ctx.get("parent") or "") or None
+        else:
+            self.trace_id = new_trace_id()
+            self.parent_id = None
+        self.span_id = _new_span_id()
+
+    def _end(self, exc_type=None) -> None:
         end_ns = time.monotonic_ns()
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._recorder.record(self, end_ns)
+
+    def start(self) -> "Span":
+        """Begin a detached span (no stack entry); pair with finish()."""
+        self._begin()
+        return self
+
+    def finish(self) -> None:
+        """Close a detached span and record it."""
+        self._end()
+
+    def __enter__(self) -> "Span":
+        self._begin()
+        self._entry = (self.trace_id, self.span_id)
+        _ctx_stack().append(self._entry)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._entry is not None:
+            _remove_entry(self._entry)
+            self._entry = None
+        self._end(exc_type)
         return False
 
 
@@ -136,6 +284,12 @@ class TraceRecorder:
     def record(self, span: Span, end_ns: int) -> None:
         """Write one completed span (called from Span.__exit__)."""
         start_ns = span._start_ns if span._start_ns is not None else end_ns
+        args = dict(_clip_attrs(span.attrs))
+        if span.span_id is not None:
+            args["span_id"] = span.span_id
+            args["trace_id"] = span.trace_id
+            if span.parent_id:
+                args["parent_id"] = span.parent_id
         self._write({
             "name": span.name,
             "cat": span.category,
@@ -144,7 +298,7 @@ class TraceRecorder:
             "dur": max(end_ns - start_ns, 0) / 1000.0,
             "pid": os.getpid(),
             "tid": threading.get_ident() & 0x7FFFFFFF,
-            "args": _clip_attrs(span.attrs),
+            "args": args,
         })
 
     def instant(self, name: str, category: str = "repro",
@@ -243,12 +397,35 @@ def active_recorder() -> Optional[TraceRecorder]:
     return _ACTIVE
 
 
-def span(name: str, category: str = "repro", **attrs: Any):
-    """A context-manager span, or a shared no-op when not recording."""
+def span(name: str, category: str = "repro",
+         parent: Optional[Mapping] = None, **attrs: Any):
+    """A context-manager span, or a shared no-op when not recording.
+
+    ``parent`` overrides the ambient context with an explicit
+    ``{"trace_id", "parent"}`` dict (e.g. one received over a wire).
+    """
     recorder = _ACTIVE
     if recorder is None:
         return _NULL_SPAN
-    return Span(recorder, name, category, dict(attrs))
+    return Span(recorder, name, category, dict(attrs), parent=parent)
+
+
+def start_span(name: str, category: str = "repro",
+               parent: Optional[Mapping] = None, **attrs: Any):
+    """Begin a *detached* span immediately; the caller owns its end.
+
+    Detached spans measure operations that outlive the current call
+    frame (a queued job between submit and reply): they resolve their
+    parent now but never join the thread's context stack, and they are
+    recorded when :meth:`Span.finish` is called.  Hand
+    :attr:`Span.context` to children (or across a process boundary).
+    Returns the shared no-op span when no recorder is installed.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        return _NULL_SPAN
+    return Span(recorder, name, category, dict(attrs),
+                parent=parent).start()
 
 
 def event(name: str, category: str = "repro", **attrs: Any) -> None:

@@ -64,9 +64,18 @@ class JobSpec:
         """
         if not isinstance(data, dict):
             raise JobError(f"job must be an object, got {type(data).__name__}")
-        unknown = set(data) - {"case", "size", "seed", "backend", "fsm_mode"}
+        # "trace" is telemetry, not identity: a span context dict that
+        # rides the wire next to the job (client -> daemon -> worker)
+        # but never reaches the spec, so two requests differing only in
+        # tracing still dedup/coalesce/batch identically
+        unknown = set(data) - {"case", "size", "seed", "backend",
+                               "fsm_mode", "trace"}
         if unknown:
             raise JobError(f"unknown job field(s): {sorted(unknown)}")
+        trace = data.get("trace")
+        if trace is not None and not isinstance(trace, dict):
+            raise JobError(f"'trace' must be a span context object, "
+                           f"got {type(trace).__name__}")
         case = data.get("case")
         if not isinstance(case, str) or not case:
             raise JobError("job needs a 'case' name (string)")

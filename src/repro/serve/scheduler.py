@@ -30,6 +30,18 @@ cache (batched lanes are memo-only — their payloads carry batch-kernel
 timing, which must not masquerade on disk as a plain run of the
 requested backend), and one ledger row per job is accumulated for
 :meth:`repro.obs.Ledger.record_serve` at shutdown.
+
+Every job is telemetered end to end.  When a trace recorder is
+installed, submit opens a detached ``serve.job`` span (adopting the
+client's ``trace`` context if the request carried one), the gate
+verdict and the queue wait get child spans, and the job's span context
+rides the wire to the worker, whose ``serve.execute`` span lands in
+the same trace — one Perfetto timeline per job across both processes.
+Independently of tracing, the scheduler feeds a fixed set of
+:class:`~repro.obs.metrics.Histogram` instruments (per-gate latency,
+queue wait, execute time, end-to-end job latency, batch size) whose
+snapshots ride :meth:`stats` and whose Prometheus rendering is
+:meth:`prometheus`.
 """
 
 from __future__ import annotations
@@ -42,10 +54,30 @@ from typing import Deque, Dict, List, Optional, Union
 
 from ..core.cache import ArtifactCache, result_to_payload
 from ..core.testsuite import CaseResult
+from ..obs.metrics import Histogram, render_prometheus_histogram
+from ..obs.trace import start_span
 from .jobs import JobError, JobSpec, ResolvedJob, resolve_job
 from .workers import worker_main
 
 __all__ = ["ServeScheduler", "Submission"]
+
+#: admission gates, cheapest first — the order of the latency series in
+#: the ``repro_serve_gate_seconds`` histogram family
+_GATES = ("memo", "artifact", "coalesce", "queue")
+
+#: stats() keys exported as Prometheus gauges rather than counters
+_GAUGE_KEYS = frozenset({
+    "workers", "batch_max", "inflight", "memo_entries",
+    "unbatchable_groups", "wall_seconds", "coalesce_rate",
+    "cache_served_rate",
+})
+
+
+def _make_histograms() -> Dict[str, Histogram]:
+    names = [f"gate_{gate}_seconds" for gate in _GATES]
+    names += ["queue_wait_seconds", "execute_seconds",
+              "job_latency_seconds", "batch_size"]
+    return {name: Histogram(name) for name in names}
 
 #: memo entries kept before oldest-first eviction; passing payloads are
 #: a few KB each, so this bounds parent memory at a few tens of MB
@@ -72,14 +104,26 @@ class Submission:
 
 
 class _Queued:
-    """One scheduled execution; carries every waiter's future."""
+    """One scheduled execution; carries every waiter's future.
 
-    __slots__ = ("resolved", "futures")
+    Also carries the telemetry of the execution: the owning job's
+    detached span and submit time, the queue-wait span opened at
+    enqueue, and the (span, submit-time) of every coalesced waiter —
+    all closed at finalize so one reply resolves every timeline.
+    """
+
+    __slots__ = ("resolved", "futures", "span", "submitted_at",
+                 "queue_span", "enqueued_at", "extra_spans")
 
     def __init__(self, resolved: ResolvedJob,
                  future: "asyncio.Future") -> None:
         self.resolved = resolved
         self.futures = [future]
+        self.span = None
+        self.submitted_at = 0.0
+        self.queue_span = None
+        self.enqueued_at = 0.0
+        self.extra_spans: List[tuple] = []
 
     @property
     def spec(self) -> JobSpec:
@@ -138,6 +182,7 @@ class ServeScheduler:
         self._kick_scheduled = False
         self._closed = False
         self.ledger_rows: List[dict] = []
+        self.histograms: Dict[str, Histogram] = _make_histograms()
         self.counters = {
             "submitted": 0, "executed": 0, "completed": 0,
             "coalesced": 0, "memo_hits": 0, "artifact_hits": 0,
@@ -202,10 +247,21 @@ class ServeScheduler:
         """Admit one job; returns immediately with a Submission whose
         future resolves to the result payload.  Never raises on bad
         requests — they resolve to an error payload with
-        ``served='invalid'``."""
+        ``served='invalid'``.
+
+        A dict spec may carry a ``trace`` context dict (as produced by
+        :attr:`repro.obs.trace.Span.context`); the job's span becomes a
+        child of the client's span, so the client's own trace file and
+        the daemon's stitch into one timeline."""
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         self.counters["submitted"] += 1
+        parent = None
+        if isinstance(spec, dict) and isinstance(spec.get("trace"), dict):
+            parent = spec["trace"]
+        job_span = start_span("serve.job", category="serve",
+                              parent=parent)
+        submitted_at = time.perf_counter()
         try:
             if isinstance(spec, dict):
                 spec = JobSpec.from_dict(spec)
@@ -217,39 +273,81 @@ class ServeScheduler:
             payload = result_to_payload(
                 CaseResult(str(name), None, None, 0.0, error=str(exc)))
             future.set_result(payload)
+            job_span.set("case", str(name)).set("served", "invalid")
+            job_span.finish()
             # no ledger row: a rejected request never became a job, and
             # a client typo must not mark the serve run as failed (the
             # ``invalid`` counter in the run's extra carries the tally)
             return Submission(None, "invalid", future)
 
+        job_span.set("case", spec.case).set("key", resolved.key[:16])
+        gate_span = start_span("serve.gates", category="serve",
+                               parent=job_span.context, case=spec.case)
+        served, queued = self._admit(resolved, future, job_span,
+                                     submitted_at)
+        gate_span.set("verdict", served)
+        gate_span.finish()
+        if served in ("memo", "artifact"):
+            # answered on the spot: the job's whole life was the gates
+            self.histograms["job_latency_seconds"].observe(
+                time.perf_counter() - submitted_at)
+            job_span.set("served", served)
+            job_span.finish()
+        # coalesced/queued spans close at _finalize, with the execution
+        return Submission(resolved.key, served, future)
+
+    def _admit(self, resolved: ResolvedJob, future: "asyncio.Future",
+               job_span, submitted_at: float) -> tuple:
+        """Run the four admission gates, cheapest first, timing each.
+
+        Returns ``(served, queued-or-None)``; resolves *future* itself
+        when a gate answers without execution.
+        """
         key = resolved.key
+        hist = self.histograms
+        t0 = time.perf_counter()
         payload = self._memo.get(key)
+        hist["gate_memo_seconds"].observe(time.perf_counter() - t0)
         if payload is not None:
             self.counters["memo_hits"] += 1
             future.set_result(payload)
             self._record(payload, cached=True, batch_size=0)
-            return Submission(key, "memo", future)
+            return "memo", None
         if self.cache is not None:
+            t0 = time.perf_counter()
             hit = self.cache.load(key)
+            hist["gate_artifact_seconds"].observe(
+                time.perf_counter() - t0)
             if hit is not None:
                 payload = result_to_payload(hit)
                 self._remember(key, payload)
                 self.counters["artifact_hits"] += 1
                 future.set_result(payload)
                 self._record(payload, cached=True, batch_size=0)
-                return Submission(key, "artifact", future)
+                return "artifact", None
+        t0 = time.perf_counter()
         queued = self._inflight.get(key)
+        hist["gate_coalesce_seconds"].observe(time.perf_counter() - t0)
         if queued is not None:
             self.counters["coalesced"] += 1
             queued.futures.append(future)
-            return Submission(key, "coalesced", future)
+            queued.extra_spans.append((job_span, submitted_at))
+            return "coalesced", queued
 
+        t0 = time.perf_counter()
         queued = _Queued(resolved, future)
+        queued.span = job_span
+        queued.submitted_at = submitted_at
+        queued.queue_span = start_span("serve.queue", category="serve",
+                                       parent=job_span.context,
+                                       case=resolved.spec.case)
+        queued.enqueued_at = time.perf_counter()
         self._inflight[key] = queued
         shard = resolved.shard(self.jobs)
         self._deques[shard].append(queued)
         self._kick()
-        return Submission(key, "queued", future)
+        hist["gate_queue_seconds"].observe(time.perf_counter() - t0)
+        return "queued", queued
 
     def _kick(self) -> None:
         """Schedule one dispatch pass per event-loop tick, so a burst
@@ -310,7 +408,23 @@ class ServeScheduler:
     def _send(self, worker: _Worker, batch: List[_Queued]) -> None:
         worker.dispatch = batch
         self._dispatch_seq += 1
-        specs = [queued.spec.to_dict() for queued in batch]
+        now = time.perf_counter()
+        self.histograms["batch_size"].observe(len(batch))
+        specs = []
+        for queued in batch:
+            self.histograms["queue_wait_seconds"].observe(
+                now - queued.enqueued_at)
+            if queued.queue_span is not None:
+                queued.queue_span.set("worker", worker.index)
+                queued.queue_span.finish()
+                queued.queue_span = None
+            spec_dict = queued.spec.to_dict()
+            if queued.span is not None \
+                    and queued.span.span_id is not None:
+                # the job span's context rides the wire; the worker's
+                # execute span adopts it on the far side
+                spec_dict["trace"] = queued.span.context
+            specs.append(spec_dict)
         try:
             worker.conn.send(("run", self._dispatch_seq, specs))
         except (BrokenPipeError, OSError):
@@ -362,6 +476,27 @@ class ServeScheduler:
                      batch_size=entry.get("batch_size", 1))
         for extra in queued.futures[1:]:
             self._record(payload, cached=True, batch_size=0)
+        execute_seconds = entry.get("execute_seconds")
+        if execute_seconds is not None:
+            self.histograms["execute_seconds"].observe(execute_seconds)
+        now = time.perf_counter()
+        if queued.queue_span is not None:
+            # never dispatched (worker died, budget exhausted): the
+            # queue wait still ends here
+            queued.queue_span.finish()
+            queued.queue_span = None
+        if queued.span is not None:
+            self.histograms["job_latency_seconds"].observe(
+                now - queued.submitted_at)
+            queued.span.set("served", "queued").set("passed", passed)
+            queued.span.finish()
+            queued.span = None
+        for job_span, submitted_at in queued.extra_spans:
+            self.histograms["job_latency_seconds"].observe(
+                now - submitted_at)
+            job_span.set("served", "coalesced").set("passed", passed)
+            job_span.finish()
+        queued.extra_spans = []
         for future in queued.futures:
             if not future.done():
                 future.set_result(payload)
@@ -440,8 +575,51 @@ class ServeScheduler:
             "unbatchable_groups": len(self._unbatchable),
             "coalesce_rate": counters["coalesced"] / submitted,
             "cache_served_rate": served_without_execution / submitted,
+            "histograms": {name: hist.as_dict()
+                           for name, hist in self.histograms.items()
+                           if hist.count},
         })
         return counters
+
+    def prometheus(self) -> str:
+        """The scheduler's live state as Prometheus text exposition.
+
+        Counters become ``repro_serve_<name>_total``, derived/config
+        values become gauges, and every histogram renders as a full
+        ``_bucket``/``_sum``/``_count`` family — the four gate
+        histograms fold into one ``repro_serve_gate_seconds`` family
+        labelled by gate.
+        """
+        stats = self.stats()
+        lines: List[str] = []
+        for name in sorted(stats):
+            value = stats[name]
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            if name in _GAUGE_KEYS:
+                lines.append(f"# TYPE repro_serve_{name} gauge")
+                lines.append(f"repro_serve_{name} {value:.9g}")
+            else:
+                lines.append(f"# TYPE repro_serve_{name}_total counter")
+                lines.append(f"repro_serve_{name}_total {value}")
+        lines.extend(render_prometheus_histogram(
+            "repro_serve_gate_seconds",
+            [({"gate": gate}, self.histograms[f"gate_{gate}_seconds"])
+             for gate in _GATES],
+            "Admission gate latency by gate, seconds"))
+        for name, help_text in (
+                ("queue_wait_seconds",
+                 "Time from enqueue to worker dispatch, seconds"),
+                ("execute_seconds",
+                 "Per-job worker execution wall time, seconds"),
+                ("job_latency_seconds",
+                 "End-to-end submit-to-reply latency, seconds"),
+                ("batch_size", "Jobs per worker dispatch")):
+            lines.extend(render_prometheus_histogram(
+                f"repro_serve_{name}", [({}, self.histograms[name])],
+                help_text))
+        return "\n".join(lines) + "\n"
 
 
 def _payload_passed(payload: dict) -> bool:

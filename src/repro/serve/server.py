@@ -18,8 +18,15 @@ where every request and every reply is one JSON object per line:
 
 **HTTP shim** (optional, ``--http PORT``) — a minimal hand-rolled
 HTTP/1.0 layer for curl-ability, serving ``GET /healthz``,
-``GET /status`` and ``POST /jobs`` (body ``{"jobs": [...]}``; the
-response blocks until every submitted job resolves).
+``GET /status``, ``GET /metrics`` (live Prometheus text exposition:
+serve counters, gauges and the latency histogram families rendered by
+:meth:`~repro.serve.scheduler.ServeScheduler.prometheus`) and
+``POST /jobs`` (body ``{"jobs": [...]}``; the response blocks until
+every submitted job resolves).
+
+A submit op (or a job object) may carry a ``trace`` span context; the
+scheduler threads it through the job's entire lifetime, so a tracing
+client's timeline continues inside the daemon and its workers.
 
 On shutdown the daemon harvests its ledger exactly as
 :meth:`TestSuite.run <repro.core.testsuite.TestSuite.run>` does — one
@@ -72,11 +79,9 @@ class ServeDaemon:
     async def run(self, *, install_signal_handlers: bool = True) -> dict:
         """Serve until shutdown is requested; returns the final stats."""
         await self.scheduler.start()
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        if self.socket_path.exists():
-            self.socket_path.unlink()
-        server = await asyncio.start_unix_server(
-            self._handle_ndjson, path=str(self.socket_path), limit=_LIMIT)
+        # bind HTTP before the Unix socket: readiness probes wait for
+        # the socket path, so by the time it exists http_bound_port is
+        # already published
         http_server = None
         if self.http_port is not None:
             http_server = await asyncio.start_server(
@@ -84,6 +89,11 @@ class ServeDaemon:
                 port=self.http_port, limit=_LIMIT)
             self.http_bound_port = \
                 http_server.sockets[0].getsockname()[1]
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        server = await asyncio.start_unix_server(
+            self._handle_ndjson, path=str(self.socket_path), limit=_LIMIT)
         loop = asyncio.get_running_loop()
         installed = []
         if install_signal_handlers:
@@ -156,7 +166,11 @@ class ServeDaemon:
             return
         op = request.get("op") if isinstance(request, dict) else None
         if op == "submit":
-            submission = self.scheduler.submit(request.get("job"))
+            job = request.get("job")
+            if isinstance(job, dict) and "trace" not in job \
+                    and isinstance(request.get("trace"), dict):
+                job = dict(job, trace=request["trace"])
+            submission = self.scheduler.submit(job)
             self._track(self._deliver(request.get("id"), submission,
                                       writer, lock))
         elif op == "status":
@@ -195,14 +209,20 @@ class ServeDaemon:
     # -- HTTP shim ------------------------------------------------------
     async def _handle_http(self, reader, writer) -> None:
         try:
-            status, body = await self._http_response(reader)
+            response = await self._http_response(reader)
         except (ValueError, ConnectionError):
-            status, body = 400, {"error": "malformed request"}
-        blob = json.dumps(body, sort_keys=True).encode("utf-8")
+            response = (400, {"error": "malformed request"})
+        status, body = response[0], response[1]
+        content_type = response[2] if len(response) > 2 \
+            else "application/json"
+        if isinstance(body, str):
+            blob = body.encode("utf-8")
+        else:
+            blob = json.dumps(body, sort_keys=True).encode("utf-8")
         reason = {200: "OK", 400: "Bad Request",
                   404: "Not Found", 405: "Method Not Allowed"}
         head = (f"HTTP/1.0 {status} {reason.get(status, 'Error')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(blob)}\r\n"
                 f"Connection: close\r\n\r\n").encode("ascii")
         try:
@@ -240,6 +260,9 @@ class ServeDaemon:
             return 200, {"ok": True}
         if method == "GET" and path == "/status":
             return 200, {"stats": self.scheduler.stats()}
+        if method == "GET" and path == "/metrics":
+            return 200, self.scheduler.prometheus(), \
+                "text/plain; version=0.0.4; charset=utf-8"
         if path == "/jobs":
             if method != "POST":
                 return 405, {"error": "POST /jobs"}

@@ -9,6 +9,13 @@ to it over a :func:`multiprocessing.Pipe`:
 * worker → parent: ``("done", dispatch_id, [entry, ...])``
 * parent → worker: ``("exit",)`` (or just closing the pipe)
 
+Spec dicts may carry a ``trace`` span context injected by the
+scheduler; the worker adopts it around execution, so its
+``serve.execute`` spans (written through the fork-inherited O_APPEND
+recorder) nest under the parent's job span in the stitched timeline.
+Every result entry reports its ``execute_seconds`` wall share, which
+the parent feeds into the serve latency histograms.
+
 A dispatch of one job runs :func:`repro.core.testsuite.run_case` — the
 same unit of work the suite runner schedules.  A dispatch of several
 jobs is a *batched* dispatch: the scheduler guarantees they share a
@@ -33,9 +40,20 @@ from ..core.cache import result_to_payload
 from ..core.report import collect_metrics
 from ..core.testsuite import CaseResult, run_case
 from ..core.verification import verify_design_batch
+from ..obs.trace import start_span
 from .jobs import JobError, JobSpec, resolve_job
 
 __all__ = ["worker_main", "execute_jobs"]
+
+
+def _pop_contexts(spec_dicts: List[dict]) -> List[Optional[dict]]:
+    """Strip the scheduler-injected trace contexts off the specs."""
+    contexts: List[Optional[dict]] = []
+    for spec_dict in spec_dicts:
+        context = spec_dict.pop("trace", None) \
+            if isinstance(spec_dict, dict) else None
+        contexts.append(context if isinstance(context, dict) else None)
+    return contexts
 
 
 def _error_entry(name: str, error: str,
@@ -87,22 +105,56 @@ def _execute_batch(spec_dicts: List[dict]) -> List[dict]:
 
 
 def execute_jobs(spec_dicts: List[dict]) -> List[dict]:
-    """Run a dispatch; always returns one entry per job, never raises."""
+    """Run a dispatch; always returns one entry per job, never raises.
+
+    Each returned entry carries ``execute_seconds`` (this job's share
+    of the dispatch wall time), and when trace contexts rode in, one
+    ``serve.execute`` span per job is recorded in this worker's pid.
+    """
+    contexts = _pop_contexts(spec_dicts)
     if len(spec_dicts) > 1:
+        spans = [start_span("serve.execute", category="serve",
+                            parent=context,
+                            case=spec_dict.get("case", "?")
+                            if isinstance(spec_dict, dict) else "?",
+                            batch=len(spec_dicts))
+                 for spec_dict, context in zip(spec_dicts, contexts)]
+        started = time.perf_counter()
         try:
-            return _execute_batch(spec_dicts)
+            entries = _execute_batch(spec_dicts)
         except Exception:  # noqa: BLE001 - degrade, don't die
-            pass
+            entries = None
+        wall = time.perf_counter() - started
+        if entries is not None:
+            for entry in entries:
+                entry["execute_seconds"] = wall / len(entries)
+            for span in spans:
+                span.finish()
+            return entries
+        for span in spans:
+            # the lockstep path refused; singles follow with their own
+            # spans, so this one records only the failed attempt
+            span.set("degraded", True)
+            span.finish()
     entries = []
-    for spec_dict in spec_dicts:
+    for spec_dict, context in zip(spec_dicts, contexts):
+        span = start_span("serve.execute", category="serve",
+                          parent=context,
+                          case=spec_dict.get("case", "?")
+                          if isinstance(spec_dict, dict) else "?",
+                          batch=1)
+        started = time.perf_counter()
         try:
-            entries.append(_execute_single(spec_dict))
+            entry = _execute_single(spec_dict)
         except Exception as exc:  # noqa: BLE001 - worker boundary
             name = spec_dict.get("case", "?") \
                 if isinstance(spec_dict, dict) else "?"
-            entries.append(_error_entry(
+            entry = _error_entry(
                 str(name), f"{type(exc).__name__}: {exc}",
-                traceback.format_exc()))
+                traceback.format_exc())
+        entry["execute_seconds"] = time.perf_counter() - started
+        span.finish()
+        entries.append(entry)
     return entries
 
 

@@ -37,6 +37,7 @@ rather than per-event, as the counters' consumers expect).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .clock import ClockDomain
@@ -56,7 +57,7 @@ class _Unsupported(Exception):
 
 #: bump whenever generated-code semantics change; part of the
 #: persistent kernel-cache key so stale kernels can never be loaded
-_CODEGEN_VERSION = 1
+_CODEGEN_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -451,6 +452,7 @@ class CompiledProgram:
         self.images: List[object] = []
         self.component_ids: set = set()
         self.instrumented = False
+        self.profiled = False
         self.state_active_ops: List[frozenset] = []
         self.source = ""
         self.empty_stop: frozenset = frozenset()
@@ -601,6 +603,7 @@ def _transition_fns(behavior) -> Callable:
 def _build_program(sim: Simulator) -> CompiledProgram:
     facts = _analyze_design(sim)
     instrumented = bool(getattr(sim, "coverage_enabled", False))
+    profiled = bool(getattr(sim, "profile_enabled", False))
     components = facts.components
     controller = facts.controller
     domain = facts.domain
@@ -838,7 +841,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             statuses=[(name, signal.width)
                       for name, signal in status_items],
             settle_blocks=settle_blocks, instrumented=instrumented,
-            n_states=n_states)
+            n_states=n_states, profiled=profiled)
 
     # --- assemble the module -------------------------------------------
     out: List[str] = []
@@ -884,10 +887,15 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             emit(1, '_fc0 = _flt["lo"]')
             emit(1, '_fc1 = _flt["hi"]')
             emit(1, '_fb = _flt["latch"]')
+    if profiled:
+        # the hot-spot clock: one perf_counter_ns per plain-path cycle
+        # (fused traces read it once per trace entry/exit instead)
+        emit(1, '_pc = ctx["perf"]')
     if fusion is not None:
         for text in fusion.prelude:
             emit(1, text)
-    emit(1, "def _run(s, max_cycles, stop, counts, tc, box):")
+    emit(1, "def _run(s, max_cycles, stop, counts, tc, box%s):"
+            % (", pw" if profiled else ""))
     for index, sig in enumerate(tracked):
         emit(2, f"v{index} = _S[{index}].value")
     if stuck_line is not None:
@@ -906,9 +914,15 @@ def _build_program(sim: Simulator) -> CompiledProgram:
             emit(4 + rel, text)
     emit(4, "counts[s] += 1")
     emit(4, "n += 1")
+    if profiled:
+        # the edge tree rewrites ``s``; remember whose cycle this was
+        emit(4, "_ps = s")
+        emit(4, "_pt = _pc()")
     state_ids = list(range(n_states))
     emit_tree(4, state_ids, edge_blocks)
     emit_tree(4, state_ids, settle_blocks)
+    if profiled:
+        emit(4, "pw[_ps] += _pc() - _pt")
     emit(2, "finally:")
     emit(3, "box[0] = s")
     emit(3, "box[1] = n")
@@ -930,6 +944,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         "transitions": dynamic_fns,
         "write_oob": _write_oob,
         "fault": _fault_runtime(fault),
+        "perf": time.perf_counter_ns,
     }
 
     program = CompiledProgram()
@@ -951,6 +966,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
                            for m in (*srams, *roms)}.values())
     program.component_ids = {id(c) for c in components}
     program.instrumented = instrumented
+    program.profiled = profiled
     program.state_active_ops = state_active_ops
     program.source = source
     program._vectors = vectors
@@ -970,6 +986,7 @@ def _build_program(sim: Simulator) -> CompiledProgram:
         "edge_static": edge_static,
         "active_ops": [sorted(active) for active in state_active_ops],
         "instrumented": instrumented,
+        "profiled": profiled,
         "fault_token": _fault_token(fault),
         "fusion": program.fusion,
         "source": source,
@@ -1000,6 +1017,9 @@ def _program_from_cache(sim: Simulator, payload: dict,
         if payload["instrumented"] != bool(
                 getattr(sim, "coverage_enabled", False)):
             return None
+        if payload.get("profiled", False) != bool(
+                getattr(sim, "profile_enabled", False)):
+            return None
         if payload.get("fault_token", "") != _fault_token(
                 getattr(sim, "fault_spec", None)):
             return None
@@ -1023,6 +1043,7 @@ def _program_from_cache(sim: Simulator, payload: dict,
             "transitions": dynamic_fns,
             "write_oob": _write_oob,
             "fault": _fault_runtime(getattr(sim, "fault_spec", None)),
+            "perf": time.perf_counter_ns,
         }
         program = CompiledProgram()
         program.runner = namespace["_make"](ctx)
@@ -1044,6 +1065,7 @@ def _program_from_cache(sim: Simulator, payload: dict,
         program.images = images
         program.component_ids = {id(c) for c in facts.components}
         program.instrumented = payload["instrumented"]
+        program.profiled = payload.get("profiled", False)
         program.state_active_ops = [frozenset(active)
                                     for active in payload["active_ops"]]
         program.source = payload["source"]
@@ -1080,6 +1102,12 @@ class CompiledSimulator(Simulator):
         self.fault_spec = None
         self.state_visits: Dict[str, int] = {}
         self.transition_visits: Dict[Tuple[str, str], int] = {}
+        #: hot-spot profiling (see repro.obs.profile): per-state and
+        #: per-fused-trace cycle + wall-clock attribution
+        self.profile_enabled = False
+        self.profile_states: Dict[str, Dict[str, int]] = {}
+        self.profile_traces: Dict[str, Dict[str, object]] = {}
+        self.profile_cycles = 0
         #: structural hash set by build_simulation; keys the kernel cache
         self.design_digest: Optional[str] = None
 
@@ -1118,6 +1146,41 @@ class CompiledSimulator(Simulator):
             for name in program.state_active_ops[index]:
                 out[name] = out.get(name, 0) + visits
         return out
+
+    # -- hot-spot profiling ---------------------------------------------
+    def enable_profile(self) -> None:
+        """Regenerate the program with hot-spot accounting compiled in.
+
+        Like :meth:`enable_coverage`, this is in-kernel
+        instrumentation: the generated loop accumulates wall time per
+        FSM state (plain path) and per fused trace segment (traced
+        backend), alongside the per-state cycle counts it already
+        keeps.  Resets any previously accumulated profile.
+        """
+        if not self.profile_enabled:
+            self.profile_enabled = True
+            self._invalidate_program()
+        self.profile_states = {}
+        self.profile_traces = {}
+        self.profile_cycles = 0
+
+    def profile_data(self) -> dict:
+        """Accumulated attribution: ``states`` (name -> cycles/wall_ns),
+        ``traces`` (label -> cycles/wall_ns/states/kind/
+        cycles_per_iteration) and ``total_cycles`` run while profiling.
+
+        Per-state cycle counts *include* cycles spent inside fused
+        traces (fused accounting feeds the same counters), so a
+        consumer redistributing trace cycles onto member states must
+        subtract them — see :class:`repro.obs.profile.KernelProfiler`.
+        """
+        return {
+            "states": {name: dict(entry)
+                       for name, entry in self.profile_states.items()},
+            "traces": {name: dict(entry)
+                       for name, entry in self.profile_traces.items()},
+            "total_cycles": self.profile_cycles,
+        }
 
     # -- fault injection ------------------------------------------------
     def set_fault_spec(self, spec) -> None:
@@ -1182,6 +1245,7 @@ class CompiledSimulator(Simulator):
         key = digest_parts("kernel-v%d" % _CODEGEN_VERSION, digest,
                            self._kernel_kind,
                            int(bool(self.coverage_enabled)),
+                           int(bool(self.profile_enabled)),
                            _fault_token(self.fault_spec))
         payload, code = cache.get("kernel", key)
         if payload is not None and code is not None:
@@ -1253,16 +1317,31 @@ class CompiledSimulator(Simulator):
         tcounts = ([0] * (program.n_states * program.n_states)
                    if program.instrumented else None)
         box = [start, 0, 0]
+        pw = None
+        if program.profiled:
+            # layout: [0..n_states) per-state wall ns, then two slots
+            # per fused trace: [n_states + 2j] wall ns,
+            # [n_states + 2j + 1] cycles
+            n_traces = len((program.fusion or {}).get("traces", ()))
+            pw = [0] * (program.n_states + 2 * n_traces)
         try:
-            program.runner(start, max_cycles, stop, counts, tcounts, box)
+            if pw is not None:
+                program.runner(start, max_cycles, stop, counts, tcounts,
+                               box, pw)
+            else:
+                program.runner(start, max_cycles, stop, counts, tcounts,
+                               box)
         except BaseException:
-            self._post_run(program, box, counts, tcounts, best_effort=True)
+            self._post_run(program, box, counts, tcounts, pw,
+                           best_effort=True)
             raise
-        self._post_run(program, box, counts, tcounts, best_effort=False)
+        self._post_run(program, box, counts, tcounts, pw,
+                       best_effort=False)
         return box[1], box[0]
 
     def _post_run(self, program: CompiledProgram, box: List[int],
                   counts: List[int], tcounts: Optional[List[int]],
+                  pw: Optional[List[int]] = None,
                   *, best_effort: bool) -> None:
         final, cycles, transitions = box
         controller = program.controller
@@ -1290,6 +1369,35 @@ class CompiledSimulator(Simulator):
                     if taken:
                         edge = (names[flat // n], names[flat % n])
                         taken_map[edge] = taken_map.get(edge, 0) + taken
+        if program.profiled and pw is not None:
+            names = program.names
+            for index, visits in enumerate(counts):
+                wall = pw[index]
+                if visits or wall:
+                    entry = self.profile_states.setdefault(
+                        names[index], {"cycles": 0, "wall_ns": 0})
+                    entry["cycles"] += visits
+                    entry["wall_ns"] += wall
+            traces = (program.fusion or {}).get("traces", ())
+            for j, trace in enumerate(traces):
+                t_wall = pw[program.n_states + 2 * j]
+                t_cycles = pw[program.n_states + 2 * j + 1]
+                if not (t_wall or t_cycles):
+                    continue
+                states = list(trace.get("states", ()))
+                label = trace.get("kind", "trace") + ":" + (
+                    states[0] if len(states) < 2
+                    else f"{states[0]}->{states[-1]}")
+                entry = self.profile_traces.setdefault(label, {
+                    "cycles": 0, "wall_ns": 0, "states": states,
+                    "kind": trace.get("kind", "trace"),
+                    "cycles_per_iteration": int(
+                        trace.get("cycles_per_iteration")
+                        or trace.get("cycles") or len(states) or 1),
+                })
+                entry["cycles"] += t_cycles
+                entry["wall_ns"] += t_wall
+            self.profile_cycles += box[1]
         stats = self.stats
         stats.cycles += cycles
         stats.evaluations += evaluations

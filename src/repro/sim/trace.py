@@ -560,11 +560,16 @@ class FusionPlan:
 
 def build_fusion(*, state_ir, names, sid, static_target, dynamic_fns,
                  statuses, settle_blocks, instrumented,
-                 n_states) -> Optional[FusionPlan]:
+                 n_states, profiled=False) -> Optional[FusionPlan]:
     """Detect traces and render the fused dispatch blocks.
 
     Returns ``None`` when nothing fuses (the generated source is then
     identical to the plain compiled kernel).
+
+    With ``profiled``, each trace body also accumulates its wall time
+    and cycle count into its two ``pw`` slots (``n_states + 2j`` /
+    ``n_states + 2j + 1``) — one clock read per trace entry and exit,
+    so the hot fused iterations stay instrumentation-free.
     """
     traces = _find_traces(names, sid, static_target, dynamic_fns, statuses)
     if not traces:
@@ -681,6 +686,11 @@ def build_fusion(*, state_ir, names, sid, static_target, dynamic_fns,
 
             accounting = [f"n += {span} * _i"]
             accounting += [f"counts[{index}] += _i" for index in chain_idx]
+            if profiled:
+                accounting.append(
+                    f"pw[{n_states + 2 * j}] += _pc() - _pt")
+                accounting.append(
+                    f"pw[{n_states + 2 * j + 1}] += {span} * _i")
             if span > 1:
                 accounting.append(f"_nt += {span - 1} * _i")
             if instrumented:
@@ -704,6 +714,8 @@ def build_fusion(*, state_ir, names, sid, static_target, dynamic_fns,
 
             body.append((0, f"if s == {head_idx} and _ok{j} "
                             f"and n + {span} <= max_cycles:"))
+            if profiled:
+                body.append((1, "_pt = _pc()"))
             body.append((1, "_i = 0"))
             # n is constant inside the fused body (accounting is
             # hoisted), so the trip budget is a single division
@@ -825,12 +837,18 @@ def build_fusion(*, state_ir, names, sid, static_target, dynamic_fns,
 
             body.append((0, f"if s == {head_idx} and _ok{j} "
                             f"and n + {span} <= max_cycles:"))
+            if profiled:
+                body.append((1, "_pt = _pc()"))
             body.extend(_render_segments(segs, record, 1,
                                          instrumented=instrumented,
                                          n_states=n_states))
             body.append((1, f"n += {span}"))
             for index in chain_idx:
                 body.append((1, f"counts[{index}] += 1"))
+            if profiled:
+                body.append((1, f"pw[{n_states + 2 * j}] += "
+                                f"_pc() - _pt"))
+                body.append((1, f"pw[{n_states + 2 * j + 1}] += {span}"))
             body.append((1, f"_nt += {span}"))
             if instrumented:
                 edges = list(zip(chain_idx, chain_idx[1:] + [exit_idx]))

@@ -277,3 +277,116 @@ class TestReportAndGcCli:
         monkeypatch.setenv("REPRO_LEDGER", str(path))
         assert main(["obs", "report"]) == 0
         assert "suite=2" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Serve section + the golden family-name contract
+# ----------------------------------------------------------------------
+def _serve_stats(with_histograms=True):
+    from repro.obs.metrics import Histogram
+
+    latency = Histogram()
+    for value in (0.01, 0.02, 0.4):
+        latency.observe(value)
+    gate = Histogram()
+    gate.observe(0.001)
+    stats = {"submitted": 6, "executed": 3, "coalesced": 1,
+             "memo_hits": 1, "artifact_hits": 1, "failed": 0,
+             "workers": 1, "batch_max": 4, "wall_seconds": 2.0,
+             "coalesce_rate": 0.167, "cache_served_rate": 0.333}
+    if with_histograms:
+        stats["histograms"] = {
+            "job_latency_seconds": latency.as_dict(),
+            "gate_memo_seconds": gate.as_dict(),
+            "queue_wait_seconds": gate.as_dict(),
+        }
+    return stats
+
+
+_SERVE_ROWS = [{"case": "threshold", "backend": "compiled",
+                "passed": True, "cached": False,
+                "simulation_seconds": 0.01}]
+
+
+class TestServeSection:
+    def test_sessions_table_and_sparklines(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            for _ in range(3):
+                ledger.record_serve(_serve_stats(), _SERVE_ROWS)
+            html = render_dashboard(ledger)
+        assert "Serve sessions" in html
+        assert "dedup rate" in html and "p99 job latency" in html
+        assert "jobs/s" in html
+        assert "3.0/s" in html  # 6 submitted / 2.0s wall
+
+    def test_degraded_rows_get_placeholders(self, tmp_path):
+        """Rows recorded before the histograms existed render dashes,
+        not a crash."""
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_serve(_serve_stats(with_histograms=False),
+                                _SERVE_ROWS)
+            html = render_dashboard(ledger)
+        assert "Serve sessions" in html
+        assert "—" in html
+        assert "no data" in html  # the p99 sparkline has no points
+
+    def test_placeholder_without_sessions(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            html = render_dashboard(ledger)
+        assert "no serve sessions recorded yet" in html
+
+    def test_prometheus_gains_serve_histograms(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_serve(_serve_stats(), _SERVE_ROWS)
+            text = export_prometheus(ledger)
+        assert "# TYPE repro_serve_gate_seconds histogram" in text
+        assert 'repro_serve_gate_seconds_count{gate="memo"} 1' in text
+        assert "repro_serve_job_latency_seconds_count 3" in text
+        assert 'le="+Inf"' in text
+
+    def test_prometheus_skips_degraded_sessions(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            ledger.record_serve(_serve_stats(with_histograms=False),
+                                _SERVE_ROWS)
+            text = export_prometheus(ledger)
+        assert "repro_serve_gate_seconds" not in text
+
+
+#: every family `repro obs export` may emit.  Renaming an existing
+#: family breaks external scrape configs; additions belong here.
+_GOLDEN_FAMILIES = {
+    "repro_ledger_runs_total",
+    "repro_run_passed",
+    "repro_run_wall_seconds",
+    "repro_case_sim_seconds",
+    "repro_case_cycles",
+    "repro_case_lane_seconds",
+    "repro_coverage_ratio",
+    "repro_cache_hit_rate",
+    "repro_fuzz_outcomes_total",
+    "repro_inject_verdicts_total",
+    "repro_triage_total",
+    "repro_serve_gate_seconds",
+    "repro_serve_batch_size",
+    "repro_serve_execute_seconds",
+    "repro_serve_job_latency_seconds",
+    "repro_serve_queue_wait_seconds",
+}
+
+
+class TestGoldenFamilyNames:
+    def test_export_emits_only_golden_families(self, tmp_path):
+        with Ledger(tmp_path / "l.sqlite") as ledger:
+            _populate(ledger)
+            ledger.record_serve(_serve_stats(), _SERVE_ROWS)
+            text = export_prometheus(ledger)
+        families = {line.split()[2] for line in text.splitlines()
+                    if line.startswith("# TYPE ")}
+        assert families <= _GOLDEN_FAMILIES, \
+            f"unexpected families: {families - _GOLDEN_FAMILIES}"
+        # the pre-serve families this ledger exercises are still here
+        assert {"repro_ledger_runs_total", "repro_run_passed",
+                "repro_case_sim_seconds", "repro_coverage_ratio",
+                "repro_cache_hit_rate",
+                "repro_fuzz_outcomes_total"} <= families
+        assert "repro_serve_gate_seconds" in families

@@ -1,0 +1,152 @@
+"""The mergeable log-bucket Histogram and its Prometheus rendering."""
+
+import json
+import random
+
+from repro.obs.metrics import Histogram, render_prometheus_histogram
+
+#: one log-bucket spans a factor of 2**(1/GRID); the geometric-midpoint
+#: estimate is therefore off by at most half a bucket
+_BUCKET_FACTOR = 2.0 ** (1.0 / Histogram.GRID)
+
+
+class TestObserve:
+    def test_empty(self):
+        hist = Histogram("empty")
+        assert hist.count == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean() == 0.0
+        assert hist.bucket_edges() == []
+
+    def test_counts_and_moments(self):
+        hist = Histogram()
+        for value in (0.5, 1.0, 2.0, 4.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 7.5
+        assert hist.min == 0.5
+        assert hist.max == 4.0
+        assert hist.mean() == 7.5 / 4
+
+    def test_zero_and_negative_land_in_the_zeros_bucket(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(-1.0)
+        hist.observe(3.0)
+        assert hist.zeros == 2
+        assert hist.count == 3
+        # the zeros dominate the median; quantile clamps to >= 0
+        assert hist.quantile(0.5) == 0.0
+
+    def test_quantile_within_a_bucket_width(self):
+        rng = random.Random(7)
+        values = sorted(rng.uniform(1e-4, 10.0) for _ in range(500))
+        hist = Histogram()
+        for value in values:
+            hist.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = values[min(int(q * len(values)), len(values) - 1)]
+            estimate = hist.quantile(q)
+            assert exact / _BUCKET_FACTOR <= estimate \
+                <= exact * _BUCKET_FACTOR
+
+    def test_quantile_clamps_to_observed_range(self):
+        hist = Histogram()
+        hist.observe(3.0)
+        assert hist.quantile(0.0) == 3.0
+        assert hist.quantile(1.0) == 3.0
+
+
+class TestMergeAndSerialize:
+    def test_merge_equals_union(self):
+        rng = random.Random(11)
+        left, right, union = Histogram(), Histogram(), Histogram()
+        for _ in range(200):
+            value = rng.expovariate(2.0)
+            target = left if rng.random() < 0.5 else right
+            target.observe(value)
+            union.observe(value)
+        left.merge(right)
+        assert left.count == union.count
+        # summation order differs between the halves and the union
+        assert abs(left.total - union.total) < 1e-9
+        assert left.buckets == union.buckets
+        assert left.quantile(0.99) == union.quantile(0.99)
+
+    def test_merge_into_empty(self):
+        full = Histogram()
+        full.observe(1.5)
+        empty = Histogram()
+        empty.merge(full)
+        assert empty.count == 1
+        assert empty.min == empty.max == 1.5
+
+    def test_round_trip_preserves_quantiles(self):
+        hist = Histogram("lat")
+        for value in (0.001, 0.002, 0.004, 0.1, 2.5):
+            hist.observe(value)
+        # the wire form must be plain JSON (str bucket keys included)
+        wire = json.loads(json.dumps(hist.as_dict()))
+        back = Histogram.from_dict(wire, "lat")
+        assert back.count == hist.count
+        assert back.total == hist.total
+        assert back.min == hist.min
+        assert back.max == hist.max
+        for q in (0.5, 0.9, 0.99):
+            assert back.quantile(q) == hist.quantile(q)
+
+    def test_as_dict_carries_the_quantile_digest(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        data = hist.as_dict()
+        assert data["p50"] == data["p99"] == 1.0
+        assert data["schema"]
+
+    def test_from_dict_tolerates_garbage(self):
+        assert Histogram.from_dict(None).count == 0
+        assert Histogram.from_dict({}).count == 0
+
+    def test_summary_digest(self):
+        hist = Histogram()
+        for value in (1.0, 2.0):
+            hist.observe(value)
+        digest = hist.summary()
+        assert digest["count"] == 2
+        assert digest["min"] == 1.0 and digest["max"] == 2.0
+        assert set(digest) == {"count", "sum", "min", "max",
+                               "p50", "p90", "p99"}
+
+
+class TestPrometheusRendering:
+    def test_family_shape(self):
+        hist = Histogram()
+        for value in (0.25, 0.5, 1.0, 4.0):
+            hist.observe(value)
+        lines = render_prometheus_histogram(
+            "repro_serve_job_latency_seconds", [({}, hist)], "latency")
+        assert lines[0].startswith("# HELP repro_serve_job_latency")
+        assert lines[1] == \
+            "# TYPE repro_serve_job_latency_seconds histogram"
+        buckets = [line for line in lines if "_bucket{" in line]
+        # cumulative counts are monotone and end at count via +Inf
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1].rsplit(" ", 1) == \
+            [f'repro_serve_job_latency_seconds_bucket{{le="+Inf"}}',
+             "4"]
+        assert any(line.startswith(
+            "repro_serve_job_latency_seconds_sum") for line in lines)
+        assert lines[-1] == "repro_serve_job_latency_seconds_count 4"
+
+    def test_labelled_series(self):
+        gate = Histogram()
+        gate.observe(0.01)
+        lines = render_prometheus_histogram(
+            "repro_serve_gate_seconds",
+            [({"gate": "memo"}, gate), ({"gate": "queue"}, gate)],
+            "per-gate")
+        assert sum(1 for line in lines
+                   if 'gate="memo"' in line and "_bucket" in line) >= 2
+        assert any(line.startswith(
+            'repro_serve_gate_seconds_count{gate="queue"}')
+            for line in lines)

@@ -46,7 +46,13 @@ class TestSpan:
         assert entry["ph"] == "X"
         assert entry["pid"] == os.getpid()
         assert entry["dur"] >= 0
-        assert entry["args"] == {"case": "fdct1", "detail": "ok"}
+        args = entry["args"]
+        assert args["case"] == "fdct1"
+        assert args["detail"] == "ok"
+        # every recorded span carries its stitchable identity
+        assert args["span_id"]
+        assert args["trace_id"]
+        assert "parent_id" not in args  # a root span has no parent
 
     def test_nested_spans_both_recorded(self, tmp_path):
         path = tmp_path / "events.jsonl"

@@ -1,0 +1,171 @@
+"""Cross-process trace stitching and live metrics for the daemon.
+
+A recorder installed in the test process is inherited by the daemon
+thread and its forked workers: every span of a job's lifetime lands in
+one JSONL events file, tagged with the writer's pid but tied together
+by one trace id.  These tests boot a real daemon under a recorder and
+assert that the stitched timeline actually stitches.
+"""
+
+import json
+import urllib.request
+from collections import defaultdict
+
+import pytest
+
+from repro.obs import (TraceRecorder, export_chrome_trace, install,
+                       uninstall)
+
+from .test_server import TINY, Harness
+
+
+@pytest.fixture
+def recorder(tmp_path):
+    events = tmp_path / "events.jsonl"
+    rec = TraceRecorder(events)
+    install(rec)
+    yield events
+    uninstall()
+    rec.close()
+
+
+def _spans(events_path):
+    spans = []
+    for line in events_path.read_text().splitlines():
+        entry = json.loads(line)
+        if entry.get("ph") == "X" and \
+                entry.get("name", "").startswith("serve."):
+            spans.append(entry)
+    return spans
+
+
+def test_job_timeline_spans_two_processes(tmp_path, recorder):
+    h = Harness(tmp_path, jobs=1)
+    try:
+        with h.client() as client:
+            events = client.run_jobs([dict(TINY), {**TINY, "seed": 1}])
+    finally:
+        h.stop()
+    assert all(e["event"] == "result" for e in events)
+
+    spans = _spans(recorder)
+    by_trace = defaultdict(list)
+    for span in spans:
+        by_trace[span["args"]["trace_id"]].append(span)
+    jobs = [group for group in by_trace.values()
+            if any(s["name"] == "serve.job" for s in group)]
+    assert len(jobs) == 2  # one trace per submitted job
+
+    for group in jobs:
+        names = [span["name"] for span in group]
+        # submit -> gate verdict -> queue wait -> worker execute
+        assert {"serve.job", "serve.gates", "serve.queue",
+                "serve.execute"} <= set(names)
+        assert len(group) >= 4
+
+        job = next(s for s in group if s["name"] == "serve.job")
+        children = [s for s in group if s is not job]
+        # every other span hangs off the job span (directly)
+        assert all(s["args"]["parent_id"] == job["args"]["span_id"]
+                   for s in children)
+        assert "parent_id" not in job["args"]
+
+        # the execute span was written by a forked worker, the rest by
+        # the daemon process — one logical trace across two pids
+        execute = next(s for s in group if s["name"] == "serve.execute")
+        assert execute["pid"] != job["pid"]
+        assert {span["pid"] for span in group} == \
+            {job["pid"], execute["pid"]}
+
+        # children are timed within the job span on the shared clock
+        for child in children:
+            assert child["ts"] >= job["ts"]
+            assert child["ts"] + child["dur"] <= \
+                job["ts"] + job["dur"] + 1.0  # 1us write slack
+
+
+def test_coalesced_submit_rides_the_executing_trace(tmp_path, recorder):
+    h = Harness(tmp_path, jobs=1)
+    try:
+        with h.client() as client:
+            events = client.run_jobs([dict(TINY), dict(TINY)])
+    finally:
+        h.stop()
+    assert sorted(e["served"] for e in events) == ["coalesced", "queued"]
+
+    spans = _spans(recorder)
+    jobs = [s for s in spans if s["name"] == "serve.job"]
+    assert len(jobs) == 2
+    served = {job["args"]["served"] for job in jobs}
+    assert served == {"queued", "coalesced"}
+
+
+def test_per_track_timestamps_are_monotone(tmp_path, recorder):
+    h = Harness(tmp_path, jobs=1)
+    try:
+        with h.client() as client:
+            client.run_jobs([{**TINY, "seed": seed}
+                             for seed in range(3)])
+    finally:
+        h.stop()
+    ends = defaultdict(float)
+    for span in _spans(recorder):
+        track = (span["pid"], span["tid"])
+        # completion order on one track is append order in the file
+        end = span["ts"] + span["dur"]
+        assert end >= ends[track] - 1.0  # 1us clock slack
+        ends[track] = max(ends[track], end)
+
+
+def test_stitched_trace_exports_as_one_chrome_json(tmp_path, recorder):
+    h = Harness(tmp_path, jobs=1)
+    try:
+        with h.client() as client:
+            client.run_jobs([dict(TINY)])
+    finally:
+        h.stop()
+    out = tmp_path / "trace.json"
+    exported = export_chrome_trace(recorder, out)
+    assert exported >= 4
+    payload = json.loads(out.read_text())
+    names = {entry["name"] for entry in payload["traceEvents"]}
+    assert {"serve.job", "serve.execute"} <= names
+    # sorted by timestamp for the viewer
+    stamps = [entry.get("ts", 0.0) for entry in payload["traceEvents"]]
+    assert stamps == sorted(stamps)
+
+
+def test_live_metrics_endpoint_serves_histograms(tmp_path):
+    h = Harness(tmp_path, http=True)
+    try:
+        with h.client() as client:
+            client.run_jobs([dict(TINY), {**TINY, "seed": 1}])
+        with urllib.request.urlopen(h.http_url("/metrics")) as response:
+            assert response.headers["Content-Type"].startswith(
+                "text/plain")
+            text = response.read().decode("utf-8")
+    finally:
+        h.stop()
+    assert "# TYPE repro_serve_submitted_total counter" in text
+    assert "repro_serve_submitted_total 2" in text
+    assert "# TYPE repro_serve_gate_seconds histogram" in text
+    for gate in ("memo", "coalesce", "queue"):
+        assert f'repro_serve_gate_seconds_count{{gate="{gate}"}}' in text
+    assert "repro_serve_job_latency_seconds_count 2" in text
+    assert 'le="+Inf"' in text
+
+
+def test_status_op_carries_histogram_snapshots(tmp_path):
+    h = Harness(tmp_path)
+    try:
+        with h.client() as client:
+            client.run_jobs([dict(TINY)])
+            stats = client.status()
+    finally:
+        h.stop()
+    histograms = stats["histograms"]
+    for name in ("gate_memo_seconds", "queue_wait_seconds",
+                 "execute_seconds", "job_latency_seconds"):
+        assert histograms[name]["count"] >= 1
+    # snapshots are wire-clean JSON already (str keys, plain scalars)
+    assert json.loads(json.dumps(histograms)) == histograms

@@ -1,25 +1,35 @@
 """CI smoke for ``repro serve``: one real daemon, one mixed batch.
 
-Boots the daemon exactly as a user would (``python -m repro serve``),
-replays a mixed batch over the NDJSON socket — a fresh job, an exact
-repeat of it, a second distinct design, and an invalid design — and
-gates on the service contract:
+Boots the daemon exactly as a user would (``python -m repro serve``,
+with the HTTP shim, an artifact cache and ``--trace``), replays a mixed
+batch over the NDJSON socket — a fresh job, an exact repeat of it, a
+second distinct design, and an invalid design — and gates on the
+service contract:
 
 1. every valid job verifies (no mismatches, no errors), and the repeat
    is answered without a second execution (``coalesce + memo >= 1``);
 2. the invalid design comes back as an error *result*, not a dead
    connection;
-3. shutdown is clean: the daemon drains, exits 0 and removes its
+3. the warm daemon's ``GET /metrics`` serves Prometheus text with every
+   admission-gate latency histogram non-empty (memo, artifact,
+   coalesce, queue) plus the end-to-end job-latency histogram;
+4. shutdown is clean: the daemon drains, exits 0 and removes its
    socket;
-4. the harvested ledger (uploaded as a CI artifact) holds one
-   ``serve`` run with one row per executed-or-cache-served job.
+5. the harvested ledger (uploaded as a CI artifact) holds one
+   ``serve`` run with one row per executed-or-cache-served job;
+6. the stitched trace the daemon exported holds one cross-process
+   timeline per queued job (submit and execute spans from different
+   pids sharing a trace id).  The trace is uploaded as a CI artifact,
+   so a failed smoke leaves its timeline behind for triage.
 
 Exit status 0 = all gates pass.
 """
 
 import json
+import socket
 import subprocess
 import sys
+import urllib.request
 from pathlib import Path
 
 from repro.obs.ledger import Ledger
@@ -27,11 +37,16 @@ from repro.serve import ServeClient, wait_for_socket
 
 SOCKET = Path("serve-smoke.sock")
 LEDGER = Path("serve-smoke.sqlite")
+TRACE = Path("serve-smoke-trace.json")
+EVENTS = TRACE.with_suffix(".jsonl")
+CACHE = Path("serve-smoke-cache")
 
 FRESH = {"case": "threshold", "size": {"n_pixels": 32}}
 REPEAT = dict(FRESH)
 DISTINCT = {"case": "popcount", "size": {"n_words": 16}}
 INVALID = {"case": "no-such-design"}
+
+GATES = ("memo", "artifact", "coalesce", "queue")
 
 
 def _passed(payload):
@@ -40,19 +55,40 @@ def _passed(payload):
         and all(not c["mismatches"] for c in v["checks"])
 
 
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _prom_value(text: str, prefix: str):
+    """The value of the first sample line starting with *prefix*."""
+    for line in text.splitlines():
+        if line.startswith(prefix):
+            return float(line.rsplit(" ", 1)[1])
+    return None
+
+
 def main() -> int:
-    for stale in (SOCKET, LEDGER):
+    for stale in (SOCKET, LEDGER, TRACE, EVENTS):
         if stale.exists():
             stale.unlink()
+    port = _free_port()
     daemon = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
          "--socket", str(SOCKET), "--jobs", "2",
-         "--ledger", str(LEDGER)])
+         "--http", str(port), "--cache", str(CACHE),
+         "--trace", str(TRACE), "--ledger", str(LEDGER)])
     try:
         wait_for_socket(SOCKET, timeout=60)
         with ServeClient(SOCKET, timeout=120) as client:
             events = client.run_jobs([FRESH, REPEAT, DISTINCT, INVALID])
             stats = client.status()
+            # scrape the warm daemon, as a Prometheus collector would
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics",
+                    timeout=30) as response:
+                metrics_text = response.read().decode("utf-8")
             client.shutdown()
     except BaseException:
         daemon.terminate()
@@ -84,6 +120,26 @@ def main() -> int:
     else:
         print(f"[ok]   repeat deduplicated ({dedup} served without "
               f"execution, {stats['executed']} executed)")
+
+    # live metrics: every admission gate timed at least one job
+    for gate in GATES:
+        count = _prom_value(
+            metrics_text,
+            f'repro_serve_gate_seconds_count{{gate="{gate}"}}')
+        if not count:
+            failures.append(f"/metrics gate histogram empty: {gate}")
+    latency_count = _prom_value(metrics_text,
+                                "repro_serve_job_latency_seconds_count")
+    if not latency_count or latency_count < 3:
+        failures.append(
+            f"/metrics job-latency histogram short: {latency_count}")
+    if "# TYPE repro_serve_gate_seconds histogram" not in metrics_text:
+        failures.append("/metrics lacks the gate histogram TYPE line")
+    if not failures or all("metrics" not in f and "gate histogram"
+                           not in f for f in failures):
+        print(f"[ok]   GET /metrics: all {len(GATES)} gate histograms "
+              f"non-empty, {latency_count:.0f} job latencies")
+
     if exit_code != 0:
         failures.append(f"daemon exited {exit_code}")
     elif SOCKET.exists():
@@ -100,6 +156,32 @@ def main() -> int:
     else:
         print(f"[ok]   ledger: serve run #{run.run_id} with "
               f"{len(rows)} case row(s) -> {LEDGER}")
+    if run is not None and not run.extra.get("histograms"):
+        failures.append("serve run row carries no histogram summaries")
+
+    # the stitched trace: one cross-process timeline per queued job
+    if not TRACE.exists():
+        failures.append(f"daemon exported no trace at {TRACE}")
+    else:
+        spans = [entry for entry
+                 in json.loads(TRACE.read_text())["traceEvents"]
+                 if entry.get("name", "").startswith("serve.")]
+        by_trace = {}
+        for span in spans:
+            trace_id = span.get("args", {}).get("trace_id")
+            by_trace.setdefault(trace_id, []).append(span)
+        stitched = [
+            group for group in by_trace.values()
+            if {"serve.job", "serve.execute"}
+            <= {span["name"] for span in group}
+            and len({span["pid"] for span in group}) >= 2]
+        if not stitched:
+            failures.append(
+                f"no cross-process job timeline in {TRACE} "
+                f"({len(spans)} serve spans)")
+        else:
+            print(f"[ok]   trace: {len(stitched)} stitched "
+                  f"cross-process job timeline(s) -> {TRACE}")
 
     if failures:
         print("serve smoke FAILED:\n  " + "\n  ".join(failures))
